@@ -1,0 +1,41 @@
+//! Ablation: the recursion cutoff (BASE) in C++11-style task recursion —
+//! "helps to control task creation and to avoid oversubscription" (paper
+//! §IV-A). Thread-per-split cost makes fine cutoffs catastrophic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::tune;
+use tpm_rawthreads::{fib_with_cutoff, recursive_for};
+
+fn cutoffs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cutoff/recursive_for_64k");
+    tune(&mut g);
+    for (name, base) in [
+        ("base_n_over_2", 32_768usize),
+        ("base_n_over_8", 8_192),
+        ("base_n_over_64", 1_024),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                recursive_for(0..65_536, base, &|chunk| {
+                    let mut acc = 0u64;
+                    for i in chunk {
+                        acc = acc.wrapping_add(i as u64);
+                    }
+                    black_box(acc);
+                });
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_cutoff/fib20");
+    tune(&mut g);
+    for (name, cutoff) in [("cutoff_18", 18u64), ("cutoff_14", 14), ("cutoff_10", 10)] {
+        g.bench_function(name, |b| b.iter(|| black_box(fib_with_cutoff(20, cutoff))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cutoffs);
+criterion_main!(benches);

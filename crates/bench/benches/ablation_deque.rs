@@ -1,0 +1,115 @@
+//! Ablation: lock-based vs lock-free task deques — the mechanism behind the
+//! paper's Fig. 5 gap ("lock-based deque ... increases more contention and
+//! overhead than the workstealing protocol in Cilk Plus").
+//!
+//! Benchmarks the raw data structures under an owner/thief workload, and the
+//! simulated fib(30) under both disciplines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::tune;
+use tpm_sim::{DequeKind, FibWorkload, Simulator};
+use tpm_sync::{chase_lev, LockedDeque};
+
+fn raw_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_deque/raw_push_pop");
+    tune(&mut g);
+    g.bench_function("chase_lev", |b| {
+        let (w, _s) = chase_lev::deque::<u64>(1024);
+        b.iter(|| {
+            for i in 0..256 {
+                w.push(i);
+            }
+            while let Some(v) = w.pop() {
+                black_box(v);
+            }
+        });
+    });
+    g.bench_function("locked", |b| {
+        let d = LockedDeque::new();
+        b.iter(|| {
+            for i in 0..256u64 {
+                d.push_bottom(i);
+            }
+            while let Some(v) = d.pop_bottom() {
+                black_box(v);
+            }
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_deque/owner_vs_thief");
+    tune(&mut g);
+    g.bench_function("chase_lev_contended", |b| {
+        b.iter(|| {
+            let (w, s) = chase_lev::deque::<u64>(1024);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let mut got = 0;
+                    while got < 2_000 {
+                        if let chase_lev::Steal::Success(v) = s.steal() {
+                            black_box(v);
+                            got += 1;
+                        }
+                    }
+                });
+                for i in 0..4_000u64 {
+                    w.push(i);
+                }
+                let mut got = 0;
+                while got < 2_000 {
+                    if let Some(v) = w.pop() {
+                        black_box(v);
+                        got += 1;
+                    }
+                }
+            });
+        });
+    });
+    g.bench_function("locked_contended", |b| {
+        b.iter(|| {
+            let d = LockedDeque::new();
+            std::thread::scope(|scope| {
+                let d2 = d.clone();
+                scope.spawn(move || {
+                    let mut got = 0;
+                    while got < 2_000 {
+                        if let Some(v) = d2.steal_top() {
+                            black_box(v);
+                            got += 1;
+                        }
+                    }
+                });
+                for i in 0..4_000u64 {
+                    d.push_bottom(i);
+                }
+                let mut got = 0;
+                while got < 2_000 {
+                    if let Some(v) = d.pop_bottom() {
+                        black_box(v);
+                        got += 1;
+                    }
+                }
+            });
+        });
+    });
+    g.finish();
+}
+
+fn simulated_fib(c: &mut Criterion) {
+    let sim = Simulator::paper_testbed();
+    let fw = FibWorkload {
+        n: 30,
+        leaf_cutoff: 16,
+        call_ns: 2.2,
+    };
+    let mut g = c.benchmark_group("ablation_deque/sim_fib30_16t");
+    tune(&mut g);
+    for (name, kind) in [("lockfree", DequeKind::LockFree), ("locked", DequeKind::Locked)] {
+        g.bench_function(name, |b| b.iter(|| black_box(sim.run_fib(kind, &fw, 16))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, raw_ops, simulated_fib);
+criterion_main!(benches);

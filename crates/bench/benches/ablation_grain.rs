@@ -1,0 +1,38 @@
+//! Ablation: `par_for` grain size — too fine pays steal/split overhead per
+//! tiny leaf; too coarse starves workers (the cilk_for grainsize trade-off).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_worksteal::{par_for, Grain, Runtime};
+
+fn grains(c: &mut Criterion) {
+    let rt = Runtime::new(BENCH_THREADS);
+    let mut g = c.benchmark_group("ablation_grain/par_for_100k");
+    tune(&mut g);
+    for (name, grain) in [
+        ("grain_1", Grain::Fixed(1)),
+        ("grain_64", Grain::Fixed(64)),
+        ("grain_2048", Grain::Fixed(2048)),
+        ("grain_50000", Grain::Fixed(50_000)),
+        ("auto", Grain::Auto),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                rt.install(|ctx| {
+                    par_for(ctx, 0..100_000, grain, &|chunk| {
+                        let mut acc = 0u64;
+                        for i in chunk {
+                            acc = acc.wrapping_add(i as u64);
+                        }
+                        black_box(acc);
+                    });
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, grains);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: static vs dynamic vs guided worksharing schedules, on a
+//! uniform and a front-loaded (LUD-like) load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_forkjoin::{Schedule, Team};
+
+fn schedules(c: &mut Criterion) {
+    let team = Team::new(BENCH_THREADS);
+    let cases = [
+        ("static", Schedule::Static { chunk: None }),
+        ("static_16", Schedule::Static { chunk: Some(16) }),
+        ("dynamic_16", Schedule::Dynamic { chunk: 16 }),
+        ("guided_8", Schedule::Guided { min_chunk: 8 }),
+    ];
+
+    let mut g = c.benchmark_group("ablation_schedule/uniform");
+    tune(&mut g);
+    for (name, sched) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                team.parallel_for_chunks(BENCH_THREADS, sched, 0..20_000, |chunk| {
+                    let mut acc = 0u64;
+                    for i in chunk {
+                        acc = acc.wrapping_add((i as u64).wrapping_mul(0x9E37));
+                    }
+                    black_box(acc);
+                });
+            })
+        });
+    }
+    g.finish();
+
+    // Front-loaded: iteration i costs ~ (n - i) work units (triangular, the
+    // LUD shape) — dynamic/guided should close the static imbalance.
+    let mut g = c.benchmark_group("ablation_schedule/front_loaded");
+    tune(&mut g);
+    for (name, sched) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                team.parallel_for_chunks(BENCH_THREADS, sched, 0..2_000, |chunk| {
+                    let mut acc = 0u64;
+                    for i in chunk {
+                        for j in i..2_000 {
+                            acc = acc.wrapping_add(j as u64);
+                        }
+                    }
+                    black_box(acc);
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, schedules);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: which simulator cost terms drive which paper conclusions.
+//! Disabling the steal-locality derate erases the Fig. 1 cilk_for gap;
+//! disabling the NUMA penalty shifts the bandwidth plateau.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::tune;
+use tpm_kernels::Axpy;
+use tpm_sim::{LoopPolicy, Simulator};
+
+fn simcost(c: &mut Criterion) {
+    let wl = Axpy::paper().sim_workload();
+    let base = Simulator::paper_testbed();
+    let mut no_locality = base;
+    no_locality.cost.steal_locality_derate = 1.0;
+    let mut no_numa = base;
+    no_numa.machine.numa_bw_penalty = 1.0;
+
+    // Report the figure-level effect once (this is the point of the bench).
+    let gap = |sim: &Simulator| {
+        let cilk = sim
+            .run_loop(LoopPolicy::WorkstealingSplit { grain: 0 }, &wl, 16)
+            .makespan_ns;
+        let omp = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 16).makespan_ns;
+        cilk / omp
+    };
+    println!("axpy cilk_for/omp_for gap @16t: calibrated {:.2}, no-locality-derate {:.2}, no-numa {:.2}",
+        gap(&base), gap(&no_locality), gap(&no_numa));
+
+    let mut g = c.benchmark_group("ablation_simcost/axpy_sweep_runtime");
+    tune(&mut g);
+    for (name, sim) in [
+        ("calibrated", base),
+        ("no_locality_derate", no_locality),
+        ("no_numa_penalty", no_numa),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for p in [1usize, 8, 36] {
+                    black_box(sim.run_loop(LoopPolicy::WorkstealingSplit { grain: 0 }, &wl, p));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, simcost);
+criterion_main!(benches);

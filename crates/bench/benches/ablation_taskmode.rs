@@ -1,0 +1,51 @@
+//! Ablation: work-first vs breadth-first task scheduling (paper §III-B:
+//! "task schedulers are based on work-first and breadth-first schedulers").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_forkjoin::{TaskMode, Team, TeamConfig};
+
+fn run_tasks(team: &Team, tasks: usize, work: u64) -> u64 {
+    let acc = std::sync::atomic::AtomicU64::new(0);
+    team.parallel(|ctx| {
+        ctx.single(|| {
+            ctx.task_scope(|s| {
+                for t in 0..tasks {
+                    let acc = &acc;
+                    s.spawn(move |_| {
+                        let mut local = 0u64;
+                        for i in 0..work {
+                            local = local.wrapping_add(i ^ t as u64);
+                        }
+                        acc.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+    });
+    acc.into_inner()
+}
+
+fn taskmodes(c: &mut Criterion) {
+    let wf = Team::with_config(
+        BENCH_THREADS,
+        TeamConfig {
+            task_mode: TaskMode::WorkFirst,
+        },
+    );
+    let bf = Team::with_config(
+        BENCH_THREADS,
+        TeamConfig {
+            task_mode: TaskMode::BreadthFirst,
+        },
+    );
+    let mut g = c.benchmark_group("ablation_taskmode/512_tasks");
+    tune(&mut g);
+    g.bench_function("work_first", |b| b.iter(|| black_box(run_tasks(&wf, 512, 500))));
+    g.bench_function("breadth_first", |b| b.iter(|| black_box(run_tasks(&bf, 512, 500))));
+    g.finish();
+}
+
+criterion_group!(benches, taskmodes);
+criterion_main!(benches);

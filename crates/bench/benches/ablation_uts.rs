@@ -1,0 +1,27 @@
+//! Extension bench (paper §V related work, Olivier & Prins): Unbalanced
+//! Tree Search — the workload where "only the Intel compiler illustrates
+//! good load balancing". Compares the lock-free work-stealing traversal
+//! against the lock-based-deque task traversal on identical trees.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_kernels::Uts;
+
+fn uts(c: &mut Criterion) {
+    let u = Uts::standard(7);
+    let expected = u.seq();
+    let rt = tpm_worksteal::Runtime::new(BENCH_THREADS);
+    let team = tpm_forkjoin::Team::new(BENCH_THREADS);
+    assert_eq!(u.run_worksteal(&rt), expected);
+    assert_eq!(u.run_omp_task(&team), expected);
+    let mut g = c.benchmark_group("ablation_uts");
+    tune(&mut g);
+    g.bench_function("sequential", |b| b.iter(|| black_box(u.seq())));
+    g.bench_function("cilk_spawn", |b| b.iter(|| black_box(u.run_worksteal(&rt))));
+    g.bench_function("omp_task", |b| b.iter(|| black_box(u.run_omp_task(&team))));
+    g.finish();
+}
+
+criterion_group!(benches, uts);
+criterion_main!(benches);

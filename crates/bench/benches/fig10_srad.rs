@@ -1,0 +1,22 @@
+//! Fig. 10 (Rodinia SRAD): native-scale comparison of all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_rodinia::Srad;
+
+fn fig10(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let s = Srad::native(64, 2);
+    let img = s.generate();
+    let mut g = c.benchmark_group("fig10_srad");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| b.iter(|| black_box(s.run(&exec, model, &img))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 1 (Axpy): native-scale comparison of all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_kernels::Axpy;
+
+fn fig1(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let k = Axpy::native(200_000);
+    let (x, y0) = k.alloc();
+    let mut y = y0.clone();
+    let mut g = c.benchmark_group("fig1_axpy");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| {
+                y.copy_from_slice(&y0);
+                k.run(&exec, model, &x, &mut y);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

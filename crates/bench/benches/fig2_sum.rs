@@ -1,0 +1,22 @@
+//! Fig. 2 (Sum): native-scale reduction under all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_kernels::Sum;
+
+fn fig2(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let k = Sum::native(200_000);
+    let x = k.alloc();
+    let mut g = c.benchmark_group("fig2_sum");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| b.iter(|| black_box(k.run(&exec, model, &x))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 3 (Matvec): native-scale comparison of all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_kernels::Matvec;
+
+fn fig3(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let k = Matvec::native(256);
+    let (a, x) = k.alloc();
+    let mut g = c.benchmark_group("fig3_matvec");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| b.iter(|| black_box(k.run(&exec, model, &a, &x))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 4 (Matmul): native-scale comparison of all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_kernels::Matmul;
+
+fn fig4(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let k = Matmul::native(64);
+    let (a, b_in) = k.alloc();
+    let mut g = c.benchmark_group("fig4_matmul");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| black_box(k.run(&exec, model, &a, &b_in)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 5 (Fibonacci): the two task-parallel variants (the paper's C++11
+//! recursive version explodes without a cutoff and is excluded, as in the
+//! paper; the cutoff variant is benchmarked in `ablation_cutoff`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::Executor;
+use tpm_kernels::Fib;
+
+fn fig5(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let k = Fib::native(22);
+    let mut g = c.benchmark_group("fig5_fib");
+    tune(&mut g);
+    g.bench_function("omp_task", |b| {
+        b.iter(|| black_box(k.run_omp_task(exec.team())))
+    });
+    g.bench_function("cilk_spawn", |b| {
+        b.iter(|| black_box(k.run_cilk_spawn(exec.worksteal())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 6 (Rodinia BFS): native-scale comparison of all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_rodinia::Bfs;
+
+fn fig6(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let bfs = Bfs::native(20_000);
+    let graph = bfs.generate();
+    let mut g = c.benchmark_group("fig6_bfs");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| black_box(bfs.run(&exec, model, &graph)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

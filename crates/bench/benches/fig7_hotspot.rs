@@ -1,0 +1,24 @@
+//! Fig. 7 (Rodinia HotSpot): native-scale comparison of all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_rodinia::HotSpot;
+
+fn fig7(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let h = HotSpot::native(96, 4);
+    let (t, p) = h.generate();
+    let mut g = c.benchmark_group("fig7_hotspot");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| black_box(h.run(&exec, model, &t, &p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 8 (Rodinia LUD): native-scale comparison of all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_rodinia::Lud;
+
+fn fig8(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let l = Lud::native(64);
+    let a = l.generate();
+    let mut g = c.benchmark_group("fig8_lud");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| b.iter(|| black_box(l.run(&exec, model, &a))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 9 (Rodinia LavaMD): native-scale comparison of all six variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::{tune, BENCH_THREADS};
+use tpm_core::{Executor, Model};
+use tpm_rodinia::LavaMd;
+
+fn fig9(c: &mut Criterion) {
+    let exec = Executor::new(BENCH_THREADS);
+    let l = LavaMd::native(3, 12);
+    let particles = l.generate();
+    let mut g = c.benchmark_group("fig9_lavamd");
+    tune(&mut g);
+    for model in Model::ALL {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| black_box(l.run(&exec, model, &particles)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

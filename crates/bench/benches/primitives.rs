@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the from-scratch primitives against their `std`
+//! equivalents: the substrate costs every runtime comparison rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::tune;
+use tpm_sync::{Barrier, Mutex, SpinLock};
+
+fn locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives/uncontended_lock");
+    tune(&mut g);
+    let spin = SpinLock::new(0u64);
+    g.bench_function("spinlock", |b| b.iter(|| *black_box(&spin).lock() += 1));
+    let ours = Mutex::new(0u64);
+    g.bench_function("tpm_mutex", |b| b.iter(|| *black_box(&ours).lock() += 1));
+    let std_m = std::sync::Mutex::new(0u64);
+    g.bench_function("std_mutex", |b| {
+        b.iter(|| *black_box(&std_m).lock().unwrap() += 1)
+    });
+    g.finish();
+}
+
+fn barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives/barrier_2_threads");
+    tune(&mut g);
+    g.bench_function("tpm_barrier_100_phases", |b| {
+        b.iter(|| {
+            let bar = Barrier::new(2);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        bar.wait();
+                    }
+                });
+                for _ in 0..100 {
+                    bar.wait();
+                }
+            });
+        })
+    });
+    g.bench_function("std_barrier_100_phases", |b| {
+        b.iter(|| {
+            let bar = std::sync::Barrier::new(2);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        bar.wait();
+                    }
+                });
+                for _ in 0..100 {
+                    bar.wait();
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+fn oneshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives/oneshot");
+    tune(&mut g);
+    g.bench_function("send_recv_same_thread", |b| {
+        b.iter(|| {
+            let (tx, rx) = tpm_sync::oneshot::channel();
+            tx.send(7u64);
+            black_box(rx.recv().unwrap());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, locks, barriers, oneshot);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Tables I-III: regeneration cost and content sanity (the tables are data;
+//! this target exists so `cargo bench` exercises every table, per the
+//! reproduction's experiment index).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpm_bench::tune;
+
+fn tables(c: &mut Criterion) {
+    // Content sanity before timing anything.
+    assert!(tpm_features::table1().contains("cilk_spawn/cilk_sync"));
+    assert!(tpm_features::table2().contains("OMP_PLACES"));
+    assert!(tpm_features::table3().contains("omp cancel"));
+    let mut g = c.benchmark_group("tables");
+    tune(&mut g);
+    g.bench_function("table1_parallelism", |b| b.iter(|| black_box(tpm_features::table1())));
+    g.bench_function("table2_memory_sync", |b| b.iter(|| black_box(tpm_features::table2())));
+    g.bench_function("table3_misc", |b| b.iter(|| black_box(tpm_features::table3())));
+    g.finish();
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

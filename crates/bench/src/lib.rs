@@ -1,0 +1,23 @@
+//! # tpm-bench — Criterion benchmark targets
+//!
+//! One bench target per paper figure (native scale, fixed thread count, one
+//! benchmark per variant) and per table (render cost + content assertions),
+//! plus ablation benches for the design choices DESIGN.md calls out
+//! (deque protocol, worksharing schedule, splitting grain, recursion cutoff,
+//! task scheduling mode, simulator cost-model terms).
+//!
+//! All groups use small sample counts and short measurement windows so the
+//! full suite completes on a single-core CI host; the *relative* ordering of
+//! variants is what each bench documents.
+
+use std::time::Duration;
+
+/// Applies the suite-wide fast-bench settings to a group.
+pub fn tune<M: criterion::measurement::Measurement>(g: &mut criterion::BenchmarkGroup<'_, M>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+}
+
+/// The fixed thread count native figure benches use.
+pub const BENCH_THREADS: usize = 2;

@@ -1,0 +1,309 @@
+//! A unified executor over the three runtimes.
+//!
+//! `Executor::new(p)` materializes a fork-join team and a work-stealing
+//! runtime of `p` threads each (the C++11 model needs no persistent state),
+//! and exposes the six variants' data-parallel loop and reduction through a
+//! single interface so kernels and applications can be written once and run
+//! under every [`Model`].
+//!
+//! Task-parallel *algorithms* (recursive decomposition, per-phase task
+//! graphs) are inherently per-application; those use [`Executor::team`] and
+//! [`Executor::worksteal`] directly, exactly as the paper wrote six bespoke
+//! versions per benchmark.
+
+use std::ops::Range;
+
+use tpm_forkjoin::{Schedule, Team};
+use tpm_rawthreads as raw;
+use tpm_worksteal::{Grain, Runtime};
+
+use crate::model::Model;
+
+/// Holds one runtime instance per API family, all sized to the same thread
+/// count, so a figure's six curves measure scheduling — not pool size.
+pub struct Executor {
+    threads: usize,
+    team: Team,
+    ws: Runtime,
+}
+
+impl Executor {
+    /// Creates runtimes with `threads` threads each.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        Self {
+            threads,
+            team: Team::new(threads),
+            ws: Runtime::new(threads),
+        }
+    }
+
+    /// The common thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Direct access to the OpenMP-analogue team (for task-parallel code).
+    pub fn team(&self) -> &Team {
+        &self.team
+    }
+
+    /// Direct access to the Cilk-analogue runtime (for task-parallel code).
+    pub fn worksteal(&self) -> &Runtime {
+        &self.ws
+    }
+
+    /// The chunk size the paper's manual/task chunkings use:
+    /// `BASE = N / threads`.
+    pub fn base_chunk(&self, n: usize) -> usize {
+        raw::base_cutoff(n, self.threads)
+    }
+
+    /// Runs the data-parallel loop `body` over `range` under `model`'s
+    /// distribution mechanism. `body` receives contiguous chunks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use tpm_core::{Executor, Model};
+    ///
+    /// let exec = Executor::new(2);
+    /// for model in Model::ALL {
+    ///     let sum = AtomicU64::new(0);
+    ///     exec.parallel_for(model, 0..100, &|chunk| {
+    ///         sum.fetch_add(chunk.map(|i| i as u64).sum(), Ordering::Relaxed);
+    ///     });
+    ///     assert_eq!(sum.into_inner(), 4950, "{model}");
+    /// }
+    /// ```
+    pub fn parallel_for<F>(&self, model: Model, range: Range<usize>, body: &F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let n = range.len();
+        let base = self.base_chunk(n);
+        match model {
+            Model::OmpFor => {
+                // Worksharing with the static schedule (the paper's setup for
+                // all data-parallel comparisons).
+                self.team
+                    .parallel_for_chunks(self.threads, Schedule::static_default(), range, body);
+            }
+            Model::OmpTask => {
+                // parallel + single + one task per BASE-sized chunk.
+                self.team.parallel_with(self.threads, |ctx| {
+                    ctx.single(|| {
+                        ctx.task_scope(|s| {
+                            let mut start = range.start;
+                            while start < range.end {
+                                let end = (start + base).min(range.end);
+                                s.spawn(move |_| body(start..end));
+                                start = end;
+                            }
+                        });
+                    });
+                });
+            }
+            Model::CilkFor => {
+                // Recursive lazy splitting with Cilk's default grain.
+                self.ws.install(|ctx| {
+                    tpm_worksteal::par_for(ctx, range, Grain::Auto, body);
+                });
+            }
+            Model::CilkSpawn => {
+                // Explicitly spawned BASE-sized chunk tasks + sync.
+                self.ws.install(|ctx| {
+                    tpm_worksteal::scope(ctx, |s| {
+                        let mut start = range.start;
+                        while start < range.end {
+                            let end = (start + base).min(range.end);
+                            s.spawn(move |_| body(start..end));
+                            start = end;
+                        }
+                    });
+                });
+            }
+            Model::CxxThread => {
+                raw::threads_for(self.threads, range, |_tid, chunk| body(chunk));
+            }
+            Model::CxxAsync => {
+                raw::recursive_for(range, base, body);
+            }
+        }
+    }
+
+    /// Runs a data-parallel reduction under `model`: `body` folds each chunk
+    /// into a `T` accumulator; partials combine with `combine` (associative).
+    pub fn parallel_reduce<T, F, Id, Op>(
+        &self,
+        model: Model,
+        range: Range<usize>,
+        identity: Id,
+        combine: Op,
+        body: F,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Send + Sync,
+        Op: Fn(T, T) -> T + Send + Sync,
+        F: Fn(Range<usize>, &mut T) + Sync,
+    {
+        let n = range.len();
+        let base = self.base_chunk(n);
+        match model {
+            Model::OmpFor => self.team.parallel_for_reduce(
+                self.threads,
+                Schedule::static_default(),
+                range,
+                identity,
+                combine,
+                body,
+            ),
+            Model::OmpTask => {
+                // Tasks accumulate into a reducer keyed by executing thread.
+                let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
+                self.team.parallel_with(self.threads, |ctx| {
+                    ctx.single(|| {
+                        ctx.task_scope(|s| {
+                            let mut start = range.start;
+                            while start < range.end {
+                                let end = (start + base).min(range.end);
+                                let reducer = &reducer;
+                                let body = &body;
+                                s.spawn(move |c| {
+                                    reducer.with(c.thread_num(), |acc| body(start..end, acc));
+                                });
+                                start = end;
+                            }
+                        });
+                    });
+                });
+                reducer.finish()
+            }
+            Model::CilkFor => {
+                let body = &body; // shared borrow: Send because F: Sync
+                self.ws.install(move |ctx| {
+                    tpm_worksteal::par_for_reduce(
+                        ctx,
+                        range,
+                        Grain::Auto,
+                        identity,
+                        combine,
+                        |chunk, acc| body(chunk, acc),
+                    )
+                })
+            }
+            Model::CilkSpawn => {
+                let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
+                self.ws.install(|ctx| {
+                    tpm_worksteal::scope(ctx, |s| {
+                        let mut start = range.start;
+                        while start < range.end {
+                            let end = (start + base).min(range.end);
+                            let reducer = &reducer;
+                            let body = &body;
+                            s.spawn(move |c| {
+                                reducer.with(c.index(), |acc| body(start..end, acc));
+                            });
+                            start = end;
+                        }
+                    });
+                });
+                reducer.finish()
+            }
+            Model::CxxThread => raw::threads_for_reduce(
+                self.threads,
+                range,
+                |_tid, chunk| {
+                    let mut acc = identity();
+                    body(chunk, &mut acc);
+                    acc
+                },
+                combine,
+                identity(),
+            ),
+            Model::CxxAsync => raw::recursive_reduce(
+                range,
+                base,
+                &|chunk| {
+                    let mut acc = identity();
+                    body(chunk, &mut acc);
+                    acc
+                },
+                &combine,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn all_models_cover_the_range() {
+        let exec = Executor::new(3);
+        for model in Model::ALL {
+            let flags: Vec<AtomicU64> = (0..101).map(|_| AtomicU64::new(0)).collect();
+            exec.parallel_for(model, 0..101, &|chunk| {
+                for i in chunk {
+                    flags[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for (i, f) in flags.iter().enumerate() {
+                assert_eq!(f.load(Ordering::Relaxed), 1, "{model} iteration {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_models_reduce_identically() {
+        let exec = Executor::new(4);
+        let expected: u64 = (0..5000u64).map(|i| i * 7).sum();
+        for model in Model::ALL {
+            let got = exec.parallel_reduce(
+                model,
+                0..5000,
+                || 0u64,
+                |a, b| a + b,
+                |chunk, acc| {
+                    for i in chunk {
+                        *acc += (i as u64) * 7;
+                    }
+                },
+            );
+            assert_eq!(got, expected, "{model}");
+        }
+    }
+
+    #[test]
+    fn executor_is_reusable_across_models() {
+        let exec = Executor::new(2);
+        for _ in 0..3 {
+            for model in Model::ALL {
+                let c = AtomicU64::new(0);
+                exec.parallel_for(model, 0..10, &|chunk| {
+                    c.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                });
+                assert_eq!(c.into_inner(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn base_chunk_matches_paper_formula() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.base_chunk(100), 25);
+        assert_eq!(exec.base_chunk(2), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tpm-core — the unified comparison API
+//!
+//! The comparison framework of the `threadcmp` workspace (after *Comparison
+//! of Threading Programming Models*, 2017): a single interface over the
+//! three runtimes so each benchmark can be expressed once and measured under
+//! all six variants.
+//!
+//! * [`Model`] — the six variants (omp_for, omp_task, cilk_for, cilk_spawn,
+//!   cxx_thread, cxx_async), with family and pattern metadata.
+//! * [`Executor`] — one runtime instance per family at a common thread
+//!   count; generic [`Executor::parallel_for`] / [`Executor::parallel_reduce`].
+//! * [`timing`] — median-of-N wall-clock measurement.
+//! * [`Series`] / [`Figure`] — the paper's figure data (time vs threads per
+//!   variant), with winner/loser queries used by the reproduction checks.
+//!
+//! ```
+//! use tpm_core::{Executor, Model};
+//!
+//! let exec = Executor::new(2);
+//! let sum = exec.parallel_reduce(
+//!     Model::OmpFor,
+//!     0..100,
+//!     || 0u64,
+//!     |a, b| a + b,
+//!     |chunk, acc| for i in chunk { *acc += i as u64 },
+//! );
+//! assert_eq!(sum, 4950);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod executor;
+mod model;
+pub mod report;
+pub mod sweep;
+pub mod timing;
+
+pub use executor::Executor;
+pub use model::{Family, Model, Pattern};
+pub use report::{Figure, Series};
+pub use sweep::Sweep;

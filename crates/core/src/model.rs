@@ -1,0 +1,147 @@
+//! The six implementation variants the paper evaluates.
+//!
+//! "For each application, six versions have been implemented using the three
+//! APIs" (§IV): OpenMP worksharing and tasking, Cilk Plus `cilk_for` and
+//! `cilk_spawn`, C++11 `std::thread` and `std::async`.
+
+/// API family (the three compared models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// OpenMP — fork-join + worksharing + lock-based-deque tasking
+    /// (`tpm-forkjoin`).
+    OpenMp,
+    /// Intel Cilk Plus — randomized work stealing on lock-free deques
+    /// (`tpm-worksteal`).
+    CilkPlus,
+    /// C++11 — raw threads and async futures, no runtime (`tpm-rawthreads`).
+    Cxx11,
+}
+
+impl Family {
+    /// Display name as the paper writes it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::OpenMp => "OpenMP",
+            Family::CilkPlus => "Cilk Plus",
+            Family::Cxx11 => "C++11",
+        }
+    }
+}
+
+/// Parallelism pattern of a variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Data parallelism (parallel loop).
+    Data,
+    /// Asynchronous task parallelism.
+    Task,
+}
+
+/// One of the six per-application variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// `#pragma omp parallel for` — worksharing loop.
+    OmpFor,
+    /// `#pragma omp task` / `taskwait` — explicit tasks on lock-based deques.
+    OmpTask,
+    /// `cilk_for` — recursive lazy splitting over work stealing.
+    CilkFor,
+    /// `cilk_spawn` / `cilk_sync` — spawned tasks on lock-free deques.
+    CilkSpawn,
+    /// `std::thread` — one OS thread per chunk, manual chunking.
+    CxxThread,
+    /// `std::async` — recursive decomposition with the `BASE = N/threads`
+    /// cutoff, one OS thread per split.
+    CxxAsync,
+}
+
+impl Model {
+    /// All six variants, in the paper's presentation order.
+    pub const ALL: [Model; 6] = [
+        Model::OmpFor,
+        Model::OmpTask,
+        Model::CilkFor,
+        Model::CilkSpawn,
+        Model::CxxThread,
+        Model::CxxAsync,
+    ];
+
+    /// The variant's label as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::OmpFor => "omp_for",
+            Model::OmpTask => "omp_task",
+            Model::CilkFor => "cilk_for",
+            Model::CilkSpawn => "cilk_spawn",
+            Model::CxxThread => "cxx_thread",
+            Model::CxxAsync => "cxx_async",
+        }
+    }
+
+    /// Which API family the variant belongs to.
+    pub fn family(self) -> Family {
+        match self {
+            Model::OmpFor | Model::OmpTask => Family::OpenMp,
+            Model::CilkFor | Model::CilkSpawn => Family::CilkPlus,
+            Model::CxxThread | Model::CxxAsync => Family::Cxx11,
+        }
+    }
+
+    /// Which parallelism pattern the variant expresses.
+    pub fn pattern(self) -> Pattern {
+        match self {
+            Model::OmpFor | Model::CilkFor | Model::CxxThread => Pattern::Data,
+            Model::OmpTask | Model::CilkSpawn | Model::CxxAsync => Pattern::Task,
+        }
+    }
+
+    /// Parses a figure label (`"omp_for"`, …).
+    pub fn parse(s: &str) -> Option<Model> {
+        Model::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_variants() {
+        let mut names: Vec<_> = Model::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn families_partition_evenly() {
+        for fam in [Family::OpenMp, Family::CilkPlus, Family::Cxx11] {
+            assert_eq!(Model::ALL.iter().filter(|m| m.family() == fam).count(), 2);
+        }
+    }
+
+    #[test]
+    fn patterns_partition_evenly() {
+        assert_eq!(
+            Model::ALL
+                .iter()
+                .filter(|m| m.pattern() == Pattern::Data)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for m in Model::ALL {
+            assert_eq!(Model::parse(m.name()), Some(m));
+        }
+        assert_eq!(Model::parse("nope"), None);
+    }
+}

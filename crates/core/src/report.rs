@@ -1,0 +1,175 @@
+//! Figure/series reporting: the harness prints the same rows the paper's
+//! figures plot (execution time vs. thread count per variant).
+
+/// One curve of a figure: `(threads, seconds)` points for one variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label (usually a `Model` name).
+    pub label: String,
+    /// `(thread count, execution time in seconds)` samples.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, threads: usize, seconds: f64) {
+        self.points.push((threads, seconds));
+    }
+
+    /// Time at a specific thread count, if sampled.
+    pub fn at(&self, threads: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .map(|&(_, s)| s)
+    }
+
+    /// Speedup curve relative to this series' own 1-thread point.
+    pub fn speedup(&self) -> Vec<(usize, f64)> {
+        let base = self.at(1).unwrap_or_else(|| {
+            self.points.first().map(|&(_, s)| s).unwrap_or(f64::NAN)
+        });
+        self.points
+            .iter()
+            .map(|&(t, s)| (t, base / s))
+            .collect()
+    }
+}
+
+/// A figure: a titled bundle of per-variant series over a common thread axis.
+#[derive(Debug, Clone, Default)]
+pub struct Figure {
+    /// Figure title, e.g. `"Fig.1 Axpy (N=100M)"`.
+    pub title: String,
+    /// One series per variant.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The sorted union of thread counts across series.
+    pub fn thread_axis(&self) -> Vec<usize> {
+        let mut t: Vec<usize> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(t, _)| t))
+            .collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// The label of the fastest variant at `threads`.
+    pub fn winner_at(&self, threads: usize) -> Option<&str> {
+        self.series
+            .iter()
+            .filter_map(|s| s.at(threads).map(|v| (s.label.as_str(), v)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(l, _)| l)
+    }
+
+    /// The label of the slowest variant at `threads`.
+    pub fn loser_at(&self, threads: usize) -> Option<&str> {
+        self.series
+            .iter()
+            .filter_map(|s| s.at(threads).map(|v| (s.label.as_str(), v)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(l, _)| l)
+    }
+
+    /// Renders the figure as an aligned text table (threads down, variants
+    /// across), in seconds.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{:>8}", "threads");
+        for s in &self.series {
+            let _ = write!(out, "{:>14}", s.label);
+        }
+        let _ = writeln!(out);
+        for t in self.thread_axis() {
+            let _ = write!(out, "{t:>8}");
+            for s in &self.series {
+                match s.at(t) {
+                    Some(v) => {
+                        let _ = write!(out, "{v:>14.6}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let mut f = Figure::new("test");
+        let mut a = Series::new("a");
+        a.push(1, 4.0);
+        a.push(2, 2.0);
+        let mut b = Series::new("b");
+        b.push(1, 8.0);
+        b.push(2, 1.0);
+        f.series = vec![a, b];
+        f
+    }
+
+    #[test]
+    fn speedup_is_relative_to_one_thread() {
+        let f = sample_figure();
+        assert_eq!(f.series[0].speedup(), vec![(1, 1.0), (2, 2.0)]);
+        assert_eq!(f.series[1].speedup(), vec![(1, 1.0), (2, 8.0)]);
+    }
+
+    #[test]
+    fn winners_and_losers() {
+        let f = sample_figure();
+        assert_eq!(f.winner_at(1), Some("a"));
+        assert_eq!(f.loser_at(1), Some("b"));
+        assert_eq!(f.winner_at(2), Some("b"));
+        assert_eq!(f.loser_at(2), Some("a"));
+    }
+
+    #[test]
+    fn table_contains_all_labels_and_counts() {
+        let f = sample_figure();
+        let t = f.to_table();
+        assert!(t.contains("test"));
+        assert!(t.contains('a') && t.contains('b'));
+        assert_eq!(f.thread_axis(), vec![1, 2]);
+    }
+
+    #[test]
+    fn missing_points_render_as_dash() {
+        let mut f = Figure::new("gap");
+        let mut a = Series::new("a");
+        a.push(1, 1.0);
+        let mut b = Series::new("b");
+        b.push(2, 1.0);
+        f.series = vec![a, b];
+        assert!(f.to_table().contains('-'));
+    }
+}

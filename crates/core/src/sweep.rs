@@ -1,0 +1,100 @@
+//! Thread sweeps: run a workload at each thread count and collect a
+//! [`Figure`] — the experimental procedure behind every figure in the paper.
+
+use crate::report::{Figure, Series};
+use crate::timing::median_time;
+use crate::{Executor, Model};
+
+/// A thread-sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Thread counts to visit, in order.
+    pub threads: Vec<usize>,
+    /// Timed repetitions per point (median is reported).
+    pub reps: usize,
+    /// Discarded warm-up runs per point.
+    pub warmup: usize,
+}
+
+impl Sweep {
+    /// A sweep over the given thread counts with median-of-3 timing.
+    pub fn over(threads: impl Into<Vec<usize>>) -> Self {
+        Self {
+            threads: threads.into(),
+            reps: 3,
+            warmup: 1,
+        }
+    }
+
+    /// Sets the repetition count.
+    pub fn reps(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// Times `run(executor, model)` for every `(threads, model)` pair and
+    /// assembles the figure: one series per model, one point per thread
+    /// count. Executors are constructed once per thread count and shared by
+    /// all models at that point (as the paper's per-machine runs do).
+    pub fn figure<F>(&self, title: &str, models: &[Model], mut run: F) -> Figure
+    where
+        F: FnMut(&Executor, Model),
+    {
+        let mut fig = Figure::new(title);
+        let mut series: Vec<Series> = models.iter().map(|m| Series::new(m.name())).collect();
+        for &p in &self.threads {
+            let exec = Executor::new(p);
+            for (m, s) in models.iter().zip(series.iter_mut()) {
+                let d = median_time(self.warmup, self.reps, || run(&exec, *m));
+                s.push(p, d.as_secs_f64());
+            }
+        }
+        fig.series = series;
+        fig
+    }
+
+    /// Single-series sweep of an arbitrary runnable (used for non-model
+    /// experiments like the hyperthread extension).
+    pub fn series<F>(&self, label: &str, mut run: F) -> Series
+    where
+        F: FnMut(usize),
+    {
+        let mut s = Series::new(label);
+        for &p in &self.threads {
+            let d = median_time(self.warmup, self.reps, || run(p));
+            s.push(p, d.as_secs_f64());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn figure_has_one_series_per_model_and_point_per_thread_count() {
+        let sweep = Sweep::over(vec![1, 2]).reps(1);
+        let calls = AtomicU64::new(0);
+        let fig = sweep.figure("t", &[Model::OmpFor, Model::CilkFor], |exec, model| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            exec.parallel_for(model, 0..64, &|_| {});
+        });
+        assert_eq!(fig.series.len(), 2);
+        assert!(fig.series.iter().all(|s| s.points.len() == 2));
+        // (1 warmup + 1 rep) × 2 models × 2 thread counts
+        assert_eq!(calls.into_inner(), 8);
+        assert_eq!(fig.thread_axis(), vec![1, 2]);
+    }
+
+    #[test]
+    fn series_sweep_runs_at_each_count() {
+        let sweep = Sweep::over(vec![1, 3]).reps(2);
+        let seen = std::sync::Mutex::new(Vec::new());
+        let s = sweep.series("x", |p| seen.lock().unwrap().push(p));
+        assert_eq!(s.points.len(), 2);
+        // warmup + 2 reps per point
+        assert_eq!(*seen.lock().unwrap(), vec![1, 1, 1, 3, 3, 3]);
+    }
+}

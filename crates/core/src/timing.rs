@@ -1,0 +1,72 @@
+//! Wall-clock measurement helpers for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// Times a single invocation of `f`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed(), r)
+}
+
+/// Runs `f` `reps` times (after `warmup` discarded runs) and returns the
+/// median duration — robust to scheduler noise on oversubscribed hosts.
+pub fn median_time(warmup: usize, reps: usize, mut f: impl FnMut()) -> Duration {
+    assert!(reps >= 1);
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration in engineering units (`ns`/`µs`/`ms`/`s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result() {
+        let (d, r) = time(|| 40 + 2);
+        assert_eq!(r, 42);
+        assert!(d.as_nanos() > 0 || d.is_zero()); // just sanity
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut calls = 0;
+        let d = median_time(1, 5, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 6);
+        let _ = d;
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.500 s");
+        assert!(fmt_duration(Duration::from_nanos(1500)).ends_with("µs"));
+    }
+}

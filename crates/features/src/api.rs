@@ -1,0 +1,113 @@
+//! The eight threading APIs the paper compares (§III).
+
+/// A threading programming API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Api {
+    /// Intel Cilk Plus.
+    CilkPlus,
+    /// Nvidia CUDA.
+    Cuda,
+    /// C++11 standard threads.
+    Cxx11,
+    /// OpenACC.
+    OpenAcc,
+    /// OpenCL.
+    OpenCl,
+    /// OpenMP.
+    OpenMp,
+    /// POSIX threads.
+    PThreads,
+    /// Intel Threading Building Blocks.
+    Tbb,
+}
+
+impl Api {
+    /// All compared APIs, in the paper's table row order.
+    pub const ALL: [Api; 8] = [
+        Api::CilkPlus,
+        Api::Cuda,
+        Api::Cxx11,
+        Api::OpenAcc,
+        Api::OpenCl,
+        Api::OpenMp,
+        Api::PThreads,
+        Api::Tbb,
+    ];
+
+    /// Display name as printed in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Api::CilkPlus => "Cilk Plus",
+            Api::Cuda => "CUDA",
+            Api::Cxx11 => "C++11",
+            Api::OpenAcc => "OpenACC",
+            Api::OpenCl => "OpenCL",
+            Api::OpenMp => "OpenMP",
+            Api::PThreads => "PThread",
+            Api::Tbb => "TBB",
+        }
+    }
+}
+
+impl std::fmt::Display for Api {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A feature-matrix cell: unsupported, not applicable, or supported via a
+/// specific interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// The paper's "x": not supported.
+    No,
+    /// Not applicable (with the reason, e.g. "host only").
+    NA(&'static str),
+    /// Supported, via the quoted interface(s).
+    Yes(&'static str),
+}
+
+impl Cell {
+    /// True for [`Cell::Yes`].
+    pub fn supported(self) -> bool {
+        matches!(self, Cell::Yes(_))
+    }
+
+    /// The cell text as the paper prints it.
+    pub fn text(self) -> String {
+        match self {
+            Cell::No => "x".to_string(),
+            Cell::NA(why) => format!("N/A({why})"),
+            Cell::Yes(how) => how.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_apis_with_unique_names() {
+        let mut names: Vec<_> = Api::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(Cell::No.text(), "x");
+        assert_eq!(Cell::NA("host only").text(), "N/A(host only)");
+        assert_eq!(Cell::Yes("barrier").text(), "barrier");
+        assert!(Cell::Yes("a").supported());
+        assert!(!Cell::No.supported());
+        assert!(!Cell::NA("h").supported());
+    }
+}

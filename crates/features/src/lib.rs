@@ -1,0 +1,29 @@
+//! # tpm-features — the paper's feature matrices, as data
+//!
+//! Tables I–III of *Comparison of Threading Programming Models* (2017)
+//! encode which of eight APIs (OpenMP, Cilk Plus, TBB, OpenACC, CUDA,
+//! OpenCL, C++11, PThreads) supports which feature, and through what
+//! interface. This crate stores every cell as typed data ([`Cell`]) so the
+//! tables are queryable and testable, and regenerates the printed tables
+//! with [`table1`], [`table2`], [`table3`].
+//!
+//! ```
+//! use tpm_features::{parallelism, Api};
+//!
+//! // §III-A: OpenMP supports all four parallelism patterns.
+//! let omp = parallelism(Api::OpenMp);
+//! assert!(omp.data.supported() && omp.task.supported()
+//!     && omp.event.supported() && omp.offload.supported());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod api;
+pub mod query;
+mod render;
+mod tables;
+
+pub use api::{Api, Cell};
+pub use render::{table1, table2, table3};
+pub use tables::{memory_sync, misc, parallelism, MemorySyncRow, MiscRow, ParallelismRow};

@@ -1,0 +1,111 @@
+//! Derived queries over the feature matrices — the quantitative form of the
+//! paper's §III-A prose ("OpenMP provides the most comprehensive set of
+//! features…").
+
+use crate::api::Api;
+use crate::tables::{memory_sync, misc, parallelism};
+
+/// Number of feature-matrix cells (across all three tables) an API supports.
+pub fn supported_count(api: Api) -> usize {
+    let p = parallelism(api);
+    let m = memory_sync(api);
+    let o = misc(api);
+    [
+        p.data.supported(),
+        p.task.supported(),
+        p.event.supported(),
+        p.offload.supported(),
+        m.mem_abstraction.supported(),
+        m.binding.supported(),
+        m.movement.supported(),
+        m.barrier.supported(),
+        m.reduction.supported(),
+        m.join.supported(),
+        o.mutual_exclusion.supported(),
+        o.language.supported(),
+        o.error_handling.supported(),
+        o.tools.supported(),
+    ]
+    .iter()
+    .filter(|&&b| b)
+    .count()
+}
+
+/// Total number of feature columns compared.
+pub const TOTAL_FEATURES: usize = 14;
+
+/// All APIs ranked by supported-feature count, descending (ties keep table
+/// order).
+pub fn ranking() -> Vec<(Api, usize)> {
+    let mut v: Vec<(Api, usize)> = Api::ALL
+        .iter()
+        .map(|&a| (a, supported_count(a)))
+        .collect();
+    v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    v
+}
+
+/// APIs that can target an accelerator device (offloading direction
+/// includes "device").
+pub fn device_capable() -> Vec<Api> {
+    Api::ALL
+        .iter()
+        .copied()
+        .filter(|&a| parallelism(a).offload.text().contains("device"))
+        .collect()
+}
+
+/// APIs providing all three synchronization columns of Table II (barrier,
+/// reduction, join).
+pub fn full_synchronization() -> Vec<Api> {
+    Api::ALL
+        .iter()
+        .copied()
+        .filter(|&a| {
+            let m = memory_sync(a);
+            m.barrier.supported() && m.reduction.supported() && m.join.supported()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §III-A: "OpenMP is a more comprehensive standard that supports a wide
+    /// variety of features" — it must top the ranking.
+    #[test]
+    fn openmp_tops_the_ranking() {
+        let ranking = ranking();
+        assert_eq!(ranking[0].0, Api::OpenMp);
+        assert!(ranking[0].1 > ranking[1].1, "strictly most comprehensive");
+    }
+
+    #[test]
+    fn counts_are_within_bounds() {
+        for api in Api::ALL {
+            let c = supported_count(api);
+            assert!(c <= TOTAL_FEATURES, "{api}: {c}");
+            assert!(c >= 3, "{api} supports at least task/mutex/language");
+        }
+    }
+
+    /// The accelerator-capable set per Table I.
+    #[test]
+    fn device_capable_set() {
+        let d = device_capable();
+        assert_eq!(d, vec![Api::Cuda, Api::OpenAcc, Api::OpenCl, Api::OpenMp]);
+    }
+
+    /// Only OpenMP and Cilk Plus cover barrier + reduction + join — and
+    /// Cilk's barrier cell is the *implicit* `cilk_for` one only, so OpenMP
+    /// is the sole API with an explicit construct in all three columns.
+    #[test]
+    fn full_synchronization_set() {
+        assert_eq!(full_synchronization(), vec![Api::CilkPlus, Api::OpenMp]);
+        assert!(memory_sync(Api::CilkPlus)
+            .barrier
+            .text()
+            .contains("implicit"));
+    }
+}

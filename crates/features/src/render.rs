@@ -1,0 +1,154 @@
+//! Text renderers that regenerate the paper's three tables.
+
+use crate::api::Api;
+use crate::tables::{memory_sync, misc, parallelism};
+
+/// Renders a table given column headers and a per-API row extractor.
+fn render(title: &str, headers: &[&str], row: impl Fn(Api) -> Vec<String>) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(Api::ALL.len() + 1);
+    let mut head = vec![String::new()];
+    head.extend(headers.iter().map(|h| h.to_string()));
+    rows.push(head);
+    for api in Api::ALL {
+        let mut r = vec![api.name().to_string()];
+        r.extend(row(api));
+        rows.push(r);
+    }
+    // Column widths.
+    let cols = rows[0].len();
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, r) in rows.iter().enumerate() {
+        for (c, cell) in r.iter().enumerate() {
+            out.push_str("| ");
+            out.push_str(cell);
+            out.push_str(&" ".repeat(widths[c] - cell.len() + 1));
+        }
+        out.push_str("|\n");
+        if i == 0 {
+            for w in &widths {
+                out.push('|');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("|\n");
+        }
+    }
+    out
+}
+
+/// Regenerates Table I ("Comparison of Parallelism").
+pub fn table1() -> String {
+    render(
+        "TABLE I: Comparison of Parallelism",
+        &[
+            "Data parallelism",
+            "Async task parallelism",
+            "Data/event-driven",
+            "Offloading",
+        ],
+        |api| {
+            let r = parallelism(api);
+            vec![r.data.text(), r.task.text(), r.event.text(), r.offload.text()]
+        },
+    )
+}
+
+/// Regenerates Table II ("Comparison of Abstractions of Memory Hierarchy and
+/// Synchronizations").
+pub fn table2() -> String {
+    render(
+        "TABLE II: Comparison of Abstractions of Memory Hierarchy and Synchronizations",
+        &[
+            "Abstraction of memory hierarchy",
+            "Data/computation binding",
+            "Explicit data map/movement",
+            "Barrier",
+            "Reduction",
+            "Join",
+        ],
+        |api| {
+            let r = memory_sync(api);
+            vec![
+                r.mem_abstraction.text(),
+                r.binding.text(),
+                r.movement.text(),
+                r.barrier.text(),
+                r.reduction.text(),
+                r.join.text(),
+            ]
+        },
+    )
+}
+
+/// Regenerates Table III ("Comparison of Mutual Exclusions and Others").
+pub fn table3() -> String {
+    render(
+        "TABLE III: Comparison of Mutual Exclusions and Others",
+        &[
+            "Mutual exclusion",
+            "Language or library",
+            "Error handling",
+            "Tool support",
+        ],
+        |api| {
+            let r = misc(api);
+            vec![
+                r.mutual_exclusion.text(),
+                r.language.text(),
+                r.error_handling.text(),
+                r.tools.text(),
+            ]
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_contain_all_apis() {
+        for t in [table1(), table2(), table3()] {
+            for api in Api::ALL {
+                assert!(t.contains(api.name()), "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_has_known_cells() {
+        let t = table1();
+        assert!(t.contains("cilk_spawn/cilk_sync"));
+        assert!(t.contains("depend (in/out/inout)"));
+        assert!(t.contains("pthread create/join"));
+    }
+
+    #[test]
+    fn table2_has_known_cells() {
+        let t = table2();
+        assert!(t.contains("OMP_PLACES"));
+        assert!(t.contains("reducers"));
+        assert!(t.contains("affinity partitioner"));
+    }
+
+    #[test]
+    fn table3_has_known_cells() {
+        let t = table3();
+        assert!(t.contains("omp cancel"));
+        assert!(t.contains("Cilkscreen, Cilkview"));
+        assert!(t.contains("pthread mutex, pthread cond"));
+    }
+
+    #[test]
+    fn rows_and_separator_are_well_formed() {
+        let t = table1();
+        let lines: Vec<&str> = t.lines().collect();
+        // Title + header + separator + 8 API rows.
+        assert_eq!(lines.len(), 11);
+        assert!(lines[2].starts_with("|-"));
+    }
+}

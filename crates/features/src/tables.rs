@@ -1,0 +1,336 @@
+//! The contents of Tables I, II and III, cell for cell.
+
+use crate::api::{Api, Cell};
+
+/// Table I: parallelism-pattern support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelismRow {
+    /// Data parallelism (loops, vector ops).
+    pub data: Cell,
+    /// Asynchronous task parallelism.
+    pub task: Cell,
+    /// Data/event-driven parallelism (dependences, pipelines).
+    pub event: Cell,
+    /// Host↔device offloading.
+    pub offload: Cell,
+}
+
+/// Table I rows (verbatim from the paper).
+pub fn parallelism(api: Api) -> ParallelismRow {
+    use Cell::*;
+    match api {
+        Api::CilkPlus => ParallelismRow {
+            data: Yes("cilk_for, array operations, elemental functions"),
+            task: Yes("cilk_spawn/cilk_sync"),
+            event: No,
+            offload: Yes("host only"),
+        },
+        Api::Cuda => ParallelismRow {
+            data: Yes("<<<--->>>"),
+            task: Yes("async kernel launching and memcpy"),
+            event: Yes("stream"),
+            offload: Yes("device only"),
+        },
+        Api::Cxx11 => ParallelismRow {
+            data: No,
+            task: Yes("std::thread, std::async/future"),
+            event: Yes("std::future"),
+            offload: Yes("host only"),
+        },
+        Api::OpenAcc => ParallelismRow {
+            data: Yes("kernel/parallel"),
+            task: Yes("async/wait"),
+            event: Yes("wait"),
+            offload: Yes("device only (acc)"),
+        },
+        Api::OpenCl => ParallelismRow {
+            data: Yes("kernel"),
+            task: Yes("clEnqueueTask()"),
+            event: Yes("pipe, general DAG"),
+            offload: Yes("host and device"),
+        },
+        Api::OpenMp => ParallelismRow {
+            data: Yes("parallel for, simd, distribute"),
+            task: Yes("task/taskwait"),
+            event: Yes("depend (in/out/inout)"),
+            offload: Yes("host and device (target)"),
+        },
+        Api::PThreads => ParallelismRow {
+            data: No,
+            task: Yes("pthread create/join"),
+            event: No,
+            offload: Yes("host only"),
+        },
+        Api::Tbb => ParallelismRow {
+            data: Yes("parallel for/while/do, etc"),
+            task: Yes("task::spawn/wait"),
+            event: Yes("pipeline, parallel pipeline, general DAG (flow::graph)"),
+            offload: Yes("host only"),
+        },
+    }
+}
+
+/// Table II: memory-hierarchy abstraction, data locality, synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySyncRow {
+    /// Abstraction of the memory hierarchy.
+    pub mem_abstraction: Cell,
+    /// Binding computation to data (locality).
+    pub binding: Cell,
+    /// Explicit data mapping/movement between address spaces.
+    pub movement: Cell,
+    /// Barrier synchronization.
+    pub barrier: Cell,
+    /// Reduction support.
+    pub reduction: Cell,
+    /// Join/completion synchronization.
+    pub join: Cell,
+}
+
+/// Table II rows (verbatim from the paper).
+pub fn memory_sync(api: Api) -> MemorySyncRow {
+    use Cell::*;
+    match api {
+        Api::CilkPlus => MemorySyncRow {
+            mem_abstraction: No,
+            binding: No,
+            movement: NA("host only"),
+            barrier: Yes("implicit for cilk_for only"),
+            reduction: Yes("reducers"),
+            join: Yes("cilk_sync"),
+        },
+        Api::Cuda => MemorySyncRow {
+            mem_abstraction: Yes("blocks/threads, shared memory"),
+            binding: No,
+            movement: Yes("cudaMemcpy function"),
+            barrier: Yes("synchthreads"),
+            reduction: No,
+            join: No,
+        },
+        Api::Cxx11 => MemorySyncRow {
+            mem_abstraction: Yes("x (but memory consistency)"),
+            binding: No,
+            movement: NA("host only"),
+            barrier: No,
+            reduction: No,
+            join: Yes("std::join, std::future"),
+        },
+        Api::OpenAcc => MemorySyncRow {
+            mem_abstraction: Yes("cache, gang/worker/vector"),
+            binding: No,
+            movement: Yes("data copy/copyin/copyout"),
+            barrier: No,
+            reduction: Yes("reduction"),
+            join: Yes("wait"),
+        },
+        Api::OpenCl => MemorySyncRow {
+            mem_abstraction: Yes("work group/item"),
+            binding: No,
+            movement: Yes("buffer Write function"),
+            barrier: Yes("work group barrier"),
+            reduction: Yes("work group reduction"),
+            join: No,
+        },
+        Api::OpenMp => MemorySyncRow {
+            mem_abstraction: Yes("OMP_PLACES, teams and distribute"),
+            binding: Yes("proc_bind clause"),
+            movement: Yes("map(to/from/tofrom/alloc)"),
+            barrier: Yes("barrier, implicit for parallel/for"),
+            reduction: Yes("reduction clause"),
+            join: Yes("taskwait"),
+        },
+        Api::PThreads => MemorySyncRow {
+            mem_abstraction: No,
+            binding: No,
+            movement: NA("host only"),
+            barrier: Yes("pthread barrier"),
+            reduction: No,
+            join: Yes("pthread join"),
+        },
+        Api::Tbb => MemorySyncRow {
+            mem_abstraction: No,
+            binding: Yes("affinity partitioner"),
+            movement: NA("host only"),
+            barrier: NA("tasking"),
+            reduction: Yes("parallel reduce"),
+            join: Yes("wait"),
+        },
+    }
+}
+
+/// Table III: mutual exclusion, language binding, error handling, tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiscRow {
+    /// Mutual-exclusion mechanisms.
+    pub mutual_exclusion: Cell,
+    /// Base-language form (library / extension / directives).
+    pub language: Cell,
+    /// Error-handling support.
+    pub error_handling: Cell,
+    /// Tool support.
+    pub tools: Cell,
+}
+
+/// Table III rows (verbatim from the paper).
+pub fn misc(api: Api) -> MiscRow {
+    use Cell::*;
+    match api {
+        Api::CilkPlus => MiscRow {
+            mutual_exclusion: Yes("containers, mutex, atomic"),
+            language: Yes("C/C++ elidable language extension"),
+            error_handling: No,
+            tools: Yes("Cilkscreen, Cilkview"),
+        },
+        Api::Cuda => MiscRow {
+            mutual_exclusion: Yes("atomic"),
+            language: Yes("C/C++ extensions"),
+            error_handling: No,
+            tools: Yes("CUDA profiling tools"),
+        },
+        Api::Cxx11 => MiscRow {
+            mutual_exclusion: Yes("std::mutex, atomic"),
+            language: Yes("C++"),
+            error_handling: Yes("C++ exception"),
+            tools: Yes("System tools"),
+        },
+        Api::OpenAcc => MiscRow {
+            mutual_exclusion: Yes("atomic"),
+            language: Yes("directives for C/C++ and Fortran"),
+            error_handling: No,
+            tools: Yes("System/vendor tools"),
+        },
+        Api::OpenCl => MiscRow {
+            mutual_exclusion: Yes("atomic"),
+            language: Yes("C/C++ extensions"),
+            error_handling: Yes("exceptions"),
+            tools: Yes("System/vendor tools"),
+        },
+        Api::OpenMp => MiscRow {
+            mutual_exclusion: Yes("locks, critical, atomic, single, master"),
+            language: Yes("directives for C/C++ and Fortran"),
+            error_handling: Yes("omp cancel"),
+            tools: Yes("OMP Tool interface"),
+        },
+        Api::PThreads => MiscRow {
+            mutual_exclusion: Yes("pthread mutex, pthread cond"),
+            language: Yes("C library"),
+            error_handling: Yes("pthread cancel"),
+            tools: Yes("System tools"),
+        },
+        Api::Tbb => MiscRow {
+            mutual_exclusion: Yes("containers, mutex, atomic"),
+            language: Yes("C++ library"),
+            error_handling: Yes("cancellation and exception"),
+            tools: Yes("System tools"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §III-A: "OpenMP provides the most comprehensive set of features to
+    /// support all the four parallelism patterns."
+    #[test]
+    fn openmp_supports_all_four_patterns() {
+        let r = parallelism(Api::OpenMp);
+        assert!(r.data.supported());
+        assert!(r.task.supported());
+        assert!(r.event.supported());
+        assert!(r.offload.supported());
+    }
+
+    /// §III-A: "asynchronous tasking or threading can be viewed as the
+    /// foundational parallel mechanism that is supported by all the models."
+    #[test]
+    fn every_api_supports_tasking() {
+        for api in Api::ALL {
+            assert!(parallelism(api).task.supported(), "{api}");
+        }
+    }
+
+    /// §III-A: "Only OpenMP and Cilk Plus provide constructs for
+    /// vectorization support" — encoded as simd / array notations appearing
+    /// in the data-parallelism cell.
+    #[test]
+    fn only_openmp_and_cilk_mention_vectorization() {
+        for api in Api::ALL {
+            let text = parallelism(api).data.text();
+            let has_vec = text.contains("simd") || text.contains("elemental");
+            assert_eq!(
+                has_vec,
+                matches!(api, Api::OpenMp | Api::CilkPlus),
+                "{api}"
+            );
+        }
+    }
+
+    /// §III-A: "Only OpenMP provides constructs for programmers to specify
+    /// memory hierarchy [...] and the binding of computation with data."
+    #[test]
+    fn only_openmp_binds_computation_to_data_places() {
+        for api in Api::ALL {
+            let r = memory_sync(api);
+            let full_locality = r.binding.supported() && r.mem_abstraction.supported();
+            assert_eq!(full_locality, api == Api::OpenMp, "{api}");
+        }
+    }
+
+    /// §III-A: "Models that support offloading computation provide
+    /// constructs to specify explicit data movement."
+    #[test]
+    fn offloading_apis_have_explicit_movement() {
+        for api in [Api::Cuda, Api::OpenAcc, Api::OpenCl, Api::OpenMp] {
+            assert!(memory_sync(api).movement.supported(), "{api}");
+        }
+    }
+
+    /// §III-A: "since Cilk Plus and Intel TBB emphasize tasks rather than
+    /// threads, the concept of a thread barrier makes little sense" — TBB
+    /// has no barrier, Cilk only the implicit `cilk_for` one.
+    #[test]
+    fn task_centric_models_lack_real_barriers() {
+        assert_eq!(memory_sync(Api::Tbb).barrier, Cell::NA("tasking"));
+        assert!(memory_sync(Api::CilkPlus)
+            .barrier
+            .text()
+            .contains("implicit"));
+    }
+
+    /// §III-A: "only OpenMP and OpenACC have Fortran bindings."
+    #[test]
+    fn fortran_bindings() {
+        for api in Api::ALL {
+            let has_fortran = misc(api).language.text().contains("Fortran");
+            assert_eq!(has_fortran, matches!(api, Api::OpenMp | Api::OpenAcc), "{api}");
+        }
+    }
+
+    /// §III-A: "OpenMP has its cancel construct [...] which supports an
+    /// error model."
+    #[test]
+    fn openmp_error_model_is_cancel() {
+        assert_eq!(misc(Api::OpenMp).error_handling, Cell::Yes("omp cancel"));
+    }
+
+    /// Every API provides some mutual-exclusion mechanism (§III-A: "Locks
+    /// and mutexes are still the most widely used mechanisms").
+    #[test]
+    fn mutual_exclusion_is_universal() {
+        for api in Api::ALL {
+            assert!(misc(api).mutual_exclusion.supported(), "{api}");
+        }
+    }
+
+    /// CUDA and OpenACC are device-offload models; Cilk/TBB/C++/PThreads are
+    /// host-only.
+    #[test]
+    fn offload_direction_cells() {
+        assert!(parallelism(Api::Cuda).offload.text().contains("device only"));
+        assert!(parallelism(Api::OpenAcc).offload.text().contains("device only"));
+        for api in [Api::CilkPlus, Api::Cxx11, Api::PThreads, Api::Tbb] {
+            assert!(parallelism(api).offload.text().contains("host only"), "{api}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Task dependencies — OpenMP's `depend(in/out/inout)` clause, the
+//! data/event-driven cell of the paper's Table I for OpenMP (and the subject
+//! of the authors' own prior work, cited as [12] in the paper).
+//!
+//! Dependencies are expressed against *slots* (standing in for the clause's
+//! list items, i.e. variables). The ordering rules are OpenMP's:
+//!
+//! * a task reading a slot (`in`) waits for the previous writer;
+//! * a task writing a slot (`out`/`inout`) waits for the previous writer
+//!   *and* all readers since that writer;
+//! * ordering is with respect to *spawn order*, as in OpenMP, where
+//!   dependences relate sibling tasks in their creation order.
+//!
+//! Waiting is cooperative: a task blocked on a dependence executes other
+//! queued tasks (the scheduler never idles a thread on an unmet dependence),
+//! so progress is guaranteed — the depended-on sibling is either queued
+//! (executable by the waiter) or running on another thread.
+
+use std::sync::Arc;
+
+use tpm_sync::{Backoff, CountLatch};
+
+use crate::tasking::TaskScope;
+use crate::team::Ctx;
+
+/// A dependence object (one `depend` list item). Create one per logical
+/// variable with [`DepTracker::slot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepToken(usize);
+
+/// Per-slot synchronization state.
+#[derive(Debug)]
+struct Slot {
+    /// Completion latch of the last spawned writer (count 1 while running).
+    last_writer: Arc<CountLatch>,
+    /// Outstanding readers spawned since the last writer.
+    readers: Arc<CountLatch>,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Self {
+            last_writer: Arc::new(CountLatch::new(0)),
+            readers: Arc::new(CountLatch::new(0)),
+        }
+    }
+}
+
+/// Tracks dependence slots for one spawning task (OpenMP: the generating
+/// task's scope). Not `Sync`: all `spawn_dep` calls come from the spawning
+/// thread, as OpenMP sibling dependences do.
+#[derive(Debug, Default)]
+pub struct DepTracker {
+    slots: Vec<Slot>,
+}
+
+impl DepTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new dependence object (a `depend` list item).
+    pub fn slot(&mut self) -> DepToken {
+        self.slots.push(Slot::default());
+        DepToken(self.slots.len() - 1)
+    }
+
+    /// Spawns a task with dependences on `scope`: it runs only after the
+    /// tasks its `reads`/`writes` relate it to (per OpenMP's rules) have
+    /// completed.
+    pub fn spawn_dep<'c, 'a, F>(
+        &mut self,
+        scope: &TaskScope<'c, 'a>,
+        reads: &[DepToken],
+        writes: &[DepToken],
+        f: F,
+    ) where
+        F: for<'b> FnOnce(&Ctx<'b>) + Send + 'c,
+    {
+        // Gather what this task must wait for (clone the Arcs: the slots may
+        // be re-armed for later siblings).
+        let mut wait_writers: Vec<Arc<CountLatch>> = Vec::new();
+        let mut wait_readers: Vec<Arc<CountLatch>> = Vec::new();
+        for &DepToken(i) in reads {
+            wait_writers.push(Arc::clone(&self.slots[i].last_writer));
+        }
+        for &DepToken(i) in writes {
+            wait_writers.push(Arc::clone(&self.slots[i].last_writer));
+            wait_readers.push(Arc::clone(&self.slots[i].readers));
+        }
+        // Register what this task provides. A token in both lists (inout)
+        // registers as a writer only: its write opens a new epoch, and
+        // registering the read against the *previous* epoch would make the
+        // task wait on itself.
+        let mut my_completions: Vec<Arc<CountLatch>> = Vec::new();
+        for t @ &DepToken(i) in reads {
+            if writes.contains(t) {
+                continue;
+            }
+            self.slots[i].readers.increment(1);
+            my_completions.push(Arc::clone(&self.slots[i].readers));
+        }
+        for &DepToken(i) in writes {
+            // New writer epoch: fresh writer latch, fresh reader set.
+            let w = Arc::new(CountLatch::new(1));
+            self.slots[i].last_writer = Arc::clone(&w);
+            self.slots[i].readers = Arc::new(CountLatch::new(0));
+            my_completions.push(w);
+        }
+        scope.spawn(move |ctx| {
+            // Wait for dependences, helping with other tasks meanwhile.
+            let backoff = Backoff::new();
+            let ready = |ls: &[Arc<CountLatch>]| ls.iter().all(|l| l.probe());
+            while !(ready(&wait_writers) && ready(&wait_readers)) {
+                if ctx.execute_one_task() {
+                    backoff.reset();
+                } else {
+                    backoff.snooze();
+                }
+            }
+            f(ctx);
+            for c in &my_completions {
+                c.decrement();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::Team;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// out → in → in → out chain: the classic flow dependence.
+    #[test]
+    fn writer_before_readers_before_next_writer() {
+        let team = Team::new(4);
+        let log = Mutex::new(Vec::new());
+        team.parallel(|ctx| {
+            ctx.single(|| {
+                ctx.task_scope(|s| {
+                    let mut deps = DepTracker::new();
+                    let x = deps.slot();
+                    let log = &log;
+                    deps.spawn_dep(s, &[], &[x], move |_| log.lock().unwrap().push("w1"));
+                    deps.spawn_dep(s, &[x], &[], move |_| log.lock().unwrap().push("r"));
+                    deps.spawn_dep(s, &[x], &[], move |_| log.lock().unwrap().push("r"));
+                    deps.spawn_dep(s, &[], &[x], move |_| log.lock().unwrap().push("w2"));
+                });
+            });
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log[0], "w1", "{log:?}");
+        assert_eq!(log[3], "w2", "{log:?}");
+        assert_eq!(&log[1..3], &["r", "r"], "{log:?}");
+    }
+
+    /// Independent slots run unordered; a task depending on both joins them.
+    #[test]
+    fn join_dependence() {
+        let team = Team::new(4);
+        let a_done = AtomicU64::new(0);
+        let b_done = AtomicU64::new(0);
+        let joined = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            ctx.single(|| {
+                ctx.task_scope(|s| {
+                    let mut deps = DepTracker::new();
+                    let a = deps.slot();
+                    let b = deps.slot();
+                    let (a_done, b_done, joined) = (&a_done, &b_done, &joined);
+                    deps.spawn_dep(s, &[], &[a], move |_| {
+                        a_done.store(1, Ordering::Release);
+                    });
+                    deps.spawn_dep(s, &[], &[b], move |_| {
+                        b_done.store(1, Ordering::Release);
+                    });
+                    deps.spawn_dep(s, &[a, b], &[], move |_| {
+                        assert_eq!(a_done.load(Ordering::Acquire), 1);
+                        assert_eq!(b_done.load(Ordering::Acquire), 1);
+                        joined.store(1, Ordering::Release);
+                    });
+                });
+            });
+        });
+        assert_eq!(joined.into_inner(), 1);
+    }
+
+    /// A dependent pipeline computes the right value through a chain of
+    /// inout tasks.
+    #[test]
+    fn inout_chain_accumulates_in_order() {
+        let team = Team::new(3);
+        let value = AtomicU64::new(1);
+        team.parallel(|ctx| {
+            ctx.single(|| {
+                ctx.task_scope(|s| {
+                    let mut deps = DepTracker::new();
+                    let x = deps.slot();
+                    let value = &value;
+                    for k in 2..=6u64 {
+                        // inout: reads and writes the slot.
+                        deps.spawn_dep(s, &[x], &[x], move |_| {
+                            // value = value * k, dependent on the previous step.
+                            let v = value.load(Ordering::Acquire);
+                            value.store(v * k, Ordering::Release);
+                        });
+                    }
+                });
+            });
+        });
+        assert_eq!(value.into_inner(), 720, "1*2*3*4*5*6 in spawn order");
+    }
+
+    /// Single-threaded team: cooperative waiting must still make progress
+    /// (the blocked task executes its dependence inline).
+    #[test]
+    fn no_deadlock_on_one_thread() {
+        let team = Team::new(1);
+        let log = Mutex::new(Vec::new());
+        team.parallel(|ctx| {
+            ctx.task_scope(|s| {
+                let mut deps = DepTracker::new();
+                let x = deps.slot();
+                let log = &log;
+                deps.spawn_dep(s, &[], &[x], move |_| log.lock().unwrap().push(1));
+                deps.spawn_dep(s, &[x], &[], move |_| log.lock().unwrap().push(2));
+            });
+        });
+        assert_eq!(log.into_inner().unwrap(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # tpm-forkjoin — an OpenMP-like fork-join runtime
+//!
+//! One of the three threading runtimes compared by the `threadcmp` workspace
+//! (after *Comparison of Threading Programming Models*, 2017). It reproduces
+//! the mechanisms the paper attributes to OpenMP implementations:
+//!
+//! * **Fork-join execution**: a persistent [`Team`] of workers; a master
+//!   thread forks parallel regions and joins them ([`Team::parallel`]).
+//! * **Worksharing loops** with `static`, `dynamic` and `guided`
+//!   [`Schedule`]s and the implicit trailing barrier
+//!   ([`Ctx::ws_for`]).
+//! * **Reductions** over per-thread views ([`Team::parallel_for_reduce`]).
+//! * **Explicit tasks** on *lock-based* per-thread deques with work-first or
+//!   breadth-first scheduling ([`Ctx::task_scope`], [`TaskMode`]) — the
+//!   design the paper contrasts with Cilk Plus's lock-free protocol.
+//! * **Synchronization and mutual exclusion**: [`Ctx::barrier`],
+//!   [`Ctx::single`], [`Ctx::master`], [`Ctx::critical`].
+//!
+//! ```
+//! use tpm_forkjoin::{Schedule, Team};
+//!
+//! let team = Team::new(4);
+//! let total = team.parallel_for_reduce(
+//!     4,
+//!     Schedule::static_default(),
+//!     0..1_000,
+//!     || 0u64,
+//!     |a, b| a + b,
+//!     |chunk, acc| for i in chunk { *acc += i as u64 },
+//! );
+//! assert_eq!(total, 499_500);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod depend;
+mod lock;
+mod tasking;
+mod team;
+mod worksharing;
+
+pub use depend::{DepToken, DepTracker};
+pub use lock::{OmpLock, OmpNestLock};
+pub use tasking::{TaskMode, TaskScope};
+pub use team::{Ctx, Team, TeamConfig};
+pub use worksharing::{static_chunks, LoopCounter, Schedule};

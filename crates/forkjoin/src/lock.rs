@@ -1,0 +1,279 @@
+//! OpenMP-style lock API (`omp_lock_t` / `omp_nest_lock_t`) — Table III's
+//! "locks, critical, atomic, single, master" row.
+//!
+//! OpenMP locks are *unstructured* (`set`/`unset` pairs rather than RAII
+//! guards), so these are implemented directly on atomics. As in OpenMP,
+//! `unset` must be called by the thread that holds the lock; the nest lock
+//! enforces this and panics on misuse (where OpenMP would be undefined).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use tpm_sync::Backoff;
+
+/// `omp_lock_t`: a plain (non-reentrant) lock.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_forkjoin::OmpLock;
+///
+/// let lock = OmpLock::new();
+/// lock.set(); // omp_set_lock
+/// assert!(!lock.test()); // omp_test_lock fails while held
+/// lock.unset(); // omp_unset_lock
+/// assert!(lock.test());
+/// lock.unset();
+/// ```
+#[derive(Debug, Default)]
+pub struct OmpLock {
+    locked: AtomicBool,
+}
+
+impl OmpLock {
+    /// `omp_init_lock`.
+    pub const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// `omp_set_lock`: blocks until acquired.
+    pub fn set(&self) {
+        let backoff = Backoff::new();
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// `omp_unset_lock`: releases. Panics if not held.
+    pub fn unset(&self) {
+        assert!(
+            self.locked.swap(false, Ordering::Release),
+            "omp_unset_lock on an unheld lock"
+        );
+    }
+
+    /// `omp_test_lock`: acquires and returns true if it was free.
+    pub fn test(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Structured alternative: run `f` while holding the lock.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.set();
+        // Release even if `f` panics.
+        struct Unset<'a>(&'a OmpLock);
+        impl Drop for Unset<'_> {
+            fn drop(&mut self) {
+                self.0.unset();
+            }
+        }
+        let _u = Unset(self);
+        f()
+    }
+}
+
+fn nest_thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+/// `omp_nest_lock_t`: a reentrant lock — the holding thread may `set` it
+/// repeatedly; it releases when `unset` calls balance.
+#[derive(Debug, Default)]
+pub struct OmpNestLock {
+    /// 0 = free, otherwise the holder's thread id.
+    owner: AtomicU64,
+    /// Nesting depth; written only by the holder.
+    depth: AtomicUsize,
+}
+
+impl OmpNestLock {
+    /// `omp_init_nest_lock`.
+    pub const fn new() -> Self {
+        Self {
+            owner: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// `omp_set_nest_lock`: blocks until acquired (re-entering if this
+    /// thread already holds it). Returns the new nesting depth.
+    pub fn set(&self) -> usize {
+        let me = nest_thread_id();
+        if self.owner.load(Ordering::Relaxed) == me {
+            return self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        let backoff = Backoff::new();
+        while self
+            .owner
+            .compare_exchange_weak(0, me, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff.snooze();
+        }
+        self.depth.store(1, Ordering::Relaxed);
+        1
+    }
+
+    /// `omp_test_nest_lock`: non-blocking `set`; returns the new depth, or
+    /// 0 if another thread holds the lock.
+    pub fn test(&self) -> usize {
+        let me = nest_thread_id();
+        if self.owner.load(Ordering::Relaxed) == me {
+            return self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        if self
+            .owner
+            .compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.depth.store(1, Ordering::Relaxed);
+            1
+        } else {
+            0
+        }
+    }
+
+    /// `omp_unset_nest_lock`. Panics if the caller does not hold the lock.
+    pub fn unset(&self) {
+        let me = nest_thread_id();
+        assert_eq!(
+            self.owner.load(Ordering::Relaxed),
+            me,
+            "omp_unset_nest_lock by a non-holder"
+        );
+        let prev = self.depth.fetch_sub(1, Ordering::Relaxed);
+        assert!(prev >= 1, "omp_unset_nest_lock underflow");
+        if prev == 1 {
+            self.owner.store(0, Ordering::Release);
+        }
+    }
+
+    /// Current nesting depth as seen by the caller (0 = not held by caller).
+    pub fn depth(&self) -> usize {
+        if self.owner.load(Ordering::Relaxed) == nest_thread_id() {
+            self.depth.load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omp_lock_excludes() {
+        let lock = OmpLock::new();
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = &lock;
+                let counter = &counter;
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.set();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unset();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 8_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unheld")]
+    fn unset_without_set_panics() {
+        OmpLock::new().unset();
+    }
+
+    #[test]
+    fn with_releases_on_panic() {
+        let lock = OmpLock::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lock.with(|| panic!("inside"));
+        }));
+        assert!(r.is_err());
+        assert!(lock.test(), "lock must be free after the panic");
+        lock.unset();
+    }
+
+    #[test]
+    fn nest_lock_reenters_and_balances() {
+        let lock = OmpNestLock::new();
+        assert_eq!(lock.set(), 1);
+        assert_eq!(lock.set(), 2);
+        assert_eq!(lock.test(), 3);
+        assert_eq!(lock.depth(), 3);
+        lock.unset();
+        lock.unset();
+        assert_eq!(lock.depth(), 1);
+        lock.unset();
+        assert_eq!(lock.depth(), 0);
+    }
+
+    #[test]
+    fn nest_lock_excludes_other_threads() {
+        let lock = OmpNestLock::new();
+        lock.set();
+        std::thread::scope(|s| {
+            let lock = &lock;
+            s.spawn(move || {
+                assert_eq!(lock.test(), 0, "held by another thread");
+            });
+        });
+        lock.unset();
+    }
+
+    #[test]
+    fn nest_unset_by_non_holder_panics() {
+        let lock = OmpNestLock::new();
+        lock.set();
+        std::thread::scope(|s| {
+            let lock = &lock;
+            let h = s.spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| lock.unset())).is_err()
+            });
+            assert!(h.join().unwrap(), "non-holder unset must panic");
+        });
+        assert_eq!(lock.depth(), 1, "lock must still be held by this thread");
+        lock.unset();
+    }
+
+    #[test]
+    fn nest_lock_contended_counting() {
+        let lock = OmpNestLock::new();
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = &lock;
+                let counter = &counter;
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        lock.set();
+                        lock.set(); // nested
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unset();
+                        lock.unset();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 4_000);
+    }
+}

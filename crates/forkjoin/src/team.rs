@@ -1,0 +1,940 @@
+//! The fork-join thread team.
+//!
+//! Mirrors the execution model the paper describes for OpenMP: "a master
+//! thread ... begins execution until it reaches a parallel region. Then, the
+//! master thread forks a team of worker threads and all threads execute the
+//! parallel region concurrently. Upon exiting parallel region, all threads
+//! synchronize and join". The team is persistent — workers are created once
+//! and parked between regions — so the per-region cost is a dispatch
+//! handshake, not thread creation (the contrast with `tpm-rawthreads`).
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tpm_sync::{
+    Barrier, Condvar, CountLatch, LockedDeque, Mutex, Reducer, SchedulerStats, SpinLock,
+};
+
+use crate::tasking::{TaskMode, TaskRef, TaskScope};
+use crate::worksharing::{static_chunks, LoopCounter, Schedule};
+
+/// Configuration for a [`Team`].
+#[derive(Debug, Clone, Copy)]
+pub struct TeamConfig {
+    /// Task-scheduling discipline (the paper's work-first vs breadth-first).
+    pub task_mode: TaskMode,
+}
+
+impl Default for TeamConfig {
+    fn default() -> Self {
+        Self {
+            task_mode: TaskMode::WorkFirst,
+        }
+    }
+}
+
+/// A persistent fork-join thread team (the OpenMP analogue's runtime object).
+///
+/// # Examples
+///
+/// ```
+/// use tpm_forkjoin::{Schedule, Team};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let team = Team::new(4);
+/// let sum = AtomicU64::new(0);
+/// team.parallel(|ctx| {
+///     ctx.ws_for(Schedule::static_default(), 0..1000, |i| {
+///         sum.fetch_add(i as u64, Ordering::Relaxed);
+///     });
+/// });
+/// assert_eq!(sum.into_inner(), (0..1000).sum());
+/// ```
+pub struct Team {
+    inner: Arc<TeamInner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+pub(crate) struct TeamInner {
+    num_threads: usize,
+    state: Mutex<Dispatch>,
+    cv: Condvar,
+    in_region: AtomicBool,
+    pub(crate) stats: SchedulerStats,
+    pub(crate) task_mode: TaskMode,
+}
+
+struct Dispatch {
+    generation: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+/// An erased parallel-region job: `func(tid)` plus a completion latch.
+#[derive(Clone, Copy)]
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+    done: *const CountLatch,
+}
+
+// SAFETY: the master keeps the referents alive until `done` completes, and
+// workers only dereference between receiving the job and decrementing `done`.
+unsafe impl Send for Job {}
+
+/// Per-region shared state: barrier, worksharing slot, task deques, panic.
+pub(crate) struct Region {
+    active: usize,
+    pub(crate) barrier: Barrier,
+    /// Last worksharing construct sequence claimed for initialization.
+    ws_claim: AtomicUsize,
+    /// Last worksharing construct sequence whose counter is initialized.
+    ws_init: AtomicUsize,
+    /// The single in-flight dynamic/guided loop counter (constructs are
+    /// separated by their implicit trailing barrier, so one slot suffices).
+    ws_counter: UnsafeCell<Option<LoopCounter>>,
+    /// Claim word for `single` constructs.
+    single_claim: AtomicUsize,
+    critical: Mutex<()>,
+    pub(crate) deques: Box<[LockedDeque<TaskRef>]>,
+    panic: SpinLock<Option<Box<dyn Any + Send>>>,
+    /// Cheap flag mirroring `panic.is_some()`, checked per chunk.
+    panicked: std::sync::atomic::AtomicBool,
+    /// Cooperative cancellation flag (`omp cancel parallel/for`).
+    cancelled: std::sync::atomic::AtomicBool,
+}
+
+// SAFETY: `ws_counter` is written only by the claim-CAS winner and read by
+// others only after the Release store to `ws_init` (Acquire-matched).
+unsafe impl Sync for Region {}
+
+impl Region {
+    fn new(active: usize) -> Self {
+        Self {
+            active,
+            barrier: Barrier::new(active),
+            ws_claim: AtomicUsize::new(0),
+            ws_init: AtomicUsize::new(0),
+            ws_counter: UnsafeCell::new(None),
+            single_claim: AtomicUsize::new(0),
+            critical: Mutex::new(()),
+            deques: (0..active).map(|_| LockedDeque::new()).collect(),
+            panic: SpinLock::new(None),
+            panicked: std::sync::atomic::AtomicBool::new(false),
+            cancelled: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn store_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.panicked.store(true, Ordering::Release);
+    }
+
+    /// True once any thread/task of the region has panicked.
+    fn poisoned(&self) -> bool {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().take()
+    }
+}
+
+/// The per-thread view of an executing parallel region (OpenMP's implicit
+/// "current team" state, made explicit).
+pub struct Ctx<'a> {
+    team: &'a TeamInner,
+    pub(crate) region: &'a Region,
+    tid: usize,
+    /// Per-thread worksharing construct sequence number.
+    ws_seq: Cell<usize>,
+    /// Per-thread `single` construct sequence number (independent of
+    /// worksharing loops, which keep their own sequence).
+    single_seq: Cell<usize>,
+    /// XorShift state for steal victim selection.
+    rng: Cell<u64>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(team: &'a TeamInner, region: &'a Region, tid: usize) -> Self {
+        Self {
+            team,
+            region,
+            tid,
+            ws_seq: Cell::new(0),
+            single_seq: Cell::new(0),
+            rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ (tid as u64 + 1)),
+        }
+    }
+
+    /// This thread's index within the region (`omp_get_thread_num`).
+    pub fn thread_num(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of threads executing the region (`omp_get_num_threads`).
+    pub fn num_threads(&self) -> usize {
+        self.region.active
+    }
+
+    /// Team-wide event counters for this thread.
+    pub(crate) fn stats(&self) -> &tpm_sync::WorkerStats {
+        self.team.stats.worker(self.tid)
+    }
+
+    /// Synchronizes all threads of the region (`#pragma omp barrier`).
+    pub fn barrier(&self) {
+        self.region.barrier.wait();
+    }
+
+    /// Runs `body` once per chunk of `range` assigned to this thread under
+    /// `schedule`, then joins the implicit trailing barrier (as OpenMP's
+    /// worksharing `for` does without `nowait`).
+    ///
+    /// All threads of the region must call this with the same `range` and
+    /// `schedule`, in the same construct order — the OpenMP worksharing
+    /// rules.
+    ///
+    /// A panic in `body` is recorded, remaining chunks are skipped on every
+    /// thread, all threads still join the barrier, and the panic is
+    /// re-raised by `Team::parallel*` after the region (unwinding mid-loop
+    /// would strand siblings at the barrier — the OpenMP equivalent is
+    /// undefined behaviour; this is the well-defined version).
+    pub fn ws_for_chunks(
+        &self,
+        schedule: Schedule,
+        range: Range<usize>,
+        body: impl Fn(Range<usize>),
+    ) {
+        let n = self.region.active;
+        let guarded = |c: Range<usize>| -> bool {
+            if self.region.poisoned() || self.is_cancelled() {
+                return false;
+            }
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(c))) {
+                self.region.store_panic(p);
+                return false;
+            }
+            true
+        };
+        match schedule {
+            Schedule::Static { chunk } => {
+                for c in static_chunks(range, self.tid, n, chunk) {
+                    if !guarded(c) {
+                        break;
+                    }
+                }
+            }
+            Schedule::Dynamic { chunk } => {
+                let counter = self.ws_counter_for(range);
+                while let Some(c) = counter.next_dynamic(chunk) {
+                    if !guarded(c) {
+                        break;
+                    }
+                }
+            }
+            Schedule::Guided { min_chunk } => {
+                let counter = self.ws_counter_for(range);
+                while let Some(c) = counter.next_guided(n, min_chunk) {
+                    if !guarded(c) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.barrier();
+    }
+
+    /// Per-iteration form of [`ws_for_chunks`](Self::ws_for_chunks).
+    pub fn ws_for(&self, schedule: Schedule, range: Range<usize>, body: impl Fn(usize)) {
+        self.ws_for_chunks(schedule, range, |chunk| {
+            for i in chunk {
+                body(i);
+            }
+        });
+    }
+
+    /// Claims/locates the shared loop counter for this thread's next
+    /// worksharing construct.
+    fn ws_counter_for(&self, range: Range<usize>) -> &LoopCounter {
+        let seq = self.ws_seq.get() + 1;
+        self.ws_seq.set(seq);
+        if self
+            .region
+            .ws_claim
+            .compare_exchange(seq - 1, seq, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            // We initialize the counter for everyone.
+            // SAFETY: claim winner has exclusive write access; readers wait
+            // for ws_init below.
+            unsafe { *self.region.ws_counter.get() = Some(LoopCounter::new(range)) };
+            self.region.ws_init.store(seq, Ordering::Release);
+        } else {
+            let backoff = tpm_sync::Backoff::new();
+            while self.region.ws_init.load(Ordering::Acquire) < seq {
+                backoff.snooze();
+            }
+        }
+        // SAFETY: initialized (ws_init >= seq) and not replaced until after
+        // the construct's trailing barrier.
+        unsafe { (*self.region.ws_counter.get()).as_ref().unwrap() }
+    }
+
+    /// Executes `body` on exactly one thread of the region
+    /// (`#pragma omp single`), with the implicit trailing barrier. Returns
+    /// `Some(result)` on the executing thread, `None` elsewhere.
+    pub fn single<R>(&self, body: impl FnOnce() -> R) -> Option<R> {
+        let seq = self.single_seq.get() + 1;
+        self.single_seq.set(seq);
+        let won = self
+            .region
+            .single_claim
+            .compare_exchange(seq - 1, seq, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        // A panicking `single` body must not skip the implicit barrier
+        // (siblings would deadlock); record and defer to the region end.
+        let result = if won {
+            match catch_unwind(AssertUnwindSafe(body)) {
+                Ok(r) => Some(r),
+                Err(p) => {
+                    self.region.store_panic(p);
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        self.barrier();
+        result
+    }
+
+    /// Executes each of `sections` exactly once, distributed across the
+    /// region's threads (`#pragma omp sections`), with the implicit trailing
+    /// barrier. All threads must call this together.
+    pub fn sections(&self, sections: &[&(dyn Fn() + Sync)]) {
+        self.ws_for(Schedule::Dynamic { chunk: 1 }, 0..sections.len(), |i| {
+            sections[i]();
+        });
+    }
+
+    /// Requests cancellation of the current region (`#pragma omp cancel`):
+    /// worksharing loops stop handing out chunks at their next chunk
+    /// boundary on every thread; explicit tasks observe it through
+    /// [`is_cancelled`](Self::is_cancelled) (cooperatively, as in OpenMP,
+    /// where cancellation takes effect at cancellation points).
+    pub fn cancel(&self) {
+        self.region
+            .cancelled
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// True once any thread has called [`cancel`](Self::cancel) in this
+    /// region (`omp cancellation point`).
+    pub fn is_cancelled(&self) -> bool {
+        self.region
+            .cancelled
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Executes `body` on thread 0 only (`#pragma omp master`); no barrier.
+    pub fn master<R>(&self, body: impl FnOnce() -> R) -> Option<R> {
+        if self.tid == 0 {
+            Some(body())
+        } else {
+            None
+        }
+    }
+
+    /// Runs `body` under the region-wide mutual-exclusion lock
+    /// (`#pragma omp critical`).
+    pub fn critical<R>(&self, body: impl FnOnce() -> R) -> R {
+        let _g = self.region.critical.lock();
+        body()
+    }
+
+    /// Opens an explicit-task scope (`task` + `taskwait`): tasks spawned via
+    /// [`TaskScope::spawn`] may run on any thread of the region; the scope
+    /// does not return until all of them (transitively) completed.
+    pub fn task_scope<'c, R>(&'c self, f: impl FnOnce(&TaskScope<'c, 'a>) -> R) -> R {
+        crate::tasking::run_task_scope(self, f)
+    }
+
+    /// Queues a task on this thread's deque.
+    pub(crate) fn push_task(&self, task: TaskRef) {
+        self.region.deques[self.tid].push_bottom(task);
+    }
+
+    /// Records a panic payload for the region (first panic wins).
+    pub(crate) fn store_region_panic(&self, payload: Box<dyn Any + Send>) {
+        self.region.store_panic(payload);
+    }
+
+    /// Next steal victim (uniform over the other threads).
+    pub(crate) fn next_victim(&self) -> usize {
+        let mut x = self.rng.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng.set(x);
+        let r = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize;
+        let n = self.region.active;
+        if n <= 1 {
+            return 0;
+        }
+        // Map to [0, n-1) then skip self.
+        let v = r % (n - 1);
+        if v >= self.tid {
+            v + 1
+        } else {
+            v
+        }
+    }
+
+    /// Pops or steals one task and executes it. Returns false if none found.
+    pub(crate) fn execute_one_task(&self) -> bool {
+        let own = &self.region.deques[self.tid];
+        let task = match self.team.task_mode {
+            TaskMode::WorkFirst => own.pop_bottom(),
+            TaskMode::BreadthFirst => own.pop_top(),
+        };
+        let task = task.or_else(|| {
+            // Randomized stealing from the FIFO end, a few rounds.
+            let n = self.region.active;
+            for _ in 0..(2 * n) {
+                let v = self.next_victim();
+                if v == self.tid {
+                    continue;
+                }
+                if let Some(t) = self.region.deques[v].steal_top() {
+                    self.stats().steals.inc();
+                    return Some(t);
+                }
+                self.stats().failed_steals.inc();
+            }
+            None
+        });
+        match task {
+            Some(t) => {
+                self.stats().executed.inc();
+                t.execute(self);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("tid", &self.tid)
+            .field("active", &self.region.active)
+            .finish()
+    }
+}
+
+impl Team {
+    /// Creates a team of `num_threads` (master + `num_threads - 1` workers)
+    /// with the default configuration.
+    pub fn new(num_threads: usize) -> Self {
+        Self::with_config(num_threads, TeamConfig::default())
+    }
+
+    /// Creates a team with explicit configuration.
+    pub fn with_config(num_threads: usize, config: TeamConfig) -> Self {
+        assert!(num_threads >= 1, "team needs at least one thread");
+        let inner = Arc::new(TeamInner {
+            num_threads,
+            state: Mutex::new(Dispatch {
+                generation: 0,
+                job: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            in_region: AtomicBool::new(false),
+            stats: SchedulerStats::new(num_threads),
+            task_mode: config.task_mode,
+        });
+        let handles = (1..num_threads)
+            .map(|tid| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("tpm-forkjoin-{tid}"))
+                    .spawn(move || worker_loop(&inner, tid))
+                    .expect("failed to spawn team worker")
+            })
+            .collect();
+        Self { inner, handles }
+    }
+
+    /// Team size (the maximum number of threads a region can use).
+    pub fn num_threads(&self) -> usize {
+        self.inner.num_threads
+    }
+
+    /// Scheduler event counters (tasks spawned/executed, steals).
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.inner.stats
+    }
+
+    /// Forks a parallel region on all team threads; joins before returning.
+    /// Panics from any thread of the region are re-raised here.
+    pub fn parallel<F: Fn(&Ctx<'_>) + Sync>(&self, f: F) {
+        self.parallel_with(self.inner.num_threads, f);
+    }
+
+    /// Forks a parallel region on `active ≤ num_threads` threads
+    /// (`num_threads` clause).
+    pub fn parallel_with<F: Fn(&Ctx<'_>) + Sync>(&self, active: usize, f: F) {
+        assert!(
+            (1..=self.inner.num_threads).contains(&active),
+            "active thread count {active} outside 1..={}",
+            self.inner.num_threads
+        );
+        assert!(
+            !self.inner.in_region.swap(true, Ordering::Acquire),
+            "nested parallel regions are not supported"
+        );
+        let region = Region::new(active);
+        let run = |tid: usize| {
+            if tid < active {
+                let ctx = Ctx::new(&self.inner, &region, tid);
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                    region.store_panic(p);
+                }
+            }
+        };
+        if self.inner.num_threads == 1 {
+            run(0);
+        } else {
+            let done = CountLatch::new(self.inner.num_threads - 1);
+            {
+                let wide: &(dyn Fn(usize) + Sync) = &run;
+                // SAFETY: lifetime erasure — we block on `done` (decremented
+                // by every worker after it finishes with the job) before
+                // `run`, `region` or `done` go out of scope.
+                let job = Job {
+                    func: unsafe {
+                        std::mem::transmute::<
+                            *const (dyn Fn(usize) + Sync),
+                            *const (dyn Fn(usize) + Sync + 'static),
+                        >(wide as *const _)
+                    },
+                    done: &done,
+                };
+                let mut g = self.inner.state.lock();
+                g.generation += 1;
+                g.job = Some(job);
+                drop(g);
+                self.inner.cv.notify_all();
+                run(0);
+                done.wait();
+                self.inner.state.lock().job = None;
+            }
+        }
+        self.inner.in_region.store(false, Ordering::Release);
+        if let Some(p) = region.take_panic() {
+            resume_unwind(p);
+        }
+    }
+
+    /// One-shot data-parallel loop over `range` on `active` threads.
+    pub fn parallel_for(
+        &self,
+        active: usize,
+        schedule: Schedule,
+        range: Range<usize>,
+        body: impl Fn(usize) + Sync,
+    ) {
+        self.parallel_with(active, |ctx| {
+            ctx.ws_for(schedule, range.clone(), &body);
+        });
+    }
+
+    /// One-shot chunk-level data-parallel loop.
+    pub fn parallel_for_chunks(
+        &self,
+        active: usize,
+        schedule: Schedule,
+        range: Range<usize>,
+        body: impl Fn(Range<usize>) + Sync,
+    ) {
+        self.parallel_with(active, |ctx| {
+            ctx.ws_for_chunks(schedule, range.clone(), &body);
+        });
+    }
+
+    /// Data-parallel reduction (`reduction` clause): each thread accumulates
+    /// into a private view per chunk; views merge in thread order.
+    pub fn parallel_for_reduce<T, Id, Op>(
+        &self,
+        active: usize,
+        schedule: Schedule,
+        range: Range<usize>,
+        identity: Id,
+        combine: Op,
+        body: impl Fn(Range<usize>, &mut T) + Sync,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Sync + Send,
+        Op: Fn(T, T) -> T + Sync + Send,
+    {
+        let reducer = Reducer::new(active, identity, combine);
+        self.parallel_with(active, |ctx| {
+            ctx.ws_for_chunks(schedule, range.clone(), |chunk| {
+                reducer.with(ctx.thread_num(), |acc| body(chunk, acc));
+            });
+        });
+        reducer.finish()
+    }
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        {
+            let mut g = self.inner.state.lock();
+            g.shutdown = true;
+            g.generation += 1;
+        }
+        self.inner.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("num_threads", &self.inner.num_threads)
+            .finish()
+    }
+}
+
+fn worker_loop(inner: &TeamInner, tid: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut g = inner.state.lock();
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.generation > seen {
+                    break;
+                }
+                g = inner.cv.wait(g);
+            }
+            seen = g.generation;
+            g.job
+        };
+        if let Some(job) = job {
+            // SAFETY: the master keeps `func` alive until we decrement `done`.
+            let func = unsafe { &*job.func };
+            // The region wrapper already catches panics from user code; this
+            // outer catch only guards runtime bugs from killing the worker.
+            let _ = catch_unwind(AssertUnwindSafe(|| func(tid)));
+            unsafe { &*job.done }.decrement();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn region_runs_on_all_threads() {
+        let team = Team::new(4);
+        let hits = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            assert!(ctx.thread_num() < 4);
+            assert_eq!(ctx.num_threads(), 4);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 4);
+    }
+
+    #[test]
+    fn regions_are_reusable() {
+        let team = Team::new(3);
+        let hits = AtomicU64::new(0);
+        for _ in 0..50 {
+            team.parallel(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.into_inner(), 150);
+    }
+
+    #[test]
+    fn subset_regions() {
+        let team = Team::new(4);
+        for active in 1..=4 {
+            let hits = AtomicU64::new(0);
+            team.parallel_with(active, |ctx| {
+                assert_eq!(ctx.num_threads(), active);
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.into_inner(), active as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_team_runs_inline() {
+        let team = Team::new(1);
+        let mut x = 0; // captured by reference: proves inline execution
+        team.parallel(|_| {
+            // Fn closure: use interior mutability.
+        });
+        x += 1;
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn ws_for_covers_all_iterations_all_schedules() {
+        let team = Team::new(4);
+        for schedule in [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(3) },
+            Schedule::Dynamic { chunk: 5 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let flags: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+            team.parallel(|ctx| {
+                ctx.ws_for(schedule, 0..257, |i| {
+                    flags[i].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            for (i, f) in flags.iter().enumerate() {
+                assert_eq!(
+                    f.load(Ordering::Relaxed),
+                    1,
+                    "iteration {i} under {schedule:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_dynamic_loops_in_one_region() {
+        let team = Team::new(4);
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            ctx.ws_for(Schedule::Dynamic { chunk: 3 }, 0..100, |_| {
+                a.fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.ws_for(Schedule::Dynamic { chunk: 7 }, 0..50, |_| {
+                b.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(a.into_inner(), 100);
+        assert_eq!(b.into_inner(), 50);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let team = Team::new(4);
+        let phase1 = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            phase1.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+            assert_eq!(phase1.load(Ordering::Relaxed), 4);
+        });
+    }
+
+    #[test]
+    fn single_runs_once_with_barrier() {
+        let team = Team::new(4);
+        let runs = AtomicU64::new(0);
+        let observers = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            let r = ctx.single(|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                42
+            });
+            // After the implicit barrier, everyone sees the single done.
+            assert_eq!(runs.load(Ordering::Relaxed), 1);
+            if r == Some(42) {
+                observers.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(runs.into_inner(), 1);
+        assert_eq!(observers.into_inner(), 1);
+    }
+
+    #[test]
+    fn single_still_elects_after_dynamic_loops() {
+        // Regression: `single` must keep its own construct sequence; a
+        // preceding dynamic worksharing loop advances the loop sequence and
+        // previously starved every `single` claimant.
+        let team = Team::new(3);
+        let runs = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            ctx.ws_for(Schedule::Dynamic { chunk: 4 }, 0..40, |_| {});
+            ctx.single(|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.ws_for(Schedule::Guided { min_chunk: 2 }, 0..40, |_| {});
+            ctx.single(|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(runs.into_inner(), 2);
+    }
+
+    #[test]
+    fn master_runs_on_thread_zero() {
+        let team = Team::new(3);
+        let who = AtomicU64::new(u64::MAX);
+        team.parallel(|ctx| {
+            ctx.master(|| who.store(ctx.thread_num() as u64, Ordering::Relaxed));
+        });
+        assert_eq!(who.into_inner(), 0);
+    }
+
+    #[test]
+    fn critical_is_mutually_exclusive() {
+        struct Wrap(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Wrap {}
+        let team = Team::new(4);
+        let w = Wrap(std::cell::UnsafeCell::new(0u64));
+        let w = &w; // capture the Sync wrapper, not the cell field
+        team.parallel(|ctx| {
+            for _ in 0..1000 {
+                ctx.critical(|| unsafe { *w.0.get() += 1 });
+            }
+        });
+        assert_eq!(unsafe { *w.0.get() }, 4000);
+    }
+
+    #[test]
+    fn parallel_for_reduce_sums() {
+        let team = Team::new(4);
+        let total = team.parallel_for_reduce(
+            4,
+            Schedule::static_default(),
+            0..10_000,
+            || 0u64,
+            |a, b| a + b,
+            |chunk, acc| {
+                for i in chunk {
+                    *acc += i as u64;
+                }
+            },
+        );
+        assert_eq!(total, (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn panic_in_region_propagates() {
+        let team = Team::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            team.parallel(|ctx| {
+                if ctx.thread_num() == 1 {
+                    panic!("boom in region");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // Team still usable afterwards.
+        let hits = AtomicU64::new(0);
+        team.parallel(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested parallel regions")]
+    fn nested_parallel_panics() {
+        let team = Team::new(2);
+        team.parallel(|_| {
+            team.parallel(|_| {});
+        });
+    }
+
+    #[test]
+    fn parallel_for_helper() {
+        let team = Team::new(3);
+        let flags: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        team.parallel_for(3, Schedule::static_default(), 0..100, |i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+}
+
+#[cfg(test)]
+mod cancel_tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sections_each_run_once() {
+        let team = Team::new(3);
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        let c = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            ctx.sections(&[
+                &|| {
+                    a.fetch_add(1, Ordering::Relaxed);
+                },
+                &|| {
+                    b.fetch_add(1, Ordering::Relaxed);
+                },
+                &|| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                },
+            ]);
+        });
+        assert_eq!(a.into_inner(), 1);
+        assert_eq!(b.into_inner(), 1);
+        assert_eq!(c.into_inner(), 1);
+    }
+
+    #[test]
+    fn cancel_stops_worksharing_early() {
+        // A dynamic loop where the first chunk cancels: far fewer than all
+        // iterations run, and the region exits cleanly.
+        let team = Team::new(2);
+        let executed = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            ctx.ws_for_chunks(Schedule::Dynamic { chunk: 1 }, 0..1_000_000, |chunk| {
+                executed.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                ctx.cancel();
+            });
+            assert!(ctx.is_cancelled());
+        });
+        // Each thread runs at most one chunk past the flag.
+        assert!(executed.into_inner() <= 4);
+    }
+
+    #[test]
+    fn cancellation_is_per_region() {
+        let team = Team::new(2);
+        team.parallel(|ctx| {
+            ctx.cancel();
+        });
+        let done = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            assert!(!ctx.is_cancelled(), "fresh region must not be cancelled");
+            ctx.ws_for(Schedule::static_default(), 0..10, |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(done.into_inner(), 10);
+    }
+}

@@ -1,0 +1,156 @@
+//! CLI entry point: regenerate the paper's tables and figures.
+
+use tpm_harness::experiments::{self, check_claims};
+use tpm_harness::native::{self, NativeConfig};
+
+fn print_usage() {
+    eprintln!(
+        "usage: tpm-harness <experiment> [--native] [--threads 1,2,4] [--reps N] [--scale S]\n\
+         experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let mut experiment = String::new();
+    let mut use_native = false;
+    let mut cfg = NativeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--native" => use_native = true,
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i]
+                    .split(',')
+                    .map(|t| t.parse().expect("bad thread count"))
+                    .collect();
+            }
+            "--reps" => {
+                i += 1;
+                cfg.reps = args[i].parse().expect("bad reps");
+            }
+            "--scale" => {
+                i += 1;
+                cfg.scale = args[i].parse().expect("bad scale");
+            }
+            other if experiment.is_empty() => experiment = other.to_string(),
+            other => {
+                eprintln!("unexpected argument {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    type SimFig = fn() -> tpm_core::Figure;
+    let sim_figs: [(usize, SimFig); 10] = [
+        (1, experiments::fig1_axpy),
+        (2, experiments::fig2_sum),
+        (3, experiments::fig3_matvec),
+        (4, experiments::fig4_matmul),
+        (5, experiments::fig5_fib),
+        (6, experiments::fig6_bfs),
+        (7, experiments::fig7_hotspot),
+        (8, experiments::fig8_lud),
+        (9, experiments::fig9_lavamd),
+        (10, experiments::fig10_srad),
+    ];
+    type NativeFig = fn(&NativeConfig) -> tpm_core::Figure;
+    let native_figs: [(usize, NativeFig); 10] = [
+        (1, native::fig1_axpy),
+        (2, native::fig2_sum),
+        (3, native::fig3_matvec),
+        (4, native::fig4_matmul),
+        (5, native::fig5_fib),
+        (6, native::fig6_bfs),
+        (7, native::fig7_hotspot),
+        (8, native::fig8_lud),
+        (9, native::fig9_lavamd),
+        (10, native::fig10_srad),
+    ];
+
+    let run_fig = |no: usize, use_native: bool, cfg: &NativeConfig| {
+        if use_native {
+            let f = native_figs[no - 1].1(cfg);
+            println!("{}", f.to_table());
+        } else {
+            let f = sim_figs[no - 1].1();
+            println!("{}", f.to_table());
+            let violations = check_claims(no, &f);
+            if violations.is_empty() {
+                println!("[check] all paper claims for Fig.{no} reproduced\n");
+            } else {
+                for v in &violations {
+                    println!("[check] VIOLATION: {v}");
+                }
+                println!();
+            }
+        }
+    };
+
+    match experiment.as_str() {
+        "calibrate" => {
+            let cals = tpm_harness::calibrate::run();
+            println!("{}", tpm_harness::calibrate::render(&cals));
+        }
+        "ht" => {
+            let fig = experiments::ht_extension();
+            println!("{}", fig.to_table());
+        }
+        "table1" => println!("{}", tpm_features::table1()),
+        "table2" => println!("{}", tpm_features::table2()),
+        "table3" => println!("{}", tpm_features::table3()),
+        "tables" => {
+            println!("{}", tpm_features::table1());
+            println!("{}", tpm_features::table2());
+            println!("{}", tpm_features::table3());
+        }
+        "figures" => {
+            for no in 1..=10 {
+                run_fig(no, use_native, &cfg);
+            }
+        }
+        f if f.starts_with("fig") => {
+            let no: usize = f[3..].parse().unwrap_or(0);
+            if !(1..=10).contains(&no) {
+                print_usage();
+                std::process::exit(2);
+            }
+            run_fig(no, use_native, &cfg);
+        }
+        "check" => {
+            let mut all_ok = true;
+            for (no, f) in sim_figs {
+                let fig = f();
+                let violations = check_claims(no, &fig);
+                if violations.is_empty() {
+                    println!("Fig.{no}: OK");
+                } else {
+                    all_ok = false;
+                    for v in violations {
+                        println!("Fig.{no}: VIOLATION {v}");
+                    }
+                }
+            }
+            std::process::exit(if all_ok { 0 } else { 1 });
+        }
+        "all" => {
+            println!("{}", tpm_features::table1());
+            println!("{}", tpm_features::table2());
+            println!("{}", tpm_features::table3());
+            for no in 1..=10 {
+                run_fig(no, use_native, &cfg);
+            }
+        }
+        _ => {
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Native (real-runtime) experiments: the same kernels and applications run
+//! on this machine's actual threads through the three real runtimes.
+//!
+//! On a many-core host these sweep like the paper's figures; on the 1-core
+//! CI host they measure *overhead ordering* (which runtime's mechanism costs
+//! more at equal thread counts), which is the paper's explanatory variable.
+
+use tpm_core::{timing, Executor, Figure, Model, Series, Sweep};
+use tpm_kernels::{Axpy, Fib, Matmul, Matvec, Sum};
+use tpm_rodinia::{Bfs, HotSpot, LavaMd, Lud, Srad};
+
+/// Native experiment configuration.
+#[derive(Debug, Clone)]
+pub struct NativeConfig {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Problem-size scale factor numerator (size = paper size / divisor,
+    /// per experiment below).
+    pub scale: usize,
+    /// Timed repetitions (median taken).
+    pub reps: usize,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        Self {
+            threads: vec![1, 2, 4],
+            scale: 1,
+            reps: 3,
+        }
+    }
+}
+
+fn sweep(
+    title: &str,
+    cfg: &NativeConfig,
+    models: &[Model],
+    run: impl FnMut(&Executor, Model),
+) -> Figure {
+    Sweep::over(cfg.threads.clone())
+        .reps(cfg.reps)
+        .figure(title, models, run)
+}
+
+/// Native Fig. 1: Axpy.
+pub fn fig1_axpy(cfg: &NativeConfig) -> Figure {
+    let k = Axpy::native(1_000_000 * cfg.scale);
+    let (x, y0) = k.alloc();
+    let mut y = y0.clone();
+    sweep("Fig.1 Axpy (native)", cfg, &Model::ALL, |exec, m| {
+        y.copy_from_slice(&y0);
+        k.run(exec, m, &x, &mut y);
+    })
+}
+
+/// Native Fig. 2: Sum.
+pub fn fig2_sum(cfg: &NativeConfig) -> Figure {
+    let k = Sum::native(1_000_000 * cfg.scale);
+    let x = k.alloc();
+    sweep("Fig.2 Sum (native)", cfg, &Model::ALL, |exec, m| {
+        std::hint::black_box(k.run(exec, m, &x));
+    })
+}
+
+/// Native Fig. 3: Matvec.
+pub fn fig3_matvec(cfg: &NativeConfig) -> Figure {
+    let k = Matvec::native(512 * cfg.scale);
+    let (a, x) = k.alloc();
+    sweep("Fig.3 Matvec (native)", cfg, &Model::ALL, |exec, m| {
+        std::hint::black_box(k.run(exec, m, &a, &x));
+    })
+}
+
+/// Native Fig. 4: Matmul.
+pub fn fig4_matmul(cfg: &NativeConfig) -> Figure {
+    let k = Matmul::native(128 * cfg.scale);
+    let (a, b) = k.alloc();
+    sweep("Fig.4 Matmul (native)", cfg, &Model::ALL, |exec, m| {
+        std::hint::black_box(k.run(exec, m, &a, &b));
+    })
+}
+
+/// Native Fig. 5: Fibonacci — task variants only, as in the paper.
+pub fn fig5_fib(cfg: &NativeConfig) -> Figure {
+    let k = Fib::native(24 + (cfg.scale.min(8) as u64));
+    let mut fig = Figure::new("Fig.5 Fibonacci (native, task variants)");
+    let mut omp = Series::new(Model::OmpTask.name());
+    let mut cilk = Series::new(Model::CilkSpawn.name());
+    for &p in &cfg.threads {
+        let exec = Executor::new(p);
+        let d = timing::median_time(1, cfg.reps, || {
+            std::hint::black_box(k.run_omp_task(exec.team()));
+        });
+        omp.push(p, d.as_secs_f64());
+        let d = timing::median_time(1, cfg.reps, || {
+            std::hint::black_box(k.run_cilk_spawn(exec.worksteal()));
+        });
+        cilk.push(p, d.as_secs_f64());
+    }
+    fig.series = vec![omp, cilk];
+    fig
+}
+
+/// Native Fig. 6: BFS.
+pub fn fig6_bfs(cfg: &NativeConfig) -> Figure {
+    let b = Bfs::native(50_000 * cfg.scale);
+    let g = b.generate();
+    sweep("Fig.6 Rodinia BFS (native)", cfg, &Model::ALL, |exec, m| {
+        std::hint::black_box(b.run(exec, m, &g));
+    })
+}
+
+/// Native Fig. 7: HotSpot.
+pub fn fig7_hotspot(cfg: &NativeConfig) -> Figure {
+    let h = HotSpot::native(128 * cfg.scale, 10);
+    let (t, p) = h.generate();
+    sweep("Fig.7 Rodinia HotSpot (native)", cfg, &Model::ALL, |exec, m| {
+        std::hint::black_box(h.run(exec, m, &t, &p));
+    })
+}
+
+/// Native Fig. 8: LUD.
+pub fn fig8_lud(cfg: &NativeConfig) -> Figure {
+    let l = Lud::native(96 * cfg.scale);
+    let a = l.generate();
+    sweep("Fig.8 Rodinia LUD (native)", cfg, &Model::ALL, |exec, m| {
+        std::hint::black_box(l.run(exec, m, &a));
+    })
+}
+
+/// Native Fig. 9: LavaMD.
+pub fn fig9_lavamd(cfg: &NativeConfig) -> Figure {
+    let l = LavaMd::native(3 * cfg.scale.min(4), 16);
+    let particles = l.generate();
+    sweep("Fig.9 Rodinia LavaMD (native)", cfg, &Model::ALL, |exec, m| {
+        std::hint::black_box(l.run(exec, m, &particles));
+    })
+}
+
+/// Native Fig. 10: SRAD.
+pub fn fig10_srad(cfg: &NativeConfig) -> Figure {
+    let s = Srad::native(96 * cfg.scale, 4);
+    let img = s.generate();
+    sweep("Fig.10 Rodinia SRAD (native)", cfg, &Model::ALL, |exec, m| {
+        std::hint::black_box(s.run(exec, m, &img));
+    })
+}
+
+/// All native figures with one config.
+pub fn all_native(cfg: &NativeConfig) -> Vec<Figure> {
+    vec![
+        fig1_axpy(cfg),
+        fig2_sum(cfg),
+        fig3_matvec(cfg),
+        fig4_matmul(cfg),
+        fig5_fib(cfg),
+        fig6_bfs(cfg),
+        fig7_hotspot(cfg),
+        fig8_lud(cfg),
+        fig9_lavamd(cfg),
+        fig10_srad(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NativeConfig {
+        NativeConfig {
+            threads: vec![1, 2],
+            scale: 1,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn native_fig1_produces_positive_times() {
+        let cfg = NativeConfig {
+            threads: vec![1, 2],
+            scale: 1,
+            reps: 1,
+        };
+        let k = Axpy::native(10_000);
+        let (x, y0) = k.alloc();
+        let mut y = y0.clone();
+        let fig = sweep("tiny axpy", &cfg, &Model::ALL, |exec, m| {
+            y.copy_from_slice(&y0);
+            k.run(exec, m, &x, &mut y);
+        });
+        assert_eq!(fig.series.len(), 6);
+        for s in &fig.series {
+            assert!(s.points.iter().all(|&(_, v)| v > 0.0), "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn native_fib_runs() {
+        let mut cfg = tiny();
+        cfg.threads = vec![2];
+        let fig = fig5_fib(&cfg);
+        assert_eq!(fig.series.len(), 2);
+    }
+}

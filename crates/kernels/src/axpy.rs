@@ -1,0 +1,101 @@
+//! Axpy: `y = a·x + y` (Fig. 1).
+//!
+//! "The vector size used in evaluation is 100 Million" — the paper's
+//! memory-bandwidth-bound streaming kernel, where `cilk_for`'s steal-based
+//! chunk distribution costs ~2× against every other variant.
+
+use tpm_core::{Executor, Model};
+use tpm_sim::{Imbalance, LoopWorkload};
+
+use crate::util::UnsafeSlice;
+
+/// Axpy problem instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Axpy {
+    /// Vector length (paper: 100 M).
+    pub n: usize,
+    /// Scalar multiplier.
+    pub a: f64,
+}
+
+impl Axpy {
+    /// The paper's configuration: N = 100 M.
+    pub fn paper() -> Self {
+        Self { n: 100_000_000, a: 2.5 }
+    }
+
+    /// A scaled-down instance for native runs on small hosts.
+    pub fn native(n: usize) -> Self {
+        Self { n, a: 2.5 }
+    }
+
+    /// Allocates deterministic input vectors `(x, y)`.
+    pub fn alloc(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            crate::util::random_vec(self.n, 0xA11),
+            crate::util::random_vec(self.n, 0xB22),
+        )
+    }
+
+    /// Sequential reference.
+    pub fn seq(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.n {
+            y[i] += self.a * x[i];
+        }
+    }
+
+    /// Runs the kernel under `model` on `exec`, updating `y` in place.
+    pub fn run(&self, exec: &Executor, model: Model, x: &[f64], y: &mut [f64]) {
+        let a = self.a;
+        let out = UnsafeSlice::new(y);
+        exec.parallel_for(model, 0..self.n, &|chunk| {
+            // SAFETY: the executor hands out disjoint chunks.
+            let ys = unsafe { out.slice_mut(chunk.clone()) };
+            for (yi, i) in ys.iter_mut().zip(chunk) {
+                *yi += a * x[i];
+            }
+        });
+    }
+
+    /// Simulator descriptor: ~2 flops and 24 bytes (two reads + one write)
+    /// per iteration — firmly bandwidth-bound.
+    pub fn sim_workload(&self) -> LoopWorkload {
+        LoopWorkload {
+            iters: self.n as u64,
+            work_ns_per_iter: 0.35,
+            bytes_per_iter: 24.0,
+            imbalance: Imbalance::Uniform,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::max_abs_diff;
+
+    #[test]
+    fn all_six_versions_match_sequential() {
+        let k = Axpy::native(10_001);
+        let (x, y0) = k.alloc();
+        let mut expected = y0.clone();
+        k.seq(&x, &mut expected);
+        let exec = Executor::new(3);
+        for model in Model::ALL {
+            let mut y = y0.clone();
+            k.run(&exec, model, &x, &mut y);
+            assert!(
+                max_abs_diff(&y, &expected) < 1e-12,
+                "{model} diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_workload_is_bandwidth_bound() {
+        let wl = Axpy::paper().sim_workload();
+        assert_eq!(wl.iters, 100_000_000);
+        // mem time at full BW exceeds compute time per iteration.
+        assert!(wl.bytes_per_iter / 29.5 > wl.work_ns_per_iter);
+    }
+}

@@ -1,0 +1,156 @@
+//! Fibonacci: recursive task parallelism (Fig. 5).
+//!
+//! "Fibonacci uses recursive task parallelism ... thus cilk_for and omp_for
+//! are not practical. In addition, for recursive implementation in C++, when
+//! problem size increases to 20 or above, the system hangs ... Thus, for
+//! this application, only the performance of cilk_spawn and omp_task for
+//! problem size 40 are provided." The finding: `cilk_spawn` ≈ 20% faster
+//! than `omp_task` (lock-free vs lock-based task deques), except at 1 core.
+
+use tpm_forkjoin::{Ctx, Team};
+use tpm_sim::FibWorkload;
+use tpm_worksteal::{join, Runtime, WorkerCtx};
+
+/// Fibonacci problem instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Fib {
+    /// Argument (paper: 40).
+    pub n: u64,
+    /// Sequential cutoff for the task versions (tasks are spawned only above
+    /// this argument; standard practice to bound task granularity).
+    pub cutoff: u64,
+}
+
+impl Fib {
+    /// The paper's configuration: fib(40).
+    pub fn paper() -> Self {
+        Self { n: 40, cutoff: 18 }
+    }
+
+    /// A scaled-down instance for native runs.
+    pub fn native(n: u64) -> Self {
+        Self {
+            n,
+            cutoff: n.saturating_sub(8).max(2),
+        }
+    }
+
+    /// Sequential recursive reference (the same recurrence every version
+    /// computes, so times are comparable).
+    pub fn seq(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            Self::seq(n - 1) + Self::seq(n - 2)
+        }
+    }
+
+    /// `omp_task` version: `parallel` + `single` + recursive `task`/`taskwait`.
+    pub fn run_omp_task(&self, team: &Team) -> u64 {
+        fn rec(ctx: &Ctx<'_>, n: u64, cutoff: u64) -> u64 {
+            if n < 2 || n <= cutoff {
+                return Fib::seq(n);
+            }
+            let mut a = 0;
+            let mut b = 0;
+            ctx.task_scope(|s| {
+                s.spawn(|c| a = rec(c, n - 1, cutoff));
+                b = rec(ctx, n - 2, cutoff);
+            });
+            a + b
+        }
+        let result = std::sync::atomic::AtomicU64::new(0);
+        let (n, cutoff) = (self.n, self.cutoff);
+        team.parallel(|ctx| {
+            ctx.single(|| {
+                result.store(rec(ctx, n, cutoff), std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        result.into_inner()
+    }
+
+    /// `cilk_spawn` version: recursive `join` on the work-stealing runtime.
+    pub fn run_cilk_spawn(&self, rt: &Runtime) -> u64 {
+        fn rec(ctx: &WorkerCtx<'_>, n: u64, cutoff: u64) -> u64 {
+            if n < 2 || n <= cutoff {
+                return Fib::seq(n);
+            }
+            let (a, b) = join(
+                ctx,
+                |c| rec(c, n - 1, cutoff),
+                |c| rec(c, n - 2, cutoff),
+            );
+            a + b
+        }
+        let (n, cutoff) = (self.n, self.cutoff);
+        rt.install(move |ctx| rec(ctx, n, cutoff))
+    }
+
+    /// C++11 `std::async` recursive version *with* cutoff (the workable one).
+    pub fn run_cxx_async(&self) -> u64 {
+        tpm_rawthreads::fib_with_cutoff(self.n, self.cutoff)
+    }
+
+    /// C++11 naive version (no cutoff): returns the paper's failure mode as
+    /// an error when the thread budget would be exceeded.
+    pub fn run_cxx_naive(
+        &self,
+        budget: &tpm_rawthreads::ThreadBudget,
+    ) -> Result<u64, tpm_rawthreads::ThreadExplosion> {
+        tpm_rawthreads::fib_thread_per_call(self.n, budget)
+    }
+
+    /// Simulator descriptor for the paper-scale run.
+    pub fn sim_workload(&self) -> FibWorkload {
+        FibWorkload {
+            n: self.n,
+            leaf_cutoff: self.cutoff,
+            call_ns: 2.2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_versions_agree_with_sequential() {
+        let k = Fib::native(22);
+        let expected = Fib::seq(22);
+        assert_eq!(expected, 17_711);
+        let team = Team::new(4);
+        assert_eq!(k.run_omp_task(&team), expected);
+        let rt = Runtime::new(4);
+        assert_eq!(k.run_cilk_spawn(&rt), expected);
+        assert_eq!(k.run_cxx_async(), expected);
+    }
+
+    #[test]
+    fn naive_cxx_explodes_like_the_paper_says() {
+        let k = Fib { n: 20, cutoff: 0 };
+        let budget = tpm_rawthreads::ThreadBudget::new(128);
+        assert!(k.run_cxx_naive(&budget).is_err());
+    }
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(Fib::seq(0), 0);
+        assert_eq!(Fib::seq(1), 1);
+        let team = Team::new(2);
+        assert_eq!(Fib { n: 1, cutoff: 0 }.run_omp_task(&team), 1);
+        let rt = Runtime::new(2);
+        assert_eq!(Fib { n: 0, cutoff: 0 }.run_cilk_spawn(&rt), 0);
+    }
+
+    #[test]
+    fn cutoff_does_not_change_the_value() {
+        let rt = Runtime::new(2);
+        for cutoff in [0, 5, 30] {
+            assert_eq!(
+                Fib { n: 18, cutoff }.run_cilk_spawn(&rt),
+                Fib::seq(18)
+            );
+        }
+    }
+}

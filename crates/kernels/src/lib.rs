@@ -1,0 +1,31 @@
+//! # tpm-kernels — the paper's §IV-A micro-kernels
+//!
+//! Five computational kernels, each runnable under all six [`tpm_core::Model`]
+//! variants and each carrying a calibrated simulator descriptor for the
+//! paper-scale runs (Figs. 1–5):
+//!
+//! | Kernel | Paper size | Figure | Paper finding |
+//! |---|---|---|---|
+//! | [`Axpy`] | N = 100 M | Fig. 1 | `cilk_for` worst (~2×), others tie |
+//! | [`Sum`] | N = 100 M | Fig. 2 | `omp_task` best, `cilk_for` ~5× worst |
+//! | [`Matvec`] | n = 40 k | Fig. 3 | `cilk_for` ~25% worse |
+//! | [`Matmul`] | n = 2 k | Fig. 4 | `cilk_for` ~10% worse |
+//! | [`Fib`] | n = 40 | Fig. 5 | `cilk_spawn` ~20% over `omp_task`; naive C++ explodes |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod axpy;
+mod fib;
+mod matmul;
+mod matvec;
+mod sum;
+mod uts;
+pub mod util;
+
+pub use axpy::Axpy;
+pub use fib::Fib;
+pub use matmul::Matmul;
+pub use matvec::Matvec;
+pub use sum::Sum;
+pub use uts::Uts;

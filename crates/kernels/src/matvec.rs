@@ -1,0 +1,105 @@
+//! Matvec: `y = A·x` (Fig. 3).
+//!
+//! "Matvec is matrix vector multiplication of problem size 40k ... cilk_for
+//! performs around 25% worse than the other versions" — more arithmetic per
+//! iteration than Axpy, so scheduling overhead matters less.
+
+use tpm_core::{Executor, Model};
+use tpm_sim::{Imbalance, LoopWorkload};
+
+use crate::util::UnsafeSlice;
+
+/// Matvec problem instance (row-major dense `n×n`).
+#[derive(Debug, Clone, Copy)]
+pub struct Matvec {
+    /// Matrix dimension (paper: 40 k).
+    pub n: usize,
+}
+
+impl Matvec {
+    /// The paper's configuration: n = 40 k.
+    pub fn paper() -> Self {
+        Self { n: 40_000 }
+    }
+
+    /// A scaled-down instance for native runs.
+    pub fn native(n: usize) -> Self {
+        Self { n }
+    }
+
+    /// Allocates `(A, x)` deterministically.
+    pub fn alloc(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            crate::util::random_vec(self.n * self.n, 0x3A7),
+            crate::util::random_vec(self.n, 0x9E1),
+        )
+    }
+
+    /// Sequential reference.
+    pub fn seq(&self, a: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        (0..n)
+            .map(|i| {
+                let row = &a[i * n..(i + 1) * n];
+                row.iter().zip(x).map(|(aij, xj)| aij * xj).sum()
+            })
+            .collect()
+    }
+
+    /// Runs under `model`: the parallel loop is over rows.
+    pub fn run(&self, exec: &Executor, model: Model, a: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut y = vec![0.0; n];
+        {
+            let out = UnsafeSlice::new(&mut y);
+            exec.parallel_for(model, 0..n, &|chunk| {
+                for i in chunk {
+                    let row = &a[i * n..(i + 1) * n];
+                    let dot: f64 = row.iter().zip(x).map(|(aij, xj)| aij * xj).sum();
+                    // SAFETY: disjoint chunks ⇒ disjoint rows.
+                    unsafe { out.write(i, dot) };
+                }
+            });
+        }
+        y
+    }
+
+    /// Simulator descriptor: one iteration = one row dot product
+    /// (`n` mul-adds, `8n` bytes of matrix row streamed; `x` stays cached).
+    pub fn sim_workload(&self) -> LoopWorkload {
+        LoopWorkload {
+            iters: self.n as u64,
+            work_ns_per_iter: self.n as f64 * 0.4,
+            bytes_per_iter: self.n as f64 * 8.0,
+            imbalance: Imbalance::Uniform,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::max_abs_diff;
+
+    #[test]
+    fn all_six_versions_match_sequential() {
+        let k = Matvec::native(97);
+        let (a, x) = k.alloc();
+        let expected = k.seq(&a, &x);
+        let exec = Executor::new(3);
+        for model in Model::ALL {
+            let y = k.run(&exec, model, &a, &x);
+            assert!(max_abs_diff(&y, &expected) < 1e-9, "{model}");
+        }
+    }
+
+    #[test]
+    fn single_row_matrix() {
+        let k = Matvec::native(1);
+        let (a, x) = k.alloc();
+        let exec = Executor::new(2);
+        let y = k.run(&exec, Model::OmpFor, &a, &x);
+        assert_eq!(y.len(), 1);
+        assert!((y[0] - a[0] * x[0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Sum: `Σ a·x[i]` (Fig. 2).
+//!
+//! "Sum is the combination of worksharing and reduction, showing that
+//! workstealing for worksharing+reduction is not the right choice" —
+//! `omp_task` wins, `cilk_for` loses by ~5×.
+
+use tpm_core::{Executor, Model};
+use tpm_sim::{Imbalance, LoopWorkload};
+
+/// Sum problem instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Sum {
+    /// Vector length (paper: 100 M).
+    pub n: usize,
+    /// Scalar multiplier.
+    pub a: f64,
+}
+
+impl Sum {
+    /// The paper's configuration: N = 100 M.
+    pub fn paper() -> Self {
+        Self { n: 100_000_000, a: 1.5 }
+    }
+
+    /// A scaled-down instance for native runs.
+    pub fn native(n: usize) -> Self {
+        Self { n, a: 1.5 }
+    }
+
+    /// Allocates the deterministic input vector.
+    pub fn alloc(&self) -> Vec<f64> {
+        crate::util::random_vec(self.n, 0x50AD)
+    }
+
+    /// Sequential reference.
+    pub fn seq(&self, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &xi in x {
+            acc += self.a * xi;
+        }
+        acc
+    }
+
+    /// Runs the reduction under `model`.
+    pub fn run(&self, exec: &Executor, model: Model, x: &[f64]) -> f64 {
+        let a = self.a;
+        exec.parallel_reduce(
+            model,
+            0..self.n,
+            || 0.0f64,
+            |l, r| l + r,
+            |chunk, acc| {
+                let mut local = 0.0;
+                for &xi in &x[chunk] {
+                    local += a * xi;
+                }
+                *acc += local;
+            },
+        )
+    }
+
+    /// Simulator descriptor: one flop-ish and 8 bytes per iteration.
+    pub fn sim_workload(&self) -> LoopWorkload {
+        LoopWorkload {
+            iters: self.n as u64,
+            work_ns_per_iter: 0.3,
+            bytes_per_iter: 8.0,
+            imbalance: Imbalance::Uniform,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_versions_match_sequential() {
+        let k = Sum::native(30_011);
+        let x = k.alloc();
+        let expected = k.seq(&x);
+        let exec = Executor::new(4);
+        for model in Model::ALL {
+            let got = k.run(&exec, model, &x);
+            // Floating-point reassociation: partials differ in order, so
+            // allow a relative tolerance.
+            let rel = (got - expected).abs() / expected.abs();
+            assert!(rel < 1e-10, "{model}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn statically_partitioned_models_are_bit_deterministic() {
+        // Models with a fixed chunk→thread mapping reduce in a reproducible
+        // order; work-stealing models may place chunks differently per run.
+        let k = Sum::native(5_000);
+        let x = k.alloc();
+        let exec = Executor::new(3);
+        for model in [Model::OmpFor, Model::CxxThread, Model::CxxAsync] {
+            let a = k.run(&exec, model, &x);
+            let b = k.run(&exec, model, &x);
+            assert_eq!(a.to_bits(), b.to_bits(), "{model}");
+        }
+    }
+}

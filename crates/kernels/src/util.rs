@@ -1,0 +1,117 @@
+//! Shared kernel utilities.
+
+use std::ops::Range;
+
+/// A shared mutable slice view for data-parallel writers.
+///
+/// Parallel loop bodies receive disjoint index chunks; this wrapper lets
+/// them write their own chunk through a shared reference. All six model
+/// variants of every kernel use it the same way, so the comparison measures
+/// scheduling — not borrow-checker workarounds.
+pub struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: callers uphold chunk disjointness (see `write`/`slice_mut` docs).
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `i`.
+    ///
+    /// # Safety
+    /// No other thread may concurrently access index `i`.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+
+    /// Mutable access to `range`.
+    ///
+    /// # Safety
+    /// No other thread may concurrently access any index in `range`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
+    }
+}
+
+/// Deterministic pseudo-random f64 vector in `[0, 1)` (no `rand` dependency
+/// in the hot path; reproducible across runs).
+pub fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = tpm_sync::SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f64()).collect()
+}
+
+/// Max-abs-difference between two vectors (for verification).
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_slice_disjoint_parallel_writes() {
+        let mut v = vec![0u64; 100];
+        {
+            let s = UnsafeSlice::new(&mut v);
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        for i in (t * 25)..((t + 1) * 25) {
+                            // SAFETY: each thread owns a distinct 25-element block.
+                            unsafe { s.write(i, i as u64) };
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(v, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_mut_range() {
+        let mut v = vec![0; 10];
+        let s = UnsafeSlice::new(&mut v);
+        // SAFETY: single-threaded here.
+        unsafe { s.slice_mut(2..5).fill(7) };
+        assert_eq!(v, [0, 0, 7, 7, 7, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn random_vec_is_deterministic_and_unit_range() {
+        let a = random_vec(1000, 42);
+        let b = random_vec(1000, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!(max_abs_diff(&a, &random_vec(1000, 43)) > 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! UTS — Unbalanced Tree Search (extension benchmark).
+//!
+//! The paper's related work (§V, Olivier & Prins) compares OpenMP, Cilk and
+//! TBB on UTS, a benchmark designed so that "only a load-balancing scheduler
+//! can exploit" its parallelism: a random tree whose shape is unknowable in
+//! advance, with wildly imbalanced subtrees. We include it as the stress
+//! test of the task runtimes' load balancing (the property the paper credits
+//! for work stealing's wins on task parallelism).
+//!
+//! The tree is a binomial tree in UTS terminology: each node has `m`
+//! children with probability `q`, 0 otherwise, decided by a deterministic
+//! per-node hash (standing in for UTS's SHA-1 splittable stream). With
+//! `m·q < 1` the tree is finite with probability 1; sizes vary enormously
+//! with the seed — the imbalance is the point.
+
+use tpm_forkjoin::{Ctx, Team};
+use tpm_sync::SplitMix64;
+use tpm_worksteal::{join, Runtime, WorkerCtx};
+
+/// UTS problem instance (binomial variant).
+#[derive(Debug, Clone, Copy)]
+pub struct Uts {
+    /// Children per internal node.
+    pub m: u64,
+    /// Probability (×10⁶) that a node is internal.
+    pub q_millionths: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Root fan-out (UTS's `b0`): the root always has this many children.
+    pub root_children: u64,
+}
+
+impl Uts {
+    /// A moderate instance (tens of thousands of nodes, strongly imbalanced).
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            m: 4,
+            q_millionths: 200_000, // q = 0.2, m·q = 0.8
+            seed,
+            root_children: 64,
+        }
+    }
+
+    fn child_seed(&self, seed: u64, idx: u64) -> u64 {
+        // Splittable stream: hash of (parent seed, child index).
+        let mut rng = SplitMix64::new(seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rng.next_u64()
+    }
+
+    fn is_internal(&self, seed: u64) -> bool {
+        let mut rng = SplitMix64::new(seed);
+        rng.next_bounded(1_000_000) < self.q_millionths
+    }
+
+    /// Sequential traversal: counts the nodes of the tree.
+    pub fn seq(&self) -> u64 {
+        let mut count = 1; // root
+        let mut stack: Vec<u64> = (0..self.root_children)
+            .map(|i| self.child_seed(self.seed, i))
+            .collect();
+        while let Some(seed) = stack.pop() {
+            count += 1;
+            if self.is_internal(seed) {
+                for i in 0..self.m {
+                    stack.push(self.child_seed(seed, i));
+                }
+            }
+        }
+        count
+    }
+
+    /// Work-stealing traversal (`cilk_spawn`-style): each subtree is a
+    /// potential steal target, so idle workers self-balance.
+    pub fn run_worksteal(&self, rt: &Runtime) -> u64 {
+        fn node(u: &Uts, ctx: &WorkerCtx<'_>, seed: u64, depth: u32) -> u64 {
+            let mut count = 1;
+            if u.is_internal(seed) {
+                count += children(u, ctx, seed, 0, u.m, depth);
+            }
+            count
+        }
+        // Binary-split the child list so subtrees become stealable pairs.
+        fn children(u: &Uts, ctx: &WorkerCtx<'_>, seed: u64, lo: u64, hi: u64, depth: u32) -> u64 {
+            match hi - lo {
+                0 => 0,
+                1 => node(u, ctx, u.child_seed(seed, lo), depth + 1),
+                _ if depth > 12 => {
+                    // Deep in the tree: go sequential to bound task overhead.
+                    (lo..hi)
+                        .map(|i| seq_subtree(u, u.child_seed(seed, i)))
+                        .sum()
+                }
+                _ => {
+                    let mid = lo + (hi - lo) / 2;
+                    let (a, b) = join(
+                        ctx,
+                        |c| children(u, c, seed, lo, mid, depth + 1),
+                        |c| children(u, c, seed, mid, hi, depth + 1),
+                    );
+                    a + b
+                }
+            }
+        }
+        fn seq_subtree(u: &Uts, seed: u64) -> u64 {
+            let mut count = 1;
+            let mut stack = vec![seed];
+            // The passed seed node itself was already counted by caller?
+            // No: this function owns the node.
+            stack.clear();
+            if u.is_internal(seed) {
+                for i in 0..u.m {
+                    stack.push(u.child_seed(seed, i));
+                }
+            }
+            while let Some(s) = stack.pop() {
+                count += 1;
+                if u.is_internal(s) {
+                    for i in 0..u.m {
+                        stack.push(u.child_seed(s, i));
+                    }
+                }
+            }
+            count
+        }
+        let u = *self;
+        rt.install(move |ctx| 1 + children(&u, ctx, u.seed, 0, u.root_children, 0))
+    }
+
+    /// Lock-based-deque task traversal (`omp task`-style).
+    pub fn run_omp_task(&self, team: &Team) -> u64 {
+        fn subtree(u: &Uts, ctx: &Ctx<'_>, seed: u64, depth: u32) -> u64 {
+            let mut count = 1;
+            if !u.is_internal(seed) {
+                return count;
+            }
+            if depth > 12 {
+                // Sequential tail.
+                let mut stack: Vec<u64> = (0..u.m).map(|i| u.child_seed(seed, i)).collect();
+                while let Some(s) = stack.pop() {
+                    count += 1;
+                    if u.is_internal(s) {
+                        for i in 0..u.m {
+                            stack.push(u.child_seed(s, i));
+                        }
+                    }
+                }
+                return count;
+            }
+            let mut partials = vec![0u64; u.m as usize];
+            ctx.task_scope(|s| {
+                for (i, slot) in partials.iter_mut().enumerate() {
+                    let child = u.child_seed(seed, i as u64);
+                    s.spawn(move |c| *slot = subtree(u, c, child, depth + 1));
+                }
+            });
+            count + partials.iter().sum::<u64>()
+        }
+        let u = *self;
+        let result = std::sync::atomic::AtomicU64::new(0);
+        team.parallel(|ctx| {
+            ctx.single(|| {
+                let mut total = 1;
+                let mut partials = vec![0u64; u.root_children as usize];
+                ctx.task_scope(|s| {
+                    for (i, slot) in partials.iter_mut().enumerate() {
+                        let child = u.child_seed(u.seed, i as u64);
+                        s.spawn(move |c| *slot = subtree(&u, c, child, 1));
+                    }
+                });
+                total += partials.iter().sum::<u64>();
+                result.store(total, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        result.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_size_is_deterministic() {
+        let u = Uts::standard(1);
+        assert_eq!(u.seq(), u.seq());
+    }
+
+    #[test]
+    fn different_seeds_give_different_imbalanced_trees() {
+        let sizes: Vec<u64> = (0..6).map(|s| Uts::standard(s).seq()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min, "shapes must vary: {sizes:?}");
+        assert!(min >= 65, "at least root + b0 children");
+    }
+
+    #[test]
+    fn worksteal_traversal_matches_sequential() {
+        let rt = Runtime::new(4);
+        for seed in [1, 7, 42] {
+            let u = Uts::standard(seed);
+            assert_eq!(u.run_worksteal(&rt), u.seq(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn omp_task_traversal_matches_sequential() {
+        let team = Team::new(4);
+        for seed in [1, 7] {
+            let u = Uts::standard(seed);
+            assert_eq!(u.run_omp_task(&team), u.seq(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pure_leaf_tree() {
+        // q = 0: only the root and its b0 children.
+        let u = Uts {
+            m: 4,
+            q_millionths: 0,
+            seed: 5,
+            root_children: 10,
+        };
+        assert_eq!(u.seq(), 11);
+        let rt = Runtime::new(2);
+        assert_eq!(u.run_worksteal(&rt), 11);
+    }
+}

@@ -1,0 +1,207 @@
+//! Rodinia HotSpot (Fig. 7): thermal simulation on a chip floorplan.
+//!
+//! "HotSpot is a tool to estimate processor temperature based on an
+//! architectural floorplan and simulated power measurements using a series
+//! of differential equations solver. It includes two parallel loops with
+//! dependency to the row and column of grids." The paper's finding: both
+//! data-parallel versions perform poorly; `omp_task` starts weak but "as
+//! more threads are added, the task parallel implementations are gaining
+//! more than the worksharing parallel implementations".
+//!
+//! Each time step runs two dependent parallel loops (compute the new grid
+//! from the 5-point stencil, then commit it), `steps` times — many small
+//! phases, which is what punishes per-region overhead.
+
+use tpm_core::{Executor, Model};
+use tpm_sim::{Imbalance, LoopWorkload, PhasedWorkload};
+
+use tpm_kernels::util::UnsafeSlice;
+
+/// Physical/model constants (Rodinia's defaults, simplified).
+const T_AMB: f64 = 80.0;
+/// Effective Δt/C: must keep the explicit Euler step stable
+/// (Σ neighbor weights = CAP·(2/RX + 2/RY + 1/RZ) < 1).
+const CAP: f64 = 0.05;
+const RX: f64 = 1.0;
+const RY: f64 = 1.0;
+const RZ: f64 = 4.0;
+
+/// HotSpot problem instance.
+#[derive(Debug, Clone, Copy)]
+pub struct HotSpot {
+    /// Grid dimension (paper: 8192).
+    pub n: usize,
+    /// Number of simulated time steps.
+    pub steps: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl HotSpot {
+    /// The paper's configuration: "the problem size used for the evaluation
+    /// was 8192".
+    pub fn paper() -> Self {
+        Self {
+            n: 8192,
+            steps: 100,
+            seed: 0x407,
+        }
+    }
+
+    /// A scaled-down instance for native runs.
+    pub fn native(n: usize, steps: usize) -> Self {
+        Self {
+            n,
+            steps,
+            seed: 0x407,
+        }
+    }
+
+    /// Generates `(temperature, power)` grids (the synthetic floorplan).
+    pub fn generate(&self) -> (Vec<f64>, Vec<f64>) {
+        let temp: Vec<f64> = tpm_kernels::util::random_vec(self.n * self.n, self.seed)
+            .into_iter()
+            .map(|v| 320.0 + 10.0 * v)
+            .collect();
+        let power: Vec<f64> = tpm_kernels::util::random_vec(self.n * self.n, self.seed ^ 0xF00)
+            .into_iter()
+            .map(|v| 0.01 * v)
+            .collect();
+        (temp, power)
+    }
+
+    fn step_cell(&self, temp: &[f64], power: &[f64], i: usize, j: usize) -> f64 {
+        let n = self.n;
+        let idx = i * n + j;
+        let t = temp[idx];
+        let up = if i > 0 { temp[idx - n] } else { t };
+        let down = if i + 1 < n { temp[idx + n] } else { t };
+        let left = if j > 0 { temp[idx - 1] } else { t };
+        let right = if j + 1 < n { temp[idx + 1] } else { t };
+        t + CAP
+            * (power[idx]
+                + (up + down - 2.0 * t) / RY
+                + (left + right - 2.0 * t) / RX
+                + (T_AMB - t) / RZ)
+    }
+
+    /// Sequential reference: returns the final temperature grid.
+    pub fn seq(&self, temp: &[f64], power: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut cur = temp.to_vec();
+        let mut next = vec![0.0; n * n];
+        for _ in 0..self.steps {
+            for i in 0..n {
+                for j in 0..n {
+                    next[i * n + j] = self.step_cell(&cur, power, i, j);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Runs under `model`: per step, a row-parallel stencil loop then a
+    /// row-parallel commit loop (the two dependent phases).
+    pub fn run(&self, exec: &Executor, model: Model, temp: &[f64], power: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut cur = temp.to_vec();
+        let mut next = vec![0.0; n * n];
+        for _ in 0..self.steps {
+            {
+                let out = UnsafeSlice::new(&mut next);
+                let cur_ref = &cur;
+                exec.parallel_for(model, 0..n, &|rows| {
+                    for i in rows {
+                        // SAFETY: disjoint row chunks.
+                        let row = unsafe { out.slice_mut(i * n..(i + 1) * n) };
+                        for (j, cell) in row.iter_mut().enumerate() {
+                            *cell = self.step_cell(cur_ref, power, i, j);
+                        }
+                    }
+                });
+            }
+            {
+                // Commit phase: copy back (Rodinia keeps two grids and swaps;
+                // the explicit copy preserves the paper's two-loop structure).
+                let out = UnsafeSlice::new(&mut cur);
+                let next_ref = &next;
+                exec.parallel_for(model, 0..n, &|rows| {
+                    for i in rows {
+                        // SAFETY: disjoint row chunks.
+                        let row = unsafe { out.slice_mut(i * n..(i + 1) * n) };
+                        row.copy_from_slice(&next_ref[i * n..(i + 1) * n]);
+                    }
+                });
+            }
+        }
+        cur
+    }
+
+    /// Simulator descriptor: `2 × steps` row-parallel phases.
+    pub fn sim_workload(&self) -> PhasedWorkload {
+        let n = self.n as f64;
+        let stencil = LoopWorkload {
+            iters: self.n as u64,
+            work_ns_per_iter: n * 2.2,
+            bytes_per_iter: n * 32.0,
+            imbalance: Imbalance::Uniform,
+        };
+        let commit = LoopWorkload {
+            iters: self.n as u64,
+            work_ns_per_iter: n * 0.3,
+            bytes_per_iter: n * 16.0,
+            imbalance: Imbalance::Uniform,
+        };
+        let mut phases = Vec::with_capacity(2 * self.steps);
+        for _ in 0..self.steps {
+            phases.push(stencil);
+            phases.push(commit);
+        }
+        PhasedWorkload::new(phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpm_kernels::util::max_abs_diff;
+
+    #[test]
+    fn all_six_versions_match_sequential() {
+        let h = HotSpot::native(32, 4);
+        let (t, p) = h.generate();
+        let expected = h.seq(&t, &p);
+        let exec = Executor::new(3);
+        for model in Model::ALL {
+            let got = h.run(&exec, model, &t, &p);
+            assert!(
+                max_abs_diff(&got, &expected) < 1e-9,
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn temperatures_stay_finite_and_bounded() {
+        let h = HotSpot::native(16, 20);
+        let (t, p) = h.generate();
+        let out = h.seq(&t, &p);
+        assert!(out.iter().all(|v| v.is_finite()));
+        // The ambient sink keeps temperatures from blowing up.
+        assert!(out.iter().all(|&v| (0.0..1000.0).contains(&v)));
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let h = HotSpot::native(8, 0);
+        let (t, p) = h.generate();
+        let exec = Executor::new(2);
+        assert_eq!(h.run(&exec, Model::OmpFor, &t, &p), t);
+    }
+
+    #[test]
+    fn sim_has_two_phases_per_step() {
+        assert_eq!(HotSpot::native(64, 7).sim_workload().phases.len(), 14);
+    }
+}

@@ -1,0 +1,655 @@
+//! Discrete-event simulations of the six loop-distribution mechanisms.
+//!
+//! Each simulator charges virtual time for exactly the coordination its
+//! runtime performs, so figure *shapes* emerge from mechanism, not curve
+//! fitting: static worksharing pays nothing per chunk, the dynamic counter
+//! is an exclusive resource, `cilk_for` distributes chunks only through
+//! (per-victim serialized) steals, task pools pay a serial creation phase on
+//! the producer, and the C++11 variants pay OS-thread creation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use tpm_sync::SplitMix64;
+
+use crate::cost::{CostModel, DequeKind};
+use crate::machine::Machine;
+use crate::result::SimResult;
+use crate::workload::LoopWorkload;
+
+/// How a simulated runtime distributes a parallel loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoopPolicy {
+    /// OpenMP `schedule(static)` worksharing (the paper's `omp_for` setup).
+    WorksharingStatic,
+    /// OpenMP `schedule(dynamic, chunk)`: shared fetch counter.
+    WorksharingDynamic {
+        /// Iterations claimed per fetch.
+        chunk: u64,
+    },
+    /// `cilk_for`: recursive splitting, distribution via steals.
+    WorkstealingSplit {
+        /// Leaf size; 0 selects Cilk's auto grain `min(2048, N/8P)`.
+        grain: u64,
+    },
+    /// Chunk tasks on per-worker deques (`omp_task` when `Locked`,
+    /// `cilk_spawn` when `LockFree`); chunk size is `N / threads` (BASE).
+    TaskChunks {
+        /// Deque implementation (the Fig. 5 variable).
+        kind: DequeKind,
+    },
+    /// `std::thread`: one freshly spawned OS thread per BASE chunk.
+    ThreadPerChunk,
+    /// `std::async` recursive: OS thread per split, cutoff BASE.
+    RecursiveSpawn,
+}
+
+/// Min-heap of `(time, worker)` events in f64 virtual ns. (Bit-pattern
+/// ordering equals numeric ordering for non-negative floats.)
+pub(crate) struct EventQueue(BinaryHeap<Reverse<(u64, usize)>>);
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        Self(BinaryHeap::new())
+    }
+
+    pub(crate) fn push(&mut self, time: f64, worker: usize) {
+        debug_assert!(time >= 0.0);
+        self.0.push(Reverse((time.to_bits(), worker)));
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(f64, usize)> {
+        self.0.pop().map(|Reverse((t, w))| (f64::from_bits(t), w))
+    }
+}
+
+/// The simulator: a machine plus a cost model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulator {
+    /// Simulated hardware.
+    pub machine: Machine,
+    /// Runtime-mechanism costs.
+    pub cost: CostModel,
+}
+
+impl Simulator {
+    /// Simulator for the paper's testbed with calibrated costs.
+    pub fn paper_testbed() -> Self {
+        Self {
+            machine: Machine::xeon_e5_2699v3(),
+            cost: CostModel::calibrated(),
+        }
+    }
+
+    /// Duration of executing iterations `[start, end)` of `wl` with `active`
+    /// concurrent threads (bandwidth roofline + imbalance).
+    fn chunk_time(&self, wl: &LoopWorkload, start: u64, end: u64, active: usize) -> f64 {
+        self.chunk_time_derated(wl, start, end, active, 1.0)
+    }
+
+    /// As [`chunk_time`](Self::chunk_time), with an additional streaming-
+    /// efficiency factor (< 1 for chunks whose locality was destroyed by
+    /// fine-grained stealing).
+    fn chunk_time_derated(
+        &self,
+        wl: &LoopWorkload,
+        start: u64,
+        end: u64,
+        active: usize,
+        bw_factor: f64,
+    ) -> f64 {
+        let iters = (end - start) as f64;
+        let compute = iters * wl.work_ns_per_iter / self.machine.compute_rate(active);
+        let time = if wl.bytes_per_iter > 0.0 {
+            let mem =
+                iters * wl.bytes_per_iter / (self.machine.bw_per_core(active) * bw_factor.max(0.05));
+            compute.max(mem)
+        } else {
+            compute
+        };
+        time * wl.imbalance.factor(start, end, wl.iters)
+    }
+
+    /// Simulates one parallel loop under `policy` with `threads` threads.
+    pub fn run_loop(&self, policy: LoopPolicy, wl: &LoopWorkload, threads: usize) -> SimResult {
+        let threads = threads.max(1);
+        match policy {
+            LoopPolicy::WorksharingStatic => self.sim_static(wl, threads),
+            LoopPolicy::WorksharingDynamic { chunk } => self.sim_dynamic(wl, threads, chunk.max(1)),
+            LoopPolicy::WorkstealingSplit { grain } => {
+                let g = if grain == 0 {
+                    (wl.iters / (8 * threads as u64)).clamp(1, 2048)
+                } else {
+                    grain
+                };
+                self.sim_worksteal_split(wl, threads, g)
+            }
+            LoopPolicy::TaskChunks { kind } => self.sim_task_chunks(wl, threads, kind),
+            LoopPolicy::ThreadPerChunk => self.sim_thread_per_chunk(wl, threads),
+            LoopPolicy::RecursiveSpawn => self.sim_recursive_spawn(wl, threads),
+        }
+    }
+
+    /// The BASE chunk from the paper: `⌈N / threads⌉`, at least 1 (ceiling
+    /// so the chunk count matches the thread count, avoiding a 2× straggler
+    /// when `threads ∤ N`).
+    fn base_chunk(&self, wl: &LoopWorkload, threads: usize) -> u64 {
+        wl.iters.div_ceil(threads as u64).max(1)
+    }
+
+    fn barrier_cost(&self, threads: usize) -> f64 {
+        self.cost.barrier_per_thread_ns * threads as f64
+    }
+
+    // ---- policy: OpenMP static worksharing -------------------------------
+
+    fn sim_static(&self, wl: &LoopWorkload, p: usize) -> SimResult {
+        let mut r = SimResult::default();
+        let mut max_finish = 0.0f64;
+        let per = wl.iters / p as u64;
+        let extra = wl.iters % p as u64;
+        let mut start = 0u64;
+        for t in 0..p {
+            let size = per + u64::from((t as u64) < extra);
+            let end = start + size;
+            let fork = self.cost.region_fork_per_thread_ns * t as f64;
+            let work = if size > 0 {
+                self.chunk_time(wl, start, end, p)
+            } else {
+                0.0
+            };
+            let finish = fork + self.cost.static_dispatch_ns + work;
+            r.busy_ns += work;
+            r.overhead_ns += self.cost.static_dispatch_ns + self.cost.region_fork_per_thread_ns;
+            max_finish = max_finish.max(finish);
+            start = end;
+            r.tasks += 1;
+        }
+        r.overhead_ns += self.barrier_cost(p);
+        r.makespan_ns = max_finish + self.barrier_cost(p);
+        r
+    }
+
+    // ---- policy: OpenMP dynamic worksharing ------------------------------
+
+    fn sim_dynamic(&self, wl: &LoopWorkload, p: usize, chunk: u64) -> SimResult {
+        let mut r = SimResult::default();
+        let mut queue = EventQueue::new();
+        for t in 0..p {
+            queue.push(self.cost.region_fork_per_thread_ns * t as f64, t);
+        }
+        let mut next = 0u64;
+        let mut counter_free = 0.0f64;
+        let mut max_finish = 0.0f64;
+        while let Some((time, _w)) = queue.pop() {
+            if next >= wl.iters {
+                max_finish = max_finish.max(time);
+                continue;
+            }
+            // The shared counter is an exclusive resource: concurrent
+            // fetches serialize.
+            let fetch_start = time.max(counter_free);
+            counter_free = fetch_start + self.cost.dynamic_fetch_ns;
+            let start = next;
+            let end = (start + chunk).min(wl.iters);
+            next = end;
+            let work = self.chunk_time(wl, start, end, p);
+            r.busy_ns += work;
+            r.overhead_ns += self.cost.dynamic_fetch_ns;
+            r.tasks += 1;
+            queue.push(fetch_start + self.cost.dynamic_fetch_ns + work, _w);
+        }
+        r.makespan_ns = max_finish + self.barrier_cost(p);
+        r.overhead_ns += self.barrier_cost(p);
+        r
+    }
+
+    // ---- policy: cilk_for recursive splitting over work stealing ---------
+
+    /// Traced variant of the `cilk_for` simulation: returns per-worker
+    /// activity spans alongside the result, so the serialized steal ramp is
+    /// visible (render with [`crate::Trace::gantt`]).
+    pub fn trace_worksteal_split(
+        &self,
+        wl: &LoopWorkload,
+        threads: usize,
+        grain: u64,
+    ) -> (SimResult, crate::trace::Trace) {
+        let g = if grain == 0 {
+            (wl.iters / (8 * threads.max(1) as u64)).clamp(1, 2048)
+        } else {
+            grain
+        };
+        let mut trace = crate::trace::Trace::new(threads.max(1));
+        let r = self.sim_worksteal_split_inner(wl, threads.max(1), g, Some(&mut trace));
+        (r, trace)
+    }
+
+    fn sim_worksteal_split(&self, wl: &LoopWorkload, p: usize, grain: u64) -> SimResult {
+        self.sim_worksteal_split_inner(wl, p, grain, None)
+    }
+
+    fn sim_worksteal_split_inner(
+        &self,
+        wl: &LoopWorkload,
+        p: usize,
+        grain: u64,
+        mut trace: Option<&mut crate::trace::Trace>,
+    ) -> SimResult {
+        let mut r = SimResult::default();
+        let mut rng = SplitMix64::new(0x0C11_CF02 ^ (p as u64) << 8 ^ grain);
+        let mut queue = EventQueue::new();
+        // Range entries carry a "reached me via steal" flag: stolen chunks
+        // (and their sub-splits) lose streaming locality.
+        let mut deques: Vec<VecDeque<(u64, u64, bool)>> = vec![VecDeque::new(); p];
+        let mut steal_free = vec![0.0f64; p];
+        let mut remaining = wl.iters;
+        let mut max_finish = 0.0f64;
+        // Worker 0 receives the whole range via install.
+        deques[0].push_back((0, wl.iters, false));
+        queue.push(self.cost.region_fork_per_thread_ns, 0);
+        for t in 1..p {
+            queue.push(0.0, t);
+        }
+        while let Some((time, w)) = queue.pop() {
+            if let Some((start, end, stolen)) = deques[w].pop_back() {
+                if end - start > grain {
+                    // Split: keep left, expose right to thieves.
+                    let mid = start + (end - start) / 2;
+                    deques[w].push_back((mid, end, stolen));
+                    deques[w].push_back((start, mid, stolen));
+                    let cost = self.cost.split_ns + self.cost.push_lockfree_ns;
+                    r.overhead_ns += cost;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(w, time, time + cost, crate::trace::Activity::Overhead);
+                    }
+                    queue.push(time + cost, w);
+                } else {
+                    let bw = if stolen {
+                        self.cost.steal_locality_derate
+                    } else {
+                        1.0
+                    };
+                    let work = self.chunk_time_derated(wl, start, end, p, bw);
+                    remaining -= end - start;
+                    r.busy_ns += work;
+                    r.overhead_ns += self.cost.pop_lockfree_ns;
+                    r.tasks += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        let s0 = time + self.cost.pop_lockfree_ns;
+                        t.record(w, s0, s0 + work, crate::trace::Activity::Work);
+                    }
+                    queue.push(time + self.cost.pop_lockfree_ns + work, w);
+                }
+                continue;
+            }
+            if remaining == 0 {
+                max_finish = max_finish.max(time);
+                continue;
+            }
+            // Steal attempt at a random victim.
+            let v = rng.next_bounded(p as u64) as usize;
+            if v != w && !deques[v].is_empty() {
+                // Success: serialized window on the victim's deque top —
+                // the chunk-distribution serialization the paper describes.
+                let begin = time.max(steal_free[v]);
+                steal_free[v] = begin + self.cost.steal_success_ns;
+                // Re-check: by `begin` the deque could have been drained by
+                // its owner; model optimistically (taken if still nonempty).
+                if let Some((s, e, _)) = deques[v].pop_front() {
+                    deques[w].push_back((s, e, true));
+                    r.steals += 1;
+                    r.overhead_ns += self.cost.steal_success_ns;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(w, begin, begin + self.cost.steal_success_ns, crate::trace::Activity::Steal);
+                    }
+                    queue.push(begin + self.cost.steal_success_ns, w);
+                } else {
+                    r.failed_steals += 1;
+                    r.overhead_ns += self.cost.steal_attempt_ns;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(w, begin, begin + self.cost.steal_attempt_ns, crate::trace::Activity::Idle);
+                    }
+                    queue.push(begin + self.cost.steal_attempt_ns, w);
+                }
+            } else {
+                r.failed_steals += 1;
+                r.overhead_ns += self.cost.steal_attempt_ns;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(w, time, time + self.cost.steal_attempt_ns, crate::trace::Activity::Idle);
+                }
+                queue.push(time + self.cost.steal_attempt_ns, w);
+            }
+        }
+        r.makespan_ns = max_finish;
+        r
+    }
+
+    // ---- policy: chunk tasks on per-worker deques ------------------------
+
+    fn sim_task_chunks(&self, wl: &LoopWorkload, p: usize, kind: DequeKind) -> SimResult {
+        let mut r = SimResult::default();
+        let base = self.base_chunk(wl, p);
+        let mut rng = SplitMix64::new(0x7A5C ^ (p as u64) << 4);
+        // Producer (worker 0) creates all chunk tasks serially; task i
+        // becomes stealable at its creation time.
+        let mut tasks: VecDeque<(f64, u64, u64)> = VecDeque::new(); // (ready, start, end)
+        let mut t0 = self.cost.region_fork_per_thread_ns;
+        let mut start = 0u64;
+        while start < wl.iters {
+            let end = (start + base).min(wl.iters);
+            t0 += self.cost.push_cost(kind) + self.cost.task_frame_ns;
+            tasks.push_back((t0, start, end));
+            r.overhead_ns += self.cost.push_cost(kind) + self.cost.task_frame_ns;
+            r.tasks += 1;
+            start = end;
+        }
+        // The producer's deque is the only one; with a locked deque every
+        // op (owner pop and thief steal) serializes on its lock; lock-free
+        // serializes only thieves.
+        let mut deque_free = 0.0f64; // lock (Locked) or top-CAS window (LockFree)
+        let mut queue = EventQueue::new();
+        queue.push(t0, 0); // producer turns consumer after creation
+        for t in 1..p {
+            queue.push(0.0, t);
+        }
+        let total_tasks = tasks.len();
+        let mut consumed = 0usize;
+        let mut max_finish = 0.0f64;
+        while let Some((time, w)) = queue.pop() {
+            if consumed == total_tasks {
+                max_finish = max_finish.max(time);
+                continue;
+            }
+            // Find a ready task (front first: FIFO for thieves; the owner
+            // would take the back — the distinction is immaterial here
+            // because chunks are uniform).
+            let (op_cost, serialized) = if w == 0 {
+                (self.cost.pop_cost(kind), matches!(kind, DequeKind::Locked))
+            } else {
+                (self.cost.steal_success_ns.max(self.cost.pop_cost(kind)), true)
+            };
+            let begin = if serialized {
+                let b = time.max(deque_free);
+                deque_free = b + op_cost;
+                b
+            } else {
+                time
+            };
+            match tasks.front().copied() {
+                Some((ready, s, e)) if ready <= begin + op_cost => {
+                    tasks.pop_front();
+                    consumed += 1;
+                    let work = self.chunk_time(wl, s, e, p);
+                    r.busy_ns += work;
+                    r.overhead_ns += op_cost;
+                    if w != 0 {
+                        r.steals += 1;
+                    }
+                    queue.push(begin + op_cost + work, w);
+                }
+                Some((ready, _, _)) => {
+                    // Not yet published: retry when it is.
+                    r.failed_steals += 1;
+                    r.overhead_ns += self.cost.steal_attempt_ns;
+                    queue.push(ready.max(time + self.cost.steal_attempt_ns), w);
+                    let _ = rng.next_u64();
+                }
+                None => {
+                    max_finish = max_finish.max(time);
+                }
+            }
+        }
+        r.makespan_ns = max_finish + self.barrier_cost(p); // taskwait + region end
+        r.overhead_ns += self.barrier_cost(p);
+        r
+    }
+
+    // ---- policy: one OS thread per chunk (std::thread) -------------------
+
+    fn sim_thread_per_chunk(&self, wl: &LoopWorkload, p: usize) -> SimResult {
+        let mut r = SimResult::default();
+        let per = wl.iters / p as u64;
+        let extra = wl.iters % p as u64;
+        let mut start = 0u64;
+        let mut max_finish = 0.0f64;
+        for t in 0..p {
+            let size = per + u64::from((t as u64) < extra);
+            let end = start + size;
+            // Thread t is created after t+1 serial spawn calls.
+            let spawn_done = self.cost.thread_spawn_ns * (t + 1) as f64;
+            let work = if size > 0 {
+                self.chunk_time(wl, start, end, p)
+            } else {
+                0.0
+            };
+            r.busy_ns += work;
+            r.overhead_ns += self.cost.thread_spawn_ns;
+            r.tasks += 1;
+            max_finish = max_finish.max(spawn_done + work);
+            start = end;
+        }
+        r.makespan_ns = max_finish;
+        r
+    }
+
+    // ---- policy: recursive std::async (thread per split, cutoff BASE) ----
+
+    fn sim_recursive_spawn(&self, wl: &LoopWorkload, p: usize) -> SimResult {
+        let mut r = SimResult::default();
+        let base = self.base_chunk(wl, p);
+        let cores = p.min(self.machine.cores);
+        // Global ready pool of (ready_time, start, end); OS assigns to the
+        // earliest-free core.
+        let mut pool: Vec<(f64, u64, u64)> = vec![(0.0, 0, wl.iters)];
+        let mut queue = EventQueue::new();
+        for c in 0..cores {
+            queue.push(0.0, c);
+        }
+        let mut remaining = wl.iters;
+        let mut max_finish = 0.0f64;
+        while let Some((time, c)) = queue.pop() {
+            if remaining == 0 {
+                max_finish = max_finish.max(time);
+                continue;
+            }
+            // Earliest-ready entry this core can take.
+            let best = pool
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                .map(|(i, &(ready, _, _))| (i, ready));
+            match best {
+                Some((i, ready)) => {
+                    if ready > time {
+                        // Wait for it to be spawned.
+                        queue.push(ready, c);
+                        continue;
+                    }
+                    let (_, mut s, e) = pool.swap_remove(i);
+                    let mut t = time;
+                    // Descend the right spine, spawning left subtrees.
+                    while e - s > base {
+                        let mid = s + (e - s) / 2;
+                        t += self.cost.thread_spawn_ns;
+                        r.overhead_ns += self.cost.thread_spawn_ns;
+                        r.tasks += 1;
+                        pool.push((t, s, mid));
+                        s = mid;
+                    }
+                    let work = self.chunk_time(wl, s, e, p.min(self.machine.cores));
+                    remaining -= e - s;
+                    r.busy_ns += work;
+                    queue.push(t + work, c);
+                }
+                None => {
+                    // Work is in flight on other cores; check back shortly.
+                    queue.push(time + self.cost.steal_attempt_ns, c);
+                }
+            }
+        }
+        r.makespan_ns = max_finish;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Imbalance;
+
+    fn sim_free(cores: usize) -> Simulator {
+        Simulator {
+            machine: Machine::small(cores),
+            cost: CostModel::free(),
+        }
+    }
+
+    const POLICIES: [LoopPolicy; 6] = [
+        LoopPolicy::WorksharingStatic,
+        LoopPolicy::WorksharingDynamic { chunk: 64 },
+        LoopPolicy::WorkstealingSplit { grain: 0 },
+        LoopPolicy::TaskChunks {
+            kind: DequeKind::Locked,
+        },
+        LoopPolicy::ThreadPerChunk,
+        LoopPolicy::RecursiveSpawn,
+    ];
+
+    #[test]
+    fn zero_cost_uniform_loop_scales_perfectly_static() {
+        let sim = sim_free(8);
+        let wl = LoopWorkload::uniform(8_000, 10.0);
+        let r1 = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 1);
+        let r8 = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 8);
+        assert!((r1.makespan_ns - 80_000.0).abs() < 1.0);
+        assert!((r8.makespan_ns - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn makespan_never_beats_work_over_p() {
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(100_000, 5.0);
+        for policy in POLICIES {
+            for &p in &[1usize, 2, 4, 8, 16, 36] {
+                let r = sim.run_loop(policy, &wl, p);
+                let bound = wl.total_work_ns() / p as f64;
+                assert!(
+                    r.makespan_ns >= bound * 0.999,
+                    "{policy:?} p={p}: {} < {}",
+                    r.makespan_ns,
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_policies_execute_all_work() {
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(10_000, 5.0);
+        for policy in POLICIES {
+            let r = sim.run_loop(policy, &wl, 7);
+            assert!(
+                (r.busy_ns - wl.total_work_ns()).abs() < 1e-6,
+                "{policy:?}: busy {} != {}",
+                r.busy_ns,
+                wl.total_work_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn simulations_are_deterministic() {
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(50_000, 3.0).with_bytes(16.0);
+        for policy in POLICIES {
+            let a = sim.run_loop(policy, &wl, 16);
+            let b = sim.run_loop(policy, &wl, 16);
+            assert_eq!(a, b, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_loop_stops_scaling() {
+        // Axpy-like: almost no compute, lots of traffic.
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(10_000_000, 0.4).with_bytes(24.0);
+        let r1 = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 1);
+        let r8 = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 8);
+        let r36 = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 36);
+        let s8 = r1.makespan_ns / r8.makespan_ns;
+        let s36 = r1.makespan_ns / r36.makespan_ns;
+        assert!(s8 > 2.0, "some scaling early: {s8}");
+        // Far from linear at 36 threads: bandwidth-bound.
+        assert!(s36 < 18.0, "should saturate: {s36}");
+    }
+
+    #[test]
+    fn cilk_for_pays_steals_where_worksharing_pays_none() {
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(1_000_000, 1.0);
+        let ws = sim.run_loop(LoopPolicy::WorkstealingSplit { grain: 0 }, &wl, 16);
+        let st = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 16);
+        assert!(ws.steals > 0);
+        assert_eq!(st.steals, 0);
+        assert!(ws.overhead_ns > st.overhead_ns);
+    }
+
+    #[test]
+    fn locked_deque_tasks_cost_more_than_lockfree() {
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(1_000_000, 1.0);
+        let locked = sim.run_loop(
+            LoopPolicy::TaskChunks {
+                kind: DequeKind::Locked,
+            },
+            &wl,
+            16,
+        );
+        let lockfree = sim.run_loop(
+            LoopPolicy::TaskChunks {
+                kind: DequeKind::LockFree,
+            },
+            &wl,
+            16,
+        );
+        assert!(locked.overhead_ns > lockfree.overhead_ns);
+    }
+
+    #[test]
+    fn thread_per_chunk_pays_spawns() {
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(1000, 1.0); // tiny loop
+        let r = sim.run_loop(LoopPolicy::ThreadPerChunk, &wl, 8);
+        assert!(r.makespan_ns >= 8.0 * sim.cost.thread_spawn_ns);
+    }
+
+    #[test]
+    fn imbalanced_load_hurts_static_more_than_dynamic() {
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(100_000, 10.0).with_imbalance(Imbalance::FrontLoaded {
+            slope: 0.9,
+        });
+        let st = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 8);
+        let dy = sim.run_loop(LoopPolicy::WorksharingDynamic { chunk: 256 }, &wl, 8);
+        assert!(
+            dy.makespan_ns < st.makespan_ns,
+            "dynamic {} vs static {}",
+            dy.makespan_ns,
+            st.makespan_ns
+        );
+    }
+
+    #[test]
+    fn single_iteration_loop() {
+        let sim = Simulator::paper_testbed();
+        let wl = LoopWorkload::uniform(1, 100.0);
+        for policy in POLICIES {
+            let r = sim.run_loop(policy, &wl, 4);
+            assert!(r.busy_ns > 0.0, "{policy:?}");
+            assert!(r.makespan_ns >= 100.0, "{policy:?}");
+        }
+    }
+}

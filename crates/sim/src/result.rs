@@ -1,0 +1,77 @@
+//! Simulation outputs.
+
+/// Aggregate outcome of one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimResult {
+    /// Wall-clock makespan in virtual nanoseconds.
+    pub makespan_ns: f64,
+    /// Total useful work executed (Σ chunk/leaf execution time).
+    pub busy_ns: f64,
+    /// Total scheduling overhead paid (forks, spawns, deque ops, steals,
+    /// barriers).
+    pub overhead_ns: f64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Failed steal attempts.
+    pub failed_steals: u64,
+    /// Tasks/chunks/threads created.
+    pub tasks: u64,
+}
+
+impl SimResult {
+    /// Makespan in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.makespan_ns / 1e9
+    }
+
+    /// Parallel efficiency: useful work over consumed core-time
+    /// (`busy / (threads × makespan)`).
+    pub fn efficiency(&self, threads: usize) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            return 1.0;
+        }
+        self.busy_ns / (threads as f64 * self.makespan_ns)
+    }
+
+    /// Element-wise accumulation (phased workloads sum their phases;
+    /// makespans add because phases are dependent).
+    pub fn accumulate(&mut self, other: &SimResult) {
+        self.makespan_ns += other.makespan_ns;
+        self.busy_ns += other.busy_ns;
+        self.overhead_ns += other.overhead_ns;
+        self.steals += other.steals;
+        self.failed_steals += other.failed_steals;
+        self.tasks += other.tasks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_bounds() {
+        let r = SimResult {
+            makespan_ns: 100.0,
+            busy_ns: 150.0,
+            ..Default::default()
+        };
+        assert!((r.efficiency(2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_adds_fields() {
+        let mut a = SimResult {
+            makespan_ns: 1.0,
+            busy_ns: 2.0,
+            overhead_ns: 3.0,
+            steals: 4,
+            failed_steals: 5,
+            tasks: 6,
+        };
+        a.accumulate(&a.clone());
+        assert_eq!(a.makespan_ns, 2.0);
+        assert_eq!(a.steals, 8);
+        assert_eq!(a.tasks, 12);
+    }
+}

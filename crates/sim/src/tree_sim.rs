@@ -1,0 +1,226 @@
+//! Discrete-event simulation of recursive fork-join task trees (Fibonacci,
+//! Fig. 5) under the two deque disciplines.
+//!
+//! The paper's Fig. 5 finding — `cilk_spawn` ≈ 20% faster than `omp_task`
+//! except at 1 thread — is driven entirely by per-task deque-protocol cost:
+//! the tree shape, steal pattern and leaf work are identical across the two.
+//! This simulator executes the *same* truncated Fibonacci tree under both
+//! cost regimes.
+
+use std::collections::VecDeque;
+
+use tpm_sync::SplitMix64;
+
+use crate::cost::DequeKind;
+use crate::loop_sim::Simulator;
+use crate::result::SimResult;
+use crate::workload::FibWorkload;
+
+impl Simulator {
+    /// Per-task deque overhead (push + pop + frame) for the aggregate
+    /// accounting of sub-cutoff tasks. The paper's fib versions spawn a task
+    /// at *every* node ("for problem size 40"), so the per-node protocol
+    /// cost — not the leaf arithmetic — dominates. Lock-based deque ops only
+    /// exceed lock-free ones under contention, i.e. with more than one
+    /// worker generating steal traffic; at one thread the lock is always
+    /// uncontended (the paper: cilk_spawn leads "except for 1 core").
+    fn per_task_overhead(&self, kind: DequeKind, threads: usize) -> f64 {
+        let lockfree =
+            self.cost.push_lockfree_ns + self.cost.pop_lockfree_ns + self.cost.task_frame_ns;
+        match kind {
+            DequeKind::LockFree => lockfree,
+            DequeKind::Locked if threads == 1 => lockfree * 1.05,
+            DequeKind::Locked => {
+                self.cost.push_locked_ns + self.cost.pop_locked_ns + self.cost.task_frame_ns
+            }
+        }
+    }
+
+    /// Simulates `fib(n)` with child-stealing tasks on `threads` workers
+    /// using deque discipline `kind`.
+    pub fn run_fib(&self, kind: DequeKind, fw: &FibWorkload, threads: usize) -> SimResult {
+        let p = threads.max(1);
+        let mut r = SimResult::default();
+        let mut rng = SplitMix64::new(0xF1B ^ ((p as u64) << 6) ^ fw.n);
+        let mut queue = crate::loop_sim::EventQueue::new();
+        let mut deques: Vec<VecDeque<u64>> = vec![VecDeque::new(); p];
+        // Exclusive resource per deque: lock (Locked) / top CAS (LockFree).
+        let mut deque_free = vec![0.0f64; p];
+        let mut outstanding: u64 = 1;
+        deques[0].push_back(fw.n);
+        queue.push(self.cost.region_fork_per_thread_ns, 0);
+        for t in 1..p {
+            queue.push(0.0, t);
+        }
+        let mut max_finish = 0.0f64;
+        while let Some((time, w)) = queue.pop() {
+            // Own pop. Locked deques serialize owner ops with thieves.
+            let pop_available = !deques[w].is_empty();
+            if pop_available {
+                let pop_cost = self.cost.pop_cost(kind);
+                let begin = if matches!(kind, DequeKind::Locked) {
+                    let b = time.max(deque_free[w]);
+                    deque_free[w] = b + pop_cost;
+                    b
+                } else {
+                    time
+                };
+                let node = deques[w].pop_back().expect("checked nonempty");
+                outstanding -= 1;
+                r.overhead_ns += pop_cost;
+                let mut t = begin + pop_cost;
+                // Execute: descend the (n-2) spine, spawning (n-1) children,
+                // until the leaf cutoff; then run the leaf sequentially.
+                let mut n = node;
+                while n > fw.leaf_cutoff && n >= 2 {
+                    let push_cost = self.cost.push_cost(kind) + self.cost.task_frame_ns;
+                    if matches!(kind, DequeKind::Locked) {
+                        let b = t.max(deque_free[w]);
+                        deque_free[w] = b + push_cost;
+                        t = b + push_cost;
+                    } else {
+                        t += push_cost;
+                    }
+                    deques[w].push_back(n - 1);
+                    outstanding += 1;
+                    r.tasks += 1;
+                    r.overhead_ns += push_cost;
+                    // The internal node's own arithmetic.
+                    t += fw.call_ns;
+                    r.busy_ns += fw.call_ns;
+                    n -= 2;
+                }
+                // Leaf: the sub-cutoff subtree still spawns a task per node
+                // in the paper's (cutoff-free) codes. Charging its aggregate
+                // protocol cost here is exact for time while keeping the DES
+                // event count tractable at fib(40) scale.
+                let leaf = fw.leaf_work_ns(n);
+                let sub_tasks = crate::workload::fib_value(n + 1).saturating_sub(1);
+                let sub_overhead = sub_tasks as f64 * self.per_task_overhead(kind, p);
+                t += leaf + sub_overhead;
+                r.busy_ns += leaf;
+                r.overhead_ns += sub_overhead;
+                queue.push(t, w);
+                continue;
+            }
+            if outstanding == 0 {
+                max_finish = max_finish.max(time);
+                continue;
+            }
+            // Steal from a random victim; steals always serialize on the
+            // victim's deque (lock or top-CAS window).
+            let v = rng.next_bounded(p as u64) as usize;
+            if v != w && !deques[v].is_empty() {
+                let cost = match kind {
+                    DequeKind::LockFree => self.cost.steal_success_ns,
+                    DequeKind::Locked => self.cost.steal_success_ns + self.cost.pop_locked_ns,
+                };
+                let begin = time.max(deque_free[v]);
+                deque_free[v] = begin + cost;
+                if let Some(node) = deques[v].pop_front() {
+                    deques[w].push_back(node);
+                    r.steals += 1;
+                    r.overhead_ns += cost;
+                    queue.push(begin + cost, w);
+                } else {
+                    r.failed_steals += 1;
+                    queue.push(begin + self.cost.steal_attempt_ns, w);
+                }
+            } else {
+                r.failed_steals += 1;
+                r.overhead_ns += self.cost.steal_attempt_ns;
+                queue.push(time + self.cost.steal_attempt_ns, w);
+            }
+        }
+        r.makespan_ns = max_finish + self.cost.barrier_per_thread_ns * p as f64;
+        r.overhead_ns += self.cost.barrier_per_thread_ns * p as f64;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::machine::Machine;
+
+    fn fw(n: u64, cutoff: u64) -> FibWorkload {
+        FibWorkload {
+            n,
+            leaf_cutoff: cutoff,
+            call_ns: 2.0,
+        }
+    }
+
+    #[test]
+    fn all_work_is_executed() {
+        let sim = Simulator::paper_testbed();
+        let w = fw(25, 12);
+        for kind in [DequeKind::LockFree, DequeKind::Locked] {
+            let r = sim.run_fib(kind, &w, 8);
+            // busy = internal-node arithmetic + leaves; must be within a few
+            // percent of the sequential total (internal accounting differs
+            // slightly from the closed form).
+            let total = w.total_work_ns();
+            assert!(
+                (r.busy_ns - total).abs() / total < 0.05,
+                "{kind:?}: busy {} vs total {total}",
+                r.busy_ns
+            );
+        }
+    }
+
+    #[test]
+    fn lockfree_beats_locked_on_many_threads() {
+        let sim = Simulator::paper_testbed();
+        let w = fw(30, 16);
+        let lf = sim.run_fib(DequeKind::LockFree, &w, 16);
+        let lk = sim.run_fib(DequeKind::Locked, &w, 16);
+        assert!(
+            lf.makespan_ns < lk.makespan_ns,
+            "lock-free {} vs locked {}",
+            lf.makespan_ns,
+            lk.makespan_ns
+        );
+    }
+
+    #[test]
+    fn tree_scales_with_threads() {
+        let sim = Simulator::paper_testbed();
+        let w = fw(30, 16);
+        let r1 = sim.run_fib(DequeKind::LockFree, &w, 1);
+        let r8 = sim.run_fib(DequeKind::LockFree, &w, 8);
+        let speedup = r1.makespan_ns / r8.makespan_ns;
+        assert!(speedup > 3.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = Simulator::paper_testbed();
+        let w = fw(24, 12);
+        let a = sim.run_fib(DequeKind::Locked, &w, 8);
+        let b = sim.run_fib(DequeKind::Locked, &w, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_thread_has_no_steals() {
+        let sim = Simulator::paper_testbed();
+        let w = fw(20, 10);
+        let r = sim.run_fib(DequeKind::LockFree, &w, 1);
+        assert_eq!(r.steals, 0);
+    }
+
+    #[test]
+    fn leaf_only_tree() {
+        // n below the cutoff: a single leaf, no spawns.
+        let sim = Simulator {
+            machine: Machine::small(4),
+            cost: CostModel::calibrated(),
+        };
+        let w = fw(8, 12);
+        let r = sim.run_fib(DequeKind::LockFree, &w, 4);
+        assert_eq!(r.tasks, 0);
+        assert!(r.busy_ns > 0.0);
+    }
+}

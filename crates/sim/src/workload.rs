@@ -1,0 +1,250 @@
+//! Workload descriptors: the simulator's input language.
+//!
+//! A kernel or application is described by its iteration count, per-iteration
+//! compute time and memory traffic, and the shape of its load imbalance —
+//! the properties the paper's analysis attributes performance differences to
+//! ("uniformity of task workload among threads", "memory access is not
+//! sequential", "same number of tasks with possible different workload").
+
+use tpm_sync::SplitMix64;
+
+/// Per-chunk load-imbalance shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imbalance {
+    /// Every iteration costs the same (Axpy, Matmul, LavaMD, SRAD).
+    Uniform,
+    /// Cost multiplier varies pseudo-randomly per chunk in
+    /// `[1 - spread, 1 + spread]` (BFS frontiers: "the amount of work that
+    /// they handle might be different").
+    Random {
+        /// Deterministic stream seed.
+        seed: u64,
+        /// Half-width of the multiplier interval, in `[0, 1)`.
+        spread: f64,
+    },
+    /// Cost decreases linearly across the iteration space from
+    /// `1 + slope` to `1 - slope` (triangular loops like LUD's trailing
+    /// submatrix updates).
+    FrontLoaded {
+        /// Imbalance magnitude in `[0, 1)`.
+        slope: f64,
+    },
+}
+
+impl Imbalance {
+    /// Cost multiplier for the chunk covering `[start, end)` of `total`.
+    pub fn factor(&self, start: u64, end: u64, total: u64) -> f64 {
+        match *self {
+            Imbalance::Uniform => 1.0,
+            Imbalance::Random { seed, spread } => {
+                // Key the stream by the chunk's start so the factor is
+                // independent of how the space was chunked-adjacent chunks
+                // get independent draws.
+                let mut rng = SplitMix64::new(seed ^ start.wrapping_mul(0x9E37_79B9));
+                1.0 + spread * (2.0 * rng.next_f64() - 1.0)
+            }
+            Imbalance::FrontLoaded { slope } => {
+                let mid = (start + end) as f64 / 2.0;
+                let pos = mid / total.max(1) as f64; // 0..1
+                1.0 + slope * (1.0 - 2.0 * pos)
+            }
+        }
+    }
+}
+
+/// A single data-parallel loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopWorkload {
+    /// Iteration count.
+    pub iters: u64,
+    /// Pure compute time per iteration (ns) at full speed.
+    pub work_ns_per_iter: f64,
+    /// Memory traffic per iteration (bytes) for the bandwidth roofline.
+    pub bytes_per_iter: f64,
+    /// Load-imbalance shape.
+    pub imbalance: Imbalance,
+}
+
+impl LoopWorkload {
+    /// A uniform compute-only loop.
+    pub fn uniform(iters: u64, work_ns_per_iter: f64) -> Self {
+        Self {
+            iters,
+            work_ns_per_iter,
+            bytes_per_iter: 0.0,
+            imbalance: Imbalance::Uniform,
+        }
+    }
+
+    /// Adds streaming memory traffic.
+    pub fn with_bytes(mut self, bytes_per_iter: f64) -> Self {
+        self.bytes_per_iter = bytes_per_iter;
+        self
+    }
+
+    /// Sets the imbalance shape.
+    pub fn with_imbalance(mut self, imbalance: Imbalance) -> Self {
+        self.imbalance = imbalance;
+        self
+    }
+
+    /// Total single-thread compute time (ns), ignoring bandwidth and
+    /// imbalance (which integrates to ~1).
+    pub fn total_work_ns(&self) -> f64 {
+        self.iters as f64 * self.work_ns_per_iter
+    }
+}
+
+/// A sequence of dependent parallel loops (BFS levels, HotSpot time steps,
+/// LUD eliminations): each phase must finish before the next starts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhasedWorkload {
+    /// The phases, in execution order.
+    pub phases: Vec<LoopWorkload>,
+}
+
+impl PhasedWorkload {
+    /// Builds from a list of phases.
+    pub fn new(phases: Vec<LoopWorkload>) -> Self {
+        Self { phases }
+    }
+
+    /// Total single-thread compute time across phases.
+    pub fn total_work_ns(&self) -> f64 {
+        self.phases.iter().map(LoopWorkload::total_work_ns).sum()
+    }
+}
+
+/// A recursive fork-join task tree shaped like Fibonacci: `node(n)` spawns
+/// `node(n-1)` and `node(n-2)` until `n ≤ leaf_cutoff`, where it runs the
+/// sequential computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FibWorkload {
+    /// Top-level argument (the paper uses 40).
+    pub n: u64,
+    /// Subtrees at or below this argument run sequentially as leaves.
+    pub leaf_cutoff: u64,
+    /// Cost of one sequential recursive call (ns).
+    pub call_ns: f64,
+}
+
+impl FibWorkload {
+    /// Number of sequential calls `fib(n)` makes (= `2·F(n+1) − 1`).
+    pub fn seq_calls(n: u64) -> u64 {
+        2 * fib_value(n + 1) - 1
+    }
+
+    /// Leaf execution time (ns).
+    pub fn leaf_work_ns(&self, n: u64) -> f64 {
+        Self::seq_calls(n) as f64 * self.call_ns
+    }
+
+    /// Total single-thread work (ns): the whole tree executed sequentially.
+    pub fn total_work_ns(&self) -> f64 {
+        self.leaf_work_ns(self.n)
+    }
+
+    /// Number of spawned (internal) nodes in the truncated tree.
+    pub fn internal_nodes(&self) -> u64 {
+        count_internal(self.n, self.leaf_cutoff)
+    }
+}
+
+/// The n-th Fibonacci number (u64; valid through n = 93).
+pub fn fib_value(n: u64) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..n {
+        let t = a + b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn count_internal(n: u64, cutoff: u64) -> u64 {
+    if n <= cutoff || n < 2 {
+        0
+    } else {
+        1 + count_internal(n - 1, cutoff) + count_internal(n - 2, cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_values() {
+        assert_eq!(fib_value(0), 0);
+        assert_eq!(fib_value(10), 55);
+        assert_eq!(fib_value(40), 102_334_155);
+    }
+
+    #[test]
+    fn seq_calls_matches_recursive_count() {
+        fn calls(n: u64) -> u64 {
+            if n < 2 {
+                1
+            } else {
+                1 + calls(n - 1) + calls(n - 2)
+            }
+        }
+        for n in 0..20 {
+            assert_eq!(FibWorkload::seq_calls(n), calls(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn internal_nodes_shrink_with_cutoff() {
+        let lo = FibWorkload {
+            n: 20,
+            leaf_cutoff: 5,
+            call_ns: 1.0,
+        };
+        let hi = FibWorkload {
+            n: 20,
+            leaf_cutoff: 15,
+            call_ns: 1.0,
+        };
+        assert!(lo.internal_nodes() > hi.internal_nodes());
+        assert!(hi.internal_nodes() > 0);
+    }
+
+    #[test]
+    fn uniform_factor_is_one() {
+        assert_eq!(Imbalance::Uniform.factor(0, 10, 100), 1.0);
+    }
+
+    #[test]
+    fn random_factor_is_deterministic_and_bounded() {
+        let imb = Imbalance::Random {
+            seed: 7,
+            spread: 0.5,
+        };
+        for start in (0..1000).step_by(100) {
+            let f1 = imb.factor(start, start + 100, 1000);
+            let f2 = imb.factor(start, start + 100, 1000);
+            assert_eq!(f1, f2);
+            assert!((0.5..=1.5).contains(&f1));
+        }
+    }
+
+    #[test]
+    fn front_loaded_decreases() {
+        let imb = Imbalance::FrontLoaded { slope: 0.8 };
+        let first = imb.factor(0, 10, 100);
+        let last = imb.factor(90, 100, 100);
+        assert!(first > 1.0);
+        assert!(last < 1.0);
+        assert!(first > last);
+    }
+
+    #[test]
+    fn phased_total_is_sum() {
+        let p = PhasedWorkload::new(vec![
+            LoopWorkload::uniform(10, 2.0),
+            LoopWorkload::uniform(5, 4.0),
+        ]);
+        assert_eq!(p.total_work_ns(), 40.0);
+    }
+}

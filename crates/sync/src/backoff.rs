@@ -1,0 +1,127 @@
+//! Exponential backoff for spin loops.
+//!
+//! Contended CAS loops and spin-wait conditions burn bus bandwidth if they
+//! retry back-to-back. The standard remedy is exponential backoff: a few
+//! `spin_loop` hints first (cheap, keeps the thread on-core), then yields to
+//! the OS scheduler once the wait looks long. On this crate's oversubscribed
+//! single-core CI hosts the yield phase is what makes spin-based primitives
+//! usable at all, so `Backoff` is deliberately yield-happy compared to
+//! server-tuned implementations.
+
+use std::hint;
+use std::thread;
+
+/// Maximum exponent for the pure-spin phase: up to `2^SPIN_LIMIT` spin hints.
+const SPIN_LIMIT: u32 = 6;
+/// Exponent at which [`Backoff::snooze`] starts yielding to the OS.
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff helper for spin loops.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use tpm_sync::Backoff;
+///
+/// let flag = AtomicBool::new(true); // already set; loop exits immediately
+/// let backoff = Backoff::new();
+/// while !flag.load(Ordering::Acquire) {
+///     backoff.snooze();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// Creates a backoff counter at the cheapest (pure spin) stage.
+    pub const fn new() -> Self {
+        Self {
+            step: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Resets to the initial stage (call after making progress).
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off for a failed compare-and-swap: spin only, never yields.
+    ///
+    /// Use between CAS retries where the owner is expected to finish in a few
+    /// instructions.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Backs off while waiting for a condition owned by another thread:
+    /// spins first, then yields to the OS scheduler.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// True once the waiter has backed off long enough that blocking (parking)
+    /// would be cheaper than continuing to spin.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_enough_snoozes() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let b = Backoff::new();
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn spin_never_completes() {
+        let b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        assert!(!b.is_completed());
+    }
+}

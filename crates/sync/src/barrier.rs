@@ -1,0 +1,163 @@
+//! A reusable sense-reversing centralized barrier.
+//!
+//! This is the barrier the paper's Table II compares across models
+//! (`#pragma omp barrier`, `pthread_barrier_t`, …). A sense-reversing design
+//! needs one atomic counter and one flag, supports unlimited reuse without
+//! re-initialization, and — unlike two-counter designs — cannot confuse
+//! consecutive phases.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::Backoff;
+
+/// Outcome of a [`Barrier::wait`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierWaitResult {
+    is_leader: bool,
+}
+
+impl BarrierWaitResult {
+    /// True for exactly one thread per barrier phase (the last arriver),
+    /// mirroring `pthread_barrier_wait`'s `PTHREAD_BARRIER_SERIAL_THREAD`.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+}
+
+/// A reusable barrier for a fixed-size group of threads.
+///
+/// Waiting spins with backoff and eventually yields; on the oversubscribed
+/// hosts this workspace targets, yielding is essential (a pure spin barrier
+/// with more threads than cores livelocks for whole scheduler quanta).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use tpm_sync::Barrier;
+///
+/// const N: usize = 4;
+/// let barrier = Barrier::new(N);
+/// let phase1 = AtomicUsize::new(0);
+/// std::thread::scope(|s| {
+///     for _ in 0..N {
+///         s.spawn(|| {
+///             phase1.fetch_add(1, Ordering::Relaxed);
+///             barrier.wait();
+///             // Every thread sees all N phase-1 increments.
+///             assert_eq!(phase1.load(Ordering::Relaxed), N);
+///         });
+///     }
+/// });
+/// ```
+#[derive(Debug)]
+pub struct Barrier {
+    num_threads: usize,
+    arrived: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl Barrier {
+    /// Creates a barrier for `num_threads` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "barrier needs at least one participant");
+        Self {
+            num_threads,
+            arrived: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Blocks until all `num_threads` threads have called `wait` in this
+    /// phase. Fully reusable: the next `wait` starts the next phase.
+    pub fn wait(&self) -> BarrierWaitResult {
+        // The phase this arrival completes flips the sense to `!current`.
+        let target = !self.sense.load(Ordering::Relaxed);
+        let prior = self.arrived.fetch_add(1, Ordering::AcqRel);
+        if prior + 1 == self.num_threads {
+            // Leader: reset the counter *before* releasing the others (they
+            // may immediately enter the next phase and increment it).
+            self.arrived.store(0, Ordering::Relaxed);
+            self.sense.store(target, Ordering::Release);
+            BarrierWaitResult { is_leader: true }
+        } else {
+            let backoff = Backoff::new();
+            while self.sense.load(Ordering::Acquire) != target {
+                backoff.snooze();
+            }
+            BarrierWaitResult { is_leader: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_threads_panics() {
+        let _ = Barrier::new(0);
+    }
+
+    #[test]
+    fn single_thread_is_always_leader() {
+        let b = Barrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait().is_leader());
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        const N: usize = 4;
+        const PHASES: usize = 50;
+        let b = Barrier::new(N);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for _ in 0..PHASES {
+                        if b.wait().is_leader() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), PHASES);
+    }
+
+    #[test]
+    fn phases_are_totally_ordered() {
+        // Each thread bumps a shared counter before the barrier; after the
+        // barrier every thread must observe phase*N increments.
+        const N: usize = 3;
+        const PHASES: usize = 100;
+        let b = Barrier::new(N);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for phase in 1..=PHASES {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        b.wait();
+                        assert!(counter.load(Ordering::Relaxed) >= phase * N);
+                        b.wait(); // second barrier so nobody races ahead
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), PHASES * N);
+    }
+}

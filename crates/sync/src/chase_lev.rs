@@ -1,0 +1,466 @@
+//! A Chase–Lev work-stealing deque (Chase & Lev, SPAA'05), with the memory
+//! orderings of Lê et al., "Correct and Efficient Work-Stealing for Weak
+//! Memory Models" (PPoPP'13).
+//!
+//! This is the data structure behind Cilk Plus (and TBB, and Rayon): each
+//! worker owns the *bottom* end of its deque (`push`/`pop`, no atomics RMW on
+//! the fast path), while thieves compete for the *top* end with a single CAS.
+//! The paper's Fig. 5 explanation — "the workstealing protocol in Cilk Plus
+//! [is cheaper] than the lock-based deque in the Intel OpenMP runtime" — is
+//! exactly the contrast between this module and [`crate::LockedDeque`].
+//!
+//! # Design notes
+//!
+//! * The circular buffer grows geometrically; old buffers are retired to a
+//!   list owned by the [`Worker`] and freed only when the worker drops, so a
+//!   thief reading through a stale buffer pointer always dereferences live
+//!   memory (elements `top..bottom` are copied on growth, and a thief's CAS
+//!   on `top` decides ownership regardless of which buffer it read through).
+//! * Elements are moved bit-wise; on a lost race nothing is dropped by the
+//!   loser. The deque drops leftover elements when the `Worker` drops.
+
+use std::cell::Cell;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// An element was stolen.
+    Success(T),
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Buffer<T> {
+    /// Capacity, always a power of two.
+    cap: usize,
+    storage: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        let storage = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::new(Self { cap, storage })
+    }
+
+    /// # Safety
+    /// `index` slots are accessed under the Chase–Lev protocol's exclusivity
+    /// rules; the caller guarantees no conflicting access.
+    unsafe fn read(&self, index: isize) -> T {
+        let slot = &self.storage[(index as usize) & (self.cap - 1)];
+        (*slot.get()).assume_init_read()
+    }
+
+    /// # Safety
+    /// As [`read`](Self::read): caller guarantees slot exclusivity.
+    unsafe fn write(&self, index: isize, value: T) {
+        let slot = &self.storage[(index as usize) & (self.cap - 1)];
+        (*slot.get()).write(value);
+    }
+}
+
+struct Inner<T> {
+    /// Steal end. Monotonically increasing.
+    top: AtomicIsize,
+    /// Owner end.
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+}
+
+// SAFETY: the protocol transfers each element to exactly one consumer.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Any elements still present are dropped here; at this point there is
+        // a single owner, so plain accesses are fine.
+        let top = *self.top.get_mut();
+        let bottom = *self.bottom.get_mut();
+        let buf = *self.buffer.get_mut();
+        // SAFETY: exclusive access during drop; indices top..bottom hold
+        // initialized elements.
+        unsafe {
+            for i in top..bottom {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+        }
+    }
+}
+
+/// Owner handle: single-threaded `push`/`pop` at the bottom end.
+///
+/// Not `Sync`/`Clone` — exactly one thread may own it, which is what makes the
+/// fast path possible.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Buffers replaced by growth, kept alive for in-flight thieves.
+    retired: Cell<Vec<Box<Buffer<T>>>>,
+}
+
+// SAFETY: Worker can move between threads (it is the unique owner handle);
+// it just cannot be shared.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// Thief handle: concurrent `steal` from the top end. Cloneable and shareable.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+// SAFETY: steal is safe from any number of threads.
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+/// Creates a deque, returning the owner and a thief handle.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::chase_lev;
+///
+/// let (worker, stealer) = chase_lev::deque::<u32>(8);
+/// worker.push(1);
+/// worker.push(2);
+/// assert_eq!(stealer.steal().success(), Some(1)); // FIFO from the top
+/// assert_eq!(worker.pop(), Some(2)); // LIFO at the bottom
+/// ```
+pub fn deque<T: Send>(initial_capacity: usize) -> (Worker<T>, Stealer<T>) {
+    let cap = initial_capacity.next_power_of_two().max(2);
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(Buffer::alloc(cap))),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            retired: Cell::new(Vec::new()),
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Pushes onto the bottom (owner) end. Amortized O(1); grows the buffer
+    /// when full.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: we are the only pusher; `buf` is the current buffer.
+        unsafe {
+            let size = b - t;
+            let buf = if size as usize >= (*buf).cap {
+                self.grow(t, b)
+            } else {
+                buf
+            };
+            (*buf).write(b, value);
+        }
+        // Publish the element before publishing the new bottom.
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Doubles the buffer, copying live elements `t..b`. Returns the new
+    /// buffer pointer. The old buffer is retired, not freed.
+    ///
+    /// # Safety
+    /// Must only be called by the owner thread.
+    unsafe fn grow(&self, t: isize, b: isize) -> *mut Buffer<T> {
+        let inner = &*self.inner;
+        let old = inner.buffer.load(Ordering::Relaxed);
+        let new = Buffer::alloc((*old).cap * 2);
+        let new_ptr = Box::into_raw(new);
+        for i in t..b {
+            // Bit-copy: ownership of these slots stays with the protocol.
+            let v = std::ptr::read((*old).storage[(i as usize) & ((*old).cap - 1)].get());
+            (*new_ptr).storage[(i as usize) & ((*new_ptr).cap - 1)]
+                .get()
+                .write(v);
+        }
+        inner.buffer.store(new_ptr, Ordering::Release);
+        // Retire (not free) the old buffer: in-flight thieves may still read
+        // through it. Freed when the Worker drops.
+        let mut retired = self.retired.take();
+        retired.push(Box::from_raw(old));
+        self.retired.set(retired);
+        new_ptr
+    }
+
+    /// Pops from the bottom (owner) end: LIFO order, the depth-first policy
+    /// work-first scheduling relies on.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders our bottom-write before our top-read
+        // against a thief's top-CAS / bottom-read (the crux of Chase–Lev).
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        let size = b - t;
+        if size < 0 {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: index `b` was published by us and not yet consumed.
+        let value = unsafe { (*buf).read(b) };
+        if size > 0 {
+            return Some(value);
+        }
+        // Last element: race thieves via CAS on top.
+        let won = inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+        if won {
+            Some(value)
+        } else {
+            // A thief took it; the bit-copy in `value` must not be dropped.
+            std::mem::forget(value);
+            None
+        }
+    }
+
+    /// Number of elements (approximate under concurrent steals).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when no elements are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates another thief handle.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Worker<T> {
+    fn drop(&mut self) {
+        // Retired buffers die here; remaining elements die in Inner::drop
+        // (when the last Stealer also goes away).
+        self.retired.take().clear();
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempts to steal from the top (FIFO) end.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        // Order the top-read before the bottom-read (pairs with the owner's
+        // fence in `pop`).
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the element *before* the CAS: after a successful CAS the owner
+        // may immediately overwrite the slot.
+        let buf = inner.buffer.load(Ordering::Acquire);
+        // SAFETY: t < b, so slot t is initialized in `buf` (or in a newer
+        // buffer — in which case the copy in `buf` is still intact and
+        // identical, because growth copies t..b and `buf` stays alive).
+        let value = unsafe { (*buf).read(t) };
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            std::mem::forget(value); // lost the race; not ours to drop
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Approximate number of elements.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        let t = self.inner.top.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// True when no elements are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("chase_lev::Worker").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("chase_lev::Stealer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let (w, s) = deque(4);
+        for i in 0..4 {
+            w.push(i);
+        }
+        assert_eq!(s.steal().success(), Some(0));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let (w, _s) = deque(2);
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let mut got = Vec::new();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        got.reverse();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_element_lost_or_duplicated_under_contention() {
+        const N: usize = 50_000;
+        const THIEVES: usize = 4;
+        let (w, s) = deque(8);
+        let stolen: Vec<_> = (0..THIEVES)
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
+        let done = AtomicUsize::new(0);
+        let mut popped = Vec::new();
+        std::thread::scope(|scope| {
+            for tv in &stolen {
+                let s = s.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => local.push(v),
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) == 1 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    *tv.lock().unwrap() = local;
+                });
+            }
+            // Owner interleaves pushes and pops.
+            for i in 0..N {
+                w.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = w.pop() {
+                        popped.push(v);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                popped.push(v);
+            }
+            done.store(1, Ordering::Release);
+        });
+        let mut all: Vec<usize> = popped;
+        for tv in &stolen {
+            all.extend(tv.lock().unwrap().iter().copied());
+        }
+        assert_eq!(all.len(), N, "every pushed element consumed exactly once");
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(set.len(), N, "no duplicates");
+    }
+
+    #[test]
+    fn leftover_elements_are_dropped() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (w, s) = deque(4);
+            for _ in 0..10 {
+                w.push(D);
+            }
+            drop(s);
+            drop(w);
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn steal_from_empty() {
+        let (w, s) = deque::<u8>(4);
+        assert_eq!(s.steal(), Steal::Empty);
+        w.push(1);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let (w, s) = deque(4);
+        assert!(w.is_empty() && s.is_empty());
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(s.len(), 2);
+        w.pop();
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! A condition variable over [`crate::Mutex`], built from a parked-thread
+//! queue (the structure of Chapter 9 of *Rust Atomics and Locks*, minus the
+//! futex).
+//!
+//! Used by the runtimes for "worker pool idle" waiting, where spinning would
+//! waste the single core the CI host has.
+
+use std::collections::VecDeque;
+use std::thread::{self, Thread};
+
+use crate::{MutexGuard, SpinLock};
+#[cfg(test)]
+use crate::Mutex;
+
+/// A condition variable.
+///
+/// As with every condition variable, waiters must re-check their predicate in
+/// a loop: wakeups may be spurious (both inherently, and because this crate's
+/// parking tokens are shared per-thread).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tpm_sync::{Condvar, Mutex};
+///
+/// let ready = Arc::new((Mutex::new(false), Condvar::new()));
+/// let r2 = Arc::clone(&ready);
+/// let h = std::thread::spawn(move || {
+///     let (m, cv) = &*r2;
+///     let mut g = m.lock();
+///     while !*g {
+///         g = cv.wait(g);
+///     }
+/// });
+/// let (m, cv) = &*ready;
+/// *m.lock() = true;
+/// cv.notify_all();
+/// h.join().unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct Condvar {
+    waiters: SpinLock<VecDeque<Thread>>,
+}
+
+impl Condvar {
+    /// Creates a condition variable with no waiters.
+    pub const fn new() -> Self {
+        Self {
+            waiters: SpinLock::new(VecDeque::new()),
+        }
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then re-acquires
+    /// the mutex. May wake spuriously.
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex();
+        // Register before unlocking: a notifier that acquires the mutex after
+        // our caller's predicate update will then see us in the queue, so the
+        // "check predicate under lock, then wait" idiom cannot lose wakeups.
+        self.waiters.lock().push_back(thread::current());
+        drop(guard);
+        thread::park();
+        // Remove ourselves if we woke spuriously and are still queued; a
+        // normal notify already removed us. Cheap because queues are short.
+        {
+            let mut q = self.waiters.lock();
+            let me = thread::current().id();
+            if let Some(pos) = q.iter().position(|t| t.id() == me) {
+                q.remove(pos);
+            }
+        }
+        mutex.lock()
+    }
+
+    /// Wakes one waiter, if any.
+    pub fn notify_one(&self) {
+        let t = self.waiters.lock().pop_front();
+        if let Some(t) = t {
+            t.unpark();
+        }
+    }
+
+    /// Wakes all current waiters.
+    pub fn notify_all(&self) {
+        let drained: Vec<Thread> = self.waiters.lock().drain(..).collect();
+        for t in drained {
+            t.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_notify_one_round_trip() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while *g == 0 {
+                g = cv.wait(g);
+            }
+            *g
+        });
+        thread::sleep(Duration::from_millis(20));
+        let (m, cv) = &*pair;
+        *m.lock() = 42;
+        cv.notify_one();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let p = Arc::clone(&pair);
+            handles.push(thread::spawn(move || {
+                let (m, cv) = &*p;
+                let mut g = m.lock();
+                while !*g {
+                    g = cv.wait(g);
+                }
+            }));
+        }
+        thread::sleep(Duration::from_millis(20));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn predicate_set_before_wait_is_not_lost() {
+        // Notify happens while no one waits; waiter must still exit because
+        // it checks the predicate before waiting.
+        let pair = (Mutex::new(true), Condvar::new());
+        let (m, cv) = &pair;
+        cv.notify_all();
+        let g = m.lock();
+        assert!(*g);
+        // Would deadlock if we waited here without a predicate check —
+        // which is exactly why the predicate loop idiom is mandatory.
+        drop(g);
+    }
+}

@@ -1,0 +1,198 @@
+//! One-shot completion latches.
+//!
+//! Latches are the completion-signalling building block of both runtimes'
+//! join points: a `cilk_sync`/`taskwait` is "wait until the latch of every
+//! outstanding child is set". Two flavors:
+//!
+//! * [`SpinLatch`] — a single boolean, set once.
+//! * [`CountLatch`] — counts down from `n`; becomes set at zero. Supports
+//!   *incrementing* while unset, which is what nested spawns need.
+//!
+//! Waiting spins with backoff then yields. The runtimes layered above only
+//! wait on latches from worker threads that interleave waiting with useful
+//! work (steal attempts), so parking lives there, not here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::Backoff;
+
+/// A boolean latch: starts unset, can be set exactly once, never resets.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::SpinLatch;
+///
+/// let latch = SpinLatch::new();
+/// std::thread::scope(|s| {
+///     s.spawn(|| latch.set());
+///     latch.wait();
+/// });
+/// assert!(latch.probe());
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinLatch {
+    set: AtomicUsize, // usize to share the CountLatch fast path shape
+}
+
+impl SpinLatch {
+    /// Creates an unset latch.
+    pub const fn new() -> Self {
+        Self {
+            set: AtomicUsize::new(0),
+        }
+    }
+
+    /// Sets the latch, releasing all current and future waiters.
+    ///
+    /// All memory writes before `set` happen-before anything after a
+    /// successful [`probe`](Self::probe)/[`wait`](Self::wait).
+    pub fn set(&self) {
+        self.set.store(1, Ordering::Release);
+    }
+
+    /// Non-blocking check.
+    pub fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire) == 1
+    }
+
+    /// Spins (with backoff, then yielding) until set.
+    pub fn wait(&self) {
+        let backoff = Backoff::new();
+        while !self.probe() {
+            backoff.snooze();
+        }
+    }
+}
+
+/// A counting latch: set whenever the count is zero.
+///
+/// Unlike a one-shot latch, the count may be *re-armed* (incremented from
+/// zero): task scopes use this — `probe()` then means "no task spawned so
+/// far is still outstanding", which is exactly the `taskwait`/`cilk_sync`
+/// condition. Waiters must therefore only rely on `probe()` at points where
+/// no concurrent increments can occur (e.g. after the spawning phase).
+#[derive(Debug)]
+pub struct CountLatch {
+    count: AtomicUsize,
+}
+
+impl CountLatch {
+    /// Creates a latch that requires `count` decrements.
+    pub const fn new(count: usize) -> Self {
+        Self {
+            count: AtomicUsize::new(count),
+        }
+    }
+
+    /// Registers `n` additional required decrements (may re-arm a latch
+    /// whose count had reached zero).
+    pub fn increment(&self, n: usize) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one completion; the latch becomes set when the count hits zero.
+    pub fn decrement(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "CountLatch underflow");
+    }
+
+    /// Non-blocking check.
+    pub fn probe(&self) -> bool {
+        if self.count.load(Ordering::Acquire) == 0 {
+            return true;
+        }
+        false
+    }
+
+    /// Current outstanding count (approximate under concurrency; exact once
+    /// quiescent). Intended for diagnostics and tests.
+    pub fn outstanding(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Spins (with backoff, then yielding) until the count reaches zero.
+    pub fn wait(&self) {
+        let backoff = Backoff::new();
+        while !self.probe() {
+            backoff.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spin_latch_basic() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+        l.wait(); // returns immediately
+    }
+
+    #[test]
+    fn spin_latch_publishes_writes() {
+        let l = SpinLatch::new();
+        let data = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                data.store(99, Ordering::Relaxed);
+                l.set();
+            });
+            l.wait();
+            assert_eq!(data.load(Ordering::Relaxed), 99);
+        });
+    }
+
+    #[test]
+    fn count_latch_counts_down() {
+        let l = CountLatch::new(3);
+        assert!(!l.probe());
+        l.decrement();
+        l.decrement();
+        assert!(!l.probe());
+        assert_eq!(l.outstanding(), 1);
+        l.decrement();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_concurrent_decrements() {
+        const N: usize = 8;
+        const PER: usize = 1000;
+        let l = CountLatch::new(N * PER);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for _ in 0..PER {
+                        l.decrement();
+                    }
+                });
+            }
+            l.wait();
+        });
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_increment_before_zero() {
+        let l = CountLatch::new(1);
+        l.increment(2);
+        l.decrement();
+        l.decrement();
+        assert!(!l.probe());
+        l.decrement();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn zero_count_latch_starts_set() {
+        let l = CountLatch::new(0);
+        assert!(l.probe());
+        l.wait();
+    }
+}

@@ -1,0 +1,56 @@
+//! # tpm-sync — from-scratch synchronization primitives
+//!
+//! The substrate layer of the `threadcmp` workspace (a Rust reproduction of
+//! *Comparison of Threading Programming Models*, 2017). Every primitive the
+//! three threading runtimes need is built here from `std` atomics and thread
+//! parking — no external concurrency crates — following the constructions in
+//! *Rust Atomics and Locks* (Bos, 2023):
+//!
+//! | Primitive | Used by | Models |
+//! |---|---|---|
+//! | [`SpinLock`] | everything | short critical sections |
+//! | [`Mutex`] / [`Condvar`] | worker pools | `omp_lock_t`, `std::mutex`, `pthread_mutex` |
+//! | [`Barrier`] | `tpm-forkjoin` | `#pragma omp barrier`, `pthread_barrier_t` |
+//! | [`SpinLatch`] / [`CountLatch`] | both task runtimes | join counters behind `cilk_sync` / `taskwait` |
+//! | [`chase_lev`] deque | `tpm-worksteal` | Cilk Plus's lock-free work-stealing protocol |
+//! | [`LockedDeque`] | `tpm-forkjoin` tasking | Intel OpenMP's lock-based task deques |
+//! | [`oneshot`] channel | `tpm-rawthreads` | `std::future` |
+//! | [`Reducer`] | all three | Cilk reducers / OpenMP `reduction` clause |
+//! | [`Backoff`], [`CachePadded`], [`rng`], [`stats`] | all | mechanics |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backoff;
+mod barrier;
+mod cache_padded;
+pub mod chase_lev;
+mod condvar;
+mod latch;
+mod locked_deque;
+mod mutex;
+pub mod oneshot;
+mod reducer;
+mod reentrant;
+pub mod rng;
+mod rwlock;
+mod semaphore;
+mod spinlock;
+pub mod stats;
+
+pub use backoff::Backoff;
+pub use barrier::{Barrier, BarrierWaitResult};
+pub use cache_padded::CachePadded;
+pub use chase_lev::{deque as chase_lev_deque, Steal, Stealer, Worker};
+pub use condvar::Condvar;
+pub use latch::{CountLatch, SpinLatch};
+pub use locked_deque::LockedDeque;
+pub use mutex::{Mutex, MutexGuard};
+pub use oneshot::{channel as oneshot_channel, Receiver, RecvError, Sender};
+pub use reducer::Reducer;
+pub use reentrant::{ReentrantGuard, ReentrantLock};
+pub use rng::{SplitMix64, XorShift64Star};
+pub use rwlock::{ReadGuard, RwLock, WriteGuard};
+pub use semaphore::{Permit, Semaphore};
+pub use spinlock::{SpinGuard, SpinLock};
+pub use stats::{Counter, SchedulerStats, StatsSnapshot, WorkerStats};

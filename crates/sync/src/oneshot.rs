@@ -1,0 +1,243 @@
+//! A one-shot value channel (Chapter 5 of *Rust Atomics and Locks*):
+//! a single producer writes a value once; a single consumer takes it once.
+//!
+//! This is the future cell backing `tpm-rawthreads`' `std::async` analogue:
+//! `async_task` returns the receiving half, the worker thread holds the
+//! sending half. The receiver parks while waiting, so a deferred consumer
+//! does not burn CPU.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::{self, Thread};
+
+use crate::SpinLock;
+
+const EMPTY: u8 = 0;
+const READY: u8 = 1;
+const TAKEN: u8 = 2;
+/// The sender dropped without sending (e.g. the task panicked).
+const CLOSED: u8 = 3;
+
+#[derive(Debug)]
+struct Shared<T> {
+    state: AtomicU8,
+    slot: UnsafeCell<MaybeUninit<T>>,
+    /// Receiver thread to unpark when the value (or closure) arrives.
+    waiter: SpinLock<Option<Thread>>,
+}
+
+// SAFETY: the state machine guarantees exclusive slot access: only the sender
+// writes (in EMPTY), only the receiver reads (after observing READY).
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// Error returned by [`Receiver::recv`] when the sender dropped without
+/// sending a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "one-shot sender dropped without sending")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Sending half of a one-shot channel. Consumed by [`send`](Sender::send).
+#[derive(Debug)]
+pub struct Sender<T> {
+    /// `None` only after a successful `send` (so Drop can tell "sent" from
+    /// "dropped unsent").
+    shared: Option<Arc<Shared<T>>>,
+}
+
+/// Receiving half of a one-shot channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a connected one-shot channel.
+///
+/// # Examples
+///
+/// ```
+/// let (tx, rx) = tpm_sync::oneshot::channel();
+/// std::thread::spawn(move || tx.send(123));
+/// assert_eq!(rx.recv(), Ok(123));
+/// ```
+pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: AtomicU8::new(EMPTY),
+        slot: UnsafeCell::new(MaybeUninit::uninit()),
+        waiter: SpinLock::new(None),
+    });
+    (
+        Sender {
+            shared: Some(Arc::clone(&shared)),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T: Send> Sender<T> {
+    /// Delivers `value` and wakes the receiver. Consumes the sender, so a
+    /// second send is impossible by construction.
+    pub fn send(mut self, value: T) {
+        let shared = self.shared.take().expect("sender used twice");
+        // SAFETY: state is EMPTY (we are the only sender, and we exist), so
+        // the receiver is not reading the slot.
+        unsafe { (*shared.slot.get()).write(value) };
+        shared.state.store(READY, Ordering::Release);
+        let waiter = shared.waiter.lock().take();
+        if let Some(t) = waiter {
+            t.unpark();
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // Reached only when `send` never ran (send takes the Arc out).
+        if let Some(shared) = self.shared.take() {
+            shared.state.store(CLOSED, Ordering::Release);
+            let waiter = shared.waiter.lock().take();
+            if let Some(t) = waiter {
+                t.unpark();
+            }
+        }
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Blocks (parking) until the value arrives; returns `Err(RecvError)` if
+    /// the sender dropped without sending.
+    pub fn recv(self) -> Result<T, RecvError> {
+        loop {
+            match self.shared.state.load(Ordering::Acquire) {
+                READY => {
+                    self.shared.state.store(TAKEN, Ordering::Relaxed);
+                    // SAFETY: READY observed with Acquire; sender wrote the
+                    // slot before its Release store and will never touch it
+                    // again.
+                    return Ok(unsafe { (*self.shared.slot.get()).assume_init_read() });
+                }
+                CLOSED => return Err(RecvError),
+                _ => {
+                    // Register, then re-check to avoid a missed wake between
+                    // the check above and parking.
+                    *self.shared.waiter.lock() = Some(thread::current());
+                    if self.shared.state.load(Ordering::Acquire) == EMPTY {
+                        thread::park();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking poll: `Some(value)` once sent, `None` while pending.
+    /// Returns `None` forever after the sender dropped unsent (use
+    /// [`recv`](Self::recv) to distinguish).
+    pub fn try_recv(&self) -> Option<T> {
+        if self.shared.state.load(Ordering::Acquire) == READY {
+            self.shared.state.store(TAKEN, Ordering::Relaxed);
+            // SAFETY: as in `recv`.
+            Some(unsafe { (*self.shared.slot.get()).assume_init_read() })
+        } else {
+            None
+        }
+    }
+
+    /// True once a value is ready (or the channel is closed).
+    pub fn is_ready(&self) -> bool {
+        matches!(
+            self.shared.state.load(Ordering::Acquire),
+            READY | CLOSED | TAKEN
+        )
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // A value that was sent but never received must still be dropped.
+        if *self.state.get_mut() == READY {
+            // SAFETY: READY means the slot holds an initialized value and no
+            // other reference exists (we are in Drop of the only owner).
+            unsafe { self.slot.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn send_then_recv() {
+        let (tx, rx) = channel();
+        tx.send(7u32);
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = channel();
+        let h = thread::spawn(move || rx.recv().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        tx.send("hello");
+        assert_eq!(h.join().unwrap(), "hello");
+    }
+
+    #[test]
+    fn dropped_sender_reports_error() {
+        let (tx, rx) = channel::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_polls() {
+        let (tx, rx) = channel();
+        assert!(rx.try_recv().is_none());
+        assert!(!rx.is_ready());
+        tx.send(1);
+        assert!(rx.is_ready());
+        assert_eq!(rx.try_recv(), Some(1));
+        assert!(rx.try_recv().is_none()); // already taken
+    }
+
+    #[test]
+    fn unreceived_value_is_dropped() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (tx, rx) = channel();
+        tx.send(D);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn many_channels_in_flight() {
+        let handles: Vec<_> = (0..32u64)
+            .map(|i| {
+                let (tx, rx) = channel();
+                let h = thread::spawn(move || tx.send(i * i));
+                (h, rx, i)
+            })
+            .collect();
+        for (h, rx, i) in handles {
+            assert_eq!(rx.recv(), Ok(i * i));
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Reducer "hyperobjects", modeled on Cilk Plus reducers (Table II's
+//! "Reduction" row for Cilk Plus).
+//!
+//! A reducer gives each worker a private *view* of an accumulator, created
+//! lazily from an identity function; views are combined with an associative
+//! operation when the parallel phase finishes. Workers therefore update
+//! without synchronization, and — because views are merged in worker-index
+//! order — the result is deterministic for commutative-associative ops and
+//! reproducible for merely associative ones.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::CachePadded;
+
+struct View<T> {
+    /// Exclusivity flag: set while a thread is inside `with` for this slot.
+    busy: AtomicBool,
+    value: UnsafeCell<Option<T>>,
+}
+
+/// A per-worker reduction accumulator.
+///
+/// `slots` is the maximum number of concurrent workers; each worker uses its
+/// own slot index. Two simultaneous `with` calls on one slot are a caller
+/// bug and panic (rather than racing).
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::Reducer;
+///
+/// let sum = Reducer::new(4, || 0u64, |a, b| a + b);
+/// std::thread::scope(|s| {
+///     for w in 0..4 {
+///         let sum = &sum;
+///         s.spawn(move || {
+///             for i in 0..100 {
+///                 sum.with(w, |acc| *acc += i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(sum.finish(), 4 * (0..100).sum::<u64>());
+/// ```
+pub struct Reducer<T, Id, Op>
+where
+    Id: Fn() -> T,
+    Op: Fn(T, T) -> T,
+{
+    views: Box<[CachePadded<View<T>>]>,
+    identity: Id,
+    combine: Op,
+}
+
+// SAFETY: each view is confined to one worker at a time (enforced by `busy`);
+// `finish` takes `self` by value, so no concurrent access remains.
+unsafe impl<T: Send, Id: Fn() -> T + Sync, Op: Fn(T, T) -> T + Sync> Sync for Reducer<T, Id, Op> {}
+unsafe impl<T: Send, Id: Fn() -> T + Send, Op: Fn(T, T) -> T + Send> Send for Reducer<T, Id, Op> {}
+
+impl<T, Id, Op> Reducer<T, Id, Op>
+where
+    Id: Fn() -> T,
+    Op: Fn(T, T) -> T,
+{
+    /// Creates a reducer with `slots` lazily-initialized views.
+    pub fn new(slots: usize, identity: Id, combine: Op) -> Self {
+        let views = (0..slots.max(1))
+            .map(|_| {
+                CachePadded::new(View {
+                    busy: AtomicBool::new(false),
+                    value: UnsafeCell::new(None),
+                })
+            })
+            .collect();
+        Self {
+            views,
+            identity,
+            combine,
+        }
+    }
+
+    /// Number of view slots.
+    pub fn slots(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Runs `f` with exclusive access to worker `slot`'s view, creating the
+    /// view from the identity on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or already inside `with` on another
+    /// thread (each slot belongs to one worker).
+    pub fn with<R>(&self, slot: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let view = &self.views[slot];
+        assert!(
+            !view.busy.swap(true, Ordering::Acquire),
+            "reducer slot {slot} used concurrently"
+        );
+        // SAFETY: the busy flag grants exclusive access to this slot.
+        let result = {
+            let value = unsafe { &mut *view.value.get() };
+            let acc = value.get_or_insert_with(&self.identity);
+            f(acc)
+        };
+        view.busy.store(false, Ordering::Release);
+        result
+    }
+
+    /// Combines all views (in slot order, seeded with the identity) and
+    /// returns the reduction.
+    pub fn finish(self) -> T {
+        let mut acc = (self.identity)();
+        for view in self.views.into_vec() {
+            let view = view.into_inner();
+            if let Some(v) = view.value.into_inner() {
+                acc = (self.combine)(acc, v);
+            }
+        }
+        acc
+    }
+}
+
+impl<T, Id, Op> std::fmt::Debug for Reducer<T, Id, Op>
+where
+    Id: Fn() -> T,
+    Op: Fn(T, T) -> T,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reducer")
+            .field("slots", &self.views.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_sum() {
+        let r = Reducer::new(1, || 0u32, |a, b| a + b);
+        for i in 1..=10 {
+            r.with(0, |acc| *acc += i);
+        }
+        assert_eq!(r.finish(), 55);
+    }
+
+    #[test]
+    fn unused_slots_contribute_identity() {
+        let r = Reducer::new(8, || 1u32, |a, b| a * b);
+        r.with(3, |acc| *acc *= 7);
+        assert_eq!(r.finish(), 7);
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        const W: usize = 8;
+        const PER: u64 = 10_000;
+        let r = Reducer::new(W, || 0u64, |a, b| a + b);
+        std::thread::scope(|s| {
+            for w in 0..W {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        r.with(w, |acc| *acc += i);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.finish(), W as u64 * (0..PER).sum::<u64>());
+    }
+
+    #[test]
+    fn merge_order_is_slot_order() {
+        // Use a non-commutative combine (string concat) to observe order.
+        let r = Reducer::new(3, String::new, |a, b| a + &b);
+        r.with(2, |s| s.push('c'));
+        r.with(0, |s| s.push('a'));
+        r.with(1, |s| s.push('b'));
+        assert_eq!(r.finish(), "abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "used concurrently")]
+    fn reentrant_use_panics() {
+        let r = Reducer::new(1, || 0, |a, b| a + b);
+        r.with(0, |_| {
+            r.with(0, |_| {});
+        });
+    }
+
+    #[test]
+    fn non_copy_values() {
+        let r = Reducer::new(2, Vec::new, |mut a, b| {
+            a.extend(b);
+            a
+        });
+        r.with(0, |v| v.push(1));
+        r.with(1, |v| v.push(2));
+        r.with(0, |v| v.push(3));
+        assert_eq!(r.finish(), vec![1, 3, 2]);
+    }
+}

@@ -1,0 +1,203 @@
+//! A reentrant (recursive) mutex — OpenMP's `omp_nest_lock_t` from the
+//! paper's Table III row on mutual exclusion.
+//!
+//! The owning thread may re-acquire any number of times; the lock releases
+//! when the count returns to zero. Because re-entrancy precludes handing out
+//! `&mut` (two live guards on one thread would alias), the guard only derefs
+//! to `&T`; use interior mutability inside, exactly like
+//! `std::sync::ReentrantLock`.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Backoff;
+
+/// Owner encoding: 0 = unowned, otherwise a nonzero per-thread id.
+fn current_thread_id() -> u64 {
+    use std::sync::atomic::AtomicU64 as A;
+    static NEXT: A = A::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+/// A reentrant mutual-exclusion lock (`omp_nest_lock_t`).
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::ReentrantLock;
+/// use std::cell::Cell;
+///
+/// let lock = ReentrantLock::new(Cell::new(0));
+/// let g1 = lock.lock();
+/// let g2 = lock.lock(); // same thread: re-entry succeeds
+/// g2.set(g2.get() + 1);
+/// drop(g2);
+/// g1.set(g1.get() + 1);
+/// drop(g1);
+/// assert_eq!(lock.lock().get(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ReentrantLock<T: ?Sized> {
+    owner: AtomicU64,
+    /// Recursion depth; only touched by the owner.
+    count: UnsafeCell<u64>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: exclusion between threads is by `owner`; `count` is owner-only.
+// `T: Sync` is NOT needed: all `&T` references live on the single owning
+// thread (guards alias only within that thread), so `T: Send` suffices —
+// the same bound `std::sync::ReentrantLock` uses.
+unsafe impl<T: ?Sized + Send> Sync for ReentrantLock<T> {}
+unsafe impl<T: ?Sized + Send> Send for ReentrantLock<T> {}
+
+/// RAII guard; decrements the recursion count on drop.
+#[must_use = "dropping the guard releases one level of the lock"]
+pub struct ReentrantGuard<'a, T: ?Sized> {
+    lock: &'a ReentrantLock<T>,
+}
+
+impl<T> ReentrantLock<T> {
+    /// Creates an unlocked reentrant lock.
+    pub const fn new(data: T) -> Self {
+        Self {
+            owner: AtomicU64::new(0),
+            count: UnsafeCell::new(0),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> ReentrantLock<T> {
+    /// Acquires the lock (re-entering if this thread already owns it).
+    pub fn lock(&self) -> ReentrantGuard<'_, T> {
+        let me = current_thread_id();
+        if self.owner.load(Ordering::Relaxed) == me {
+            // Re-entry: we already own it; count is ours to touch.
+            // SAFETY: owner-only access.
+            unsafe { *self.count.get() += 1 };
+            return ReentrantGuard { lock: self };
+        }
+        let backoff = Backoff::new();
+        while self
+            .owner
+            .compare_exchange_weak(0, me, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff.snooze();
+        }
+        // SAFETY: just became owner.
+        unsafe { *self.count.get() = 1 };
+        ReentrantGuard { lock: self }
+    }
+
+    /// Attempts the lock without blocking (still succeeds on re-entry).
+    pub fn try_lock(&self) -> Option<ReentrantGuard<'_, T>> {
+        let me = current_thread_id();
+        if self.owner.load(Ordering::Relaxed) == me {
+            // SAFETY: owner-only access.
+            unsafe { *self.count.get() += 1 };
+            return Some(ReentrantGuard { lock: self });
+        }
+        if self
+            .owner
+            .compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: just became owner.
+            unsafe { *self.count.get() = 1 };
+            Some(ReentrantGuard { lock: self })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for ReentrantGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: this thread owns the lock; shared access only (see type
+        // docs for why no `&mut`).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for ReentrantGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: owner-only access.
+        unsafe {
+            let c = self.lock.count.get();
+            *c -= 1;
+            if *c == 0 {
+                self.lock.owner.store(0, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn reentry_on_same_thread() {
+        let l = ReentrantLock::new(Cell::new(0));
+        let g1 = l.lock();
+        let g2 = l.lock();
+        let g3 = l.try_lock().expect("reentry via try_lock");
+        g3.set(3);
+        drop(g3);
+        drop(g2);
+        assert_eq!(g1.get(), 3);
+    }
+
+    #[test]
+    fn excludes_other_threads_until_fully_released() {
+        let l = std::sync::Arc::new(ReentrantLock::new(()));
+        let g1 = l.lock();
+        let g2 = l.lock();
+        let l2 = std::sync::Arc::clone(&l);
+        let h = std::thread::spawn(move || l2.try_lock().is_none());
+        assert!(h.join().unwrap(), "other thread must be excluded");
+        drop(g2);
+        let l3 = std::sync::Arc::clone(&l);
+        let h = std::thread::spawn(move || l3.try_lock().is_none());
+        assert!(h.join().unwrap(), "still excluded at depth 1");
+        drop(g1);
+        let l4 = std::sync::Arc::clone(&l);
+        let h = std::thread::spawn(move || l4.try_lock().is_some());
+        assert!(h.join().unwrap(), "released at depth 0");
+    }
+
+    #[test]
+    fn contended_counting_via_cell() {
+        let l = std::sync::Arc::new(ReentrantLock::new(Cell::new(0u64)));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = std::sync::Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    let g = l.lock();
+                    let inner = l.lock(); // nested acquire inside the outer
+                    inner.set(inner.get() + 1);
+                    drop(inner);
+                    drop(g);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.lock().get(), 20_000);
+    }
+}

@@ -1,0 +1,154 @@
+//! Small deterministic PRNGs.
+//!
+//! Work-stealing victim selection needs a fast thread-local generator with no
+//! allocation and no global state; the simulator and workload generators need
+//! reproducible streams. Both are served by SplitMix64 (seeding / simulator)
+//! and XorShift64* (hot-path victim selection), which are the generators used
+//! by most work-stealing runtimes in practice.
+
+/// SplitMix64: a tiny, high-quality 64-bit generator.
+///
+/// Passes BigCrush when used as a stream; its main role here is seeding
+/// [`XorShift64Star`] streams and driving the deterministic simulator.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. All seeds are valid.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses the widening-multiply technique (Lemire); bias is negligible for
+    /// the bounds used here (worker counts, workload sizes).
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// XorShift64*: three shifts and a multiply — the classic cheap generator for
+/// randomized victim selection in work-stealing schedulers.
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator; a zero seed is remapped (XorShift requires a
+    /// nonzero state).
+    pub fn new(seed: u64) -> Self {
+        // Run the seed through SplitMix64 so that consecutive small seeds
+        // (worker indices) produce uncorrelated streams.
+        let mut sm = SplitMix64::new(seed);
+        let mut state = sm.next_u64();
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { state }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn next_bounded(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_varies() {
+        let mut r = SplitMix64::new(1);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
+        let mut r2 = SplitMix64::new(1);
+        assert_eq!(r2.next_u64(), a);
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_bounded(13) < 13);
+        }
+        let mut x = XorShift64Star::new(7);
+        for _ in 0..10_000 {
+            assert!(x.next_bounded(5) < 5);
+        }
+    }
+
+    #[test]
+    fn bounded_hits_every_residue() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[r.next_bounded(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_valid_for_xorshift() {
+        let mut x = XorShift64Star::new(0);
+        assert_ne!(x.next_u64(), 0);
+    }
+
+    #[test]
+    fn distinct_worker_seeds_give_distinct_streams() {
+        let mut a = XorShift64Star::new(0);
+        let mut b = XorShift64Star::new(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! A reader-writer lock built from one atomic (Chapter 9 of *Rust Atomics
+//! and Locks*), with writer preference to avoid writer starvation.
+//!
+//! State encoding: `0` = free, `u32::MAX` = write-locked, otherwise the
+//! reader count. A separate `writers_waiting` counter makes new readers back
+//! off while a writer queues.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::Backoff;
+
+const WRITE_LOCKED: u32 = u32::MAX;
+
+/// A reader-writer lock: many readers or one writer.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::RwLock;
+///
+/// let lock = RwLock::new(5);
+/// {
+///     let a = lock.read();
+///     let b = lock.read(); // concurrent readers are fine
+///     assert_eq!(*a + *b, 10);
+/// }
+/// *lock.write() += 1;
+/// assert_eq!(*lock.read(), 6);
+/// ```
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    state: AtomicU32,
+    writers_waiting: AtomicU32,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard reader-writer exclusion discipline.
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+
+/// Shared read guard.
+#[must_use = "dropping the guard releases the read lock"]
+pub struct ReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+/// Exclusive write guard.
+#[must_use = "dropping the guard releases the write lock"]
+pub struct WriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates an unlocked lock.
+    pub const fn new(data: T) -> Self {
+        Self {
+            state: AtomicU32::new(0),
+            writers_waiting: AtomicU32::new(0),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock. Readers defer to queued writers.
+    pub fn read(&self) -> ReadGuard<'_, T> {
+        let backoff = Backoff::new();
+        loop {
+            // Writer preference: don't join while a writer is waiting.
+            if self.writers_waiting.load(Ordering::Relaxed) == 0 {
+                let s = self.state.load(Ordering::Relaxed);
+                if s != WRITE_LOCKED
+                    && s < WRITE_LOCKED - 1
+                    && self
+                        .state
+                        .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return ReadGuard { lock: self };
+                }
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Attempts a shared read lock without blocking.
+    pub fn try_read(&self) -> Option<ReadGuard<'_, T>> {
+        let s = self.state.load(Ordering::Relaxed);
+        if s != WRITE_LOCKED
+            && self
+                .state
+                .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            Some(ReadGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Acquires the exclusive write lock.
+    pub fn write(&self) -> WriteGuard<'_, T> {
+        self.writers_waiting.fetch_add(1, Ordering::Relaxed);
+        let backoff = Backoff::new();
+        loop {
+            if self
+                .state
+                .compare_exchange_weak(0, WRITE_LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.writers_waiting.fetch_sub(1, Ordering::Relaxed);
+                return WriteGuard { lock: self };
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Attempts the write lock without blocking.
+    pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
+        if self
+            .state
+            .compare_exchange(0, WRITE_LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(WriteGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access without locking (`&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: ?Sized> Deref for ReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: read guard ⇒ no writer.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for ReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized> Deref for WriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: write guard ⇒ exclusive.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for WriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for WriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let l = RwLock::new(1);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert!(l.try_write().is_none());
+        drop((r1, r2));
+        let w = l.write();
+        assert!(l.try_read().is_none());
+        drop(w);
+        assert!(l.try_read().is_some());
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_are_consistent() {
+        // Writers keep the pair (a, 2a); readers must never observe a torn
+        // pair.
+        let l = std::sync::Arc::new(RwLock::new((0u64, 0u64)));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let l = std::sync::Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let mut g = l.write();
+                    g.0 = i;
+                    g.1 = 2 * i;
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let l = std::sync::Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let g = l.read();
+                    assert_eq!(g.1, 2 * g.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn writers_are_not_starved() {
+        use std::sync::atomic::AtomicBool;
+        let l = std::sync::Arc::new(RwLock::new(0u32));
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let l = std::sync::Arc::clone(&l);
+            let done = std::sync::Arc::clone(&done);
+            readers.push(std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let _ = *l.read();
+                }
+            }));
+        }
+        // The writer must get in despite the reader churn.
+        {
+            let mut g = l.write();
+            *g = 42;
+        }
+        done.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 42);
+    }
+
+    #[test]
+    fn get_mut_and_into_inner() {
+        let mut l = RwLock::new(3);
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 4);
+    }
+}

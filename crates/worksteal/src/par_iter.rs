@@ -1,0 +1,136 @@
+//! Slice-level data-parallel conveniences over the work-stealing scheduler.
+
+use std::mem::MaybeUninit;
+
+use crate::join::join;
+use crate::par_for::{par_for, Grain};
+use crate::runtime::WorkerCtx;
+
+/// Three-way fork-join (nested [`join`]s).
+pub fn join3<RA, RB, RC, A, B, C>(ctx: &WorkerCtx<'_>, a: A, b: B, c: C) -> (RA, RB, RC)
+where
+    RA: Send,
+    RB: Send,
+    RC: Send,
+    A: FnOnce(&WorkerCtx<'_>) -> RA + Send,
+    B: FnOnce(&WorkerCtx<'_>) -> RB + Send,
+    C: FnOnce(&WorkerCtx<'_>) -> RC + Send,
+{
+    let (ra, (rb, rc)) = join(ctx, a, move |ctx| join(ctx, b, c));
+    (ra, rb, rc)
+}
+
+/// Parallel map: applies `f` to every element of `items`, returning the
+/// results in order. Work is distributed by recursive splitting (`cilk_for`
+/// style).
+///
+/// If `f` panics, the panic propagates and already-computed results are
+/// leaked (not dropped) — prefer panic-free `f`.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_worksteal::{par_map, Grain, Runtime};
+///
+/// let rt = Runtime::new(4);
+/// let squares = rt.install(|ctx| par_map(ctx, &[1, 2, 3, 4], Grain::Auto, |&x| x * x));
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(ctx: &WorkerCtx<'_>, items: &[T], grain: Grain, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit needs no initialization; length set before writes
+    // so indexes are in-bounds. Every slot is written exactly once below.
+    unsafe { out.set_len(n) };
+    {
+        let out_ptr = SendSlice(out.as_mut_ptr());
+        par_for(ctx, 0..n, grain, &move |chunk: std::ops::Range<usize>| {
+            let out_ptr = out_ptr;
+            for i in chunk {
+                // SAFETY: disjoint chunks ⇒ each slot written once, no reads.
+                unsafe { out_ptr.0.add(i).write(MaybeUninit::new(f(&items[i]))) };
+            }
+        });
+    }
+    // SAFETY: par_for returned without panicking ⇒ all n slots initialized.
+    unsafe {
+        let mut out = std::mem::ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr() as *mut R, n, out.capacity())
+    }
+}
+
+/// Raw pointer wrapper so the chunk closure is `Send`/`Sync`; disjointness
+/// is guaranteed by the chunking.
+struct SendSlice<R>(*mut MaybeUninit<R>);
+impl<R> Clone for SendSlice<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for SendSlice<R> {}
+// SAFETY: see type docs.
+unsafe impl<R: Send> Send for SendSlice<R> {}
+unsafe impl<R: Send> Sync for SendSlice<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn join3_returns_all() {
+        let rt = Runtime::new(3);
+        let (a, b, c) = rt.install(|ctx| join3(ctx, |_| 1, |_| "two", |_| 3.0));
+        assert_eq!((a, b, c), (1, "two", 3.0));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let rt = Runtime::new(4);
+        let input: Vec<u64> = (0..5_000).collect();
+        let out = rt.install(|ctx| par_map(ctx, &input, Grain::Fixed(64), |&x| x * 2 + 1));
+        assert_eq!(out, input.iter().map(|&x| x * 2 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let rt = Runtime::new(2);
+        let empty: Vec<u32> = rt.install(|ctx| par_map(ctx, &[], Grain::Auto, |x: &u32| *x));
+        assert!(empty.is_empty());
+        let one = rt.install(|ctx| par_map(ctx, &[7], Grain::Auto, |x| x + 1));
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn par_map_non_copy_results() {
+        let rt = Runtime::new(2);
+        let out = rt.install(|ctx| {
+            par_map(ctx, &[1, 2, 3], Grain::Fixed(1), |&x| format!("v{x}"))
+        });
+        assert_eq!(out, vec!["v1", "v2", "v3"]);
+    }
+
+    #[test]
+    fn par_map_drops_results_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D(#[allow(dead_code)] usize);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let rt = Runtime::new(2);
+        let input: Vec<usize> = (0..100).collect();
+        let out = rt.install(|ctx| par_map(ctx, &input, Grain::Fixed(8), |&x| D(x)));
+        assert_eq!(out.len(), 100);
+        drop(out);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 100);
+    }
+}

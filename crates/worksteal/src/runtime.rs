@@ -1,0 +1,382 @@
+//! The randomized work-stealing runtime (the Cilk Plus analogue).
+//!
+//! Per the paper (§III-B): "each worker thread has a double-ended queue
+//! (deque) to keep list of the tasks. The work-stealing scheduler of a worker
+//! pushes and pops tasks from one end of the queue and a thief worker steals
+//! tasks from the other end". Here the deque is the lock-free Chase–Lev
+//! implementation from `tpm-sync` (contrast with `tpm-forkjoin`'s lock-based
+//! task deques), victims are chosen uniformly at random, and idle workers
+//! back off to timed parking so an idle runtime consumes no CPU.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, Thread};
+use std::time::Duration;
+
+use tpm_sync::chase_lev::{self, Steal, Stealer, Worker};
+use tpm_sync::{Backoff, CachePadded, LockedDeque, SchedulerStats};
+
+use crate::job::{JobRef, StackJob};
+
+/// Initial deque capacity per worker.
+const DEQUE_CAPACITY: usize = 256;
+/// Idle scan rounds before a worker starts timed parking.
+const IDLE_ROUNDS_BEFORE_PARK: u32 = 64;
+/// Timed-park duration while idle (bounds wakeup latency without requiring a
+/// loss-free wakeup protocol).
+const PARK_INTERVAL: Duration = Duration::from_micros(200);
+
+/// A work-stealing runtime with a fixed set of worker threads.
+///
+/// External threads submit work with [`install`](Runtime::install); inside,
+/// code composes with [`join`](crate::join), [`scope`](crate::scope) and
+/// [`par_for`](crate::par_for).
+///
+/// # Examples
+///
+/// ```
+/// use tpm_worksteal::Runtime;
+///
+/// let rt = Runtime::new(4);
+/// let sum = rt.install(|ctx| {
+///     let (a, b) = tpm_worksteal::join(
+///         ctx,
+///         |_| (0..500u64).sum::<u64>(),
+///         |_| (500..1000u64).sum::<u64>(),
+///     );
+///     a + b
+/// });
+/// assert_eq!(sum, (0..1000).sum());
+/// ```
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+pub(crate) struct RuntimeInner {
+    pub(crate) stealers: Vec<Stealer<JobRef>>,
+    pub(crate) injector: LockedDeque<JobRef>,
+    shutdown: AtomicBool,
+    /// Number of workers currently in timed park (hint for pushers).
+    sleepers: AtomicUsize,
+    asleep: Vec<CachePadded<AtomicBool>>,
+    /// Worker thread handles for targeted unparking (filled at construction).
+    threads: tpm_sync::SpinLock<Vec<Thread>>,
+    pub(crate) stats: SchedulerStats,
+}
+
+impl Runtime {
+    /// Creates a runtime with `num_workers` worker threads.
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers >= 1, "runtime needs at least one worker");
+        let mut workers = Vec::with_capacity(num_workers);
+        let mut stealers = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            let (w, s) = chase_lev::deque(DEQUE_CAPACITY);
+            workers.push(w);
+            stealers.push(s);
+        }
+        let inner = Arc::new(RuntimeInner {
+            stealers,
+            injector: LockedDeque::new(),
+            shutdown: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            asleep: (0..num_workers)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            threads: tpm_sync::SpinLock::new(Vec::new()),
+            stats: SchedulerStats::new(num_workers),
+        });
+        let handles: Vec<JoinHandle<()>> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("tpm-worksteal-{index}"))
+                    .spawn(move || worker_loop(&inner, index, deque))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        *inner.threads.lock() = handles.iter().map(|h| h.thread().clone()).collect();
+        Self { inner, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.inner.stealers.len()
+    }
+
+    /// Scheduler event counters.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.inner.stats
+    }
+
+    /// Runs `f` on a worker thread, blocking the calling (external) thread
+    /// until it — and everything it joined/spawned-and-waited — completes.
+    /// Panics inside are re-raised here.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&WorkerCtx<'_>) -> R + Send,
+    {
+        let job = StackJob::new(f);
+        // SAFETY: we block on the latch below, so the stack frame outlives
+        // the job; the JobRef is queued exactly once.
+        unsafe {
+            self.inner.inject(job.as_job_ref());
+        }
+        job.latch.wait();
+        job.take_result()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for t in self.inner.threads.lock().iter() {
+            t.unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("num_workers", &self.num_workers())
+            .finish()
+    }
+}
+
+impl RuntimeInner {
+    /// Queues an external job and wakes a sleeping worker if any.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.push_bottom(job);
+        self.wake_one();
+    }
+
+    /// Wakes one timed-parked worker (cheap no-op when none sleep).
+    pub(crate) fn wake_one(&self) {
+        if self.sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        for (i, flag) in self.asleep.iter().enumerate() {
+            if flag.swap(false, Ordering::AcqRel) {
+                self.sleepers.fetch_sub(1, Ordering::Relaxed);
+                if let Some(t) = self.threads.lock().get(i) {
+                    t.unpark();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// The per-worker execution context, passed to every job. All scheduling
+/// operations ([`crate::join`], [`crate::scope`], [`crate::par_for`]) take it
+/// as their first argument — it identifies the deque to push to.
+pub struct WorkerCtx<'w> {
+    rt: &'w RuntimeInner,
+    index: usize,
+    deque: &'w Worker<JobRef>,
+    rng: Cell<u64>,
+}
+
+impl<'w> WorkerCtx<'w> {
+    /// This worker's index in `0..num_workers`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of workers in the runtime.
+    pub fn num_workers(&self) -> usize {
+        self.rt.stealers.len()
+    }
+
+    pub(crate) fn stats(&self) -> &tpm_sync::WorkerStats {
+        self.rt.stats.worker(self.index)
+    }
+
+    /// Pushes a job onto this worker's deque (it becomes stealable).
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job);
+        self.stats().spawned.inc();
+        self.rt.wake_one();
+    }
+
+    /// Pops this worker's newest job, if any.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.deque.pop()
+    }
+
+    fn next_victim(&self) -> usize {
+        let mut x = self.rng.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng.set(x);
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % self.rt.stealers.len()
+    }
+
+    /// One round of randomized stealing (plus the injector). `None` if
+    /// nothing was found.
+    pub(crate) fn steal_work(&self) -> Option<JobRef> {
+        let n = self.rt.stealers.len();
+        for _ in 0..(2 * n) {
+            let v = self.next_victim();
+            if v == self.index {
+                continue;
+            }
+            loop {
+                match self.rt.stealers[v].steal() {
+                    Steal::Success(job) => {
+                        self.stats().steals.inc();
+                        return Some(job);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+            self.stats().failed_steals.inc();
+        }
+        self.rt.injector.steal_top()
+    }
+
+    /// Executes `job`, counting it.
+    pub(crate) fn execute(&self, job: JobRef) {
+        self.stats().executed.inc();
+        job.execute(self);
+    }
+
+    /// Works (pop own, then steal) until `probe()` turns true — the heart of
+    /// every blocking point (`join`, scope wait).
+    pub(crate) fn wait_until(&self, probe: impl Fn() -> bool) {
+        let backoff = Backoff::new();
+        while !probe() {
+            if let Some(job) = self.pop().or_else(|| self.steal_work()) {
+                self.execute(job);
+                backoff.reset();
+            } else {
+                backoff.snooze();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerCtx")
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+fn worker_loop(inner: &RuntimeInner, index: usize, deque: Worker<JobRef>) {
+    let ctx = WorkerCtx {
+        rt: inner,
+        index,
+        deque: &deque,
+        rng: Cell::new(0x853C_49E6_748F_EA9B ^ ((index as u64 + 1) << 17)),
+    };
+    let mut idle_rounds = 0u32;
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(job) = ctx.pop().or_else(|| ctx.steal_work()) {
+            ctx.execute(job);
+            idle_rounds = 0;
+            continue;
+        }
+        idle_rounds += 1;
+        if idle_rounds < IDLE_ROUNDS_BEFORE_PARK {
+            std::thread::yield_now();
+        } else {
+            // Timed park: flag ourselves asleep so pushers can unpark us;
+            // the timeout bounds the cost of any lost wakeup.
+            inner.asleep[index].store(true, Ordering::Release);
+            inner.sleepers.fetch_add(1, Ordering::Relaxed);
+            std::thread::park_timeout(PARK_INTERVAL);
+            if inner.asleep[index].swap(false, Ordering::AcqRel) {
+                inner.sleepers.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Runs `f` with panic containment, recording any payload into `slot` (first
+/// panic wins). Shared by the scope machinery.
+pub(crate) fn harness_panic(
+    slot: &tpm_sync::SpinLock<Option<Box<dyn std::any::Any + Send>>>,
+    f: impl FnOnce(),
+) {
+    if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+        let mut guard = slot.lock();
+        if guard.is_none() {
+            *guard = Some(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_runs_on_a_worker_and_returns() {
+        let rt = Runtime::new(2);
+        let r = rt.install(|ctx| {
+            assert!(ctx.index() < 2);
+            assert_eq!(ctx.num_workers(), 2);
+            21 * 2
+        });
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn install_is_reusable() {
+        let rt = Runtime::new(3);
+        for i in 0..100u64 {
+            assert_eq!(rt.install(move |_| i + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn install_propagates_panics() {
+        let rt = Runtime::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.install(|_| panic!("install boom"));
+        }));
+        assert!(r.is_err());
+        // Runtime still alive.
+        assert_eq!(rt.install(|_| 5), 5);
+    }
+
+    #[test]
+    fn single_worker_runtime_works() {
+        let rt = Runtime::new(1);
+        assert_eq!(rt.install(|_| "ok"), "ok");
+    }
+
+    #[test]
+    fn drop_terminates_workers() {
+        let rt = Runtime::new(4);
+        rt.install(|_| ());
+        drop(rt); // must not hang
+    }
+
+    #[test]
+    fn stats_count_installed_jobs() {
+        let rt = Runtime::new(2);
+        rt.stats().reset();
+        for _ in 0..10 {
+            rt.install(|_| ());
+        }
+        assert_eq!(rt.stats().snapshot().executed, 10);
+    }
+}

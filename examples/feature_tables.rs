@@ -1,0 +1,37 @@
+//! Regenerates the paper's Tables I–III (the feature matrices for eight
+//! threading APIs) and demonstrates the queryable form.
+//!
+//! ```sh
+//! cargo run --example feature_tables
+//! ```
+
+use threadcmp::features::{memory_sync, parallelism, table1, table2, table3, Api};
+
+fn main() {
+    println!("{}", table1());
+    println!("{}", table2());
+    println!("{}", table3());
+
+    // The tables are data, not prose — they can be queried:
+    println!("Derived facts (paper §III-A):");
+    let omp = parallelism(Api::OpenMp);
+    println!(
+        "- OpenMP covers all four parallelism patterns: {}",
+        omp.data.supported() && omp.task.supported() && omp.event.supported() && omp.offload.supported()
+    );
+    let apis_with_barrier: Vec<&str> = Api::ALL
+        .iter()
+        .filter(|a| memory_sync(**a).barrier.supported())
+        .map(|a| a.name())
+        .collect();
+    println!("- APIs with a barrier construct: {}", apis_with_barrier.join(", "));
+    let task_only: Vec<&str> = Api::ALL
+        .iter()
+        .filter(|a| {
+            let p = parallelism(**a);
+            p.task.supported() && !p.data.supported()
+        })
+        .map(|a| a.name())
+        .collect();
+    println!("- Task/thread-only APIs (no data-parallel construct): {}", task_only.join(", "));
+}

@@ -1,0 +1,48 @@
+//! Regenerates all ten paper figures on the simulated 36-core testbed and
+//! checks each against the paper's qualitative claims.
+//!
+//! ```sh
+//! cargo run --release --example paper_figures [fig_no]
+//! ```
+
+use threadcmp::harness::experiments::{self, check_claims};
+
+fn main() {
+    let only: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let figs: [(usize, fn() -> threadcmp::Figure); 10] = [
+        (1, experiments::fig1_axpy),
+        (2, experiments::fig2_sum),
+        (3, experiments::fig3_matvec),
+        (4, experiments::fig4_matmul),
+        (5, experiments::fig5_fib),
+        (6, experiments::fig6_bfs),
+        (7, experiments::fig7_hotspot),
+        (8, experiments::fig8_lud),
+        (9, experiments::fig9_lavamd),
+        (10, experiments::fig10_srad),
+    ];
+    let mut violations_total = 0;
+    for (no, f) in figs {
+        if let Some(o) = only {
+            if o != no {
+                continue;
+            }
+        }
+        let fig = f();
+        println!("{}", fig.to_table());
+        let violations = check_claims(no, &fig);
+        if violations.is_empty() {
+            println!("[check] Fig.{no}: all paper claims reproduced\n");
+        } else {
+            violations_total += violations.len();
+            for v in &violations {
+                println!("[check] {v}");
+            }
+            println!();
+        }
+    }
+    if violations_total > 0 {
+        eprintln!("{violations_total} claim violation(s)");
+        std::process::exit(1);
+    }
+}

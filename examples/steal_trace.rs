@@ -1,0 +1,52 @@
+//! Visualizes *why* `cilk_for` loses on data-parallel loops: an ASCII Gantt
+//! chart of the simulated work-stealing execution, showing the serialized
+//! steal ramp that distributes loop chunks (the paper's §IV-A explanation),
+//! next to the same loop under static worksharing.
+//!
+//! ```sh
+//! cargo run --release --example steal_trace [threads]
+//! ```
+
+use threadcmp::sim::{Activity, LoopPolicy, LoopWorkload, Simulator};
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let sim = Simulator::paper_testbed();
+    // A moderately fine-grained uniform loop (Axpy-like shape, scaled down
+    // so the chart resolves individual chunks).
+    let wl = LoopWorkload::uniform(200_000, 0.5).with_bytes(24.0);
+
+    let (ws, trace) = sim.trace_worksteal_split(&wl, threads, 0);
+    println!(
+        "cilk_for on {threads} simulated threads: makespan {:.3} ms, {} steals, {} failed attempts\n",
+        ws.makespan_ns / 1e6,
+        ws.steals,
+        ws.failed_steals
+    );
+    println!("{}", trace.gantt(100));
+
+    for w in 0..threads.min(4) {
+        println!(
+            "  w{w}: work {:.3} ms, steal {:.3} ms, idle {:.3} ms",
+            trace.worker_total(w, Activity::Work) / 1e6,
+            trace.worker_total(w, Activity::Steal) / 1e6,
+            trace.worker_total(w, Activity::Idle) / 1e6,
+        );
+    }
+
+    let st = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, threads);
+    println!(
+        "\nomp_for (static worksharing), same loop: makespan {:.3} ms, 0 steals",
+        st.makespan_ns / 1e6
+    );
+    println!(
+        "cilk_for / omp_for = {:.2}x — chunks reach idle workers only through\n\
+         the (per-victim serialized) steal path, and stolen chunks lose\n\
+         streaming locality; static worksharing computes its assignment\n\
+         locally for free.",
+        ws.makespan_ns / st.makespan_ns
+    );
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration: every kernel and every Rodinia application must
+//! produce the sequential reference result under all six model variants,
+//! through the public `threadcmp` API.
+
+use threadcmp::kernels::{util::max_abs_diff, Axpy, Fib, Matmul, Matvec, Sum};
+use threadcmp::rodinia::{Bfs, HotSpot, LavaMd, Lud, Srad};
+use threadcmp::{Executor, Model};
+
+#[test]
+fn axpy_all_models_multiple_thread_counts() {
+    let k = Axpy::native(4_321);
+    let (x, y0) = k.alloc();
+    let mut expected = y0.clone();
+    k.seq(&x, &mut expected);
+    for threads in [1, 2, 5] {
+        let exec = Executor::new(threads);
+        for model in Model::ALL {
+            let mut y = y0.clone();
+            k.run(&exec, model, &x, &mut y);
+            assert!(max_abs_diff(&y, &expected) < 1e-12, "{model} @{threads}t");
+        }
+    }
+}
+
+#[test]
+fn sum_all_models() {
+    let k = Sum::native(12_345);
+    let x = k.alloc();
+    let expected = k.seq(&x);
+    let exec = Executor::new(4);
+    for model in Model::ALL {
+        let got = k.run(&exec, model, &x);
+        assert!((got - expected).abs() / expected.abs() < 1e-10, "{model}");
+    }
+}
+
+#[test]
+fn matvec_and_matmul_all_models() {
+    let exec = Executor::new(3);
+    let mv = Matvec::native(64);
+    let (a, x) = mv.alloc();
+    let expected = mv.seq(&a, &x);
+    for model in Model::ALL {
+        assert!(
+            max_abs_diff(&mv.run(&exec, model, &a, &x), &expected) < 1e-9,
+            "matvec {model}"
+        );
+    }
+    let mm = Matmul::native(24);
+    let (a, b) = mm.alloc();
+    let expected = mm.seq(&a, &b);
+    for model in Model::ALL {
+        assert!(
+            max_abs_diff(&mm.run(&exec, model, &a, &b), &expected) < 1e-9,
+            "matmul {model}"
+        );
+    }
+}
+
+#[test]
+fn fib_task_variants() {
+    let k = Fib::native(20);
+    let expected = Fib::seq(20);
+    let exec = Executor::new(3);
+    assert_eq!(k.run_omp_task(exec.team()), expected);
+    assert_eq!(k.run_cilk_spawn(exec.worksteal()), expected);
+    assert_eq!(k.run_cxx_async(), expected);
+}
+
+#[test]
+fn bfs_all_models() {
+    let b = Bfs::native(1_500);
+    let g = b.generate();
+    let expected = b.seq(&g);
+    let exec = Executor::new(3);
+    for model in Model::ALL {
+        let (got, _) = b.run(&exec, model, &g);
+        assert_eq!(got, expected, "{model}");
+    }
+}
+
+#[test]
+fn hotspot_all_models() {
+    let h = HotSpot::native(24, 3);
+    let (t, p) = h.generate();
+    let expected = h.seq(&t, &p);
+    let exec = Executor::new(3);
+    for model in Model::ALL {
+        assert!(
+            max_abs_diff(&h.run(&exec, model, &t, &p), &expected) < 1e-9,
+            "{model}"
+        );
+    }
+}
+
+#[test]
+fn lud_all_models_and_reconstruction() {
+    let l = Lud::native(20);
+    let a = l.generate();
+    let expected = l.seq(&a);
+    let exec = Executor::new(3);
+    for model in Model::ALL {
+        let lu = l.run(&exec, model, &a);
+        assert!(max_abs_diff(&lu, &expected) < 1e-8, "{model}");
+        assert!(max_abs_diff(&l.reconstruct(&lu), &a) < 1e-7, "{model} L*U");
+    }
+}
+
+#[test]
+fn lavamd_all_models() {
+    let l = LavaMd::native(2, 6);
+    let particles = l.generate();
+    let expected = l.seq(&particles);
+    let exec = Executor::new(3);
+    for model in Model::ALL {
+        assert!(
+            max_abs_diff(&l.run(&exec, model, &particles), &expected) < 1e-10,
+            "{model}"
+        );
+    }
+}
+
+#[test]
+fn srad_all_models() {
+    let s = Srad::native(20, 2);
+    let img = s.generate();
+    let expected = s.seq(&img);
+    let exec = Executor::new(3);
+    for model in Model::ALL {
+        assert!(
+            max_abs_diff(&s.run(&exec, model, &img), &expected) < 1e-9,
+            "{model}"
+        );
+    }
+}
+
+#[test]
+fn one_executor_runs_everything_interleaved() {
+    // Reuse a single executor across kernels and apps, interleaved — the
+    // runtimes must be reusable with no cross-talk.
+    let exec = Executor::new(2);
+    for round in 0..3 {
+        let k = Sum::native(1_000 + round * 37);
+        let x = k.alloc();
+        let expected = k.seq(&x);
+        for model in [Model::OmpTask, Model::CilkFor, Model::CxxAsync] {
+            assert!((k.run(&exec, model, &x) - expected).abs() < 1e-6);
+        }
+        let b = Bfs::native(300);
+        let g = b.generate();
+        let expected = b.seq(&g);
+        assert_eq!(b.run(&exec, Model::CilkSpawn, &g).0, expected);
+    }
+}

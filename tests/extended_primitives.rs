@@ -1,0 +1,194 @@
+//! Integration + property tests for the extended primitives and features:
+//! RwLock, Semaphore, ReentrantLock, OmpLock/OmpNestLock, task dependencies,
+//! `par_map`, `sections`, cancellation, and future chaining.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use threadcmp::forkjoin::{DepTracker, Schedule, Team};
+use threadcmp::rawthreads::{async_task, Launch};
+use threadcmp::sync::{ReentrantLock, RwLock, Semaphore};
+use threadcmp::worksteal::{par_map, Grain, Runtime};
+
+#[test]
+fn rwlock_readers_see_consistent_pairs_under_writers() {
+    let lock = RwLock::new((0u64, 0u64));
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let lock = &lock;
+            s.spawn(move || {
+                for i in 1..=1_000u64 {
+                    let mut g = lock.write();
+                    g.0 = i;
+                    g.1 = i * 3;
+                }
+            });
+        }
+        for _ in 0..2 {
+            let lock = &lock;
+            s.spawn(move || {
+                for _ in 0..1_000 {
+                    let g = lock.read();
+                    assert_eq!(g.1, g.0 * 3);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn semaphore_bounds_rawthread_fanout() {
+    // The sane version of the paper's exploding C++ recursion: a semaphore
+    // capping live threads.
+    let sem = Semaphore::new(4);
+    let peak = AtomicU64::new(0);
+    let live = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..16 {
+            let (sem, peak, live) = (&sem, &peak, &live);
+            s.spawn(move || {
+                let _p = sem.acquire();
+                let n = live.fetch_add(1, Ordering::Relaxed) + 1;
+                peak.fetch_max(n, Ordering::Relaxed);
+                std::thread::yield_now();
+                live.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert!(peak.into_inner() <= 4);
+}
+
+#[test]
+fn reentrant_lock_via_public_api() {
+    let lock = ReentrantLock::new(std::cell::Cell::new(0));
+    let g1 = lock.lock();
+    let g2 = lock.lock();
+    g2.set(g2.get() + 1);
+    drop(g2);
+    g1.set(g1.get() + 1);
+    drop(g1);
+    assert_eq!(lock.lock().get(), 2);
+}
+
+#[test]
+fn dependencies_order_a_diamond() {
+    // top -> (left, right) -> bottom, checked via a sequence log.
+    let team = Team::new(4);
+    let log = std::sync::Mutex::new(Vec::new());
+    team.parallel(|ctx| {
+        ctx.single(|| {
+            ctx.task_scope(|s| {
+                let mut deps = DepTracker::new();
+                let t = deps.slot();
+                let l = deps.slot();
+                let r = deps.slot();
+                let log = &log;
+                deps.spawn_dep(s, &[], &[t], move |_| log.lock().unwrap().push("top"));
+                deps.spawn_dep(s, &[t], &[l], move |_| log.lock().unwrap().push("left"));
+                deps.spawn_dep(s, &[t], &[r], move |_| log.lock().unwrap().push("right"));
+                deps.spawn_dep(s, &[l, r], &[], move |_| log.lock().unwrap().push("bottom"));
+            });
+        });
+    });
+    let log = log.into_inner().unwrap();
+    assert_eq!(log.len(), 4);
+    assert_eq!(log[0], "top");
+    assert_eq!(log[3], "bottom");
+}
+
+#[test]
+fn sections_and_cancel_via_public_api() {
+    let team = Team::new(2);
+    let ran = AtomicU64::new(0);
+    team.parallel(|ctx| {
+        ctx.sections(&[
+            &|| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+            &|| {
+                ran.fetch_add(10, Ordering::Relaxed);
+            },
+        ]);
+        ctx.ws_for(Schedule::Dynamic { chunk: 1 }, 0..100, |i| {
+            if i == 0 {
+                ctx.cancel();
+            }
+        });
+    });
+    assert_eq!(ran.into_inner(), 11);
+}
+
+#[test]
+fn future_chain_crosses_policies() {
+    let v = async_task(Launch::Deferred, || 10)
+        .and_then(Launch::Async, |x| x + 5)
+        .and_then(Launch::Deferred, |x| x * 2)
+        .get();
+    assert_eq!(v, 30);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `par_map` equals the sequential map for arbitrary inputs and grains.
+    #[test]
+    fn par_map_matches_sequential(
+        input in proptest::collection::vec(any::<u32>(), 0..500),
+        grain in 1usize..64,
+        workers in 1usize..5,
+    ) {
+        let rt = Runtime::new(workers);
+        let got = rt.install(|ctx| {
+            par_map(ctx, &input, Grain::Fixed(grain), |&x| x as u64 + 1)
+        });
+        let expected: Vec<u64> = input.iter().map(|&x| x as u64 + 1).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Semaphore: the live count never exceeds the permit count, for any
+    /// acquisition pattern.
+    #[test]
+    fn semaphore_never_oversubscribes(permits in 1usize..6, tasks in 1usize..20) {
+        let sem = Semaphore::new(permits);
+        let live = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..tasks {
+                let (sem, live, peak) = (&sem, &live, &peak);
+                s.spawn(move || {
+                    let _p = sem.acquire();
+                    let n = live.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak.fetch_max(n, Ordering::Relaxed);
+                    live.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+        });
+        prop_assert!(peak.into_inner() <= permits as u64);
+        prop_assert_eq!(sem.available(), permits);
+    }
+
+    /// A random chain of dependent inout tasks applies its operations in
+    /// spawn order (the OpenMP `depend` guarantee).
+    #[test]
+    fn dependent_chain_is_ordered(ops in proptest::collection::vec(1u64..5, 1..12)) {
+        let team = Team::new(3);
+        let value = AtomicU64::new(1);
+        let expected: u64 = ops.iter().fold(1, |acc, &k| acc * 10 + k);
+        team.parallel(|ctx| {
+            ctx.single(|| {
+                ctx.task_scope(|s| {
+                    let mut deps = DepTracker::new();
+                    let x = deps.slot();
+                    for &k in &ops {
+                        let value = &value;
+                        deps.spawn_dep(s, &[x], &[x], move |_| {
+                            let v = value.load(Ordering::Acquire);
+                            value.store(v * 10 + k, Ordering::Release);
+                        });
+                    }
+                });
+            });
+        });
+        prop_assert_eq!(value.into_inner(), expected);
+    }
+}

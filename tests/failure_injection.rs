@@ -1,0 +1,152 @@
+//! Failure injection: panics and resource exhaustion must surface as
+//! errors/propagated panics, never as hangs or corruption, and every runtime
+//! must remain usable afterwards.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use threadcmp::forkjoin::Team;
+use threadcmp::rawthreads::{fib_thread_per_call, threads_for, ThreadBudget, ThreadExplosion};
+use threadcmp::worksteal::{join, scope, Runtime};
+use threadcmp::{Executor, Model};
+
+#[test]
+fn forkjoin_region_panic_then_reuse() {
+    let team = Team::new(3);
+    for round in 0..3 {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            team.parallel(|ctx| {
+                if ctx.thread_num() == round % 3 {
+                    panic!("round {round}");
+                }
+            });
+        }));
+        assert!(r.is_err(), "round {round}");
+        // Full-strength region still works after each panic.
+        let hits = AtomicU64::new(0);
+        team.parallel(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 3);
+    }
+}
+
+#[test]
+fn forkjoin_task_panic_propagates_once() {
+    let team = Team::new(2);
+    let survivors = AtomicU64::new(0);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        team.parallel(|ctx| {
+            ctx.single(|| {
+                ctx.task_scope(|s| {
+                    for i in 0..10 {
+                        let survivors = &survivors;
+                        s.spawn(move |_| {
+                            if i == 5 {
+                                panic!("task 5");
+                            }
+                            survivors.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        });
+    }));
+    assert!(r.is_err());
+    // All non-panicking tasks still ran (the scope drains before unwinding).
+    assert_eq!(survivors.into_inner(), 9);
+}
+
+#[test]
+fn worksteal_join_panics_both_sides() {
+    let rt = Runtime::new(2);
+    for side in 0..2 {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            rt.install(|ctx| {
+                join(
+                    ctx,
+                    |_| {
+                        if side == 0 {
+                            panic!("left")
+                        }
+                    },
+                    |_| {
+                        if side == 1 {
+                            panic!("right")
+                        }
+                    },
+                );
+            })
+        }));
+        assert!(r.is_err(), "side {side}");
+    }
+    assert_eq!(rt.install(|_| 1), 1);
+}
+
+#[test]
+fn worksteal_deep_scope_panic_drains() {
+    let rt = Runtime::new(4);
+    let completed = AtomicU64::new(0);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        rt.install(|ctx| {
+            scope(ctx, |s| {
+                for i in 0..50 {
+                    let completed = &completed;
+                    s.spawn(move |_| {
+                        if i == 25 {
+                            panic!("mid");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        })
+    }));
+    assert!(r.is_err());
+    assert_eq!(completed.into_inner(), 49);
+}
+
+#[test]
+fn rawthreads_panic_in_worker_propagates() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        threads_for(3, 0..30, |tid, _| {
+            if tid == 1 {
+                panic!("worker 1");
+            }
+        });
+    }));
+    // std::thread::scope re-raises the panic of any scoped thread.
+    assert!(r.is_err());
+}
+
+#[test]
+fn thread_explosion_is_an_error_not_a_hang() {
+    // The paper: the naive recursive C++ fib "hangs the system" at n >= 20.
+    let budget = ThreadBudget::new(64);
+    let start = std::time::Instant::now();
+    let result = fib_thread_per_call(19, &budget);
+    assert_eq!(result, Err(ThreadExplosion { max: 64 }));
+    // And it fails fast (seconds, not a hang).
+    assert!(start.elapsed().as_secs() < 30);
+}
+
+#[test]
+fn executor_survives_panicking_bodies() {
+    let exec = Executor::new(2);
+    for model in Model::ALL {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            exec.parallel_for(model, 0..64, &|chunk| {
+                if chunk.contains(&13) {
+                    panic!("13 in {model}");
+                }
+            });
+        }));
+        assert!(r.is_err(), "{model} should propagate");
+        // The executor still works for the next model.
+        let hits = AtomicU64::new(0);
+        exec.parallel_for(model, 0..64, &|chunk| {
+            hits.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 64, "{model} reuse after panic");
+    }
+}
