@@ -105,7 +105,10 @@ fn simulated_fib(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("ablation_deque/sim_fib30_16t");
     tune(&mut g);
-    for (name, kind) in [("lockfree", DequeKind::LockFree), ("locked", DequeKind::Locked)] {
+    for (name, kind) in [
+        ("lockfree", DequeKind::LockFree),
+        ("locked", DequeKind::Locked),
+    ] {
         g.bench_function(name, |b| b.iter(|| black_box(sim.run_fib(kind, &fw, 16))));
     }
     g.finish();

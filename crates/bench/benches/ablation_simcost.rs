@@ -21,11 +21,17 @@ fn simcost(c: &mut Criterion) {
         let cilk = sim
             .run_loop(LoopPolicy::WorkstealingSplit { grain: 0 }, &wl, 16)
             .makespan_ns;
-        let omp = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 16).makespan_ns;
+        let omp = sim
+            .run_loop(LoopPolicy::WorksharingStatic, &wl, 16)
+            .makespan_ns;
         cilk / omp
     };
-    println!("axpy cilk_for/omp_for gap @16t: calibrated {:.2}, no-locality-derate {:.2}, no-numa {:.2}",
-        gap(&base), gap(&no_locality), gap(&no_numa));
+    println!(
+        "axpy cilk_for/omp_for gap @16t: calibrated {:.2}, no-locality-derate {:.2}, no-numa {:.2}",
+        gap(&base),
+        gap(&no_locality),
+        gap(&no_numa)
+    );
 
     let mut g = c.benchmark_group("ablation_simcost/axpy_sweep_runtime");
     tune(&mut g);

@@ -42,8 +42,12 @@ fn taskmodes(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("ablation_taskmode/512_tasks");
     tune(&mut g);
-    g.bench_function("work_first", |b| b.iter(|| black_box(run_tasks(&wf, 512, 500))));
-    g.bench_function("breadth_first", |b| b.iter(|| black_box(run_tasks(&bf, 512, 500))));
+    g.bench_function("work_first", |b| {
+        b.iter(|| black_box(run_tasks(&wf, 512, 500)))
+    });
+    g.bench_function("breadth_first", |b| {
+        b.iter(|| black_box(run_tasks(&bf, 512, 500)))
+    });
     g.finish();
 }
 

@@ -13,7 +13,9 @@ fn fig10(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10_srad");
     tune(&mut g);
     for model in Model::ALL {
-        g.bench_function(model.name(), |b| b.iter(|| black_box(s.run(&exec, model, &img))));
+        g.bench_function(model.name(), |b| {
+            b.iter(|| black_box(s.run(&exec, model, &img)))
+        });
     }
     g.finish();
 }

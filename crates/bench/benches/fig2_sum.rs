@@ -13,7 +13,9 @@ fn fig2(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_sum");
     tune(&mut g);
     for model in Model::ALL {
-        g.bench_function(model.name(), |b| b.iter(|| black_box(k.run(&exec, model, &x))));
+        g.bench_function(model.name(), |b| {
+            b.iter(|| black_box(k.run(&exec, model, &x)))
+        });
     }
     g.finish();
 }

@@ -13,7 +13,9 @@ fn fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_matvec");
     tune(&mut g);
     for model in Model::ALL {
-        g.bench_function(model.name(), |b| b.iter(|| black_box(k.run(&exec, model, &a, &x))));
+        g.bench_function(model.name(), |b| {
+            b.iter(|| black_box(k.run(&exec, model, &a, &x)))
+        });
     }
     g.finish();
 }

@@ -13,7 +13,9 @@ fn fig8(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_lud");
     tune(&mut g);
     for model in Model::ALL {
-        g.bench_function(model.name(), |b| b.iter(|| black_box(l.run(&exec, model, &a))));
+        g.bench_function(model.name(), |b| {
+            b.iter(|| black_box(l.run(&exec, model, &a)))
+        });
     }
     g.finish();
 }

@@ -13,9 +13,15 @@ fn tables(c: &mut Criterion) {
     assert!(tpm_features::table3().contains("omp cancel"));
     let mut g = c.benchmark_group("tables");
     tune(&mut g);
-    g.bench_function("table1_parallelism", |b| b.iter(|| black_box(tpm_features::table1())));
-    g.bench_function("table2_memory_sync", |b| b.iter(|| black_box(tpm_features::table2())));
-    g.bench_function("table3_misc", |b| b.iter(|| black_box(tpm_features::table3())));
+    g.bench_function("table1_parallelism", |b| {
+        b.iter(|| black_box(tpm_features::table1()))
+    });
+    g.bench_function("table2_memory_sync", |b| {
+        b.iter(|| black_box(tpm_features::table2()))
+    });
+    g.bench_function("table3_misc", |b| {
+        b.iter(|| black_box(tpm_features::table3()))
+    });
     g.finish();
 }
 

@@ -87,8 +87,12 @@ impl Executor {
             Model::OmpFor => {
                 // Worksharing with the static schedule (the paper's setup for
                 // all data-parallel comparisons).
-                self.team
-                    .parallel_for_chunks(self.threads, Schedule::static_default(), range, body);
+                self.team.parallel_for_chunks(
+                    self.threads,
+                    Schedule::static_default(),
+                    range,
+                    body,
+                );
             }
             Model::OmpTask => {
                 // parallel + single + one task per BASE-sized chunk.

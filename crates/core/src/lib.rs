@@ -38,5 +38,5 @@ pub mod timing;
 
 pub use executor::Executor;
 pub use model::{Family, Model, Pattern};
-pub use report::{Figure, Series};
+pub use report::{Figure, ProfileRow, ProfileTable, Series};
 pub use sweep::Sweep;

@@ -34,13 +34,10 @@ impl Series {
 
     /// Speedup curve relative to this series' own 1-thread point.
     pub fn speedup(&self) -> Vec<(usize, f64)> {
-        let base = self.at(1).unwrap_or_else(|| {
-            self.points.first().map(|&(_, s)| s).unwrap_or(f64::NAN)
-        });
-        self.points
-            .iter()
-            .map(|&(t, s)| (t, base / s))
-            .collect()
+        let base = self
+            .at(1)
+            .unwrap_or_else(|| self.points.first().map(|&(_, s)| s).unwrap_or(f64::NAN));
+        self.points.iter().map(|&(t, s)| (t, base / s)).collect()
     }
 }
 
@@ -121,6 +118,99 @@ impl Figure {
     }
 }
 
+/// One model's row in a [`ProfileTable`]: wall time plus the scheduler-event
+/// counts observed while it ran.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileRow {
+    /// Variant label (a `Model` name).
+    pub model: String,
+    /// Wall time of the profiled run, in seconds.
+    pub seconds: f64,
+    /// Tasks spawned.
+    pub spawned: u64,
+    /// Tasks executed.
+    pub executed: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Failed steal attempts.
+    pub failed_steals: u64,
+    /// Loop chunks dispatched.
+    pub chunks: u64,
+    /// Barrier wait episodes.
+    pub barrier_waits: u64,
+    /// Total nanoseconds spent waiting at barriers.
+    pub barrier_wait_ns: u64,
+    /// Trace events captured (0 when tracing was off).
+    pub trace_events: u64,
+    /// Distinct workers that recorded trace events.
+    pub trace_workers: usize,
+}
+
+/// A side-by-side scheduler-behavior comparison across models for one kernel
+/// (the `profile` experiment's output).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileTable {
+    /// Table title, e.g. `"profile: sum (4 threads)"`.
+    pub title: String,
+    /// One row per profiled model.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl ProfileTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: ProfileRow) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned text (models down, metrics across).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(
+            out,
+            "{:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>11} {:>8} {:>7}",
+            "model",
+            "seconds",
+            "spawned",
+            "executed",
+            "steals",
+            "failed",
+            "chunks",
+            "barriers",
+            "barrier_ms",
+            "events",
+            "workers"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>12} {:>10.6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>11.3} {:>8} {:>7}",
+                r.model,
+                r.seconds,
+                r.spawned,
+                r.executed,
+                r.steals,
+                r.failed_steals,
+                r.chunks,
+                r.barrier_waits,
+                r.barrier_wait_ns as f64 / 1e6,
+                r.trace_events,
+                r.trace_workers,
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +250,26 @@ mod tests {
         assert!(t.contains("test"));
         assert!(t.contains('a') && t.contains('b'));
         assert_eq!(f.thread_axis(), vec![1, 2]);
+    }
+
+    #[test]
+    fn profile_table_renders_rows() {
+        let mut t = ProfileTable::new("profile: sum");
+        t.push(ProfileRow {
+            model: "omp_for".into(),
+            seconds: 0.001,
+            chunks: 12,
+            barrier_waits: 4,
+            barrier_wait_ns: 2_000_000,
+            trace_events: 40,
+            trace_workers: 4,
+            ..Default::default()
+        });
+        let s = t.to_table();
+        assert!(s.contains("profile: sum"));
+        assert!(s.contains("omp_for"));
+        assert!(s.contains("barrier_ms"));
+        assert!(s.contains("2.000"));
     }
 
     #[test]

@@ -37,10 +37,7 @@ pub const TOTAL_FEATURES: usize = 14;
 /// All APIs ranked by supported-feature count, descending (ties keep table
 /// order).
 pub fn ranking() -> Vec<(Api, usize)> {
-    let mut v: Vec<(Api, usize)> = Api::ALL
-        .iter()
-        .map(|&a| (a, supported_count(a)))
-        .collect();
+    let mut v: Vec<(Api, usize)> = Api::ALL.iter().map(|&a| (a, supported_count(a))).collect();
     v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     v
 }

@@ -52,7 +52,12 @@ pub fn table1() -> String {
         ],
         |api| {
             let r = parallelism(api);
-            vec![r.data.text(), r.task.text(), r.event.text(), r.offload.text()]
+            vec![
+                r.data.text(),
+                r.task.text(),
+                r.event.text(),
+                r.offload.text(),
+            ]
         },
     )
 }

@@ -258,11 +258,7 @@ mod tests {
         for api in Api::ALL {
             let text = parallelism(api).data.text();
             let has_vec = text.contains("simd") || text.contains("elemental");
-            assert_eq!(
-                has_vec,
-                matches!(api, Api::OpenMp | Api::CilkPlus),
-                "{api}"
-            );
+            assert_eq!(has_vec, matches!(api, Api::OpenMp | Api::CilkPlus), "{api}");
         }
     }
 
@@ -303,7 +299,11 @@ mod tests {
     fn fortran_bindings() {
         for api in Api::ALL {
             let has_fortran = misc(api).language.text().contains("Fortran");
-            assert_eq!(has_fortran, matches!(api, Api::OpenMp | Api::OpenAcc), "{api}");
+            assert_eq!(
+                has_fortran,
+                matches!(api, Api::OpenMp | Api::OpenAcc),
+                "{api}"
+            );
         }
     }
 
@@ -327,10 +327,19 @@ mod tests {
     /// host-only.
     #[test]
     fn offload_direction_cells() {
-        assert!(parallelism(Api::Cuda).offload.text().contains("device only"));
-        assert!(parallelism(Api::OpenAcc).offload.text().contains("device only"));
+        assert!(parallelism(Api::Cuda)
+            .offload
+            .text()
+            .contains("device only"));
+        assert!(parallelism(Api::OpenAcc)
+            .offload
+            .text()
+            .contains("device only"));
         for api in [Api::CilkPlus, Api::Cxx11, Api::PThreads, Api::Tbb] {
-            assert!(parallelism(api).offload.text().contains("host only"), "{api}");
+            assert!(
+                parallelism(api).offload.text().contains("host only"),
+                "{api}"
+            );
         }
     }
 }

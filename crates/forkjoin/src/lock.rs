@@ -40,10 +40,16 @@ impl OmpLock {
     /// `omp_set_lock`: blocks until acquired.
     pub fn set(&self) {
         let backoff = Backoff::new();
+        let mut contended = false;
         loop {
             if !self.locked.swap(true, Ordering::Acquire) {
+                if contended {
+                    tpm_trace::record(tpm_trace::EventKind::LockContended, 0, 0);
+                }
+                tpm_trace::record(tpm_trace::EventKind::LockAcquire, 0, 0);
                 return;
             }
+            contended = true;
             while self.locked.load(Ordering::Relaxed) {
                 backoff.snooze();
             }

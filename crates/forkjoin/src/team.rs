@@ -190,8 +190,19 @@ impl<'a> Ctx<'a> {
     }
 
     /// Synchronizes all threads of the region (`#pragma omp barrier`).
+    ///
+    /// Waiting is timed: each episode bumps this worker's `barrier_waits`
+    /// and `barrier_wait_ns` counters, and (when tracing is live) records a
+    /// [`tpm_trace::EventKind::BarrierArrive`]/`BarrierRelease` pair.
     pub fn barrier(&self) {
+        tpm_trace::record(tpm_trace::EventKind::BarrierArrive, 0, 0);
+        let start = std::time::Instant::now();
         self.region.barrier.wait();
+        let wait_ns = start.elapsed().as_nanos() as u64;
+        let stats = self.stats();
+        stats.barrier_waits.inc();
+        stats.barrier_wait_ns.add(wait_ns);
+        tpm_trace::record(tpm_trace::EventKind::BarrierRelease, wait_ns, 0);
     }
 
     /// Runs `body` once per chunk of `range` assigned to this thread under
@@ -218,6 +229,8 @@ impl<'a> Ctx<'a> {
             if self.region.poisoned() || self.is_cancelled() {
                 return false;
             }
+            self.stats().chunks.inc();
+            tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, c.len() as u64, 0);
             if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(c))) {
                 self.region.store_panic(p);
                 return false;
@@ -357,6 +370,7 @@ impl<'a> Ctx<'a> {
     /// (`#pragma omp critical`).
     pub fn critical<R>(&self, body: impl FnOnce() -> R) -> R {
         let _g = self.region.critical.lock();
+        tpm_trace::record(tpm_trace::EventKind::LockAcquire, 0, 0);
         body()
     }
 
@@ -369,6 +383,7 @@ impl<'a> Ctx<'a> {
 
     /// Queues a task on this thread's deque.
     pub(crate) fn push_task(&self, task: TaskRef) {
+        tpm_trace::record(tpm_trace::EventKind::TaskSpawn, 0, 0);
         self.region.deques[self.tid].push_bottom(task);
     }
 
@@ -415,15 +430,18 @@ impl<'a> Ctx<'a> {
                 }
                 if let Some(t) = self.region.deques[v].steal_top() {
                     self.stats().steals.inc();
+                    tpm_trace::record(tpm_trace::EventKind::Steal, v as u64, 0);
                     return Some(t);
                 }
                 self.stats().failed_steals.inc();
+                tpm_trace::record(tpm_trace::EventKind::FailedSteal, v as u64, 0);
             }
             None
         });
         match task {
             Some(t) => {
                 self.stats().executed.inc();
+                tpm_trace::record(tpm_trace::EventKind::TaskExec, 0, 0);
                 t.execute(self);
                 true
             }
@@ -506,6 +524,7 @@ impl Team {
         let region = Region::new(active);
         let run = |tid: usize| {
             if tid < active {
+                let _span = tpm_trace::span("forkjoin-region");
                 let ctx = Ctx::new(&self.inner, &region, tid);
                 if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
                     region.store_panic(p);

@@ -133,7 +133,9 @@ impl LoopCounter {
                 return None;
             }
             let remaining = self.end - start;
-            let size = (remaining / num_threads.max(1)).max(min_chunk).min(remaining);
+            let size = (remaining / num_threads.max(1))
+                .max(min_chunk)
+                .min(remaining);
             if self
                 .next
                 .compare_exchange_weak(start, start + size, Ordering::Relaxed, Ordering::Relaxed)
@@ -178,7 +180,12 @@ mod tests {
     #[test]
     fn static_block_sizes_differ_by_at_most_one() {
         let sizes: Vec<usize> = (0..7)
-            .map(|tid| static_chunks(0..100, tid, 7, None).iter().map(|c| c.len()).sum())
+            .map(|tid| {
+                static_chunks(0..100, tid, 7, None)
+                    .iter()
+                    .map(|c| c.len())
+                    .sum()
+            })
             .collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();

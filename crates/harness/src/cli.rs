@@ -1,0 +1,189 @@
+//! Command-line parsing for the `tpm-harness` binary.
+//!
+//! Parsing is a pure function returning `Result`, so malformed input produces
+//! a usage message and exit code 2 instead of a panic — and so it can be unit
+//! tested without spawning the binary.
+
+use std::path::PathBuf;
+
+use crate::native::NativeConfig;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "usage: tpm-harness <experiment> [kernel] [--native] [--threads 1,2,4] \
+[--reps N] [--scale S] [--trace out.json]
+experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate profile
+  profile [kernel]   run one kernel (sum|axpy|fib) under every model and
+                     print side-by-side scheduler-event summaries
+  --trace out.json   capture a scheduler trace of the run and write
+                     Chrome-trace JSON loadable in Perfetto";
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The experiment name (first positional argument).
+    pub experiment: String,
+    /// Optional second positional argument (the `profile` kernel name).
+    pub kernel: Option<String>,
+    /// Run natively instead of on the simulator.
+    pub native: bool,
+    /// Native sweep configuration.
+    pub cfg: NativeConfig,
+    /// Write a Chrome-trace JSON of the run here.
+    pub trace: Option<PathBuf>,
+}
+
+/// Parses `args` (without the program name). On error, the message already
+/// names the offending flag and value.
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    if args.is_empty() {
+        return Err("missing experiment name".into());
+    }
+    let mut experiment = String::new();
+    let mut kernel = None;
+    let mut native = false;
+    let mut cfg = NativeConfig::default();
+    let mut trace = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--native" => native = true,
+            "--threads" => {
+                let v = flag_value(args, &mut i, "--threads")?;
+                let threads = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| {
+                                format!("invalid --threads value '{v}': '{t}' is not a positive integer")
+                            })
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if threads.is_empty() {
+                    return Err(format!("invalid --threads value '{v}': empty list"));
+                }
+                cfg.threads = threads;
+            }
+            "--reps" => {
+                let v = flag_value(args, &mut i, "--reps")?;
+                cfg.reps = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("invalid --reps value '{v}': expected a positive integer")
+                })?;
+            }
+            "--scale" => {
+                let v = flag_value(args, &mut i, "--scale")?;
+                cfg.scale = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("invalid --scale value '{v}': expected a positive integer")
+                })?;
+            }
+            "--trace" => {
+                let v = flag_value(args, &mut i, "--trace")?;
+                trace = Some(PathBuf::from(v));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other if experiment.is_empty() => experiment = other.to_string(),
+            other if kernel.is_none() => kernel = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+        i += 1;
+    }
+    if experiment.is_empty() {
+        return Err("missing experiment name".into());
+    }
+    Ok(Cli {
+        experiment,
+        kernel,
+        native,
+        cfg,
+        trace,
+    })
+}
+
+/// Returns the value following a flag, advancing the cursor past it.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .filter(|v| !v.starts_with("--"))
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Cli, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_experiment_and_flags() {
+        let cli = p(&["fig3", "--native", "--threads", "1,2,8", "--reps", "5"]).unwrap();
+        assert_eq!(cli.experiment, "fig3");
+        assert!(cli.native);
+        assert_eq!(cli.cfg.threads, vec![1, 2, 8]);
+        assert_eq!(cli.cfg.reps, 5);
+        assert!(cli.trace.is_none());
+    }
+
+    #[test]
+    fn parses_trace_path_and_profile_kernel() {
+        let cli = p(&["profile", "fib", "--trace", "/tmp/out.json"]).unwrap();
+        assert_eq!(cli.experiment, "profile");
+        assert_eq!(cli.kernel.as_deref(), Some("fib"));
+        assert_eq!(
+            cli.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/out.json"))
+        );
+    }
+
+    #[test]
+    fn malformed_threads_is_an_error_not_a_panic() {
+        let err = p(&["fig1", "--threads", "1,x,4"]).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains('x'), "{err}");
+        assert!(p(&["fig1", "--threads", "0"]).is_err());
+        assert!(p(&["fig1", "--threads", ""]).is_err());
+    }
+
+    #[test]
+    fn malformed_reps_and_scale_are_errors() {
+        assert!(p(&["fig1", "--reps", "zero"])
+            .unwrap_err()
+            .contains("--reps"));
+        assert!(p(&["fig1", "--reps", "0"]).is_err());
+        assert!(p(&["fig1", "--scale", "-3"])
+            .unwrap_err()
+            .contains("--scale"));
+    }
+
+    #[test]
+    fn missing_flag_values_are_errors() {
+        assert!(p(&["fig1", "--threads"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(p(&["fig1", "--trace"])
+            .unwrap_err()
+            .contains("requires a value"));
+        // A following flag is not a value.
+        assert!(p(&["fig1", "--reps", "--native"])
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn unknown_flags_and_extra_positionals_are_errors() {
+        assert!(p(&["fig1", "--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+        assert!(p(&["fig1", "a", "b"])
+            .unwrap_err()
+            .contains("unexpected argument"));
+        assert!(p(&[]).unwrap_err().contains("missing experiment"));
+    }
+}

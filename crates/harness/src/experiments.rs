@@ -57,22 +57,34 @@ fn sweep_phased(title: &str, wl: &PhasedWorkload) -> Figure {
 
 /// Fig. 1: Axpy, N = 100 M.
 pub fn fig1_axpy() -> Figure {
-    sweep_loop("Fig.1 Axpy (N=100M, simulated 2x18-core Xeon)", &Axpy::paper().sim_workload())
+    sweep_loop(
+        "Fig.1 Axpy (N=100M, simulated 2x18-core Xeon)",
+        &Axpy::paper().sim_workload(),
+    )
 }
 
 /// Fig. 2: Sum, N = 100 M (worksharing + reduction).
 pub fn fig2_sum() -> Figure {
-    sweep_loop("Fig.2 Sum (N=100M, simulated)", &Sum::paper().sim_workload())
+    sweep_loop(
+        "Fig.2 Sum (N=100M, simulated)",
+        &Sum::paper().sim_workload(),
+    )
 }
 
 /// Fig. 3: Matvec, n = 40 k.
 pub fn fig3_matvec() -> Figure {
-    sweep_loop("Fig.3 Matvec (n=40k, simulated)", &Matvec::paper().sim_workload())
+    sweep_loop(
+        "Fig.3 Matvec (n=40k, simulated)",
+        &Matvec::paper().sim_workload(),
+    )
 }
 
 /// Fig. 4: Matmul, n = 2 k.
 pub fn fig4_matmul() -> Figure {
-    sweep_loop("Fig.4 Matmul (n=2k, simulated)", &Matmul::paper().sim_workload())
+    sweep_loop(
+        "Fig.4 Matmul (n=2k, simulated)",
+        &Matmul::paper().sim_workload(),
+    )
 }
 
 /// Fig. 5: Fibonacci(40) — `omp_task` (locked deques) vs `cilk_spawn`
@@ -262,7 +274,10 @@ pub fn check_claims(fig_no: usize, fig: &Figure) -> Vec<String> {
             let max = vals.iter().cloned().fold(0.0, f64::max);
             claim(
                 max / min < 1.25,
-                &format!("uniform app: pooled variants should converge, spread {:.2}", max / min),
+                &format!(
+                    "uniform app: pooled variants should converge, spread {:.2}",
+                    max / min
+                ),
             );
         }
         _ => {}

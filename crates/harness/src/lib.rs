@@ -16,5 +16,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod calibrate;
+pub mod cli;
 pub mod experiments;
 pub mod native;
+pub mod profile;

@@ -1,52 +1,32 @@
 //! CLI entry point: regenerate the paper's tables and figures.
 
+use tpm_harness::cli::{self, Cli};
 use tpm_harness::experiments::{self, check_claims};
 use tpm_harness::native::{self, NativeConfig};
-
-fn print_usage() {
-    eprintln!(
-        "usage: tpm-harness <experiment> [--native] [--threads 1,2,4] [--reps N] [--scale S]\n\
-         experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate"
-    );
-}
+use tpm_harness::profile;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        print_usage();
-        std::process::exit(2);
-    }
-    let mut experiment = String::new();
-    let mut use_native = false;
-    let mut cfg = NativeConfig::default();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--native" => use_native = true,
-            "--threads" => {
-                i += 1;
-                cfg.threads = args[i]
-                    .split(',')
-                    .map(|t| t.parse().expect("bad thread count"))
-                    .collect();
-            }
-            "--reps" => {
-                i += 1;
-                cfg.reps = args[i].parse().expect("bad reps");
-            }
-            "--scale" => {
-                i += 1;
-                cfg.scale = args[i].parse().expect("bad scale");
-            }
-            other if experiment.is_empty() => experiment = other.to_string(),
-            other => {
-                eprintln!("unexpected argument {other}");
-                print_usage();
-                std::process::exit(2);
-            }
+    let cli = match cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
         }
-        i += 1;
-    }
+    };
+    std::process::exit(run(&cli));
+}
+
+/// Runs the selected experiment; returns the process exit code.
+fn run(cli: &Cli) -> i32 {
+    let Cli {
+        experiment,
+        kernel,
+        native: use_native,
+        cfg,
+        trace,
+    } = cli;
 
     type SimFig = fn() -> tpm_core::Figure;
     let sim_figs: [(usize, SimFig); 10] = [
@@ -75,8 +55,41 @@ fn main() {
         (10, native::fig10_srad),
     ];
 
-    let run_fig = |no: usize, use_native: bool, cfg: &NativeConfig| {
-        if use_native {
+    // Runs `f` under a trace session when --trace was given, writing the
+    // Chrome-trace JSON and printing the per-worker summary and timeline.
+    let traced = |f: &dyn Fn()| -> i32 {
+        match trace {
+            None => {
+                f();
+                0
+            }
+            Some(path) => {
+                let session = tpm_trace::TraceSession::start();
+                f();
+                let t = session.stop();
+                match std::fs::write(path, t.chrome_json()) {
+                    Ok(()) => {
+                        println!(
+                            "[trace] {} events from {} workers -> {} (load in https://ui.perfetto.dev)",
+                            t.total_events(),
+                            t.worker_count(),
+                            path.display()
+                        );
+                        println!("{}", t.timeline(72));
+                        println!("{}", t.summary().render());
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot write trace file {}: {e}", path.display());
+                        1
+                    }
+                }
+            }
+        }
+    };
+
+    let run_fig = |no: usize| {
+        if *use_native {
             let f = native_figs[no - 1].1(cfg);
             println!("{}", f.to_table());
         } else {
@@ -98,31 +111,64 @@ fn main() {
         "calibrate" => {
             let cals = tpm_harness::calibrate::run();
             println!("{}", tpm_harness::calibrate::render(&cals));
+            0
         }
         "ht" => {
             let fig = experiments::ht_extension();
             println!("{}", fig.to_table());
+            0
         }
-        "table1" => println!("{}", tpm_features::table1()),
-        "table2" => println!("{}", tpm_features::table2()),
-        "table3" => println!("{}", tpm_features::table3()),
+        "profile" => {
+            let kernel = kernel.as_deref().unwrap_or("sum");
+            match profile::run(cfg, kernel, trace.as_deref()) {
+                Ok(table) => {
+                    println!("{}", table.to_table());
+                    if let Some(path) = trace {
+                        println!(
+                            "[trace] per-model Chrome-trace JSON written next to {}",
+                            path.display()
+                        );
+                    }
+                    0
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    eprintln!("{}", cli::USAGE);
+                    2
+                }
+            }
+        }
+        "table1" => {
+            println!("{}", tpm_features::table1());
+            0
+        }
+        "table2" => {
+            println!("{}", tpm_features::table2());
+            0
+        }
+        "table3" => {
+            println!("{}", tpm_features::table3());
+            0
+        }
         "tables" => {
             println!("{}", tpm_features::table1());
             println!("{}", tpm_features::table2());
             println!("{}", tpm_features::table3());
+            0
         }
-        "figures" => {
+        "figures" => traced(&|| {
             for no in 1..=10 {
-                run_fig(no, use_native, &cfg);
+                run_fig(no);
             }
-        }
+        }),
         f if f.starts_with("fig") => {
             let no: usize = f[3..].parse().unwrap_or(0);
             if !(1..=10).contains(&no) {
-                print_usage();
-                std::process::exit(2);
+                eprintln!("error: unknown experiment {f}");
+                eprintln!("{}", cli::USAGE);
+                return 2;
             }
-            run_fig(no, use_native, &cfg);
+            traced(&|| run_fig(no))
         }
         "check" => {
             let mut all_ok = true;
@@ -138,19 +184,26 @@ fn main() {
                     }
                 }
             }
-            std::process::exit(if all_ok { 0 } else { 1 });
+            if all_ok {
+                0
+            } else {
+                1
+            }
         }
         "all" => {
             println!("{}", tpm_features::table1());
             println!("{}", tpm_features::table2());
             println!("{}", tpm_features::table3());
-            for no in 1..=10 {
-                run_fig(no, use_native, &cfg);
-            }
+            traced(&|| {
+                for no in 1..=10 {
+                    run_fig(no);
+                }
+            })
         }
-        _ => {
-            print_usage();
-            std::process::exit(2);
+        other => {
+            eprintln!("error: unknown experiment {other}");
+            eprintln!("{}", cli::USAGE);
+            2
         }
     }
 }

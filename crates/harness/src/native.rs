@@ -114,9 +114,14 @@ pub fn fig6_bfs(cfg: &NativeConfig) -> Figure {
 pub fn fig7_hotspot(cfg: &NativeConfig) -> Figure {
     let h = HotSpot::native(128 * cfg.scale, 10);
     let (t, p) = h.generate();
-    sweep("Fig.7 Rodinia HotSpot (native)", cfg, &Model::ALL, |exec, m| {
-        std::hint::black_box(h.run(exec, m, &t, &p));
-    })
+    sweep(
+        "Fig.7 Rodinia HotSpot (native)",
+        cfg,
+        &Model::ALL,
+        |exec, m| {
+            std::hint::black_box(h.run(exec, m, &t, &p));
+        },
+    )
 }
 
 /// Native Fig. 8: LUD.
@@ -132,18 +137,28 @@ pub fn fig8_lud(cfg: &NativeConfig) -> Figure {
 pub fn fig9_lavamd(cfg: &NativeConfig) -> Figure {
     let l = LavaMd::native(3 * cfg.scale.min(4), 16);
     let particles = l.generate();
-    sweep("Fig.9 Rodinia LavaMD (native)", cfg, &Model::ALL, |exec, m| {
-        std::hint::black_box(l.run(exec, m, &particles));
-    })
+    sweep(
+        "Fig.9 Rodinia LavaMD (native)",
+        cfg,
+        &Model::ALL,
+        |exec, m| {
+            std::hint::black_box(l.run(exec, m, &particles));
+        },
+    )
 }
 
 /// Native Fig. 10: SRAD.
 pub fn fig10_srad(cfg: &NativeConfig) -> Figure {
     let s = Srad::native(96 * cfg.scale, 4);
     let img = s.generate();
-    sweep("Fig.10 Rodinia SRAD (native)", cfg, &Model::ALL, |exec, m| {
-        std::hint::black_box(s.run(exec, m, &img));
-    })
+    sweep(
+        "Fig.10 Rodinia SRAD (native)",
+        cfg,
+        &Model::ALL,
+        |exec, m| {
+            std::hint::black_box(s.run(exec, m, &img));
+        },
+    )
 }
 
 /// All native figures with one config.

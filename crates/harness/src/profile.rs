@@ -1,0 +1,185 @@
+//! The `profile` experiment: run one kernel under every applicable model
+//! version with tracing on, and report side-by-side scheduler-event
+//! summaries (steals, chunk dispatches, barrier waits) per model.
+//!
+//! Where the figures answer *which* model wins, this answers *why*: the same
+//! kernel's six versions produce visibly different event mixes (e.g. chunk
+//! dispatches for worksharing vs. steals for work stealing vs. thread spawns
+//! for C++11).
+
+use std::path::Path;
+
+use tpm_core::{Executor, Model, ProfileRow, ProfileTable};
+use tpm_kernels::{Axpy, Fib, Sum};
+use tpm_trace::TraceSession;
+
+use crate::native::NativeConfig;
+
+/// Kernel names accepted by [`run`].
+pub const KERNELS: [&str; 3] = ["sum", "axpy", "fib"];
+
+/// One profiled run: a model and the closure that executes its version.
+type ModelRun = (Model, Box<dyn Fn(&Executor)>);
+
+/// Runs `kernel` under every applicable model on the largest thread count in
+/// `cfg.threads`, returning the per-model comparison table. When `trace_dir`
+/// is given, each model's Chrome-trace JSON is written next to it as
+/// `<stem>-<model>.json`.
+pub fn run(
+    cfg: &NativeConfig,
+    kernel: &str,
+    trace_out: Option<&Path>,
+) -> Result<ProfileTable, String> {
+    let threads = cfg.threads.iter().copied().max().unwrap_or(2);
+    let exec = Executor::new(threads);
+    let mut table = ProfileTable::new(format!("profile: {kernel} ({threads} threads)"));
+    let runs: Vec<ModelRun> = match kernel {
+        "sum" => {
+            let k = Sum::native(200_000 * cfg.scale);
+            let x = k.alloc();
+            Model::ALL
+                .into_iter()
+                .map(|m| {
+                    let x = x.clone();
+                    let f: Box<dyn Fn(&Executor)> = Box::new(move |e: &Executor| {
+                        std::hint::black_box(k.run(e, m, &x));
+                    });
+                    (m, f)
+                })
+                .collect()
+        }
+        "axpy" => {
+            let k = Axpy::native(200_000 * cfg.scale);
+            let (x, y0) = k.alloc();
+            Model::ALL
+                .into_iter()
+                .map(|m| {
+                    let x = x.clone();
+                    let y0 = y0.clone();
+                    let f: Box<dyn Fn(&Executor)> = Box::new(move |e: &Executor| {
+                        // Fresh output each run; the kernel only reads x.
+                        let mut y = y0.clone();
+                        k.run(e, m, &x, &mut y);
+                        std::hint::black_box(&y);
+                    });
+                    (m, f)
+                })
+                .collect()
+        }
+        "fib" => {
+            let n = 20 + (cfg.scale.min(10) as u64);
+            let k = Fib::native(n);
+            vec![
+                (
+                    Model::OmpTask,
+                    Box::new(move |e: &Executor| {
+                        std::hint::black_box(k.run_omp_task(e.team()));
+                    }) as Box<dyn Fn(&Executor)>,
+                ),
+                (
+                    Model::CilkSpawn,
+                    Box::new(move |e: &Executor| {
+                        std::hint::black_box(k.run_cilk_spawn(e.worksteal()));
+                    }),
+                ),
+                (
+                    Model::CxxAsync,
+                    Box::new(move |_e: &Executor| {
+                        std::hint::black_box(k.run_cxx_async());
+                    }),
+                ),
+            ]
+        }
+        other => {
+            return Err(format!(
+                "unknown profile kernel '{other}' (expected one of {})",
+                KERNELS.join("|")
+            ))
+        }
+    };
+
+    for (model, body) in runs {
+        // Warm both runtimes' pools so the profiled run measures scheduling,
+        // not first-touch effects.
+        body(&exec);
+        exec.team().stats().reset();
+        exec.worksteal().stats().reset();
+
+        let session = TraceSession::start();
+        let t0 = std::time::Instant::now();
+        body(&exec);
+        let seconds = t0.elapsed().as_secs_f64();
+        let trace = session.stop();
+
+        let team = exec.team().stats().snapshot();
+        let ws = exec.worksteal().stats().snapshot();
+        let summary = trace.summary();
+        table.push(ProfileRow {
+            model: model.name().to_string(),
+            seconds,
+            spawned: team.spawned + ws.spawned,
+            executed: team.executed + ws.executed,
+            steals: team.steals + ws.steals,
+            failed_steals: team.failed_steals + ws.failed_steals,
+            chunks: team.chunks + ws.chunks,
+            barrier_waits: team.barrier_waits + ws.barrier_waits,
+            barrier_wait_ns: team.barrier_wait_ns + ws.barrier_wait_ns,
+            trace_events: summary.workers.iter().map(|w| w.counts.total()).sum(),
+            trace_workers: summary.workers.len(),
+        });
+
+        if let Some(path) = trace_out {
+            let out = sibling_with_model(path, model.name());
+            std::fs::write(&out, trace.chrome_json())
+                .map_err(|e| format!("cannot write trace file {}: {e}", out.display()))?;
+        }
+    }
+    Ok(table)
+}
+
+/// `/tmp/run.json` + `omp_for` → `/tmp/run-omp_for.json`.
+fn sibling_with_model(path: &Path, model: &str) -> std::path::PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("json");
+    path.with_file_name(format!("{stem}-{model}.{ext}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        let cfg = NativeConfig {
+            threads: vec![2],
+            scale: 1,
+            reps: 1,
+        };
+        assert!(run(&cfg, "nope", None).unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn fib_profile_reports_task_models() {
+        let cfg = NativeConfig {
+            threads: vec![2],
+            scale: 1,
+            reps: 1,
+        };
+        let table = run(&cfg, "fib", None).unwrap();
+        assert_eq!(table.rows.len(), 3);
+        let omp = &table.rows[0];
+        assert_eq!(omp.model, "omp_task");
+        assert!(omp.spawned > 0, "omp_task must spawn tasks: {omp:?}");
+        let cilk = &table.rows[1];
+        assert_eq!(cilk.model, "cilk_spawn");
+        assert!(cilk.executed > 0, "cilk_spawn must execute jobs: {cilk:?}");
+        // Tracing was live during each run.
+        assert!(table.rows.iter().all(|r| r.trace_events > 0));
+    }
+
+    #[test]
+    fn sibling_path_keeps_directory_and_extension() {
+        let p = sibling_with_model(Path::new("/tmp/run.json"), "omp_for");
+        assert_eq!(p, Path::new("/tmp/run-omp_for.json"));
+    }
+}

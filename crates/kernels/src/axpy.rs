@@ -21,7 +21,10 @@ pub struct Axpy {
 impl Axpy {
     /// The paper's configuration: N = 100 M.
     pub fn paper() -> Self {
-        Self { n: 100_000_000, a: 2.5 }
+        Self {
+            n: 100_000_000,
+            a: 2.5,
+        }
     }
 
     /// A scaled-down instance for native runs on small hosts.

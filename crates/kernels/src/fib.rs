@@ -75,11 +75,7 @@ impl Fib {
             if n < 2 || n <= cutoff {
                 return Fib::seq(n);
             }
-            let (a, b) = join(
-                ctx,
-                |c| rec(c, n - 1, cutoff),
-                |c| rec(c, n - 2, cutoff),
-            );
+            let (a, b) = join(ctx, |c| rec(c, n - 1, cutoff), |c| rec(c, n - 2, cutoff));
             a + b
         }
         let (n, cutoff) = (self.n, self.cutoff);
@@ -147,10 +143,7 @@ mod tests {
     fn cutoff_does_not_change_the_value() {
         let rt = Runtime::new(2);
         for cutoff in [0, 5, 30] {
-            assert_eq!(
-                Fib { n: 18, cutoff }.run_cilk_spawn(&rt),
-                Fib::seq(18)
-            );
+            assert_eq!(Fib { n: 18, cutoff }.run_cilk_spawn(&rt), Fib::seq(18));
         }
     }
 }

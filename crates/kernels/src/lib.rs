@@ -20,8 +20,8 @@ mod fib;
 mod matmul;
 mod matvec;
 mod sum;
-mod uts;
 pub mod util;
+mod uts;
 
 pub use axpy::Axpy;
 pub use fib::Fib;

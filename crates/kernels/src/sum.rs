@@ -19,7 +19,10 @@ pub struct Sum {
 impl Sum {
     /// The paper's configuration: N = 100 M.
     pub fn paper() -> Self {
-        Self { n: 100_000_000, a: 1.5 }
+        Self {
+            n: 100_000_000,
+            a: 1.5,
+        }
     }
 
     /// A scaled-down instance for native runs.

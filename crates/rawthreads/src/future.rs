@@ -46,6 +46,7 @@ impl<T: Send + 'static> Future<T> {
             Inner::Async { rx, handle } => match rx.recv() {
                 Ok(v) => {
                     let _ = handle.join();
+                    tpm_trace::record(tpm_trace::EventKind::ThreadJoin, 0, 0);
                     v
                 }
                 Err(_) => {
@@ -56,7 +57,10 @@ impl<T: Send + 'static> Future<T> {
                     }
                 }
             },
-            Inner::Deferred(f) => f(),
+            Inner::Deferred(f) => {
+                tpm_trace::record(tpm_trace::EventKind::TaskExec, 0, 0);
+                f()
+            }
             Inner::Taken => unreachable!("future consumed twice"),
         }
     }
@@ -128,12 +132,17 @@ where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
+    tpm_trace::record(tpm_trace::EventKind::TaskSpawn, 0, 0);
     match policy {
         Launch::Async => {
             let (tx, rx) = oneshot::channel();
+            tpm_trace::record(tpm_trace::EventKind::ThreadSpawn, 0, 0);
             let handle = std::thread::Builder::new()
                 .name("tpm-async".into())
-                .spawn(move || tx.send(f()))
+                .spawn(move || {
+                    tpm_trace::record(tpm_trace::EventKind::TaskExec, 0, 0);
+                    tx.send(f())
+                })
                 .expect("failed to spawn async task thread");
             Future {
                 inner: Inner::Async { rx, handle },

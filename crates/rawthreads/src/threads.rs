@@ -31,16 +31,27 @@ where
     F: Fn(usize, Range<usize>) + Sync,
 {
     let num_threads = num_threads.max(1);
+    let mut spawned = 0u64;
     std::thread::scope(|s| {
         for tid in 0..num_threads {
             let chunk = block_chunk(range.clone(), tid, num_threads);
             if chunk.is_empty() {
                 continue;
             }
+            tpm_trace::record(tpm_trace::EventKind::ThreadSpawn, tid as u64, 0);
+            spawned += 1;
             let body = &body;
-            s.spawn(move || body(tid, chunk));
+            std::thread::Builder::new()
+                .name(format!("tpm-rawthreads-{tid}"))
+                .spawn_scoped(s, move || {
+                    tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, chunk.len() as u64, 0);
+                    body(tid, chunk)
+                })
+                .expect("failed to spawn region thread");
         }
     });
+    // The scope exit joined every thread of the region.
+    tpm_trace::record(tpm_trace::EventKind::ThreadJoin, spawned, 0);
 }
 
 /// Like [`threads_for`], but each thread returns a partial value; partials
@@ -66,13 +77,30 @@ where
                 if chunk.is_empty() {
                     return None;
                 }
+                tpm_trace::record(tpm_trace::EventKind::ThreadSpawn, tid as u64, 0);
                 let body = &body;
-                Some(s.spawn(move || body(tid, chunk)))
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("tpm-rawthreads-{tid}"))
+                        .spawn_scoped(s, move || {
+                            tpm_trace::record(
+                                tpm_trace::EventKind::ChunkDispatch,
+                                chunk.len() as u64,
+                                0,
+                            );
+                            body(tid, chunk)
+                        })
+                        .expect("failed to spawn region thread"),
+                )
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| {
+                let partial = h.join().expect("worker thread panicked");
+                tpm_trace::record(tpm_trace::EventKind::ThreadJoin, 1, 0);
+                partial
+            })
             .collect::<Vec<T>>()
     });
     partials.into_iter().fold(identity, combine)

@@ -124,7 +124,10 @@ impl Bfs {
                 break;
             }
         }
-        (cost.into_iter().map(AtomicI32::into_inner).collect(), levels)
+        (
+            cost.into_iter().map(AtomicI32::into_inner).collect(),
+            levels,
+        )
     }
 
     /// Simulator descriptor: `2 × levels` full-array phases with irregular

@@ -175,10 +175,7 @@ mod tests {
         let exec = Executor::new(3);
         for model in Model::ALL {
             let got = h.run(&exec, model, &t, &p);
-            assert!(
-                max_abs_diff(&got, &expected) < 1e-9,
-                "{model}"
-            );
+            assert!(max_abs_diff(&got, &expected) < 1e-9, "{model}");
         }
     }
 

@@ -28,7 +28,10 @@ pub struct Lud {
 impl Lud {
     /// The paper's configuration (Rodinia 3.1 default size 2048).
     pub fn paper() -> Self {
-        Self { n: 2048, seed: 0x14D }
+        Self {
+            n: 2048,
+            seed: 0x14D,
+        }
     }
 
     /// A scaled-down instance for native runs.

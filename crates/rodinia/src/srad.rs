@@ -58,37 +58,35 @@ impl Srad {
     }
 
     /// One full diffusion pass, writing coefficient then updating `img`.
-    fn step(
-        &self,
-        exec: Option<(&Executor, Model)>,
-        img: &mut [f64],
-        c: &mut [f64],
-        q0sqr: f64,
-    ) {
+    fn step(&self, exec: Option<(&Executor, Model)>, img: &mut [f64], c: &mut [f64], q0sqr: f64) {
         let n = self.n;
         // Loop 1: diffusion coefficient per pixel.
-        let compute_c = |rows: std::ops::Range<usize>, c_out: &UnsafeSlice<'_, f64>, img: &[f64]| {
-            for i in rows {
-                for j in 0..n {
-                    let idx = i * n + j;
-                    let p = img[idx];
-                    let dn = img[self.clamp(i as isize - 1) * n + j] - p;
-                    let ds = img[self.clamp(i as isize + 1) * n + j] - p;
-                    let dw = img[i * n + self.clamp(j as isize - 1)] - p;
-                    let de = img[i * n + self.clamp(j as isize + 1)] - p;
-                    let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (p * p);
-                    let l = (dn + ds + dw + de) / p;
-                    let num = 0.5 * g2 - (l * l) / 16.0;
-                    let den = 1.0 + 0.25 * l;
-                    let qsqr = num / (den * den);
-                    let coeff = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)));
-                    // SAFETY: disjoint rows.
-                    unsafe { c_out.write(idx, coeff.clamp(0.0, 1.0)) };
+        let compute_c =
+            |rows: std::ops::Range<usize>, c_out: &UnsafeSlice<'_, f64>, img: &[f64]| {
+                for i in rows {
+                    for j in 0..n {
+                        let idx = i * n + j;
+                        let p = img[idx];
+                        let dn = img[self.clamp(i as isize - 1) * n + j] - p;
+                        let ds = img[self.clamp(i as isize + 1) * n + j] - p;
+                        let dw = img[i * n + self.clamp(j as isize - 1)] - p;
+                        let de = img[i * n + self.clamp(j as isize + 1)] - p;
+                        let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (p * p);
+                        let l = (dn + ds + dw + de) / p;
+                        let num = 0.5 * g2 - (l * l) / 16.0;
+                        let den = 1.0 + 0.25 * l;
+                        let qsqr = num / (den * den);
+                        let coeff = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)));
+                        // SAFETY: disjoint rows.
+                        unsafe { c_out.write(idx, coeff.clamp(0.0, 1.0)) };
+                    }
                 }
-            }
-        };
+            };
         // Loop 2: divergence update.
-        let update = |rows: std::ops::Range<usize>, img_out: &UnsafeSlice<'_, f64>, img: &[f64], c: &[f64]| {
+        let update = |rows: std::ops::Range<usize>,
+                      img_out: &UnsafeSlice<'_, f64>,
+                      img: &[f64],
+                      c: &[f64]| {
             for i in rows {
                 for j in 0..n {
                     let idx = i * n + j;

@@ -102,8 +102,8 @@ impl Simulator {
         let iters = (end - start) as f64;
         let compute = iters * wl.work_ns_per_iter / self.machine.compute_rate(active);
         let time = if wl.bytes_per_iter > 0.0 {
-            let mem =
-                iters * wl.bytes_per_iter / (self.machine.bw_per_core(active) * bw_factor.max(0.05));
+            let mem = iters * wl.bytes_per_iter
+                / (self.machine.bw_per_core(active) * bw_factor.max(0.05));
             compute.max(mem)
         } else {
             compute
@@ -302,14 +302,24 @@ impl Simulator {
                     r.steals += 1;
                     r.overhead_ns += self.cost.steal_success_ns;
                     if let Some(t) = trace.as_deref_mut() {
-                        t.record(w, begin, begin + self.cost.steal_success_ns, crate::trace::Activity::Steal);
+                        t.record(
+                            w,
+                            begin,
+                            begin + self.cost.steal_success_ns,
+                            crate::trace::Activity::Steal,
+                        );
                     }
                     queue.push(begin + self.cost.steal_success_ns, w);
                 } else {
                     r.failed_steals += 1;
                     r.overhead_ns += self.cost.steal_attempt_ns;
                     if let Some(t) = trace.as_deref_mut() {
-                        t.record(w, begin, begin + self.cost.steal_attempt_ns, crate::trace::Activity::Idle);
+                        t.record(
+                            w,
+                            begin,
+                            begin + self.cost.steal_attempt_ns,
+                            crate::trace::Activity::Idle,
+                        );
                     }
                     queue.push(begin + self.cost.steal_attempt_ns, w);
                 }
@@ -317,7 +327,12 @@ impl Simulator {
                 r.failed_steals += 1;
                 r.overhead_ns += self.cost.steal_attempt_ns;
                 if let Some(t) = trace.as_deref_mut() {
-                    t.record(w, time, time + self.cost.steal_attempt_ns, crate::trace::Activity::Idle);
+                    t.record(
+                        w,
+                        time,
+                        time + self.cost.steal_attempt_ns,
+                        crate::trace::Activity::Idle,
+                    );
                 }
                 queue.push(time + self.cost.steal_attempt_ns, w);
             }
@@ -368,7 +383,10 @@ impl Simulator {
             let (op_cost, serialized) = if w == 0 {
                 (self.cost.pop_cost(kind), matches!(kind, DequeKind::Locked))
             } else {
-                (self.cost.steal_success_ns.max(self.cost.pop_cost(kind)), true)
+                (
+                    self.cost.steal_success_ns.max(self.cost.pop_cost(kind)),
+                    true,
+                )
             };
             let begin = if serialized {
                 let b = time.max(deque_free);
@@ -629,9 +647,8 @@ mod tests {
     #[test]
     fn imbalanced_load_hurts_static_more_than_dynamic() {
         let sim = Simulator::paper_testbed();
-        let wl = LoopWorkload::uniform(100_000, 10.0).with_imbalance(Imbalance::FrontLoaded {
-            slope: 0.9,
-        });
+        let wl = LoopWorkload::uniform(100_000, 10.0)
+            .with_imbalance(Imbalance::FrontLoaded { slope: 0.9 });
         let st = sim.run_loop(LoopPolicy::WorksharingStatic, &wl, 8);
         let dy = sim.run_loop(LoopPolicy::WorksharingDynamic { chunk: 256 }, &wl, 8);
         assert!(

@@ -68,7 +68,8 @@ impl Machine {
         let aggregate = if active <= self.hw_threads() {
             // Linear interpolation between 1.0× and smt_yield× aggregate as
             // the second hardware threads fill in.
-            let extra = (active - self.cores) as f64 / (self.hw_threads() - self.cores).max(1) as f64;
+            let extra =
+                (active - self.cores) as f64 / (self.hw_threads() - self.cores).max(1) as f64;
             self.cores as f64 * (1.0 + (self.smt_yield - 1.0) * extra)
         } else {
             self.cores as f64 * self.smt_yield
@@ -93,7 +94,11 @@ impl Machine {
         let per_socket = self.mem_bw_gbs / self.sockets.max(1) as f64;
         // A single core sustains roughly 1/4 of its socket's bandwidth.
         let per_core_cap = per_socket / 4.0;
-        let sockets_in_use = if active <= self.cores_per_socket() { 1 } else { self.sockets };
+        let sockets_in_use = if active <= self.cores_per_socket() {
+            1
+        } else {
+            self.sockets
+        };
         let mut aggregate = per_socket * sockets_in_use as f64;
         if sockets_in_use > 1 {
             aggregate *= self.numa_bw_penalty.max(0.1);

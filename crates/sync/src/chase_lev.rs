@@ -113,7 +113,10 @@ impl<T> Drop for Inner<T> {
 /// fast path possible.
 pub struct Worker<T> {
     inner: Arc<Inner<T>>,
-    /// Buffers replaced by growth, kept alive for in-flight thieves.
+    /// Buffers replaced by growth, kept alive for in-flight thieves. The
+    /// boxes are required: thieves hold raw pointers into these buffers, so
+    /// their addresses must survive the Vec reallocating.
+    #[allow(clippy::vec_box)]
     retired: Cell<Vec<Box<Buffer<T>>>>,
 }
 

@@ -8,9 +8,9 @@
 use std::collections::VecDeque;
 use std::thread::{self, Thread};
 
-use crate::{MutexGuard, SpinLock};
 #[cfg(test)]
 use crate::Mutex;
+use crate::{MutexGuard, SpinLock};
 
 /// A condition variable.
 ///

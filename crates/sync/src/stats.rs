@@ -54,6 +54,12 @@ pub struct WorkerStats {
     pub steals: Counter,
     /// Steal attempts that found nothing (or lost a race).
     pub failed_steals: Counter,
+    /// Worksharing loop chunks this worker claimed and ran.
+    pub chunks: Counter,
+    /// Barrier episodes this worker waited in.
+    pub barrier_waits: Counter,
+    /// Total nanoseconds this worker spent waiting at barriers.
+    pub barrier_wait_ns: Counter,
 }
 
 /// Counters for a whole scheduler instance: one padded [`WorkerStats`] per
@@ -74,6 +80,12 @@ pub struct StatsSnapshot {
     pub steals: u64,
     /// Total failed steal attempts.
     pub failed_steals: u64,
+    /// Total worksharing chunks dispatched.
+    pub chunks: u64,
+    /// Total barrier episodes waited in (across workers).
+    pub barrier_waits: u64,
+    /// Total nanoseconds spent waiting at barriers (across workers).
+    pub barrier_wait_ns: u64,
 }
 
 impl SchedulerStats {
@@ -104,6 +116,9 @@ impl SchedulerStats {
             s.executed += w.executed.get();
             s.steals += w.steals.get();
             s.failed_steals += w.failed_steals.get();
+            s.chunks += w.chunks.get();
+            s.barrier_waits += w.barrier_waits.get();
+            s.barrier_wait_ns += w.barrier_wait_ns.get();
         }
         s
     }
@@ -115,6 +130,9 @@ impl SchedulerStats {
             w.executed.reset();
             w.steals.reset();
             w.failed_steals.reset();
+            w.chunks.reset();
+            w.barrier_waits.reset();
+            w.barrier_wait_ns.reset();
         }
     }
 }
@@ -139,9 +157,15 @@ mod tests {
         s.worker(0).spawned.add(2);
         s.worker(1).spawned.add(3);
         s.worker(2).steals.inc();
+        s.worker(0).chunks.add(7);
+        s.worker(1).barrier_waits.inc();
+        s.worker(1).barrier_wait_ns.add(1_234);
         let snap = s.snapshot();
         assert_eq!(snap.spawned, 5);
         assert_eq!(snap.steals, 1);
+        assert_eq!(snap.chunks, 7);
+        assert_eq!(snap.barrier_waits, 1);
+        assert_eq!(snap.barrier_wait_ns, 1_234);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

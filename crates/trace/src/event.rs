@@ -1,0 +1,114 @@
+//! The trace event model: compact fixed-size records of scheduler activity.
+
+/// What happened. Kinds mirror the runtime events the paper's analysis is
+/// phrased in (steals, chunk dispatches, barrier episodes, task creation,
+/// thread spawn cost) plus lock activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A named span opened on this worker (`a` = region name id).
+    RegionBegin = 0,
+    /// The most recent open span on this worker closed (`a` = name id).
+    RegionEnd = 1,
+    /// A worksharing/splitting loop chunk started executing (`a` = chunk
+    /// length in iterations).
+    ChunkDispatch = 2,
+    /// A task was created and queued (`a` = queue depth hint, optional).
+    TaskSpawn = 3,
+    /// A task was dequeued and executed.
+    TaskExec = 4,
+    /// A steal attempt succeeded (`a` = victim worker index).
+    Steal = 5,
+    /// A steal attempt found nothing or lost the race (`a` = victim index).
+    FailedSteal = 6,
+    /// This worker arrived at a barrier.
+    BarrierArrive = 7,
+    /// This worker was released from a barrier (`a` = wait nanoseconds).
+    BarrierRelease = 8,
+    /// A lock was acquired (uncontended fast path included).
+    LockAcquire = 9,
+    /// A lock acquisition had to wait for another holder.
+    LockContended = 10,
+    /// An OS thread was created on behalf of this worker (`a` = ordinal).
+    ThreadSpawn = 11,
+    /// An OS thread was joined (`a` = ordinal or count).
+    ThreadJoin = 12,
+}
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; 13] = [
+        EventKind::RegionBegin,
+        EventKind::RegionEnd,
+        EventKind::ChunkDispatch,
+        EventKind::TaskSpawn,
+        EventKind::TaskExec,
+        EventKind::Steal,
+        EventKind::FailedSteal,
+        EventKind::BarrierArrive,
+        EventKind::BarrierRelease,
+        EventKind::LockAcquire,
+        EventKind::LockContended,
+        EventKind::ThreadSpawn,
+        EventKind::ThreadJoin,
+    ];
+
+    /// Stable lowercase name (used in Chrome-trace output and summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RegionBegin => "region_begin",
+            EventKind::RegionEnd => "region_end",
+            EventKind::ChunkDispatch => "chunk_dispatch",
+            EventKind::TaskSpawn => "task_spawn",
+            EventKind::TaskExec => "task_exec",
+            EventKind::Steal => "steal",
+            EventKind::FailedSteal => "failed_steal",
+            EventKind::BarrierArrive => "barrier_arrive",
+            EventKind::BarrierRelease => "barrier_release",
+            EventKind::LockAcquire => "lock_acquire",
+            EventKind::LockContended => "lock_contended",
+            EventKind::ThreadSpawn => "thread_spawn",
+            EventKind::ThreadJoin => "thread_join",
+        }
+    }
+
+    /// Decodes a discriminant produced by `as u8`; `None` if out of range.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+}
+
+/// One recorded event. `a` and `b` are kind-specific payload words (see the
+/// [`EventKind`] variant docs); unused payloads are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_u8() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+}

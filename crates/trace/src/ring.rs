@@ -1,0 +1,185 @@
+//! A single-producer event ring buffer.
+//!
+//! Each worker thread owns one ring and is its only writer, so recording is
+//! wait-free: four relaxed atomic stores plus one release store of the head
+//! counter, no compare-and-swap, no sharing. When full, the ring overwrites
+//! its oldest events — tracing never blocks or allocates on the hot path.
+//!
+//! The collector drains rings only at quiescence (after the runtime switch
+//! is off and heads have stopped advancing, see `session.rs`). Per-field
+//! atomics keep concurrent access well-defined even if a straggler is still
+//! mid-record: the worst case is one garbled event at the wrap boundary, not
+//! undefined behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::{Event, EventKind};
+
+/// One event slot, field-atomic (see module docs).
+#[derive(Debug)]
+struct Slot {
+    ts_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            ts_ns: AtomicU64::new(0),
+            kind: AtomicU64::new(u64::MAX),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-capacity single-producer ring of [`Event`]s.
+#[derive(Debug)]
+pub struct Ring {
+    slots: Box<[Slot]>,
+    /// Total events ever recorded (not wrapped); slot index is `head % cap`.
+    head: AtomicU64,
+    /// Events overwritten because the ring wrapped.
+    dropped: AtomicU64,
+}
+
+impl Ring {
+    /// Creates a ring holding up to `capacity` events (rounded up to a power
+    /// of two, minimum 16).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(16).next_power_of_two();
+        Self {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one event. Must only be called by the owning thread.
+    #[inline]
+    pub fn push(&self, ev: Event) {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        if head >= cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = &self.slots[(head & (cap - 1)) as usize];
+        slot.ts_ns.store(ev.ts_ns, Ordering::Relaxed);
+        slot.kind.store(ev.kind as u64, Ordering::Relaxed);
+        slot.a.store(ev.a, Ordering::Relaxed);
+        slot.b.store(ev.b, Ordering::Relaxed);
+        // Publish: a drainer that observes head=n (Acquire) sees slot n-1.
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the retained events, oldest first. Call at quiescence.
+    pub fn drain(&self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for i in start..head {
+            let slot = &self.slots[(i & (cap - 1)) as usize];
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let Some(kind) = u8::try_from(kind).ok().and_then(EventKind::from_u8) else {
+                continue; // unwritten or garbled slot
+            };
+            out.push(Event {
+                ts_ns: slot.ts_ns.load(Ordering::Relaxed),
+                kind,
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            });
+        }
+        out
+    }
+
+    /// Forgets all retained events (the next drain sees only newer ones).
+    /// Call at quiescence.
+    pub fn clear(&self) {
+        // Mark every slot unwritten so a cleared ring drains empty even
+        // though `head` keeps counting monotonically.
+        for slot in self.slots.iter() {
+            slot.kind.store(u64::MAX, Ordering::Relaxed);
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: EventKind, a: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind,
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn push_and_drain_in_order() {
+        let r = Ring::new(16);
+        for i in 0..10 {
+            r.push(ev(i, EventKind::Steal, i));
+        }
+        let out = r.drain();
+        assert_eq!(out.len(), 10);
+        assert!(out.windows(2).all(|w| w[0].ts_ns < w[1].ts_ns));
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let r = Ring::new(16); // rounded to 16
+        for i in 0..40u64 {
+            r.push(ev(i, EventKind::TaskExec, i));
+        }
+        let out = r.drain();
+        assert_eq!(out.len(), 16);
+        assert_eq!(out.first().unwrap().ts_ns, 24);
+        assert_eq!(out.last().unwrap().ts_ns, 39);
+        assert_eq!(r.dropped(), 24);
+        assert_eq!(r.recorded(), 40);
+    }
+
+    #[test]
+    fn clear_empties_retained_events() {
+        let r = Ring::new(16);
+        for i in 0..5 {
+            r.push(ev(i, EventKind::Steal, 0));
+        }
+        r.clear();
+        assert!(r.drain().is_empty());
+        r.push(ev(99, EventKind::Steal, 0));
+        let out = r.drain();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts_ns, 99);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(Ring::new(0).capacity(), 16);
+        assert_eq!(Ring::new(17).capacity(), 32);
+        assert_eq!(Ring::new(1024).capacity(), 1024);
+    }
+}

@@ -76,9 +76,14 @@ where
     F: Fn(Range<usize>, &mut T) + Sync,
 {
     let reducer = Reducer::new(ctx.num_workers(), identity, combine);
-    par_for_ctx(ctx, range, grain, &|c: &WorkerCtx<'_>, chunk: Range<usize>| {
-        reducer.with(c.index(), |acc| body(chunk.clone(), acc));
-    });
+    par_for_ctx(
+        ctx,
+        range,
+        grain,
+        &|c: &WorkerCtx<'_>, chunk: Range<usize>| {
+            reducer.with(c.index(), |acc| body(chunk.clone(), acc));
+        },
+    );
     reducer.finish()
 }
 

@@ -66,6 +66,8 @@ where
     F: Fn(Range<usize>) + Sync,
 {
     if range.len() <= grain {
+        ctx.stats().chunks.inc();
+        tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, range.len() as u64, 0);
         body(range);
         return;
     }
@@ -93,6 +95,8 @@ where
     F: for<'c> Fn(&WorkerCtx<'c>, Range<usize>) + Sync,
 {
     if range.len() <= grain {
+        ctx.stats().chunks.inc();
+        tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, range.len() as u64, 0);
         body(ctx, range);
         return;
     }

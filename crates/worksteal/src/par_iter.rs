@@ -109,9 +109,7 @@ mod tests {
     #[test]
     fn par_map_non_copy_results() {
         let rt = Runtime::new(2);
-        let out = rt.install(|ctx| {
-            par_map(ctx, &[1, 2, 3], Grain::Fixed(1), |&x| format!("v{x}"))
-        });
+        let out = rt.install(|ctx| par_map(ctx, &[1, 2, 3], Grain::Fixed(1), |&x| format!("v{x}")));
         assert_eq!(out, vec!["v1", "v2", "v3"]);
     }
 

@@ -206,6 +206,7 @@ impl<'w> WorkerCtx<'w> {
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job);
         self.stats().spawned.inc();
+        tpm_trace::record(tpm_trace::EventKind::TaskSpawn, 0, 0);
         self.rt.wake_one();
     }
 
@@ -236,6 +237,7 @@ impl<'w> WorkerCtx<'w> {
                 match self.rt.stealers[v].steal() {
                     Steal::Success(job) => {
                         self.stats().steals.inc();
+                        tpm_trace::record(tpm_trace::EventKind::Steal, v as u64, 0);
                         return Some(job);
                     }
                     Steal::Retry => continue,
@@ -243,6 +245,7 @@ impl<'w> WorkerCtx<'w> {
                 }
             }
             self.stats().failed_steals.inc();
+            tpm_trace::record(tpm_trace::EventKind::FailedSteal, v as u64, 0);
         }
         self.rt.injector.steal_top()
     }
@@ -250,6 +253,7 @@ impl<'w> WorkerCtx<'w> {
     /// Executes `job`, counting it.
     pub(crate) fn execute(&self, job: JobRef) {
         self.stats().executed.inc();
+        tpm_trace::record(tpm_trace::EventKind::TaskExec, 0, 0);
         job.execute(self);
     }
 

@@ -46,7 +46,8 @@ impl<'s, 'w> Scope<'s, 'w> {
         // spawned task decremented the latch.
         let boxed: Box<dyn for<'c> FnOnce(&WorkerCtx<'c>) + Send + 'static> =
             unsafe { std::mem::transmute(boxed) };
-        self.ctx.push(HeapJob::into_job_ref(move |ctx: &WorkerCtx<'_>| boxed(ctx)));
+        self.ctx
+            .push(HeapJob::into_job_ref(move |ctx: &WorkerCtx<'_>| boxed(ctx)));
     }
 
     /// The spawning worker's context.

@@ -29,7 +29,10 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
     let exec = Executor::new(threads);
-    println!("{:>12} {:>12} {:>8} {:>8}", "variant", "time", "levels", "correct");
+    println!(
+        "{:>12} {:>12} {:>8} {:>8}",
+        "variant", "time", "levels", "correct"
+    );
     for model in Model::ALL {
         let t = Instant::now();
         let (cost, levels) = bfs.run(&exec, model, &graph);

@@ -17,14 +17,20 @@ fn main() {
     let omp = parallelism(Api::OpenMp);
     println!(
         "- OpenMP covers all four parallelism patterns: {}",
-        omp.data.supported() && omp.task.supported() && omp.event.supported() && omp.offload.supported()
+        omp.data.supported()
+            && omp.task.supported()
+            && omp.event.supported()
+            && omp.offload.supported()
     );
     let apis_with_barrier: Vec<&str> = Api::ALL
         .iter()
         .filter(|a| memory_sync(**a).barrier.supported())
         .map(|a| a.name())
         .collect();
-    println!("- APIs with a barrier construct: {}", apis_with_barrier.join(", "));
+    println!(
+        "- APIs with a barrier construct: {}",
+        apis_with_barrier.join(", ")
+    );
     let task_only: Vec<&str> = Api::ALL
         .iter()
         .filter(|a| {
@@ -33,5 +39,8 @@ fn main() {
         })
         .map(|a| a.name())
         .collect();
-    println!("- Task/thread-only APIs (no data-parallel construct): {}", task_only.join(", "));
+    println!(
+        "- Task/thread-only APIs (no data-parallel construct): {}",
+        task_only.join(", ")
+    );
 }

@@ -17,7 +17,10 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
     println!("Summing {N} elements under all six variants ({threads} threads)\n");
-    println!("{:>12} {:>12} {:>10} {:>8}", "variant", "time", "result ok", "family");
+    println!(
+        "{:>12} {:>12} {:>10} {:>8}",
+        "variant", "time", "result ok", "family"
+    );
 
     let exec = Executor::new(threads);
     for model in Model::ALL {

@@ -22,7 +22,12 @@ fn main() {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         // One thread prints; others wait at the implicit barrier.
-        ctx.single(|| println!("  worksharing visited {} iterations", hits.load(Ordering::Relaxed)));
+        ctx.single(|| {
+            println!(
+                "  worksharing visited {} iterations",
+                hits.load(Ordering::Relaxed)
+            )
+        });
         // Explicit tasks with a taskwait.
         ctx.single(|| {
             ctx.task_scope(|s| {
@@ -52,7 +57,11 @@ fn main() {
     println!("== tpm-worksteal (Cilk-Plus-like) ==");
     let rt = Runtime::new(4);
     let (left, right) = rt.install(|ctx| {
-        worksteal::join(ctx, |_| (0..500u64).sum::<u64>(), |_| (500..1000u64).sum::<u64>())
+        worksteal::join(
+            ctx,
+            |_| (0..500u64).sum::<u64>(),
+            |_| (500..1000u64).sum::<u64>(),
+        )
     });
     println!("  join: {left} + {right} = {}", left + right);
     let total = rt.install(|ctx| {
@@ -89,7 +98,12 @@ fn main() {
     let budget = rawthreads::ThreadBudget::new(128);
     match rawthreads::fib_thread_per_call(20, &budget) {
         Ok(v) => println!("  naive fib(20) unexpectedly finished: {v}"),
-        Err(e) => println!("  naive thread-per-call fib(20): {e} (the paper: \"the system hangs\")"),
+        Err(e) => {
+            println!("  naive thread-per-call fib(20): {e} (the paper: \"the system hangs\")")
+        }
     }
-    println!("  fib(20) with BASE cutoff: {}", rawthreads::fib_with_cutoff(20, 12));
+    println!(
+        "  fib(20) with BASE cutoff: {}",
+        rawthreads::fib_with_cutoff(20, 12)
+    );
 }

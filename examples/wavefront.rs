@@ -73,9 +73,7 @@ fn main() {
     // value[i][j] = C(i + j, i).
     let corner = table[tiles * tiles - 1].load(Ordering::Relaxed);
     let expect = binomial(2 * (tiles as u64 - 1), tiles as u64 - 1);
-    println!(
-        "{tiles}x{tiles} wavefront of dependent tasks finished in {elapsed:.2?}"
-    );
+    println!("{tiles}x{tiles} wavefront of dependent tasks finished in {elapsed:.2?}");
     println!("corner value = {corner} (expected C(2(n-1), n-1) = {expect})");
     assert_eq!(corner, expect, "dependency ordering must hold");
     println!("dependency ordering verified: every tile saw completed neighbors");

@@ -1,0 +1,235 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, used because this workspace builds in offline environments with
+//! no registry access.
+//!
+//! It implements exactly the API subset the `tpm-bench` targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], the group tuning knobs, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a plain
+//! median-of-samples wall-clock timer. Numbers are printed per benchmark as
+//! `group/function  median  (min .. max)`; there is no statistical analysis,
+//! HTML report, or baseline comparison. Swap back to the real crate by
+//! repointing the workspace dependency when a registry is available.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement abstraction (only wall time is provided).
+pub mod measurement {
+    /// Marker trait for measurement kinds; the shim measures wall time only.
+    pub trait Measurement {}
+
+    /// Wall-clock measurement (the default and only kind here).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+use measurement::WallTime;
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: std::marker::PhantomData,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Compatibility no-op (the real crate reads CLI filters here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of benchmarks sharing tuning settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M: measurement::Measurement> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M: measurement::Measurement> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to warm up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the routine to time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, &id);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times a user-provided routine; handed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Per-sample mean nanoseconds per iteration.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`: warms up, then takes `sample_size` samples sized so
+    /// all samples together roughly fill the measurement window.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            self.samples.push(ns / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples (bencher.iter was not called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{group}/{id}: median {} (min {} .. max {})",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a single named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end tests for the tracing subsystem against the real runtimes:
+//! events recorded concurrently by worker threads during `join`/`par_for`
+//! and forkjoin worksharing must survive the drain, the Chrome-trace JSON
+//! must be structurally valid, and tracing must be free when off.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tpm_forkjoin::{Schedule, Team};
+use tpm_trace::{EventKind, TraceSession};
+use tpm_worksteal::{join, par_for, Grain, Runtime};
+
+/// Serializes the tests in this binary. Sessions already serialize against
+/// each other, but a concurrently-running test here would otherwise record
+/// into another test's session (or, for the overhead test, find tracing
+/// unexpectedly enabled).
+static GATE: Mutex<()> = Mutex::new(());
+
+fn fib(ctx: &tpm_worksteal::WorkerCtx<'_>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(ctx, |c| fib(c, n - 1), |c| fib(c, n - 2));
+    a + b
+}
+
+#[test]
+fn worksteal_join_and_par_for_record_from_multiple_workers() {
+    let _gate = GATE.lock().unwrap();
+    let rt = Runtime::new(4);
+    let session = TraceSession::start();
+    let hits = std::sync::atomic::AtomicUsize::new(0);
+    rt.install(|ctx| {
+        par_for(ctx, 0..10_000, Grain::Fixed(64), &|chunk| {
+            hits.fetch_add(chunk.len(), std::sync::atomic::Ordering::Relaxed);
+        });
+        fib(ctx, 16)
+    });
+    let trace = session.stop();
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 10_000);
+
+    let ws_workers: Vec<_> = trace
+        .workers
+        .iter()
+        .filter(|w| w.name.starts_with("tpm-worksteal"))
+        .collect();
+    assert!(
+        ws_workers.len() >= 2,
+        "expected events from >=2 workers, got {:?}",
+        trace.workers.iter().map(|w| &w.name).collect::<Vec<_>>()
+    );
+    let summary = trace.summary();
+    assert!(
+        summary.total(EventKind::ChunkDispatch) > 0,
+        "par_for chunks"
+    );
+    assert!(summary.total(EventKind::TaskSpawn) > 0, "join spawns");
+    assert!(summary.total(EventKind::TaskExec) > 0, "executed jobs");
+    // Timestamps within each worker must be monotone (drain preserves order).
+    for w in &trace.workers {
+        assert!(
+            w.events.windows(2).all(|p| p[0].ts_ns <= p[1].ts_ns),
+            "worker {} events out of order",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn forkjoin_worksharing_records_chunks_and_barriers() {
+    let _gate = GATE.lock().unwrap();
+    let team = Team::new(4);
+    let session = TraceSession::start();
+    team.parallel(|ctx| {
+        ctx.ws_for(Schedule::Dynamic { chunk: 16 }, 0..4_096, |i| {
+            std::hint::black_box(i);
+        });
+        ctx.barrier();
+    });
+    let trace = session.stop();
+    let summary = trace.summary();
+    assert!(summary.total(EventKind::ChunkDispatch) > 0, "chunk events");
+    assert!(
+        summary.total(EventKind::BarrierRelease) > 0,
+        "barrier events"
+    );
+    assert!(summary.total(EventKind::RegionBegin) > 0, "region span");
+    assert!(trace.worker_count() >= 2, "parallel region uses the team");
+}
+
+#[test]
+fn chrome_json_is_structurally_valid() {
+    let _gate = GATE.lock().unwrap();
+    let rt = Runtime::new(3);
+    let session = TraceSession::start();
+    rt.install(|ctx| fib(ctx, 14));
+    let trace = session.stop();
+    let json = trace.chrome_json();
+
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+    assert!(json.contains("\"traceEvents\":["));
+    assert!(json.contains("thread_name"), "worker name metadata");
+    assert_eq!(
+        json.matches("\"ph\":\"B\"").count(),
+        json.matches("\"ph\":\"E\"").count(),
+        "duration begin/end events must pair up"
+    );
+    assert_balanced(&json);
+}
+
+/// Checks brace/bracket balance and string termination — enough to catch
+/// any escaping or truncation bug in the hand-rolled serializer.
+fn assert_balanced(json: &str) {
+    let (mut depth_obj, mut depth_arr) = (0i64, 0i64);
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        assert!(depth_obj >= 0 && depth_arr >= 0, "negative nesting depth");
+    }
+    assert!(!in_str, "unterminated string");
+    assert_eq!(depth_obj, 0, "unbalanced braces");
+    assert_eq!(depth_arr, 0, "unbalanced brackets");
+}
+
+#[test]
+fn disabled_record_is_nearly_free() {
+    let _gate = GATE.lock().unwrap();
+    // No session is active (the gate guarantees it), so every record() call
+    // short-circuits on the enabled check. One million calls should cost
+    // single-digit milliseconds; the 100ms budget leaves room for a loaded CI
+    // machine while still catching an accidental always-on slow path.
+    let t0 = Instant::now();
+    for i in 0..1_000_000u64 {
+        tpm_trace::record(EventKind::TaskSpawn, i, 0);
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_millis() < 100,
+        "1M disabled record() calls took {elapsed:?}"
+    );
+}
+
+#[test]
+fn tracing_overhead_on_fib_is_bounded() {
+    let _gate = GATE.lock().unwrap();
+    let rt = Runtime::new(4);
+    let run = |rt: &Runtime| {
+        let t0 = Instant::now();
+        let v = rt.install(|ctx| fib(ctx, 20));
+        (t0.elapsed(), v)
+    };
+    // Warm up the pool, then time with tracing off and on. The bound is
+    // deliberately loose — this is a smoke test against pathological
+    // regressions (e.g. taking a lock per event), not a benchmark.
+    let _ = run(&rt);
+    let (off, v_off) = run(&rt);
+    let session = TraceSession::start();
+    let (on, v_on) = run(&rt);
+    let trace = session.stop();
+    assert_eq!(v_off, v_on);
+    assert!(trace.total_events() > 0);
+    let budget = off * 25 + std::time::Duration::from_millis(250);
+    assert!(
+        on < budget,
+        "tracing-on fib took {on:?}, tracing-off {off:?} (budget {budget:?})"
+    );
+}
