@@ -32,12 +32,14 @@ fn taskmodes(c: &mut Criterion) {
         BENCH_THREADS,
         TeamConfig {
             task_mode: TaskMode::WorkFirst,
+            ..TeamConfig::default()
         },
     );
     let bf = Team::with_config(
         BENCH_THREADS,
         TeamConfig {
             task_mode: TaskMode::BreadthFirst,
+            ..TeamConfig::default()
         },
     );
     let mut g = c.benchmark_group("ablation_taskmode/512_tasks");

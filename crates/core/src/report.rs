@@ -6,8 +6,12 @@
 pub struct Series {
     /// Curve label (usually a `Model` name).
     pub label: String,
-    /// `(thread count, execution time in seconds)` samples.
+    /// `(thread count, execution time in seconds)` samples (the median when
+    /// the point was measured with repetitions).
     pub points: Vec<(usize, f64)>,
+    /// `(thread count, stddev in seconds)` spread of the repetitions behind
+    /// each point. Empty when only medians were recorded.
+    pub stddevs: Vec<(usize, f64)>,
 }
 
 impl Series {
@@ -16,12 +20,27 @@ impl Series {
         Self {
             label: label.into(),
             points: Vec::new(),
+            stddevs: Vec::new(),
         }
     }
 
     /// Appends a sample.
     pub fn push(&mut self, threads: usize, seconds: f64) {
         self.points.push((threads, seconds));
+    }
+
+    /// Appends a sample with its repetition spread.
+    pub fn push_with_stddev(&mut self, threads: usize, median_s: f64, stddev_s: f64) {
+        self.points.push((threads, median_s));
+        self.stddevs.push((threads, stddev_s));
+    }
+
+    /// Stddev at a specific thread count, if recorded.
+    pub fn stddev_at(&self, threads: usize) -> Option<f64> {
+        self.stddevs
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .map(|&(_, s)| s)
     }
 
     /// Time at a specific thread count, if sampled.
@@ -136,6 +155,8 @@ pub struct ProfileRow {
     pub failed_steals: u64,
     /// Loop chunks dispatched.
     pub chunks: u64,
+    /// Shared-counter claim transactions for dynamic/guided loops.
+    pub loop_claims: u64,
     /// Barrier wait episodes.
     pub barrier_waits: u64,
     /// Total nanoseconds spent waiting at barriers.
@@ -177,7 +198,7 @@ impl ProfileTable {
         let _ = writeln!(out, "# {}", self.title);
         let _ = writeln!(
             out,
-            "{:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>11} {:>8} {:>7}",
+            "{:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11} {:>8} {:>7}",
             "model",
             "seconds",
             "spawned",
@@ -185,6 +206,7 @@ impl ProfileTable {
             "steals",
             "failed",
             "chunks",
+            "claims",
             "barriers",
             "barrier_ms",
             "events",
@@ -193,7 +215,7 @@ impl ProfileTable {
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:>12} {:>10.6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>11.3} {:>8} {:>7}",
+                "{:>12} {:>10.6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11.3} {:>8} {:>7}",
                 r.model,
                 r.seconds,
                 r.spawned,
@@ -201,6 +223,7 @@ impl ProfileTable {
                 r.steals,
                 r.failed_steals,
                 r.chunks,
+                r.loop_claims,
                 r.barrier_waits,
                 r.barrier_wait_ns as f64 / 1e6,
                 r.trace_events,

@@ -2,7 +2,7 @@
 //! [`Figure`] — the experimental procedure behind every figure in the paper.
 
 use crate::report::{Figure, Series};
-use crate::timing::median_time;
+use crate::timing::{median_of, median_time, sample_times, stddev_of};
 use crate::{Executor, Model};
 
 /// A thread-sweep configuration.
@@ -45,8 +45,8 @@ impl Sweep {
         for &p in &self.threads {
             let exec = Executor::new(p);
             for (m, s) in models.iter().zip(series.iter_mut()) {
-                let d = median_time(self.warmup, self.reps, || run(&exec, *m));
-                s.push(p, d.as_secs_f64());
+                let samples = sample_times(self.warmup, self.reps, || run(&exec, *m));
+                s.push_with_stddev(p, median_of(&samples).as_secs_f64(), stddev_of(&samples));
             }
         }
         fig.series = series;

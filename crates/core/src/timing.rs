@@ -27,6 +27,43 @@ pub fn median_time(warmup: usize, reps: usize, mut f: impl FnMut()) -> Duration 
     samples[samples.len() / 2]
 }
 
+/// Runs `f` `reps` times (after `warmup` discarded runs) and returns every
+/// timed sample, unsorted. Callers derive whichever statistic they need —
+/// [`median_of`] for the figure tables, [`stddev_of`] for the machine-
+/// readable benchmark output.
+pub fn sample_times(warmup: usize, reps: usize, mut f: impl FnMut()) -> Vec<Duration> {
+    assert!(reps >= 1);
+    for _ in 0..warmup {
+        f();
+    }
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect()
+}
+
+/// Median of a sample set (the smaller-middle element for even counts).
+pub fn median_of(samples: &[Duration]) -> Duration {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Population standard deviation of a sample set, in seconds.
+pub fn stddev_of(samples: &[Duration]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let var = secs.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / secs.len() as f64;
+    var.sqrt()
+}
+
 /// Formats a duration in engineering units (`ns`/`µs`/`ms`/`s`).
 pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -60,6 +97,19 @@ mod tests {
         });
         assert_eq!(calls, 6);
         let _ = d;
+    }
+
+    #[test]
+    fn sample_stats() {
+        let samples = vec![
+            Duration::from_millis(10),
+            Duration::from_millis(30),
+            Duration::from_millis(20),
+        ];
+        assert_eq!(median_of(&samples), Duration::from_millis(20));
+        let sd = stddev_of(&samples);
+        assert!((sd - 0.008165).abs() < 1e-4, "{sd}");
+        assert_eq!(stddev_of(&samples[..1]), 0.0);
     }
 
     #[test]

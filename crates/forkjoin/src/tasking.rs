@@ -15,7 +15,7 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
-use tpm_sync::{Backoff, CountLatch};
+use tpm_sync::{CountLatch, IdleStrategy};
 
 use crate::team::Ctx;
 
@@ -99,12 +99,14 @@ impl<'c, 'a> TaskScope<'c, 'a> {
 }
 
 fn drain(ctx: &Ctx<'_>, latch: &CountLatch) {
-    let backoff = Backoff::new();
+    // Latch completion has no unpark path, so the shared idle policy runs in
+    // its no-park mode.
+    let idle = IdleStrategy::runtime_default();
     while !latch.probe() {
         if ctx.execute_one_task() {
-            backoff.reset();
+            idle.reset();
         } else {
-            backoff.snooze();
+            idle.snooze_no_park();
         }
     }
 }
@@ -162,6 +164,7 @@ mod tests {
             4,
             TeamConfig {
                 task_mode: TaskMode::BreadthFirst,
+                ..TeamConfig::default()
             },
         );
         let hits = AtomicU64::new(0);
@@ -311,6 +314,7 @@ mod tests {
             1,
             TeamConfig {
                 task_mode: TaskMode::BreadthFirst,
+                ..TeamConfig::default()
             },
         );
         let order = std::sync::Mutex::new(Vec::new());

@@ -23,17 +23,27 @@ use tpm_sync::{
 use crate::tasking::{TaskMode, TaskRef, TaskScope};
 use crate::worksharing::{static_chunks, LoopCounter, Schedule};
 
+/// Most chunks one dynamic-schedule claim may batch (see
+/// [`LoopCounter::next_dynamic_batch`]); bounds the work a stalled thread
+/// can sit on to `DYNAMIC_BATCH_CHUNKS · chunk` iterations.
+const DYNAMIC_BATCH_CHUNKS: usize = 8;
+
 /// Configuration for a [`Team`].
 #[derive(Debug, Clone, Copy)]
 pub struct TeamConfig {
     /// Task-scheduling discipline (the paper's work-first vs breadth-first).
     pub task_mode: TaskMode,
+    /// Pin worker `tid` to core `tid % cores` (OpenMP's `OMP_PROC_BIND`
+    /// analogue). The master is the caller's thread and is never pinned.
+    /// Defaults to the `TPM_PIN` environment variable.
+    pub pin: bool,
 }
 
 impl Default for TeamConfig {
     fn default() -> Self {
         Self {
             task_mode: TaskMode::WorkFirst,
+            pin: tpm_sync::affinity::pin_from_env(),
         }
     }
 }
@@ -237,7 +247,9 @@ impl<'a> Ctx<'a> {
             }
             true
         };
-        match schedule {
+        // `Auto` is resolved here, where the loop shape and team width are
+        // both known; every arm below sees a concrete schedule.
+        match schedule.resolve(range.len(), n) {
             Schedule::Static { chunk } => {
                 for c in static_chunks(range, self.tid, n, chunk) {
                     if !guarded(c) {
@@ -247,20 +259,44 @@ impl<'a> Ctx<'a> {
             }
             Schedule::Dynamic { chunk } => {
                 let counter = self.ws_counter_for(range);
-                while let Some(c) = counter.next_dynamic(chunk) {
-                    if !guarded(c) {
-                        break;
+                let chunk = chunk.max(1);
+                // Each shared-counter transaction claims up to
+                // DYNAMIC_BATCH_CHUNKS chunks at once; the batch is served
+                // thread-locally so the counter is touched once per batch,
+                // not once per chunk (and the exhausted probe is a plain
+                // load, not an RMW).
+                'claims: loop {
+                    self.stats().loop_claims.inc();
+                    match counter.next_dynamic_batch(chunk, n, DYNAMIC_BATCH_CHUNKS) {
+                        Some(batch) => {
+                            let mut start = batch.start;
+                            while start < batch.end {
+                                let c = start..(start + chunk).min(batch.end);
+                                start = c.end;
+                                if !guarded(c) {
+                                    break 'claims;
+                                }
+                            }
+                        }
+                        None => break,
                     }
                 }
             }
             Schedule::Guided { min_chunk } => {
                 let counter = self.ws_counter_for(range);
-                while let Some(c) = counter.next_guided(n, min_chunk) {
-                    if !guarded(c) {
-                        break;
+                loop {
+                    self.stats().loop_claims.inc();
+                    match counter.next_guided(n, min_chunk) {
+                        Some(c) => {
+                            if !guarded(c) {
+                                break;
+                            }
+                        }
+                        None => break,
                     }
                 }
             }
+            Schedule::Auto => unreachable!("Auto resolved to a concrete schedule above"),
         }
         self.barrier();
     }
@@ -291,9 +327,9 @@ impl<'a> Ctx<'a> {
             unsafe { *self.region.ws_counter.get() = Some(LoopCounter::new(range)) };
             self.region.ws_init.store(seq, Ordering::Release);
         } else {
-            let backoff = tpm_sync::Backoff::new();
+            let idle = tpm_sync::IdleStrategy::runtime_default();
             while self.region.ws_init.load(Ordering::Acquire) < seq {
-                backoff.snooze();
+                idle.snooze_no_park();
             }
         }
         // SAFETY: initialized (ws_init >= seq) and not replaced until after
@@ -481,12 +517,18 @@ impl Team {
             stats: SchedulerStats::new(num_threads),
             task_mode: config.task_mode,
         });
+        let pin = config.pin;
         let handles = (1..num_threads)
             .map(|tid| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("tpm-forkjoin-{tid}"))
-                    .spawn(move || worker_loop(&inner, tid))
+                    .spawn(move || {
+                        if pin {
+                            tpm_sync::affinity::pin_current_thread(tid);
+                        }
+                        worker_loop(&inner, tid)
+                    })
                     .expect("failed to spawn team worker")
             })
             .collect();
@@ -728,6 +770,7 @@ mod tests {
             Schedule::Static { chunk: Some(3) },
             Schedule::Dynamic { chunk: 5 },
             Schedule::Guided { min_chunk: 2 },
+            Schedule::Auto,
         ] {
             let flags: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
             team.parallel(|ctx| {

@@ -10,12 +10,15 @@ use crate::native::NativeConfig;
 
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "usage: tpm-harness <experiment> [kernel] [--native] [--threads 1,2,4] \
-[--reps N] [--scale S] [--trace out.json]
+[--reps N] [--scale S] [--trace out.json] [--json-out bench.json] [--pin]
 experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate profile
   profile [kernel]   run one kernel (sum|axpy|fib) under every model and
                      print side-by-side scheduler-event summaries
   --trace out.json   capture a scheduler trace of the run and write
-                     Chrome-trace JSON loadable in Perfetto";
+                     Chrome-trace JSON loadable in Perfetto
+  --json-out f.json  write machine-readable per-kernel/per-model results
+                     (median + stddev seconds) for figure experiments
+  --pin              pin runtime worker threads to cores (TPM_PIN=1)";
 
 /// Parsed command line.
 #[derive(Debug, Clone)]
@@ -30,6 +33,10 @@ pub struct Cli {
     pub cfg: NativeConfig,
     /// Write a Chrome-trace JSON of the run here.
     pub trace: Option<PathBuf>,
+    /// Write machine-readable benchmark results (figure experiments) here.
+    pub json_out: Option<PathBuf>,
+    /// Pin runtime worker threads to cores (sets `TPM_PIN=1`).
+    pub pin: bool,
 }
 
 /// Parses `args` (without the program name). On error, the message already
@@ -43,6 +50,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut native = false;
     let mut cfg = NativeConfig::default();
     let mut trace = None;
+    let mut json_out = None;
+    let mut pin = false;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -83,6 +92,11 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 let v = flag_value(args, &mut i, "--trace")?;
                 trace = Some(PathBuf::from(v));
             }
+            "--json-out" => {
+                let v = flag_value(args, &mut i, "--json-out")?;
+                json_out = Some(PathBuf::from(v));
+            }
+            "--pin" => pin = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -101,6 +115,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         native,
         cfg,
         trace,
+        json_out,
+        pin,
     })
 }
 
@@ -140,6 +156,21 @@ mod tests {
             cli.trace.as_deref(),
             Some(std::path::Path::new("/tmp/out.json"))
         );
+    }
+
+    #[test]
+    fn parses_json_out_and_pin() {
+        let cli = p(&["figures", "--native", "--json-out", "BENCH_2.json", "--pin"]).unwrap();
+        assert_eq!(
+            cli.json_out.as_deref(),
+            Some(std::path::Path::new("BENCH_2.json"))
+        );
+        assert!(cli.pin);
+        assert!(p(&["figures", "--json-out"])
+            .unwrap_err()
+            .contains("requires a value"));
+        let plain = p(&["figures"]).unwrap();
+        assert!(plain.json_out.is_none() && !plain.pin);
     }
 
     #[test]

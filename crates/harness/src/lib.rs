@@ -18,5 +18,6 @@
 pub mod calibrate;
 pub mod cli;
 pub mod experiments;
+pub mod json;
 pub mod native;
 pub mod profile;

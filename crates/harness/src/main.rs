@@ -26,7 +26,15 @@ fn run(cli: &Cli) -> i32 {
         native: use_native,
         cfg,
         trace,
+        json_out,
+        pin,
     } = cli;
+
+    if *pin {
+        // The runtimes consult TPM_PIN when they spawn workers; the flag is
+        // just the CLI spelling of the env knob.
+        std::env::set_var("TPM_PIN", "1");
+    }
 
     type SimFig = fn() -> tpm_core::Figure;
     let sim_figs: [(usize, SimFig); 10] = [
@@ -88,10 +96,16 @@ fn run(cli: &Cli) -> i32 {
         }
     };
 
+    // Figures collected for --json-out (only filled when requested).
+    let collected: std::cell::RefCell<Vec<tpm_core::Figure>> = std::cell::RefCell::new(Vec::new());
+
     let run_fig = |no: usize| {
         if *use_native {
             let f = native_figs[no - 1].1(cfg);
             println!("{}", f.to_table());
+            if json_out.is_some() {
+                collected.borrow_mut().push(f);
+            }
         } else {
             let f = sim_figs[no - 1].1();
             println!("{}", f.to_table());
@@ -103,6 +117,29 @@ fn run(cli: &Cli) -> i32 {
                     println!("[check] VIOLATION: {v}");
                 }
                 println!();
+            }
+            if json_out.is_some() {
+                collected.borrow_mut().push(f);
+            }
+        }
+    };
+
+    // Writes the collected figures to --json-out (no-op when not requested).
+    let write_json = |code: i32| -> i32 {
+        let Some(path) = json_out else { return code };
+        if code != 0 {
+            return code;
+        }
+        let figs = collected.borrow();
+        let body = tpm_harness::json::run_json(experiment, *use_native, *pin, cfg, &figs);
+        match std::fs::write(path, body) {
+            Ok(()) => {
+                println!("[json] {} figure(s) -> {}", figs.len(), path.display());
+                0
+            }
+            Err(e) => {
+                eprintln!("error: cannot write json file {}: {e}", path.display());
+                1
             }
         }
     };
@@ -156,11 +193,14 @@ fn run(cli: &Cli) -> i32 {
             println!("{}", tpm_features::table3());
             0
         }
-        "figures" => traced(&|| {
-            for no in 1..=10 {
-                run_fig(no);
-            }
-        }),
+        "figures" => {
+            let code = traced(&|| {
+                for no in 1..=10 {
+                    run_fig(no);
+                }
+            });
+            write_json(code)
+        }
         f if f.starts_with("fig") => {
             let no: usize = f[3..].parse().unwrap_or(0);
             if !(1..=10).contains(&no) {
@@ -168,7 +208,8 @@ fn run(cli: &Cli) -> i32 {
                 eprintln!("{}", cli::USAGE);
                 return 2;
             }
-            traced(&|| run_fig(no))
+            let code = traced(&|| run_fig(no));
+            write_json(code)
         }
         "check" => {
             let mut all_ok = true;
@@ -194,11 +235,12 @@ fn run(cli: &Cli) -> i32 {
             println!("{}", tpm_features::table1());
             println!("{}", tpm_features::table2());
             println!("{}", tpm_features::table3());
-            traced(&|| {
+            let code = traced(&|| {
                 for no in 1..=10 {
                     run_fig(no);
                 }
-            })
+            });
+            write_json(code)
         }
         other => {
             eprintln!("error: unknown experiment {other}");

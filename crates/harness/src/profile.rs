@@ -18,8 +18,8 @@ use crate::native::NativeConfig;
 /// Kernel names accepted by [`run`].
 pub const KERNELS: [&str; 3] = ["sum", "axpy", "fib"];
 
-/// One profiled run: a model and the closure that executes its version.
-type ModelRun = (Model, Box<dyn Fn(&Executor)>);
+/// One profiled run: a row label and the closure that executes its version.
+type ModelRun = (String, Box<dyn Fn(&Executor)>);
 
 /// Runs `kernel` under every applicable model on the largest thread count in
 /// `cfg.threads`, returning the per-model comparison table. When `trace_dir`
@@ -37,16 +37,43 @@ pub fn run(
         "sum" => {
             let k = Sum::native(200_000 * cfg.scale);
             let x = k.alloc();
-            Model::ALL
+            let mut runs: Vec<ModelRun> = Model::ALL
                 .into_iter()
                 .map(|m| {
                     let x = x.clone();
                     let f: Box<dyn Fn(&Executor)> = Box::new(move |e: &Executor| {
                         std::hint::black_box(k.run(e, m, &x));
                     });
-                    (m, f)
+                    (m.name().to_string(), f)
                 })
-                .collect()
+                .collect();
+            // An extra worksharing row under the *dynamic* schedule, so the
+            // table also shows shared-counter claim traffic (the `claims`
+            // column) next to the static schedule's zero-coordination row.
+            let n = k.n;
+            let a = k.a;
+            runs.push((
+                "omp_dyn".to_string(),
+                Box::new(move |e: &Executor| {
+                    let x = &x;
+                    let total = e.team().parallel_for_reduce(
+                        e.threads(),
+                        tpm_forkjoin::Schedule::Dynamic { chunk: 64 },
+                        0..n,
+                        || 0.0f64,
+                        |l, r| l + r,
+                        |chunk, acc| {
+                            let mut local = 0.0;
+                            for &xi in &x[chunk] {
+                                local += a * xi;
+                            }
+                            *acc += local;
+                        },
+                    );
+                    std::hint::black_box(total);
+                }),
+            ));
+            runs
         }
         "axpy" => {
             let k = Axpy::native(200_000 * cfg.scale);
@@ -62,7 +89,7 @@ pub fn run(
                         k.run(e, m, &x, &mut y);
                         std::hint::black_box(&y);
                     });
-                    (m, f)
+                    (m.name().to_string(), f)
                 })
                 .collect()
         }
@@ -71,19 +98,19 @@ pub fn run(
             let k = Fib::native(n);
             vec![
                 (
-                    Model::OmpTask,
+                    Model::OmpTask.name().to_string(),
                     Box::new(move |e: &Executor| {
                         std::hint::black_box(k.run_omp_task(e.team()));
                     }) as Box<dyn Fn(&Executor)>,
                 ),
                 (
-                    Model::CilkSpawn,
+                    Model::CilkSpawn.name().to_string(),
                     Box::new(move |e: &Executor| {
                         std::hint::black_box(k.run_cilk_spawn(e.worksteal()));
                     }),
                 ),
                 (
-                    Model::CxxAsync,
+                    Model::CxxAsync.name().to_string(),
                     Box::new(move |_e: &Executor| {
                         std::hint::black_box(k.run_cxx_async());
                     }),
@@ -98,7 +125,7 @@ pub fn run(
         }
     };
 
-    for (model, body) in runs {
+    for (label, body) in runs {
         // Warm both runtimes' pools so the profiled run measures scheduling,
         // not first-touch effects.
         body(&exec);
@@ -115,13 +142,14 @@ pub fn run(
         let ws = exec.worksteal().stats().snapshot();
         let summary = trace.summary();
         table.push(ProfileRow {
-            model: model.name().to_string(),
+            model: label.clone(),
             seconds,
             spawned: team.spawned + ws.spawned,
             executed: team.executed + ws.executed,
             steals: team.steals + ws.steals,
             failed_steals: team.failed_steals + ws.failed_steals,
             chunks: team.chunks + ws.chunks,
+            loop_claims: team.loop_claims + ws.loop_claims,
             barrier_waits: team.barrier_waits + ws.barrier_waits,
             barrier_wait_ns: team.barrier_wait_ns + ws.barrier_wait_ns,
             trace_events: summary.workers.iter().map(|w| w.counts.total()).sum(),
@@ -129,7 +157,7 @@ pub fn run(
         });
 
         if let Some(path) = trace_out {
-            let out = sibling_with_model(path, model.name());
+            let out = sibling_with_model(path, &label);
             std::fs::write(&out, trace.chrome_json())
                 .map_err(|e| format!("cannot write trace file {}: {e}", out.display()))?;
         }

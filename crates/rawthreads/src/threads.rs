@@ -31,6 +31,9 @@ where
     F: Fn(usize, Range<usize>) + Sync,
 {
     let num_threads = num_threads.max(1);
+    // There is no pool (and so no builder) to configure: the env knob is the
+    // only way to request pinning for per-region threads.
+    let pin = tpm_sync::affinity::pin_from_env();
     let mut spawned = 0u64;
     std::thread::scope(|s| {
         for tid in 0..num_threads {
@@ -44,6 +47,9 @@ where
             std::thread::Builder::new()
                 .name(format!("tpm-rawthreads-{tid}"))
                 .spawn_scoped(s, move || {
+                    if pin {
+                        tpm_sync::affinity::pin_current_thread(tid);
+                    }
                     tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, chunk.len() as u64, 0);
                     body(tid, chunk)
                 })
@@ -70,6 +76,7 @@ where
     Op: Fn(T, T) -> T,
 {
     let num_threads = num_threads.max(1);
+    let pin = tpm_sync::affinity::pin_from_env();
     let partials = std::thread::scope(|s| {
         let handles: Vec<_> = (0..num_threads)
             .filter_map(|tid| {
@@ -83,6 +90,9 @@ where
                     std::thread::Builder::new()
                         .name(format!("tpm-rawthreads-{tid}"))
                         .spawn_scoped(s, move || {
+                            if pin {
+                                tpm_sync::affinity::pin_current_thread(tid);
+                            }
                             tpm_trace::record(
                                 tpm_trace::EventKind::ChunkDispatch,
                                 chunk.len() as u64,

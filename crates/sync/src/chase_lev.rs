@@ -313,6 +313,48 @@ impl<T: Send> Stealer<T> {
         Steal::Success(value)
     }
 
+    /// Steals a *batch* of elements — up to half of what is visible, capped
+    /// at `limit` — into `dest`, the thief's own deque. Returns how many
+    /// elements were transferred.
+    ///
+    /// Each element is still claimed by its own CAS on `top`: a single CAS
+    /// advancing `top` by `k` would race the owner's CAS-free `pop` fast path
+    /// (the owner only CASes on the *last* element, so reserving several
+    /// slots at once could double-consume the one the owner takes from the
+    /// bottom). What batching buys is fewer steal *episodes* — one victim
+    /// probe amortizes over several elements, and the extras are served from
+    /// `dest` without touching the victim again.
+    ///
+    /// Lost races are handled like [`steal`](Self::steal): before anything
+    /// was taken a `Retry` is retried here (matching the retry loop callers
+    /// wrap around `steal`); once at least one element is in hand the batch
+    /// stops instead of contending further.
+    pub fn steal_batch_into(&self, dest: &Worker<T>, limit: usize) -> usize {
+        let inner = &*self.inner;
+        // Snapshot the visible size once to bound the batch at half: taking
+        // more would just bounce work back when the victim runs dry.
+        let t0 = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b0 = inner.bottom.load(Ordering::Acquire);
+        let size = b0 - t0;
+        if size <= 0 {
+            return 0;
+        }
+        let want = (((size + 1) / 2) as usize).min(limit);
+        let mut stolen = 0;
+        while stolen < want {
+            match self.steal() {
+                Steal::Success(v) => {
+                    dest.push(v);
+                    stolen += 1;
+                }
+                Steal::Retry if stolen == 0 => continue,
+                Steal::Retry | Steal::Empty => break,
+            }
+        }
+        stolen
+    }
+
     /// Approximate number of elements.
     pub fn len(&self) -> usize {
         let b = self.inner.bottom.load(Ordering::Acquire);
@@ -453,6 +495,42 @@ mod tests {
         w.push(1);
         assert_eq!(s.steal().success(), Some(1));
         assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn steal_batch_takes_at_most_half() {
+        let (victim, s) = deque(16);
+        for i in 0..8 {
+            victim.push(i);
+        }
+        let (mine, _ms) = deque(16);
+        // Half of 8 is 4; the limit of 64 does not bind.
+        assert_eq!(s.steal_batch_into(&mine, 64), 4);
+        assert_eq!(mine.len(), 4);
+        assert_eq!(victim.len(), 4);
+        // Oldest elements were taken, in FIFO order from the top.
+        let mut got = Vec::new();
+        while let Some(v) = mine.pop() {
+            got.push(v);
+        }
+        got.reverse();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn steal_batch_respects_limit_and_empty() {
+        let (victim, s) = deque(16);
+        let (mine, _ms) = deque(16);
+        assert_eq!(s.steal_batch_into(&mine, 8), 0, "empty victim");
+        for i in 0..9 {
+            victim.push(i);
+        }
+        assert_eq!(s.steal_batch_into(&mine, 2), 2, "limit binds");
+        assert_eq!(s.steal_batch_into(&mine, 0), 0, "zero limit is a no-op");
+        // A single visible element is still stolen ((1 + 1) / 2 == 1).
+        let (one, os) = deque::<u32>(4);
+        one.push(7);
+        assert_eq!(os.steal_batch_into(&mine, 8), 1);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! The shared idle policy for runtime worker loops.
+//!
+//! Before this existed, each runtime hand-rolled its own escalation sequence
+//! (spin counts, yield thresholds, park timings) in its worker loop; the
+//! sequences drifted apart and their constants were tuned independently.
+//! [`IdleStrategy`] centralizes the policy: **spin** briefly (cheapest
+//! wakeup, for work that arrives within nanoseconds), then **yield** the
+//! timeslice (for work that arrives within a scheduler quantum), then tell
+//! the caller to **park** (so a long-idle worker consumes no CPU).
+//!
+//! Parking itself stays in the caller: each runtime has its own wakeup
+//! protocol (sleeper flags, condvars, latches), and waiters without a wakeup
+//! path simply treat the park signal as another yield.
+
+use std::cell::Cell;
+
+/// Escalating spin → yield → park idle policy for a worker's idle loop.
+///
+/// Not `Sync` — one instance belongs to one worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::IdleStrategy;
+///
+/// let idle = IdleStrategy::runtime_default();
+/// // In a worker loop: found work → reset; found nothing → snooze, and
+/// // park (runtime-specific) once snooze says so.
+/// if idle.snooze() {
+///     // park_timeout / condvar wait / plain yield, per runtime
+/// }
+/// idle.reset();
+/// ```
+#[derive(Debug)]
+pub struct IdleStrategy {
+    spin_rounds: u32,
+    yield_rounds: u32,
+    rounds: Cell<u32>,
+}
+
+impl IdleStrategy {
+    /// A policy that spins for `spin_rounds` rounds (exponentially longer
+    /// each round), yields for `yield_rounds`, then signals parking.
+    pub const fn new(spin_rounds: u32, yield_rounds: u32) -> Self {
+        Self {
+            spin_rounds,
+            yield_rounds,
+            rounds: Cell::new(0),
+        }
+    }
+
+    /// The policy worker loops share: a short spin phase and a yield phase
+    /// totalling 64 idle rounds before parking — the same budget the
+    /// runtimes used before the policy was centralized.
+    pub const fn runtime_default() -> Self {
+        Self::new(6, 58)
+    }
+
+    /// Restarts the escalation; call when work was found.
+    pub fn reset(&self) {
+        self.rounds.set(0);
+    }
+
+    /// One idle episode. Spins or yields according to the current phase and
+    /// returns `false`; once both phases are exhausted, does nothing and
+    /// returns `true` — the caller's cue to park (or to yield, for waiters
+    /// with no wakeup path). Stays `true` until [`reset`](Self::reset).
+    pub fn snooze(&self) -> bool {
+        let r = self.rounds.get();
+        if r < self.spin_rounds {
+            self.rounds.set(r + 1);
+            for _ in 0..(1u32 << r.min(16)) {
+                std::hint::spin_loop();
+            }
+            false
+        } else if r < self.spin_rounds + self.yield_rounds {
+            self.rounds.set(r + 1);
+            std::thread::yield_now();
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Like [`snooze`](Self::snooze), for waiters that cannot park (no one
+    /// would unpark them): the park phase degrades to yielding.
+    pub fn snooze_no_park(&self) {
+        if self.snooze() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// True once the next [`snooze`](Self::snooze) would signal parking.
+    pub fn is_parking(&self) -> bool {
+        self.rounds.get() >= self.spin_rounds + self.yield_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_through_phases_and_resets() {
+        let idle = IdleStrategy::new(2, 3);
+        for round in 0..5 {
+            assert!(!idle.snooze(), "round {round} should not park yet");
+        }
+        assert!(idle.is_parking());
+        assert!(idle.snooze(), "phase exhausted: park signal");
+        assert!(idle.snooze(), "park signal is sticky");
+        idle.reset();
+        assert!(!idle.is_parking());
+        assert!(!idle.snooze());
+    }
+
+    #[test]
+    fn no_park_variant_never_signals() {
+        let idle = IdleStrategy::new(1, 1);
+        for _ in 0..10 {
+            idle.snooze_no_park(); // must not hang or panic past the phases
+        }
+        assert!(idle.is_parking());
+    }
+
+    #[test]
+    fn runtime_default_parks_after_64_rounds() {
+        let idle = IdleStrategy::runtime_default();
+        let mut rounds = 0;
+        while !idle.snooze() {
+            rounds += 1;
+        }
+        assert_eq!(rounds, 64);
+    }
+}

@@ -16,16 +16,20 @@
 //! | [`LockedDeque`] | `tpm-forkjoin` tasking | Intel OpenMP's lock-based task deques |
 //! | [`oneshot`] channel | `tpm-rawthreads` | `std::future` |
 //! | [`Reducer`] | all three | Cilk reducers / OpenMP `reduction` clause |
+//! | [`IdleStrategy`] | both pooled runtimes | worker idle loops (spin → yield → park) |
+//! | [`affinity`] | all three | core pinning (`TPM_PIN`, `OMP_PROC_BIND` analogue) |
 //! | [`Backoff`], [`CachePadded`], [`rng`], [`stats`] | all | mechanics |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod affinity;
 mod backoff;
 mod barrier;
 mod cache_padded;
 pub mod chase_lev;
 mod condvar;
+mod idle;
 mod latch;
 mod locked_deque;
 mod mutex;
@@ -43,6 +47,7 @@ pub use barrier::{Barrier, BarrierWaitResult};
 pub use cache_padded::CachePadded;
 pub use chase_lev::{deque as chase_lev_deque, Steal, Stealer, Worker};
 pub use condvar::Condvar;
+pub use idle::IdleStrategy;
 pub use latch::{CountLatch, SpinLatch};
 pub use locked_deque::LockedDeque;
 pub use mutex::{Mutex, MutexGuard};

@@ -56,6 +56,11 @@ pub struct WorkerStats {
     pub failed_steals: Counter,
     /// Worksharing loop chunks this worker claimed and ran.
     pub chunks: Counter,
+    /// Shared-counter claim transactions (CAS/fetch-add grabs) this worker
+    /// made against a dynamic/guided loop counter. With batched grabs one
+    /// claim can serve many chunks, so `loop_claims` ≤ `chunks` measures the
+    /// contention reduction directly.
+    pub loop_claims: Counter,
     /// Barrier episodes this worker waited in.
     pub barrier_waits: Counter,
     /// Total nanoseconds this worker spent waiting at barriers.
@@ -82,6 +87,8 @@ pub struct StatsSnapshot {
     pub failed_steals: u64,
     /// Total worksharing chunks dispatched.
     pub chunks: u64,
+    /// Total shared-counter claim transactions for dynamic/guided loops.
+    pub loop_claims: u64,
     /// Total barrier episodes waited in (across workers).
     pub barrier_waits: u64,
     /// Total nanoseconds spent waiting at barriers (across workers).
@@ -117,6 +124,7 @@ impl SchedulerStats {
             s.steals += w.steals.get();
             s.failed_steals += w.failed_steals.get();
             s.chunks += w.chunks.get();
+            s.loop_claims += w.loop_claims.get();
             s.barrier_waits += w.barrier_waits.get();
             s.barrier_wait_ns += w.barrier_wait_ns.get();
         }
@@ -131,6 +139,7 @@ impl SchedulerStats {
             w.steals.reset();
             w.failed_steals.reset();
             w.chunks.reset();
+            w.loop_claims.reset();
             w.barrier_waits.reset();
             w.barrier_wait_ns.reset();
         }
@@ -158,12 +167,14 @@ mod tests {
         s.worker(1).spawned.add(3);
         s.worker(2).steals.inc();
         s.worker(0).chunks.add(7);
+        s.worker(0).loop_claims.add(2);
         s.worker(1).barrier_waits.inc();
         s.worker(1).barrier_wait_ns.add(1_234);
         let snap = s.snapshot();
         assert_eq!(snap.spawned, 5);
         assert_eq!(snap.steals, 1);
         assert_eq!(snap.chunks, 7);
+        assert_eq!(snap.loop_claims, 2);
         assert_eq!(snap.barrier_waits, 1);
         assert_eq!(snap.barrier_wait_ns, 1_234);
         s.reset();

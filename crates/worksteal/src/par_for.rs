@@ -19,9 +19,12 @@ use crate::runtime::WorkerCtx;
 /// Grain-size policy for [`par_for`] (cilk_for's grainsize pragma).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Grain {
-    /// Cilk's default: `min(2048, ceil(N / 8P))`.
+    /// Adaptive: `max(1, ceil(N / 8P))` — about eight leaves per worker, so
+    /// there is enough parallel slack for stealing but the leaf count (and
+    /// with it spawn/steal traffic) stays proportional to `P`, not `N`.
     Auto,
-    /// Fixed iterations per leaf.
+    /// Fixed iterations per leaf (a *minimum*: the depth cap below can make
+    /// leaves coarser on huge ranges).
     Fixed(usize),
 }
 
@@ -29,10 +32,17 @@ impl Grain {
     /// Resolves to a concrete leaf size for a loop of `len` on `workers`.
     pub fn resolve(self, len: usize, workers: usize) -> usize {
         match self {
-            Grain::Auto => (len.div_ceil(8 * workers.max(1))).clamp(1, 2048),
+            Grain::Auto => len.div_ceil(8 * workers.max(1)).max(1),
             Grain::Fixed(g) => g.max(1),
         }
     }
+}
+
+/// Recursion budget for splitting: allows ~256·P leaves before splitting
+/// stops regardless of grain, so a tiny `Fixed` grain on a huge range cannot
+/// explode into millions of tasks (or exhaust the stack).
+fn depth_cap(workers: usize) -> u32 {
+    (usize::BITS - workers.max(1).leading_zeros()) + 8
 }
 
 /// Data-parallel loop over `range`: recursively splits until chunks reach the
@@ -58,14 +68,14 @@ where
     F: Fn(Range<usize>) + Sync,
 {
     let g = grain.resolve(range.len(), ctx.num_workers());
-    split_run(ctx, range, g, body);
+    split_run(ctx, range, g, depth_cap(ctx.num_workers()), body);
 }
 
-fn split_run<F>(ctx: &WorkerCtx<'_>, range: Range<usize>, grain: usize, body: &F)
+fn split_run<F>(ctx: &WorkerCtx<'_>, range: Range<usize>, grain: usize, depth: u32, body: &F)
 where
     F: Fn(Range<usize>) + Sync,
 {
-    if range.len() <= grain {
+    if range.len() <= grain || depth == 0 {
         ctx.stats().chunks.inc();
         tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, range.len() as u64, 0);
         body(range);
@@ -75,8 +85,8 @@ where
     let (left, right) = (range.start..mid, mid..range.end);
     join(
         ctx,
-        move |c| split_run(c, left, grain, body),
-        move |c| split_run(c, right, grain, body),
+        move |c| split_run(c, left, grain, depth - 1, body),
+        move |c| split_run(c, right, grain, depth - 1, body),
     );
 }
 
@@ -87,14 +97,14 @@ where
     F: for<'c> Fn(&WorkerCtx<'c>, Range<usize>) + Sync,
 {
     let g = grain.resolve(range.len(), ctx.num_workers());
-    split_run_ctx(ctx, range, g, body);
+    split_run_ctx(ctx, range, g, depth_cap(ctx.num_workers()), body);
 }
 
-fn split_run_ctx<F>(ctx: &WorkerCtx<'_>, range: Range<usize>, grain: usize, body: &F)
+fn split_run_ctx<F>(ctx: &WorkerCtx<'_>, range: Range<usize>, grain: usize, depth: u32, body: &F)
 where
     F: for<'c> Fn(&WorkerCtx<'c>, Range<usize>) + Sync,
 {
-    if range.len() <= grain {
+    if range.len() <= grain || depth == 0 {
         ctx.stats().chunks.inc();
         tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, range.len() as u64, 0);
         body(ctx, range);
@@ -104,8 +114,8 @@ where
     let (left, right) = (range.start..mid, mid..range.end);
     join(
         ctx,
-        move |c| split_run_ctx(c, left, grain, body),
-        move |c| split_run_ctx(c, right, grain, body),
+        move |c| split_run_ctx(c, left, grain, depth - 1, body),
+        move |c| split_run_ctx(c, right, grain, depth - 1, body),
     );
 }
 
@@ -120,8 +130,27 @@ mod tests {
         assert_eq!(Grain::Fixed(10).resolve(1000, 4), 10);
         assert_eq!(Grain::Fixed(0).resolve(1000, 4), 1);
         assert_eq!(Grain::Auto.resolve(64, 4), 2);
-        assert_eq!(Grain::Auto.resolve(10_000_000, 4), 2048);
+        // Uncapped: leaf size scales with N so the leaf *count* stays ~8P.
+        assert_eq!(Grain::Auto.resolve(10_000_000, 4), 312_500);
         assert_eq!(Grain::Auto.resolve(0, 4), 1);
+    }
+
+    #[test]
+    fn depth_cap_bounds_leaf_count() {
+        let rt = Runtime::new(2);
+        rt.stats().reset();
+        let total = AtomicU64::new(0);
+        rt.install(|ctx| {
+            // Grain 1 over 100k iterations would be 100k leaves without the
+            // depth cap; the cap bounds it to 2^depth_cap(2) = 1024.
+            par_for(ctx, 0..100_000, Grain::Fixed(1), &|chunk| {
+                total.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.into_inner(), 100_000, "still covers every iteration");
+        let chunks = rt.stats().snapshot().chunks;
+        assert!(chunks <= 1 << depth_cap(2), "chunks = {chunks}");
+        assert!(chunks >= 512, "cap should not over-coarsen: {chunks}");
     }
 
     #[test]

@@ -5,8 +5,18 @@
 //! pushes and pops tasks from one end of the queue and a thief worker steals
 //! tasks from the other end". Here the deque is the lock-free Chase–Lev
 //! implementation from `tpm-sync` (contrast with `tpm-forkjoin`'s lock-based
-//! task deques), victims are chosen uniformly at random, and idle workers
-//! back off to timed parking so an idle runtime consumes no CPU.
+//! task deques), and idle workers back off to timed parking so an idle
+//! runtime consumes no CPU.
+//!
+//! Two hot-path choices keep steal traffic low:
+//!
+//! * Thieves steal in *batches* (up to half the victim's visible work via
+//!   [`Stealer::steal_batch_into`]), so one successful probe feeds several
+//!   task executions from the thief's own deque.
+//! * Victims are scanned round-robin from a per-worker offset that rotates
+//!   every episode, so simultaneous thieves fan out across victims instead
+//!   of herding onto the same one (which shows up as `failed` steals in the
+//!   profile tables).
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -15,17 +25,19 @@ use std::sync::Arc;
 use std::thread::{JoinHandle, Thread};
 use std::time::Duration;
 
-use tpm_sync::chase_lev::{self, Steal, Stealer, Worker};
-use tpm_sync::{Backoff, CachePadded, LockedDeque, SchedulerStats};
+use tpm_sync::chase_lev::{self, Stealer, Worker};
+use tpm_sync::{CachePadded, IdleStrategy, LockedDeque, SchedulerStats};
 
 use crate::job::{JobRef, StackJob};
 
 /// Initial deque capacity per worker.
 const DEQUE_CAPACITY: usize = 256;
-/// Idle scan rounds before a worker starts timed parking.
-const IDLE_ROUNDS_BEFORE_PARK: u32 = 64;
+/// Most jobs one steal episode may transfer (the half-of-victim rule caps it
+/// further); bounds how much work a single thief can hoard.
+const STEAL_BATCH_LIMIT: usize = 32;
 /// Timed-park duration while idle (bounds wakeup latency without requiring a
-/// loss-free wakeup protocol).
+/// loss-free wakeup protocol). The escalation *to* parking is the shared
+/// [`IdleStrategy`] policy.
 const PARK_INTERVAL: Duration = Duration::from_micros(200);
 
 /// A work-stealing runtime with a fixed set of worker threads.
@@ -68,8 +80,17 @@ pub(crate) struct RuntimeInner {
 }
 
 impl Runtime {
-    /// Creates a runtime with `num_workers` worker threads.
+    /// Creates a runtime with `num_workers` worker threads. Workers are
+    /// pinned to cores when the `TPM_PIN` environment variable is set
+    /// (`1`/`true`/`on`); use [`with_pinning`](Self::with_pinning) to decide
+    /// explicitly.
     pub fn new(num_workers: usize) -> Self {
+        Self::with_pinning(num_workers, tpm_sync::affinity::pin_from_env())
+    }
+
+    /// Creates a runtime, pinning worker `i` to core `i % cores` when `pin`
+    /// is true (a no-op on platforms without `sched_setaffinity`).
+    pub fn with_pinning(num_workers: usize, pin: bool) -> Self {
         assert!(num_workers >= 1, "runtime needs at least one worker");
         let mut workers = Vec::with_capacity(num_workers);
         let mut stealers = Vec::with_capacity(num_workers);
@@ -96,7 +117,12 @@ impl Runtime {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("tpm-worksteal-{index}"))
-                    .spawn(move || worker_loop(&inner, index, deque))
+                    .spawn(move || {
+                        if pin {
+                            tpm_sync::affinity::pin_current_thread(index);
+                        }
+                        worker_loop(&inner, index, deque)
+                    })
                     .expect("failed to spawn worker")
             })
             .collect();
@@ -184,7 +210,9 @@ pub struct WorkerCtx<'w> {
     rt: &'w RuntimeInner,
     index: usize,
     deque: &'w Worker<JobRef>,
-    rng: Cell<u64>,
+    /// First victim of the next steal episode; advances every episode so
+    /// concurrent thieves starting from different indices stay fanned out.
+    victim_offset: Cell<usize>,
 }
 
 impl<'w> WorkerCtx<'w> {
@@ -215,37 +243,39 @@ impl<'w> WorkerCtx<'w> {
         self.deque.pop()
     }
 
-    fn next_victim(&self) -> usize {
-        let mut x = self.rng.get();
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng.set(x);
-        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % self.rt.stealers.len()
-    }
-
-    /// One round of randomized stealing (plus the injector). `None` if
-    /// nothing was found.
+    /// One steal episode: scan every other worker once, round-robin from
+    /// this worker's rotating offset, then the injector. `None` if nothing
+    /// was found (callers loop, with escalating idle backoff between
+    /// episodes — re-sweeping immediately here would only re-probe deques
+    /// observed empty microseconds ago).
+    ///
+    /// A hit transfers a *batch* — up to half the victim's visible jobs, at
+    /// most [`STEAL_BATCH_LIMIT`] — into our own deque and returns one of
+    /// them; the rest are served by local pops (or stolen onward by others),
+    /// so one episode can feed many executions.
     pub(crate) fn steal_work(&self) -> Option<JobRef> {
         let n = self.rt.stealers.len();
-        for _ in 0..(2 * n) {
-            let v = self.next_victim();
+        let start = self.victim_offset.get();
+        self.victim_offset.set((start + 1) % n.max(1));
+        for k in 0..n {
+            let v = (start + k) % n;
             if v == self.index {
                 continue;
             }
-            loop {
-                match self.rt.stealers[v].steal() {
-                    Steal::Success(job) => {
-                        self.stats().steals.inc();
-                        tpm_trace::record(tpm_trace::EventKind::Steal, v as u64, 0);
-                        return Some(job);
-                    }
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
+            let got = self.rt.stealers[v].steal_batch_into(self.deque, STEAL_BATCH_LIMIT);
+            if got > 0 {
+                self.stats().steals.inc();
+                tpm_trace::record(tpm_trace::EventKind::Steal, v as u64, got as u64);
+                // The batch went through our own deque, so the job cannot
+                // be `None` unless another thief raced it away — then the
+                // episode still counts as a hit and the caller retries.
+                if let Some(job) = self.pop() {
+                    return Some(job);
                 }
+            } else {
+                self.stats().failed_steals.inc();
+                tpm_trace::record(tpm_trace::EventKind::FailedSteal, v as u64, 0);
             }
-            self.stats().failed_steals.inc();
-            tpm_trace::record(tpm_trace::EventKind::FailedSteal, v as u64, 0);
         }
         self.rt.injector.steal_top()
     }
@@ -260,13 +290,15 @@ impl<'w> WorkerCtx<'w> {
     /// Works (pop own, then steal) until `probe()` turns true — the heart of
     /// every blocking point (`join`, scope wait).
     pub(crate) fn wait_until(&self, probe: impl Fn() -> bool) {
-        let backoff = Backoff::new();
+        // No one unparks a joiner, so the shared idle policy runs in its
+        // no-park mode (the park phase degrades to yielding).
+        let idle = IdleStrategy::runtime_default();
         while !probe() {
             if let Some(job) = self.pop().or_else(|| self.steal_work()) {
                 self.execute(job);
-                backoff.reset();
+                idle.reset();
             } else {
-                backoff.snooze();
+                idle.snooze_no_park();
             }
         }
     }
@@ -285,22 +317,21 @@ fn worker_loop(inner: &RuntimeInner, index: usize, deque: Worker<JobRef>) {
         rt: inner,
         index,
         deque: &deque,
-        rng: Cell::new(0x853C_49E6_748F_EA9B ^ ((index as u64 + 1) << 17)),
+        // Start each worker's scan at its right neighbor: p simultaneous
+        // thieves begin at p distinct victims.
+        victim_offset: Cell::new((index + 1) % inner.stealers.len()),
     };
-    let mut idle_rounds = 0u32;
+    let idle = IdleStrategy::runtime_default();
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             break;
         }
         if let Some(job) = ctx.pop().or_else(|| ctx.steal_work()) {
             ctx.execute(job);
-            idle_rounds = 0;
+            idle.reset();
             continue;
         }
-        idle_rounds += 1;
-        if idle_rounds < IDLE_ROUNDS_BEFORE_PARK {
-            std::thread::yield_now();
-        } else {
+        if idle.snooze() {
             // Timed park: flag ourselves asleep so pushers can unpark us;
             // the timeout bounds the cost of any lost wakeup.
             inner.asleep[index].store(true, Ordering::Release);

@@ -17,6 +17,7 @@ fn schedule_strategy() -> impl Strategy<Value = Schedule> {
         (1usize..64).prop_map(|c| Schedule::Static { chunk: Some(c) }),
         (1usize..64).prop_map(|c| Schedule::Dynamic { chunk: c }),
         (1usize..32).prop_map(|m| Schedule::Guided { min_chunk: m }),
+        Just(Schedule::Auto),
     ]
 }
 
