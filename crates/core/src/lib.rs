@@ -12,6 +12,10 @@
 //! * [`timing`] — median-of-N wall-clock measurement.
 //! * [`Series`] / [`Figure`] — the paper's figure data (time vs threads per
 //!   variant), with winner/loser queries used by the reproduction checks.
+//! * [`KernelVariant`] — reference (paper-faithful scalar) vs optimized
+//!   (vectorization-friendly / cache-blocked) kernel data paths.
+//! * [`approx`] — relative-epsilon/ULP comparison used by the kernel claim
+//!   checks once optimized bodies reassociate floating-point sums.
 //!
 //! ```
 //! use tpm_core::{Executor, Model};
@@ -30,13 +34,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod approx;
 mod executor;
 mod model;
 pub mod report;
 pub mod sweep;
 pub mod timing;
+mod variant;
 
 pub use executor::Executor;
 pub use model::{Family, Model, Pattern};
 pub use report::{Figure, ProfileRow, ProfileTable, Series};
 pub use sweep::Sweep;
+pub use variant::KernelVariant;

@@ -10,7 +10,8 @@ use crate::native::NativeConfig;
 
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "usage: tpm-harness <experiment> [kernel] [--native] [--threads 1,2,4] \
-[--reps N] [--scale S] [--trace out.json] [--json-out bench.json] [--pin]
+[--reps N] [--scale S] [--trace out.json] [--json-out bench.json] [--pin] \
+[--kernel-variant reference|optimized]
 experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate profile
   profile [kernel]   run one kernel (sum|axpy|fib) under every model and
                      print side-by-side scheduler-event summaries
@@ -18,7 +19,10 @@ experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibr
                      Chrome-trace JSON loadable in Perfetto
   --json-out f.json  write machine-readable per-kernel/per-model results
                      (median + stddev seconds) for figure experiments
-  --pin              pin runtime worker threads to cores (TPM_PIN=1)";
+  --pin              pin runtime worker threads to cores (TPM_PIN=1)
+  --kernel-variant v run native kernels with the reference (paper-faithful
+                     scalar) or optimized (vectorized/blocked/tiled) data
+                     path; default reference";
 
 /// Parsed command line.
 #[derive(Debug, Clone)]
@@ -97,6 +101,12 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 json_out = Some(PathBuf::from(v));
             }
             "--pin" => pin = true,
+            "--kernel-variant" => {
+                let v = flag_value(args, &mut i, "--kernel-variant")?;
+                cfg.variant = tpm_core::KernelVariant::parse(v).ok_or_else(|| {
+                    format!("invalid --kernel-variant value '{v}': expected reference|optimized")
+                })?;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -171,6 +181,25 @@ mod tests {
             .contains("requires a value"));
         let plain = p(&["figures"]).unwrap();
         assert!(plain.json_out.is_none() && !plain.pin);
+    }
+
+    #[test]
+    fn parses_kernel_variant() {
+        use tpm_core::KernelVariant;
+        let cli = p(&["figures", "--native", "--kernel-variant", "optimized"]).unwrap();
+        assert_eq!(cli.cfg.variant, KernelVariant::Optimized);
+        let cli = p(&["figures", "--kernel-variant", "reference"]).unwrap();
+        assert_eq!(cli.cfg.variant, KernelVariant::Reference);
+        assert_eq!(
+            p(&["figures"]).unwrap().cfg.variant,
+            KernelVariant::Reference
+        );
+        assert!(p(&["figures", "--kernel-variant", "simd"])
+            .unwrap_err()
+            .contains("--kernel-variant"));
+        assert!(p(&["figures", "--kernel-variant"])
+            .unwrap_err()
+            .contains("requires a value"));
     }
 
     #[test]

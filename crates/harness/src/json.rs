@@ -44,6 +44,7 @@ fn num(v: f64) -> String {
 /// {
 ///   "experiment": "figures", "native": true,
 ///   "threads": [1, 2], "reps": 3, "scale": 1, "pinned": false,
+///   "kernel_variant": "reference",
 ///   "figures": [
 ///     { "title": "Fig.1 Axpy (native)",
 ///       "series": [
@@ -65,6 +66,10 @@ pub fn run_json(
     out.push_str(&format!("  \"experiment\": \"{}\",\n", esc(experiment)));
     out.push_str(&format!("  \"native\": {native},\n"));
     out.push_str(&format!("  \"pinned\": {pinned},\n"));
+    out.push_str(&format!(
+        "  \"kernel_variant\": \"{}\",\n",
+        cfg.variant.name()
+    ));
     out.push_str(&format!(
         "  \"threads\": [{}],\n",
         cfg.threads
@@ -135,9 +140,11 @@ mod tests {
             threads: vec![1, 2],
             scale: 1,
             reps: 3,
+            variant: tpm_core::KernelVariant::Optimized,
         };
         let j = run_json("figures", true, false, &cfg, &sample());
         assert!(j.contains("\"experiment\": \"figures\""));
+        assert!(j.contains("\"kernel_variant\": \"optimized\""));
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"median_s\": 0.250000000"));
         assert!(j.contains("\"stddev_s\": 0.020000000"));

@@ -5,7 +5,7 @@
 //! CI host they measure *overhead ordering* (which runtime's mechanism costs
 //! more at equal thread counts), which is the paper's explanatory variable.
 
-use tpm_core::{timing, Executor, Figure, Model, Series, Sweep};
+use tpm_core::{timing, Executor, Figure, KernelVariant, Model, Series, Sweep};
 use tpm_kernels::{Axpy, Fib, Matmul, Matvec, Sum};
 use tpm_rodinia::{Bfs, HotSpot, LavaMd, Lud, Srad};
 
@@ -19,6 +19,9 @@ pub struct NativeConfig {
     pub scale: usize,
     /// Timed repetitions (median taken).
     pub reps: usize,
+    /// Kernel data-path variant (`--kernel-variant`): paper-faithful scalar
+    /// bodies or the vectorized/blocked/tiled optimized bodies.
+    pub variant: KernelVariant,
 }
 
 impl Default for NativeConfig {
@@ -27,7 +30,17 @@ impl Default for NativeConfig {
             threads: vec![1, 2, 4],
             scale: 1,
             reps: 3,
+            variant: KernelVariant::Reference,
         }
+    }
+}
+
+impl NativeConfig {
+    /// An executor at the sweep's widest thread count, used to first-touch
+    /// kernel inputs with the same parallel distribution the timed kernels
+    /// use (pages land on the threads that stream them).
+    fn alloc_exec(&self) -> Executor {
+        Executor::new(self.threads.iter().copied().max().unwrap_or(1))
     }
 }
 
@@ -45,38 +58,50 @@ fn sweep(
 /// Native Fig. 1: Axpy.
 pub fn fig1_axpy(cfg: &NativeConfig) -> Figure {
     let k = Axpy::native(1_000_000 * cfg.scale);
-    let (x, y0) = k.alloc();
+    let (x, y0) = match cfg.variant {
+        KernelVariant::Reference => k.alloc(),
+        KernelVariant::Optimized => k.alloc_on(&cfg.alloc_exec(), Model::OmpFor),
+    };
     let mut y = y0.clone();
     sweep("Fig.1 Axpy (native)", cfg, &Model::ALL, |exec, m| {
         y.copy_from_slice(&y0);
-        k.run(exec, m, &x, &mut y);
+        k.run_v(exec, m, cfg.variant, &x, &mut y);
     })
 }
 
 /// Native Fig. 2: Sum.
 pub fn fig2_sum(cfg: &NativeConfig) -> Figure {
     let k = Sum::native(1_000_000 * cfg.scale);
-    let x = k.alloc();
+    let x = match cfg.variant {
+        KernelVariant::Reference => k.alloc(),
+        KernelVariant::Optimized => k.alloc_on(&cfg.alloc_exec(), Model::OmpFor),
+    };
     sweep("Fig.2 Sum (native)", cfg, &Model::ALL, |exec, m| {
-        std::hint::black_box(k.run(exec, m, &x));
+        std::hint::black_box(k.run_v(exec, m, cfg.variant, &x));
     })
 }
 
 /// Native Fig. 3: Matvec.
 pub fn fig3_matvec(cfg: &NativeConfig) -> Figure {
     let k = Matvec::native(512 * cfg.scale);
-    let (a, x) = k.alloc();
+    let (a, x) = match cfg.variant {
+        KernelVariant::Reference => k.alloc(),
+        KernelVariant::Optimized => k.alloc_on(&cfg.alloc_exec(), Model::OmpFor),
+    };
     sweep("Fig.3 Matvec (native)", cfg, &Model::ALL, |exec, m| {
-        std::hint::black_box(k.run(exec, m, &a, &x));
+        std::hint::black_box(k.run_v(exec, m, cfg.variant, &a, &x));
     })
 }
 
 /// Native Fig. 4: Matmul.
 pub fn fig4_matmul(cfg: &NativeConfig) -> Figure {
     let k = Matmul::native(128 * cfg.scale);
-    let (a, b) = k.alloc();
+    let (a, b) = match cfg.variant {
+        KernelVariant::Reference => k.alloc(),
+        KernelVariant::Optimized => k.alloc_on(&cfg.alloc_exec(), Model::OmpFor),
+    };
     sweep("Fig.4 Matmul (native)", cfg, &Model::ALL, |exec, m| {
-        std::hint::black_box(k.run(exec, m, &a, &b));
+        std::hint::black_box(k.run_v(exec, m, cfg.variant, &a, &b));
     })
 }
 
@@ -119,7 +144,7 @@ pub fn fig7_hotspot(cfg: &NativeConfig) -> Figure {
         cfg,
         &Model::ALL,
         |exec, m| {
-            std::hint::black_box(h.run(exec, m, &t, &p));
+            std::hint::black_box(h.run_v(exec, m, cfg.variant, &t, &p));
         },
     )
 }
@@ -156,7 +181,7 @@ pub fn fig10_srad(cfg: &NativeConfig) -> Figure {
         cfg,
         &Model::ALL,
         |exec, m| {
-            std::hint::black_box(s.run(exec, m, &img));
+            std::hint::black_box(s.run_v(exec, m, cfg.variant, &img));
         },
     )
 }
@@ -186,16 +211,13 @@ mod tests {
             threads: vec![1, 2],
             scale: 1,
             reps: 1,
+            variant: KernelVariant::Reference,
         }
     }
 
     #[test]
     fn native_fig1_produces_positive_times() {
-        let cfg = NativeConfig {
-            threads: vec![1, 2],
-            scale: 1,
-            reps: 1,
-        };
+        let cfg = tiny();
         let k = Axpy::native(10_000);
         let (x, y0) = k.alloc();
         let mut y = y0.clone();
@@ -203,6 +225,18 @@ mod tests {
             y.copy_from_slice(&y0);
             k.run(exec, m, &x, &mut y);
         });
+        assert_eq!(fig.series.len(), 6);
+        for s in &fig.series {
+            assert!(s.points.iter().all(|&(_, v)| v > 0.0), "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn native_fig4_runs_optimized_variant() {
+        let mut cfg = tiny();
+        cfg.threads = vec![2];
+        cfg.variant = KernelVariant::Optimized;
+        let fig = fig4_matmul(&cfg);
         assert_eq!(fig.series.len(), 6);
         for s in &fig.series {
             assert!(s.points.iter().all(|&(_, v)| v > 0.0), "{}", s.label);

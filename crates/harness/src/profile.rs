@@ -37,12 +37,13 @@ pub fn run(
         "sum" => {
             let k = Sum::native(200_000 * cfg.scale);
             let x = k.alloc();
+            let variant = cfg.variant;
             let mut runs: Vec<ModelRun> = Model::ALL
                 .into_iter()
                 .map(|m| {
                     let x = x.clone();
                     let f: Box<dyn Fn(&Executor)> = Box::new(move |e: &Executor| {
-                        std::hint::black_box(k.run(e, m, &x));
+                        std::hint::black_box(k.run_v(e, m, variant, &x));
                     });
                     (m.name().to_string(), f)
                 })
@@ -78,6 +79,7 @@ pub fn run(
         "axpy" => {
             let k = Axpy::native(200_000 * cfg.scale);
             let (x, y0) = k.alloc();
+            let variant = cfg.variant;
             Model::ALL
                 .into_iter()
                 .map(|m| {
@@ -86,7 +88,7 @@ pub fn run(
                     let f: Box<dyn Fn(&Executor)> = Box::new(move |e: &Executor| {
                         // Fresh output each run; the kernel only reads x.
                         let mut y = y0.clone();
-                        k.run(e, m, &x, &mut y);
+                        k.run_v(e, m, variant, &x, &mut y);
                         std::hint::black_box(&y);
                     });
                     (m.name().to_string(), f)
@@ -176,23 +178,22 @@ fn sibling_with_model(path: &Path, model: &str) -> std::path::PathBuf {
 mod tests {
     use super::*;
 
+    fn cfg2() -> NativeConfig {
+        NativeConfig {
+            threads: vec![2],
+            reps: 1,
+            ..NativeConfig::default()
+        }
+    }
+
     #[test]
     fn unknown_kernel_is_an_error() {
-        let cfg = NativeConfig {
-            threads: vec![2],
-            scale: 1,
-            reps: 1,
-        };
-        assert!(run(&cfg, "nope", None).unwrap_err().contains("nope"));
+        assert!(run(&cfg2(), "nope", None).unwrap_err().contains("nope"));
     }
 
     #[test]
     fn fib_profile_reports_task_models() {
-        let cfg = NativeConfig {
-            threads: vec![2],
-            scale: 1,
-            reps: 1,
-        };
+        let cfg = cfg2();
         let table = run(&cfg, "fib", None).unwrap();
         assert_eq!(table.rows.len(), 3);
         let omp = &table.rows[0];

@@ -4,10 +4,32 @@
 //! memory-bandwidth-bound streaming kernel, where `cilk_for`'s steal-based
 //! chunk distribution costs ~2× against every other variant.
 
-use tpm_core::{Executor, Model};
+use tpm_core::{Executor, KernelVariant, Model};
 use tpm_sim::{Imbalance, LoopWorkload};
 
 use crate::util::UnsafeSlice;
+
+/// Unroll width of the optimized body: 8 independent f64 lanes per
+/// iteration, two AVX2 vectors' worth, enough for the compiler to
+/// auto-vectorize and keep the load/FMA pipes busy.
+const LANES: usize = 8;
+
+/// Optimized chunk body: `ys[j] += a·xs[j]`, unrolled over [`LANES`]
+/// independent lanes. No reassociation happens (each element is an
+/// independent FMA), so results are bitwise-identical to the scalar body.
+fn axpy_chunk_opt(a: f64, xs: &[f64], ys: &mut [f64]) {
+    debug_assert_eq!(xs.len(), ys.len());
+    let mut yc = ys.chunks_exact_mut(LANES);
+    let mut xc = xs.chunks_exact(LANES);
+    for (yv, xv) in (&mut yc).zip(&mut xc) {
+        for j in 0..LANES {
+            yv[j] += a * xv[j];
+        }
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi += a * xi;
+    }
+}
 
 /// Axpy problem instance.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +62,15 @@ impl Axpy {
         )
     }
 
+    /// [`Self::alloc`] with parallel first-touch under `model` (same values,
+    /// pages placed by the threads that will stream them).
+    pub fn alloc_on(&self, exec: &Executor, model: Model) -> (Vec<f64>, Vec<f64>) {
+        (
+            crate::util::random_vec_on(exec, model, self.n, 0xA11),
+            crate::util::random_vec_on(exec, model, self.n, 0xB22),
+        )
+    }
+
     /// Sequential reference.
     pub fn seq(&self, x: &[f64], y: &mut [f64]) {
         for i in 0..self.n {
@@ -47,17 +78,41 @@ impl Axpy {
         }
     }
 
-    /// Runs the kernel under `model` on `exec`, updating `y` in place.
+    /// Runs the kernel under `model` on `exec`, updating `y` in place
+    /// (paper-faithful [`KernelVariant::Reference`] body).
     pub fn run(&self, exec: &Executor, model: Model, x: &[f64], y: &mut [f64]) {
+        self.run_v(exec, model, KernelVariant::Reference, x, y);
+    }
+
+    /// Runs the kernel under `model` with the selected data-path `variant`.
+    pub fn run_v(
+        &self,
+        exec: &Executor,
+        model: Model,
+        variant: KernelVariant,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
         let a = self.a;
         let out = UnsafeSlice::new(y);
-        exec.parallel_for(model, 0..self.n, &|chunk| {
-            // SAFETY: the executor hands out disjoint chunks.
-            let ys = unsafe { out.slice_mut(chunk.clone()) };
-            for (yi, i) in ys.iter_mut().zip(chunk) {
-                *yi += a * x[i];
+        match variant {
+            KernelVariant::Reference => {
+                exec.parallel_for(model, 0..self.n, &|chunk| {
+                    // SAFETY: the executor hands out disjoint chunks.
+                    let ys = unsafe { out.slice_mut(chunk.clone()) };
+                    for (yi, i) in ys.iter_mut().zip(chunk) {
+                        *yi += a * x[i];
+                    }
+                });
             }
-        });
+            KernelVariant::Optimized => {
+                exec.parallel_for(model, 0..self.n, &|chunk| {
+                    // SAFETY: the executor hands out disjoint chunks.
+                    let ys = unsafe { out.slice_mut(chunk.clone()) };
+                    axpy_chunk_opt(a, &x[chunk], ys);
+                });
+            }
+        }
     }
 
     /// Simulator descriptor: ~2 flops and 24 bytes (two reads + one write)
@@ -91,6 +146,21 @@ mod tests {
                 max_abs_diff(&y, &expected) < 1e-12,
                 "{model} diverged from sequential"
             );
+        }
+    }
+
+    #[test]
+    fn optimized_variant_is_bitwise_identical() {
+        // Axpy never reassociates: both variants must agree exactly.
+        let k = Axpy::native(4_099); // not a multiple of the lane width
+        let (x, y0) = k.alloc();
+        let mut expected = y0.clone();
+        k.seq(&x, &mut expected);
+        let exec = Executor::new(3);
+        for model in Model::ALL {
+            let mut y = y0.clone();
+            k.run_v(&exec, model, KernelVariant::Optimized, &x, &mut y);
+            assert_eq!(y, expected, "{model}");
         }
     }
 

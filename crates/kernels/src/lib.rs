@@ -11,6 +11,15 @@
 //! | [`Matvec`] | n = 40 k | Fig. 3 | `cilk_for` ~25% worse |
 //! | [`Matmul`] | n = 2 k | Fig. 4 | `cilk_for` ~10% worse |
 //! | [`Fib`] | n = 40 | Fig. 5 | `cilk_spawn` ~20% over `omp_task`; naive C++ explodes |
+//!
+//! The data-parallel kernels carry two data paths selected by
+//! [`tpm_core::KernelVariant`]: the *reference* bodies reproduce the paper's
+//! scalar loops exactly, while the *optimized* bodies (`run_v`) use
+//! unrolled multi-accumulator inner loops (Axpy/Sum/Matvec) and a
+//! cache-blocked, register-blocked multiply (Matmul) so the per-iteration
+//! compute floor sits at hardware speed. Inputs can be allocated with
+//! parallel first-touch via each kernel's `alloc_on` /
+//! [`util::random_vec_on`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

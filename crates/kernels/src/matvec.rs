@@ -4,10 +4,35 @@
 //! performs around 25% worse than the other versions" — more arithmetic per
 //! iteration than Axpy, so scheduling overhead matters less.
 
-use tpm_core::{Executor, Model};
+use tpm_core::{Executor, KernelVariant, Model};
 use tpm_sim::{Imbalance, LoopWorkload};
 
 use crate::util::UnsafeSlice;
+
+/// Accumulator lanes of the optimized dot product — 8 independent partials
+/// break the serial addition chain of `iter().sum()` so the row·x loop
+/// vectorizes.
+const LANES: usize = 8;
+
+/// Optimized dot product with split accumulators (reassociates; verified
+/// against the reference with the relative-epsilon/ULP helper).
+fn dot_opt(row: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(row.len(), x.len());
+    let mut lanes = [0.0f64; LANES];
+    let mut rc = row.chunks_exact(LANES);
+    let mut xc = x.chunks_exact(LANES);
+    for (rv, xv) in (&mut rc).zip(&mut xc) {
+        for j in 0..LANES {
+            lanes[j] += rv[j] * xv[j];
+        }
+    }
+    let mut tail = 0.0;
+    for (ri, xi) in rc.remainder().iter().zip(xc.remainder()) {
+        tail += ri * xi;
+    }
+    tail + ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+        + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]))
+}
 
 /// Matvec problem instance (row-major dense `n×n`).
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +60,14 @@ impl Matvec {
         )
     }
 
+    /// [`Self::alloc`] with parallel first-touch under `model`.
+    pub fn alloc_on(&self, exec: &Executor, model: Model) -> (Vec<f64>, Vec<f64>) {
+        (
+            crate::util::random_vec_on(exec, model, self.n * self.n, 0x3A7),
+            crate::util::random_vec_on(exec, model, self.n, 0x9E1),
+        )
+    }
+
     /// Sequential reference.
     pub fn seq(&self, a: &[f64], x: &[f64]) -> Vec<f64> {
         let n = self.n;
@@ -46,20 +79,46 @@ impl Matvec {
             .collect()
     }
 
-    /// Runs under `model`: the parallel loop is over rows.
+    /// Runs under `model`: the parallel loop is over rows (paper-faithful
+    /// [`KernelVariant::Reference`] body).
     pub fn run(&self, exec: &Executor, model: Model, a: &[f64], x: &[f64]) -> Vec<f64> {
+        self.run_v(exec, model, KernelVariant::Reference, a, x)
+    }
+
+    /// Runs under `model` with the selected data-path `variant`.
+    pub fn run_v(
+        &self,
+        exec: &Executor,
+        model: Model,
+        variant: KernelVariant,
+        a: &[f64],
+        x: &[f64],
+    ) -> Vec<f64> {
         let n = self.n;
         let mut y = vec![0.0; n];
         {
             let out = UnsafeSlice::new(&mut y);
-            exec.parallel_for(model, 0..n, &|chunk| {
-                for i in chunk {
-                    let row = &a[i * n..(i + 1) * n];
-                    let dot: f64 = row.iter().zip(x).map(|(aij, xj)| aij * xj).sum();
-                    // SAFETY: disjoint chunks ⇒ disjoint rows.
-                    unsafe { out.write(i, dot) };
+            match variant {
+                KernelVariant::Reference => {
+                    exec.parallel_for(model, 0..n, &|chunk| {
+                        for i in chunk {
+                            let row = &a[i * n..(i + 1) * n];
+                            let dot: f64 = row.iter().zip(x).map(|(aij, xj)| aij * xj).sum();
+                            // SAFETY: disjoint chunks ⇒ disjoint rows.
+                            unsafe { out.write(i, dot) };
+                        }
+                    });
                 }
-            });
+                KernelVariant::Optimized => {
+                    exec.parallel_for(model, 0..n, &|chunk| {
+                        for i in chunk {
+                            let dot = dot_opt(&a[i * n..(i + 1) * n], x);
+                            // SAFETY: disjoint chunks ⇒ disjoint rows.
+                            unsafe { out.write(i, dot) };
+                        }
+                    });
+                }
+            }
         }
         y
     }
@@ -90,6 +149,19 @@ mod tests {
         for model in Model::ALL {
             let y = k.run(&exec, model, &a, &x);
             assert!(max_abs_diff(&y, &expected) < 1e-9, "{model}");
+        }
+    }
+
+    #[test]
+    fn optimized_variant_matches_reference_within_tolerance() {
+        let k = Matvec::native(101); // odd: tail lanes exercised every row
+        let (a, x) = k.alloc();
+        let expected = k.seq(&a, &x);
+        let exec = Executor::new(3);
+        for model in Model::ALL {
+            let y = k.run_v(&exec, model, KernelVariant::Optimized, &a, &x);
+            tpm_core::approx::slices_close(&y, &expected, 1e-12)
+                .unwrap_or_else(|e| panic!("{model}: {e}"));
         }
     }
 

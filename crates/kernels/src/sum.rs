@@ -4,8 +4,35 @@
 //! workstealing for worksharing+reduction is not the right choice" —
 //! `omp_task` wins, `cilk_for` loses by ~5×.
 
-use tpm_core::{Executor, Model};
+use tpm_core::{Executor, KernelVariant, Model};
 use tpm_sim::{Imbalance, LoopWorkload};
+
+/// Accumulator lanes of the optimized body: 8 independent partial sums break
+/// the loop-carried addition chain so the compiler can vectorize and the
+/// FMA units pipeline; the lanes combine pairwise at the end.
+const LANES: usize = 8;
+
+/// Optimized chunk body: `Σ a·x[i]` with [`LANES`] split accumulators.
+/// Reassociates the sum, so results differ from the scalar body in the low
+/// bits — verified against it with the relative-epsilon/ULP helper.
+fn sum_chunk_opt(a: f64, xs: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let mut it = xs.chunks_exact(LANES);
+    for xv in &mut it {
+        for j in 0..LANES {
+            lanes[j] += a * xv[j];
+        }
+    }
+    let mut tail = 0.0;
+    for &xi in it.remainder() {
+        tail += a * xi;
+    }
+    // Pairwise combine: ((0+4)+(2+6)) + ((1+5)+(3+7)).
+    let mut acc = tail;
+    acc += ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+        + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+    acc
+}
 
 /// Sum problem instance.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +62,11 @@ impl Sum {
         crate::util::random_vec(self.n, 0x50AD)
     }
 
+    /// [`Self::alloc`] with parallel first-touch under `model`.
+    pub fn alloc_on(&self, exec: &Executor, model: Model) -> Vec<f64> {
+        crate::util::random_vec_on(exec, model, self.n, 0x50AD)
+    }
+
     /// Sequential reference.
     pub fn seq(&self, x: &[f64]) -> f64 {
         let mut acc = 0.0;
@@ -44,22 +76,40 @@ impl Sum {
         acc
     }
 
-    /// Runs the reduction under `model`.
+    /// Runs the reduction under `model` (paper-faithful
+    /// [`KernelVariant::Reference`] body).
     pub fn run(&self, exec: &Executor, model: Model, x: &[f64]) -> f64 {
+        self.run_v(exec, model, KernelVariant::Reference, x)
+    }
+
+    /// Runs the reduction under `model` with the selected data-path
+    /// `variant`.
+    pub fn run_v(&self, exec: &Executor, model: Model, variant: KernelVariant, x: &[f64]) -> f64 {
         let a = self.a;
-        exec.parallel_reduce(
-            model,
-            0..self.n,
-            || 0.0f64,
-            |l, r| l + r,
-            |chunk, acc| {
-                let mut local = 0.0;
-                for &xi in &x[chunk] {
-                    local += a * xi;
-                }
-                *acc += local;
-            },
-        )
+        match variant {
+            KernelVariant::Reference => exec.parallel_reduce(
+                model,
+                0..self.n,
+                || 0.0f64,
+                |l, r| l + r,
+                |chunk, acc| {
+                    let mut local = 0.0;
+                    for &xi in &x[chunk] {
+                        local += a * xi;
+                    }
+                    *acc += local;
+                },
+            ),
+            KernelVariant::Optimized => exec.parallel_reduce(
+                model,
+                0..self.n,
+                || 0.0f64,
+                |l, r| l + r,
+                |chunk, acc| {
+                    *acc += sum_chunk_opt(a, &x[chunk]);
+                },
+            ),
+        }
     }
 
     /// Simulator descriptor: one flop-ish and 8 bytes per iteration.
@@ -89,6 +139,19 @@ mod tests {
             // allow a relative tolerance.
             let rel = (got - expected).abs() / expected.abs();
             assert!(rel < 1e-10, "{model}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn optimized_variant_matches_reference_within_tolerance() {
+        let k = Sum::native(30_013); // not a multiple of the lane width
+        let x = k.alloc();
+        let expected = k.seq(&x);
+        let exec = Executor::new(4);
+        for model in Model::ALL {
+            let got = k.run_v(&exec, model, KernelVariant::Optimized, &x);
+            tpm_core::approx::scalar_close(got, expected, 1e-10)
+                .unwrap_or_else(|e| panic!("{model}: {e}"));
         }
     }
 

@@ -2,19 +2,33 @@
 
 use std::ops::Range;
 
+use tpm_core::{Executor, Model};
+
 /// A shared mutable slice view for data-parallel writers.
 ///
 /// Parallel loop bodies receive disjoint index chunks; this wrapper lets
 /// them write their own chunk through a shared reference. All six model
 /// variants of every kernel use it the same way, so the comparison measures
 /// scheduling — not borrow-checker workarounds.
+///
+/// # Safety contract
+///
+/// The wrapper itself performs no synchronization. Every `unsafe` accessor
+/// requires the caller to uphold **range disjointness**: across all threads
+/// and for the lifetime of any reference obtained, no index may be reachable
+/// through two simultaneously live accesses (two `slice_mut` ranges that
+/// overlap, or a `write` into a live `slice_mut` range). The kernels satisfy
+/// this structurally — the executor hands each task a chunk of the iteration
+/// space and every task only touches indices derived from its own chunk.
+/// Index validity (`i < len`, `range ⊆ 0..len`) is the caller's obligation
+/// too, checked by `debug_assert!` in debug builds.
 pub struct UnsafeSlice<'a, T> {
     ptr: *mut T,
     len: usize,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
-// SAFETY: callers uphold chunk disjointness (see `write`/`slice_mut` docs).
+// SAFETY: callers uphold chunk disjointness (see the type-level contract).
 unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
 unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
 
@@ -41,19 +55,39 @@ impl<'a, T> UnsafeSlice<'a, T> {
     /// Writes `value` at `i`.
     ///
     /// # Safety
-    /// No other thread may concurrently access index `i`.
+    /// `i < self.len()`, and no other thread may concurrently access index
+    /// `i` (see the type-level disjointness contract).
     pub unsafe fn write(&self, i: usize, value: T) {
-        debug_assert!(i < self.len);
+        debug_assert!(
+            i < self.len,
+            "UnsafeSlice::write: {i} out of bounds ({})",
+            self.len
+        );
         *self.ptr.add(i) = value;
     }
 
     /// Mutable access to `range`.
     ///
     /// # Safety
-    /// No other thread may concurrently access any index in `range`.
+    /// `range` must be non-decreasing and lie within `0..self.len()`, and no
+    /// other thread may concurrently access any index in `range` (see the
+    /// type-level disjointness contract). The returned reference must be
+    /// dropped before any other access to those indices.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
-        debug_assert!(range.end <= self.len);
+        debug_assert!(
+            range.start <= range.end,
+            "UnsafeSlice::slice_mut: inverted range {}..{}",
+            range.start,
+            range.end
+        );
+        debug_assert!(
+            range.end <= self.len,
+            "UnsafeSlice::slice_mut: {}..{} out of bounds ({})",
+            range.start,
+            range.end,
+            self.len
+        );
         std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
     }
 }
@@ -63,6 +97,40 @@ impl<'a, T> UnsafeSlice<'a, T> {
 pub fn random_vec(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = tpm_sync::SplitMix64::new(seed);
     (0..n).map(|_| rng.next_f64()).collect()
+}
+
+/// [`random_vec`] with parallel first-touch: the vector is filled through
+/// `exec.parallel_for` under `model`, so each page is first touched by the
+/// thread that will process the same index range in the kernel proper.
+///
+/// The large kernel inputs (100 M-element vectors) were previously
+/// initialized sequentially, first-touching every page from one thread; on a
+/// NUMA host that places all pages on one node, and even on one socket it
+/// serializes the page-fault storm. Bitwise-identical to [`random_vec`] for
+/// every `(n, seed)` regardless of model, thread count, or chunk boundaries:
+/// each chunk seeks the SplitMix64 stream to its start index in O(1)
+/// ([`tpm_sync::SplitMix64::new_at`]).
+pub fn random_vec_on(exec: &Executor, model: Model, n: usize, seed: u64) -> Vec<f64> {
+    // `vec![0.0; n]` allocates zeroed pages lazily (no touch); the parallel
+    // fill below performs the first touch with the kernel's own schedule.
+    let mut v = vec![0.0f64; n];
+    fill_random_on(exec, model, &mut v, seed);
+    v
+}
+
+/// Fills `out` with the [`random_vec`] stream for `seed` via a parallel
+/// first-touch sweep (see [`random_vec_on`]).
+pub fn fill_random_on(exec: &Executor, model: Model, out: &mut [f64], seed: u64) {
+    let n = out.len();
+    let dst = UnsafeSlice::new(out);
+    exec.parallel_for(model, 0..n, &|chunk| {
+        let mut rng = tpm_sync::SplitMix64::new_at(seed, chunk.start as u64);
+        // SAFETY: the executor hands out disjoint chunks.
+        let slice = unsafe { dst.slice_mut(chunk) };
+        for v in slice {
+            *v = rng.next_f64();
+        }
+    });
 }
 
 /// Max-abs-difference between two vectors (for verification).
@@ -113,5 +181,24 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
         assert!(max_abs_diff(&a, &random_vec(1000, 43)) > 0.0);
+    }
+
+    #[test]
+    fn parallel_first_touch_is_bitwise_identical_to_sequential() {
+        let expected = random_vec(10_007, 0xF1257);
+        for threads in [1, 3] {
+            let exec = Executor::new(threads);
+            for model in Model::ALL {
+                let got = random_vec_on(&exec, model, 10_007, 0xF1257);
+                assert_eq!(got, expected, "{model} @{threads}t");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_random_on_empty_and_single() {
+        let exec = Executor::new(2);
+        assert!(random_vec_on(&exec, Model::CilkFor, 0, 1).is_empty());
+        assert_eq!(random_vec_on(&exec, Model::OmpTask, 1, 9), random_vec(1, 9));
     }
 }

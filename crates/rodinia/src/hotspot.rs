@@ -12,10 +12,15 @@
 //! from the 5-point stencil, then commit it), `steps` times — many small
 //! phases, which is what punishes per-region overhead.
 
-use tpm_core::{Executor, Model};
+use tpm_core::{Executor, KernelVariant, Model};
 use tpm_sim::{Imbalance, LoopWorkload, PhasedWorkload};
 
 use tpm_kernels::util::UnsafeSlice;
+
+/// Column-tile width of the optimized sweep: 512 f64 (4 KiB) per row, so
+/// the three-row stencil window over a tile (~12 KiB) stays L1-resident as
+/// `i` advances, instead of streaming full 64 KiB rows.
+const TILE_J: usize = 512;
 
 /// Physical/model constants (Rodinia's defaults, simplified).
 const T_AMB: f64 = 80.0;
@@ -85,6 +90,58 @@ impl HotSpot {
                 + (T_AMB - t) / RZ)
     }
 
+    /// Optimized stencil body for one row's tile `j0..j1` of the `next`
+    /// grid: boundary rows/columns go through [`Self::step_cell`]'s clamped
+    /// path; interior cells use direct neighbor indexing — the same
+    /// arithmetic expression, so results are bitwise-identical — in a
+    /// branch-free loop the compiler vectorizes.
+    fn step_row_tile(
+        &self,
+        temp: &[f64],
+        power: &[f64],
+        i: usize,
+        j0: usize,
+        j1: usize,
+        out_row: &mut [f64],
+    ) {
+        let n = self.n;
+        debug_assert_eq!(out_row.len(), j1 - j0);
+        if i == 0 || i + 1 == n {
+            for (jj, cell) in out_row.iter_mut().enumerate() {
+                *cell = self.step_cell(temp, power, i, j0 + jj);
+            }
+            return;
+        }
+        if j0 == 0 {
+            out_row[0] = self.step_cell(temp, power, i, 0);
+        }
+        if j1 == n {
+            out_row[n - 1 - j0] = self.step_cell(temp, power, i, n - 1);
+        }
+        let lo = j0.max(1);
+        let hi = j1.min(n - 1);
+        if lo >= hi {
+            return;
+        }
+        let w = hi - lo;
+        let base = i * n;
+        let cur = &temp[base + lo..][..w];
+        let up = &temp[base - n + lo..][..w];
+        let down = &temp[base + n + lo..][..w];
+        let left = &temp[base + lo - 1..][..w];
+        let right = &temp[base + lo + 1..][..w];
+        let pw = &power[base + lo..][..w];
+        let dst = &mut out_row[lo - j0..][..w];
+        for j in 0..w {
+            let t = cur[j];
+            dst[j] = t + CAP
+                * (pw[j]
+                    + (up[j] + down[j] - 2.0 * t) / RY
+                    + (left[j] + right[j] - 2.0 * t) / RX
+                    + (T_AMB - t) / RZ);
+        }
+    }
+
     /// Sequential reference: returns the final temperature grid.
     pub fn seq(&self, temp: &[f64], power: &[f64]) -> Vec<f64> {
         let n = self.n;
@@ -102,8 +159,25 @@ impl HotSpot {
     }
 
     /// Runs under `model`: per step, a row-parallel stencil loop then a
-    /// row-parallel commit loop (the two dependent phases).
+    /// row-parallel commit loop (the two dependent phases; paper-faithful
+    /// [`KernelVariant::Reference`] body).
     pub fn run(&self, exec: &Executor, model: Model, temp: &[f64], power: &[f64]) -> Vec<f64> {
+        self.run_v(exec, model, KernelVariant::Reference, temp, power)
+    }
+
+    /// Runs under `model` with the selected data-path `variant`.
+    ///
+    /// The optimized variant keeps the same row-parallel distribution and
+    /// two-phase structure but sweeps each chunk in [`TILE_J`]-column tiles
+    /// (cache-resident working set) with a vectorizable interior body.
+    pub fn run_v(
+        &self,
+        exec: &Executor,
+        model: Model,
+        variant: KernelVariant,
+        temp: &[f64],
+        power: &[f64],
+    ) -> Vec<f64> {
         let n = self.n;
         let mut cur = temp.to_vec();
         let mut next = vec![0.0; n * n];
@@ -111,15 +185,32 @@ impl HotSpot {
             {
                 let out = UnsafeSlice::new(&mut next);
                 let cur_ref = &cur;
-                exec.parallel_for(model, 0..n, &|rows| {
-                    for i in rows {
-                        // SAFETY: disjoint row chunks.
-                        let row = unsafe { out.slice_mut(i * n..(i + 1) * n) };
-                        for (j, cell) in row.iter_mut().enumerate() {
-                            *cell = self.step_cell(cur_ref, power, i, j);
-                        }
+                match variant {
+                    KernelVariant::Reference => {
+                        exec.parallel_for(model, 0..n, &|rows| {
+                            for i in rows {
+                                // SAFETY: disjoint row chunks.
+                                let row = unsafe { out.slice_mut(i * n..(i + 1) * n) };
+                                for (j, cell) in row.iter_mut().enumerate() {
+                                    *cell = self.step_cell(cur_ref, power, i, j);
+                                }
+                            }
+                        });
                     }
-                });
+                    KernelVariant::Optimized => {
+                        exec.parallel_for(model, 0..n, &|rows| {
+                            for j0 in (0..n).step_by(TILE_J) {
+                                let j1 = (j0 + TILE_J).min(n);
+                                for i in rows.clone() {
+                                    // SAFETY: disjoint row chunks ⇒ disjoint
+                                    // (row, tile) segments.
+                                    let seg = unsafe { out.slice_mut(i * n + j0..i * n + j1) };
+                                    self.step_row_tile(cur_ref, power, i, j0, j1, seg);
+                                }
+                            }
+                        });
+                    }
+                }
             }
             {
                 // Commit phase: copy back (Rodinia keeps two grids and swaps;
@@ -176,6 +267,34 @@ mod tests {
         for model in Model::ALL {
             let got = h.run(&exec, model, &t, &p);
             assert!(max_abs_diff(&got, &expected) < 1e-9, "{model}");
+        }
+    }
+
+    #[test]
+    fn tiled_variant_is_bitwise_identical_to_reference() {
+        // 37: interior width not a tile multiple; exercises tile edges.
+        let h = HotSpot::native(37, 3);
+        let (t, p) = h.generate();
+        let expected = h.seq(&t, &p);
+        let exec = Executor::new(3);
+        for model in Model::ALL {
+            let got = h.run_v(&exec, model, KernelVariant::Optimized, &t, &p);
+            // Interior uses the same expression as step_cell — exact match.
+            assert_eq!(got, expected, "{model}");
+        }
+    }
+
+    #[test]
+    fn tiled_variant_tiny_grids() {
+        for n in [1, 2, 3] {
+            let h = HotSpot::native(n, 2);
+            let (t, p) = h.generate();
+            let exec = Executor::new(2);
+            assert_eq!(
+                h.run_v(&exec, Model::OmpFor, KernelVariant::Optimized, &t, &p),
+                h.seq(&t, &p),
+                "n={n}"
+            );
         }
     }
 

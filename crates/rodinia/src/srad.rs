@@ -6,10 +6,16 @@
 //! per-pixel work with regular access — the paper's "equal workload" class
 //! where all six variants converge.
 
-use tpm_core::{Executor, Model};
+use tpm_core::{Executor, KernelVariant, Model};
 use tpm_sim::{Imbalance, LoopWorkload, PhasedWorkload};
 
 use tpm_kernels::util::UnsafeSlice;
+
+/// Column-tile width of the optimized sweep (4 KiB of f64 per row): each
+/// parallel chunk works tile-by-tile so the 4-neighbor window plus the
+/// coefficient row stay cache-resident instead of streaming full-width
+/// rows.
+const TILE_J: usize = 512;
 
 /// SRAD problem instance.
 #[derive(Debug, Clone, Copy)]
@@ -58,37 +64,49 @@ impl Srad {
     }
 
     /// One full diffusion pass, writing coefficient then updating `img`.
-    fn step(&self, exec: Option<(&Executor, Model)>, img: &mut [f64], c: &mut [f64], q0sqr: f64) {
+    /// Loop bodies take a `(rows, cols)` sub-rectangle so the optimized
+    /// variant can sweep cache-resident column tiles; the reference variant
+    /// passes full-width rows.
+    fn step(
+        &self,
+        exec: Option<(&Executor, Model, KernelVariant)>,
+        img: &mut [f64],
+        c: &mut [f64],
+        q0sqr: f64,
+    ) {
         let n = self.n;
         // Loop 1: diffusion coefficient per pixel.
-        let compute_c =
-            |rows: std::ops::Range<usize>, c_out: &UnsafeSlice<'_, f64>, img: &[f64]| {
-                for i in rows {
-                    for j in 0..n {
-                        let idx = i * n + j;
-                        let p = img[idx];
-                        let dn = img[self.clamp(i as isize - 1) * n + j] - p;
-                        let ds = img[self.clamp(i as isize + 1) * n + j] - p;
-                        let dw = img[i * n + self.clamp(j as isize - 1)] - p;
-                        let de = img[i * n + self.clamp(j as isize + 1)] - p;
-                        let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (p * p);
-                        let l = (dn + ds + dw + de) / p;
-                        let num = 0.5 * g2 - (l * l) / 16.0;
-                        let den = 1.0 + 0.25 * l;
-                        let qsqr = num / (den * den);
-                        let coeff = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)));
-                        // SAFETY: disjoint rows.
-                        unsafe { c_out.write(idx, coeff.clamp(0.0, 1.0)) };
-                    }
+        let compute_c = |rows: std::ops::Range<usize>,
+                         cols: std::ops::Range<usize>,
+                         c_out: &UnsafeSlice<'_, f64>,
+                         img: &[f64]| {
+            for i in rows {
+                for j in cols.clone() {
+                    let idx = i * n + j;
+                    let p = img[idx];
+                    let dn = img[self.clamp(i as isize - 1) * n + j] - p;
+                    let ds = img[self.clamp(i as isize + 1) * n + j] - p;
+                    let dw = img[i * n + self.clamp(j as isize - 1)] - p;
+                    let de = img[i * n + self.clamp(j as isize + 1)] - p;
+                    let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (p * p);
+                    let l = (dn + ds + dw + de) / p;
+                    let num = 0.5 * g2 - (l * l) / 16.0;
+                    let den = 1.0 + 0.25 * l;
+                    let qsqr = num / (den * den);
+                    let coeff = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)));
+                    // SAFETY: disjoint rows.
+                    unsafe { c_out.write(idx, coeff.clamp(0.0, 1.0)) };
                 }
-            };
+            }
+        };
         // Loop 2: divergence update.
         let update = |rows: std::ops::Range<usize>,
+                      cols: std::ops::Range<usize>,
                       img_out: &UnsafeSlice<'_, f64>,
                       img: &[f64],
                       c: &[f64]| {
             for i in rows {
-                for j in 0..n {
+                for j in cols.clone() {
                     let idx = i * n + j;
                     let p = img[idx];
                     let cn = c[idx];
@@ -109,23 +127,55 @@ impl Srad {
                 let img_snapshot = img.to_vec();
                 {
                     let c_slice = UnsafeSlice::new(c);
-                    compute_c(0..n, &c_slice, &img_snapshot);
+                    compute_c(0..n, 0..n, &c_slice, &img_snapshot);
                 }
                 let img_out = UnsafeSlice::new(img);
-                update(0..n, &img_out, &img_snapshot, c);
+                update(0..n, 0..n, &img_out, &img_snapshot, c);
             }
-            Some((exec, model)) => {
+            Some((exec, model, KernelVariant::Reference)) => {
                 let img_snapshot = img.to_vec();
                 {
                     let c_slice = UnsafeSlice::new(c);
                     let img_ref = &img_snapshot;
-                    exec.parallel_for(model, 0..n, &|rows| compute_c(rows, &c_slice, img_ref));
+                    exec.parallel_for(model, 0..n, &|rows| {
+                        compute_c(rows, 0..n, &c_slice, img_ref)
+                    });
                 }
                 {
                     let img_out = UnsafeSlice::new(img);
                     let img_ref = &img_snapshot;
                     let c_ref: &[f64] = c;
-                    exec.parallel_for(model, 0..n, &|rows| update(rows, &img_out, img_ref, c_ref));
+                    exec.parallel_for(model, 0..n, &|rows| {
+                        update(rows, 0..n, &img_out, img_ref, c_ref)
+                    });
+                }
+            }
+            Some((exec, model, KernelVariant::Optimized)) => {
+                // Same row-parallel distribution and two-phase structure;
+                // each chunk sweeps TILE_J-column tiles so its working set
+                // stays cache-resident. Per-cell arithmetic is unchanged,
+                // so results are bitwise-identical to the reference.
+                let img_snapshot = img.to_vec();
+                {
+                    let c_slice = UnsafeSlice::new(c);
+                    let img_ref = &img_snapshot;
+                    exec.parallel_for(model, 0..n, &|rows| {
+                        for j0 in (0..n).step_by(TILE_J) {
+                            let j1 = (j0 + TILE_J).min(n);
+                            compute_c(rows.clone(), j0..j1, &c_slice, img_ref);
+                        }
+                    });
+                }
+                {
+                    let img_out = UnsafeSlice::new(img);
+                    let img_ref = &img_snapshot;
+                    let c_ref: &[f64] = c;
+                    exec.parallel_for(model, 0..n, &|rows| {
+                        for j0 in (0..n).step_by(TILE_J) {
+                            let j1 = (j0 + TILE_J).min(n);
+                            update(rows.clone(), j0..j1, &img_out, img_ref, c_ref);
+                        }
+                    });
                 }
             }
         }
@@ -160,13 +210,26 @@ impl Srad {
         img
     }
 
-    /// Runs under `model`.
+    /// Runs under `model` (paper-faithful [`KernelVariant::Reference`]
+    /// body).
     pub fn run(&self, exec: &Executor, model: Model, img: &[f64]) -> Vec<f64> {
+        self.run_v(exec, model, KernelVariant::Reference, img)
+    }
+
+    /// Runs under `model` with the selected data-path `variant` (the
+    /// optimized variant sweeps cache-resident column tiles).
+    pub fn run_v(
+        &self,
+        exec: &Executor,
+        model: Model,
+        variant: KernelVariant,
+        img: &[f64],
+    ) -> Vec<f64> {
         let mut img = img.to_vec();
         let mut c = vec![0.0; self.n * self.n];
         for _ in 0..self.iterations {
             let q0 = self.q0sqr(&img);
-            self.step(Some((exec, model)), &mut img, &mut c, q0);
+            self.step(Some((exec, model, variant)), &mut img, &mut c, q0);
         }
         img
     }
@@ -212,6 +275,19 @@ mod tests {
         for model in Model::ALL {
             let got = s.run(&exec, model, &img);
             assert!(max_abs_diff(&got, &expected) < 1e-9, "{model}");
+        }
+    }
+
+    #[test]
+    fn tiled_variant_is_bitwise_identical_to_reference() {
+        // 29: not a tile multiple; clamped borders land inside tiles.
+        let s = Srad::native(29, 3);
+        let img = s.generate();
+        let expected = s.seq(&img);
+        let exec = Executor::new(3);
+        for model in Model::ALL {
+            let got = s.run_v(&exec, model, KernelVariant::Optimized, &img);
+            assert_eq!(got, expected, "{model}");
         }
     }
 

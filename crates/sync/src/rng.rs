@@ -31,6 +31,30 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// Creates a generator positioned as if `n` values had already been
+    /// drawn from `new(seed)` — an O(1) jump, possible because the state
+    /// advances by a fixed constant per draw.
+    ///
+    /// This is what lets parallel first-touch initialization reproduce a
+    /// sequential stream exactly: each chunk seeks to its start index and
+    /// generates only its own elements.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpm_sync::SplitMix64;
+    ///
+    /// let mut seq = SplitMix64::new(7);
+    /// for _ in 0..1000 { seq.next_u64(); }
+    /// let mut jumped = SplitMix64::new_at(7, 1000);
+    /// assert_eq!(seq.next_u64(), jumped.next_u64());
+    /// ```
+    pub const fn new_at(seed: u64, n: u64) -> Self {
+        Self {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(n)),
+        }
+    }
+
     /// Returns the next 64 pseudo-random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -105,6 +129,16 @@ mod tests {
         assert_ne!(a, b);
         let mut r2 = SplitMix64::new(1);
         assert_eq!(r2.next_u64(), a);
+    }
+
+    #[test]
+    fn new_at_matches_sequential_draws() {
+        let mut seq = SplitMix64::new(0xDEADBEEF);
+        let draws: Vec<u64> = (0..100).map(|_| seq.next_u64()).collect();
+        for start in [0usize, 1, 17, 64, 99] {
+            let mut jumped = SplitMix64::new_at(0xDEADBEEF, start as u64);
+            assert_eq!(jumped.next_u64(), draws[start], "jump to {start}");
+        }
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! See `README.md` for a guided tour and `DESIGN.md` for the reproduction
 //! methodology.
 
-pub use tpm_core::{timing, Executor, Family, Figure, Model, Pattern, Series};
+pub use tpm_core::{
+    approx, timing, Executor, Family, Figure, KernelVariant, Model, Pattern, Series,
+};
 
 pub use tpm_features as features;
 pub use tpm_forkjoin as forkjoin;

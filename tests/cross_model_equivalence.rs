@@ -2,6 +2,7 @@
 //! produce the sequential reference result under all six model variants,
 //! through the public `threadcmp` API.
 
+use threadcmp::approx::{scalar_close, slices_close};
 use threadcmp::kernels::{util::max_abs_diff, Axpy, Fib, Matmul, Matvec, Sum};
 use threadcmp::rodinia::{Bfs, HotSpot, LavaMd, Lud, Srad};
 use threadcmp::{Executor, Model};
@@ -30,7 +31,7 @@ fn sum_all_models() {
     let exec = Executor::new(4);
     for model in Model::ALL {
         let got = k.run(&exec, model, &x);
-        assert!((got - expected).abs() / expected.abs() < 1e-10, "{model}");
+        scalar_close(got, expected, 1e-10).unwrap_or_else(|e| panic!("{model}: {e}"));
     }
 }
 
@@ -41,19 +42,15 @@ fn matvec_and_matmul_all_models() {
     let (a, x) = mv.alloc();
     let expected = mv.seq(&a, &x);
     for model in Model::ALL {
-        assert!(
-            max_abs_diff(&mv.run(&exec, model, &a, &x), &expected) < 1e-9,
-            "matvec {model}"
-        );
+        slices_close(&mv.run(&exec, model, &a, &x), &expected, 1e-10)
+            .unwrap_or_else(|e| panic!("matvec {model}: {e}"));
     }
     let mm = Matmul::native(24);
     let (a, b) = mm.alloc();
     let expected = mm.seq(&a, &b);
     for model in Model::ALL {
-        assert!(
-            max_abs_diff(&mm.run(&exec, model, &a, &b), &expected) < 1e-9,
-            "matmul {model}"
-        );
+        slices_close(&mm.run(&exec, model, &a, &b), &expected, 1e-10)
+            .unwrap_or_else(|e| panic!("matmul {model}: {e}"));
     }
 }
 
