@@ -12,11 +12,14 @@
 //! versions per benchmark.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tpm_forkjoin::{Schedule, Team};
 use tpm_rawthreads as raw;
+use tpm_sync::CancelToken;
 use tpm_worksteal::{Grain, Runtime};
 
+use crate::error::{panic_message, ExecError};
 use crate::model::Model;
 
 /// Holds one runtime instance per API family, all sized to the same thread
@@ -27,15 +30,63 @@ pub struct Executor {
     ws: Runtime,
 }
 
+/// Configures an [`Executor`] before construction — one knob set applied to
+/// both persistent runtimes, so the pools stay comparable.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_core::Executor;
+///
+/// let exec = Executor::builder().threads(2).pin(false).build();
+/// assert_eq!(exec.threads(), 2);
+/// ```
+#[derive(Debug)]
+#[must_use = "a builder does nothing until .build()"]
+pub struct ExecutorBuilder {
+    threads: usize,
+    pin: Option<bool>,
+}
+
+impl ExecutorBuilder {
+    /// Thread count for both pools (default 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Pin workers to cores in both pools. Defaults to the `TPM_PIN`
+    /// environment variable.
+    pub fn pin(mut self, pin: bool) -> Self {
+        self.pin = Some(pin);
+        self
+    }
+
+    /// Materializes the fork-join team and work-stealing runtime.
+    #[must_use]
+    pub fn build(self) -> Executor {
+        assert!(self.threads >= 1);
+        let pin = self.pin.unwrap_or_else(tpm_sync::affinity::pin_from_env);
+        Executor {
+            threads: self.threads,
+            team: Team::builder().threads(self.threads).pin(pin).build(),
+            ws: Runtime::builder().threads(self.threads).pin(pin).build(),
+        }
+    }
+}
+
 impl Executor {
+    /// Starts configuring an executor (threads 1, pinning from `TPM_PIN`).
+    pub fn builder() -> ExecutorBuilder {
+        ExecutorBuilder {
+            threads: 1,
+            pin: None,
+        }
+    }
+
     /// Creates runtimes with `threads` threads each.
     pub fn new(threads: usize) -> Self {
-        assert!(threads >= 1);
-        Self {
-            threads,
-            team: Team::new(threads),
-            ws: Runtime::new(threads),
-        }
+        Self::builder().threads(threads).build()
     }
 
     /// The common thread count.
@@ -81,28 +132,78 @@ impl Executor {
     where
         F: Fn(Range<usize>) + Sync,
     {
+        if let Err(e) = self.try_parallel_for(model, range, &CancelToken::new(), body) {
+            panic!("{model} parallel_for failed: {e}");
+        }
+    }
+
+    /// Fallible [`parallel_for`](Self::parallel_for): the loop polls `token`
+    /// at every chunk/steal boundary and stops within one grain of work per
+    /// thread once it fires; a panicking body is caught (the runtimes stay
+    /// usable) and reported as [`ExecError::Panic`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpm_core::{ExecError, Executor, Model};
+    /// use tpm_sync::CancelToken;
+    ///
+    /// let exec = Executor::new(2);
+    /// let token = CancelToken::new();
+    /// token.cancel();
+    /// let r = exec.try_parallel_for(Model::OmpFor, 0..100, &token, &|_| unreachable!());
+    /// assert_eq!(r, Err(ExecError::Cancelled));
+    /// ```
+    pub fn try_parallel_for<F>(
+        &self,
+        model: Model,
+        range: Range<usize>,
+        token: &CancelToken,
+        body: &F,
+    ) -> Result<(), ExecError>
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if let Some(r) = token.reason() {
+            return Err(r.into());
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.dispatch_for(model, range, token, body)
+        })) {
+            Ok(()) => token.check().map_err(Into::into),
+            Err(p) => Err(ExecError::Panic(panic_message(p))),
+        }
+    }
+
+    fn dispatch_for<F>(&self, model: Model, range: Range<usize>, token: &CancelToken, body: &F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
         let n = range.len();
         let base = self.base_chunk(n);
         match model {
             Model::OmpFor => {
                 // Worksharing with the static schedule (the paper's setup for
-                // all data-parallel comparisons).
-                self.team.parallel_for_chunks(
-                    self.threads,
-                    Schedule::static_default(),
-                    range,
-                    body,
-                );
+                // all data-parallel comparisons); the region carries the token
+                // so every chunk boundary polls it.
+                self.team.parallel_with_token(self.threads, token, |ctx| {
+                    ctx.ws_for_chunks(Schedule::static_default(), range.clone(), body);
+                });
             }
             Model::OmpTask => {
-                // parallel + single + one task per BASE-sized chunk.
-                self.team.parallel_with(self.threads, |ctx| {
+                // parallel + single + one task per BASE-sized chunk; each task
+                // polls the region's cancellation state before running.
+                self.team.parallel_with_token(self.threads, token, |ctx| {
                     ctx.single(|| {
                         ctx.task_scope(|s| {
                             let mut start = range.start;
                             while start < range.end {
                                 let end = (start + base).min(range.end);
-                                s.spawn(move |_| body(start..end));
+                                s.spawn(move |c| {
+                                    if !c.is_cancelled() {
+                                        body(start..end)
+                                    }
+                                });
                                 start = end;
                             }
                         });
@@ -112,7 +213,7 @@ impl Executor {
             Model::CilkFor => {
                 // Recursive lazy splitting with Cilk's default grain.
                 self.ws.install(|ctx| {
-                    tpm_worksteal::par_for(ctx, range, Grain::Auto, body);
+                    let _ = tpm_worksteal::par_for_cancel(ctx, range, Grain::Auto, token, body);
                 });
             }
             Model::CilkSpawn => {
@@ -122,17 +223,22 @@ impl Executor {
                         let mut start = range.start;
                         while start < range.end {
                             let end = (start + base).min(range.end);
-                            s.spawn(move |_| body(start..end));
+                            s.spawn(move |_| {
+                                if !token.is_cancelled() {
+                                    body(start..end)
+                                }
+                            });
                             start = end;
                         }
                     });
                 });
             }
             Model::CxxThread => {
-                raw::threads_for(self.threads, range, |_tid, chunk| body(chunk));
+                let _ =
+                    raw::threads_for_cancel(self.threads, range, token, |_tid, chunk| body(chunk));
             }
             Model::CxxAsync => {
-                raw::recursive_for(range, base, body);
+                let _ = raw::recursive_for_cancel(range, base, token, body);
             }
         }
     }
@@ -153,21 +259,92 @@ impl Executor {
         Op: Fn(T, T) -> T + Send + Sync,
         F: Fn(Range<usize>, &mut T) + Sync,
     {
+        match self.try_parallel_reduce(model, range, &CancelToken::new(), identity, combine, body) {
+            Ok(v) => v,
+            Err(e) => panic!("{model} parallel_reduce failed: {e}"),
+        }
+    }
+
+    /// Fallible [`parallel_reduce`](Self::parallel_reduce): stops within one
+    /// grain once `token` fires and discards the partial accumulators. Body
+    /// panics are caught and reported as [`ExecError::Panic`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpm_core::{Executor, Model};
+    /// use tpm_sync::CancelToken;
+    ///
+    /// let exec = Executor::new(2);
+    /// let sum = exec.try_parallel_reduce(
+    ///     Model::CilkFor,
+    ///     0..100,
+    ///     &CancelToken::new(),
+    ///     || 0u64,
+    ///     |a, b| a + b,
+    ///     |chunk, acc| for i in chunk { *acc += i as u64 },
+    /// );
+    /// assert_eq!(sum, Ok(4950));
+    /// ```
+    pub fn try_parallel_reduce<T, F, Id, Op>(
+        &self,
+        model: Model,
+        range: Range<usize>,
+        token: &CancelToken,
+        identity: Id,
+        combine: Op,
+        body: F,
+    ) -> Result<T, ExecError>
+    where
+        T: Send,
+        Id: Fn() -> T + Send + Sync,
+        Op: Fn(T, T) -> T + Send + Sync,
+        F: Fn(Range<usize>, &mut T) + Sync,
+    {
+        if let Some(r) = token.reason() {
+            return Err(r.into());
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.dispatch_reduce(model, range, token, identity, combine, body)
+        })) {
+            Ok(v) => token.check().map(|()| v).map_err(Into::into),
+            Err(p) => Err(ExecError::Panic(panic_message(p))),
+        }
+    }
+
+    fn dispatch_reduce<T, F, Id, Op>(
+        &self,
+        model: Model,
+        range: Range<usize>,
+        token: &CancelToken,
+        identity: Id,
+        combine: Op,
+        body: F,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Send + Sync,
+        Op: Fn(T, T) -> T + Send + Sync,
+        F: Fn(Range<usize>, &mut T) + Sync,
+    {
         let n = range.len();
         let base = self.base_chunk(n);
         match model {
-            Model::OmpFor => self.team.parallel_for_reduce(
-                self.threads,
-                Schedule::static_default(),
-                range,
-                identity,
-                combine,
-                body,
-            ),
+            Model::OmpFor => {
+                // Identical to Team::parallel_for_reduce, with the token
+                // attached to the region (same chunks, same combine order).
+                let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
+                self.team.parallel_with_token(self.threads, token, |ctx| {
+                    ctx.ws_for_chunks(Schedule::static_default(), range.clone(), |chunk| {
+                        reducer.with(ctx.thread_num(), |acc| body(chunk, acc));
+                    });
+                });
+                reducer.finish()
+            }
             Model::OmpTask => {
                 // Tasks accumulate into a reducer keyed by executing thread.
                 let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
-                self.team.parallel_with(self.threads, |ctx| {
+                self.team.parallel_with_token(self.threads, token, |ctx| {
                     ctx.single(|| {
                         ctx.task_scope(|s| {
                             let mut start = range.start;
@@ -176,7 +353,9 @@ impl Executor {
                                 let reducer = &reducer;
                                 let body = &body;
                                 s.spawn(move |c| {
-                                    reducer.with(c.thread_num(), |acc| body(start..end, acc));
+                                    if !c.is_cancelled() {
+                                        reducer.with(c.thread_num(), |acc| body(start..end, acc));
+                                    }
                                 });
                                 start = end;
                             }
@@ -186,16 +365,20 @@ impl Executor {
                 reducer.finish()
             }
             Model::CilkFor => {
+                // par_for_reduce's reducer pattern over the cancel-aware loop.
                 let body = &body; // shared borrow: Send because F: Sync
                 self.ws.install(move |ctx| {
-                    tpm_worksteal::par_for_reduce(
+                    let reducer = tpm_sync::Reducer::new(ctx.num_workers(), identity, combine);
+                    let _ = tpm_worksteal::par_for_ctx_cancel(
                         ctx,
                         range,
                         Grain::Auto,
-                        identity,
-                        combine,
-                        |chunk, acc| body(chunk, acc),
-                    )
+                        token,
+                        &|c: &tpm_worksteal::WorkerCtx<'_>, chunk: Range<usize>| {
+                            reducer.with(c.index(), |acc| body(chunk, acc));
+                        },
+                    );
+                    reducer.finish()
                 })
             }
             Model::CilkSpawn => {
@@ -208,7 +391,9 @@ impl Executor {
                             let reducer = &reducer;
                             let body = &body;
                             s.spawn(move |c| {
-                                reducer.with(c.index(), |acc| body(start..end, acc));
+                                if !token.is_cancelled() {
+                                    reducer.with(c.index(), |acc| body(start..end, acc));
+                                }
                             });
                             start = end;
                         }
@@ -216,20 +401,21 @@ impl Executor {
                 });
                 reducer.finish()
             }
-            Model::CxxThread => raw::threads_for_reduce(
-                self.threads,
-                range,
-                |_tid, chunk| {
-                    let mut acc = identity();
-                    body(chunk, &mut acc);
-                    acc
-                },
-                combine,
-                identity(),
-            ),
-            Model::CxxAsync => raw::recursive_reduce(
+            Model::CxxThread => {
+                // threads_for_reduce's per-thread partials, over the
+                // cancel-aware loop (sub-chunks fold in order, so the
+                // operation sequence per thread is unchanged).
+                let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
+                let _ = raw::threads_for_cancel(self.threads, range, token, |tid, chunk| {
+                    reducer.with(tid, |acc| body(chunk, acc));
+                });
+                reducer.finish()
+            }
+            Model::CxxAsync => raw::recursive_reduce_cancel(
                 range,
                 base,
+                token,
+                &identity,
                 &|chunk| {
                     let mut acc = identity();
                     body(chunk, &mut acc);

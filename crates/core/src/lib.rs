@@ -16,6 +16,10 @@
 //!   (vectorization-friendly / cache-blocked) kernel data paths.
 //! * [`approx`] — relative-epsilon/ULP comparison used by the kernel claim
 //!   checks once optimized bodies reassociate floating-point sums.
+//! * [`ExecError`] + [`Executor::try_parallel_for`] /
+//!   [`Executor::try_parallel_reduce`] — the fallible, cancellable execution
+//!   path; [`job`] — named job dispatch ([`JobSpec`] → [`JobResult`]) used by
+//!   the `tpm-serve` frontend.
 //!
 //! ```
 //! use tpm_core::{Executor, Model};
@@ -35,14 +39,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod approx;
+mod error;
 mod executor;
+pub mod job;
 mod model;
 pub mod report;
 pub mod sweep;
 pub mod timing;
 mod variant;
 
-pub use executor::Executor;
+pub use error::ExecError;
+pub use executor::{Executor, ExecutorBuilder};
+pub use job::{JobCtx, JobRegistry, JobResult, JobSpec};
 pub use model::{Family, Model, Pattern};
 pub use report::{Figure, ProfileRow, ProfileTable, Series};
 pub use sweep::Sweep;

@@ -43,5 +43,5 @@ mod worksharing;
 pub use depend::{DepToken, DepTracker};
 pub use lock::{OmpLock, OmpNestLock};
 pub use tasking::{TaskMode, TaskScope};
-pub use team::{Ctx, Team, TeamConfig};
+pub use team::{Ctx, Team, TeamBuilder, TeamConfig};
 pub use worksharing::{static_chunks, LoopCounter, Schedule};

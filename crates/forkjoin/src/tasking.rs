@@ -15,7 +15,7 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
-use tpm_sync::{CountLatch, IdleStrategy};
+use tpm_sync::CountLatch;
 
 use crate::team::Ctx;
 
@@ -101,7 +101,7 @@ impl<'c, 'a> TaskScope<'c, 'a> {
 fn drain(ctx: &Ctx<'_>, latch: &CountLatch) {
     // Latch completion has no unpark path, so the shared idle policy runs in
     // its no-park mode.
-    let idle = IdleStrategy::runtime_default();
+    let idle = ctx.idle_strategy();
     while !latch.probe() {
         if ctx.execute_one_task() {
             idle.reset();

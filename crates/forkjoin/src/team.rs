@@ -17,7 +17,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use tpm_sync::{
-    Barrier, Condvar, CountLatch, LockedDeque, Mutex, Reducer, SchedulerStats, SpinLock,
+    Barrier, CancelReason, CancelToken, Condvar, CountLatch, LockedDeque, Mutex, Reducer,
+    SchedulerStats, SpinLock,
 };
 
 use crate::tasking::{TaskMode, TaskRef, TaskScope};
@@ -37,6 +38,9 @@ pub struct TeamConfig {
     /// analogue). The master is the caller's thread and is never pinned.
     /// Defaults to the `TPM_PIN` environment variable.
     pub pin: bool,
+    /// Idle policy `(spin rounds, yield rounds)` for the team's in-region
+    /// wait loops (worksharing-counter init, task-scope drains).
+    pub idle: (u32, u32),
 }
 
 impl Default for TeamConfig {
@@ -44,6 +48,10 @@ impl Default for TeamConfig {
         Self {
             task_mode: TaskMode::WorkFirst,
             pin: tpm_sync::affinity::pin_from_env(),
+            idle: (
+                tpm_sync::IdleStrategy::RUNTIME_DEFAULT_SPIN,
+                tpm_sync::IdleStrategy::RUNTIME_DEFAULT_YIELD,
+            ),
         }
     }
 }
@@ -77,6 +85,7 @@ pub(crate) struct TeamInner {
     in_region: AtomicBool,
     pub(crate) stats: SchedulerStats,
     pub(crate) task_mode: TaskMode,
+    idle: (u32, u32),
 }
 
 struct Dispatch {
@@ -116,6 +125,11 @@ pub(crate) struct Region {
     panicked: std::sync::atomic::AtomicBool,
     /// Cooperative cancellation flag (`omp cancel parallel/for`).
     cancelled: std::sync::atomic::AtomicBool,
+    /// External cancellation token attached to this region (job-service
+    /// path): worksharing loops poll it at every chunk boundary alongside
+    /// the region-local flag, so a deadline or a client disconnect stops the
+    /// region within one chunk of work.
+    token: Option<CancelToken>,
 }
 
 // SAFETY: `ws_counter` is written only by the claim-CAS winner and read by
@@ -123,7 +137,7 @@ pub(crate) struct Region {
 unsafe impl Sync for Region {}
 
 impl Region {
-    fn new(active: usize) -> Self {
+    fn new(active: usize, token: Option<CancelToken>) -> Self {
         Self {
             active,
             barrier: Barrier::new(active),
@@ -136,6 +150,7 @@ impl Region {
             panic: SpinLock::new(None),
             panicked: std::sync::atomic::AtomicBool::new(false),
             cancelled: std::sync::atomic::AtomicBool::new(false),
+            token,
         }
     }
 
@@ -197,6 +212,11 @@ impl<'a> Ctx<'a> {
     /// Team-wide event counters for this thread.
     pub(crate) fn stats(&self) -> &tpm_sync::WorkerStats {
         self.team.stats.worker(self.tid)
+    }
+
+    /// The team's configured idle policy, for in-region wait loops.
+    pub(crate) fn idle_strategy(&self) -> tpm_sync::IdleStrategy {
+        tpm_sync::IdleStrategy::new(self.team.idle.0, self.team.idle.1)
     }
 
     /// Synchronizes all threads of the region (`#pragma omp barrier`).
@@ -327,7 +347,7 @@ impl<'a> Ctx<'a> {
             unsafe { *self.region.ws_counter.get() = Some(LoopCounter::new(range)) };
             self.region.ws_init.store(seq, Ordering::Release);
         } else {
-            let idle = tpm_sync::IdleStrategy::runtime_default();
+            let idle = self.idle_strategy();
             while self.region.ws_init.load(Ordering::Acquire) < seq {
                 idle.snooze_no_park();
             }
@@ -386,11 +406,26 @@ impl<'a> Ctx<'a> {
     }
 
     /// True once any thread has called [`cancel`](Self::cancel) in this
-    /// region (`omp cancellation point`).
+    /// region (`omp cancellation point`), or once the region's attached
+    /// [`CancelToken`] (if any — see [`Team::parallel_with_token`]) has been
+    /// cancelled or passed its deadline.
     pub fn is_cancelled(&self) -> bool {
-        self.region
+        self.cancel_reason().is_some()
+    }
+
+    /// Why this region is cancelled, if it is: a region-local
+    /// [`cancel`](Self::cancel) reports [`CancelReason::Cancelled`]; an
+    /// attached token reports its own reason (distinguishing deadline
+    /// expiry from explicit cancellation).
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        if self
+            .region
             .cancelled
             .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return Some(CancelReason::Cancelled);
+        }
+        self.region.token.as_ref().and_then(|t| t.reason())
     }
 
     /// Executes `body` on thread 0 only (`#pragma omp master`); no barrier.
@@ -495,11 +530,73 @@ impl std::fmt::Debug for Ctx<'_> {
     }
 }
 
+/// Builder for [`Team`] — the one place every construction knob lives
+/// (thread count, pinning, task discipline), replacing the ad-hoc mix of
+/// `Team::new` + `TPM_PIN` env var + `TeamConfig` literals.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_forkjoin::Team;
+///
+/// let team = Team::builder().threads(2).pin(false).build();
+/// assert_eq!(team.num_threads(), 2);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to create the Team"]
+pub struct TeamBuilder {
+    threads: usize,
+    config: TeamConfig,
+}
+
+impl TeamBuilder {
+    /// Team size (default 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Pin worker `tid` to core `tid % cores`. Defaults to the `TPM_PIN`
+    /// environment variable.
+    pub fn pin(mut self, pin: bool) -> Self {
+        self.config.pin = pin;
+        self
+    }
+
+    /// Task-scheduling discipline (default [`TaskMode::WorkFirst`]).
+    pub fn task_mode(mut self, mode: TaskMode) -> Self {
+        self.config.task_mode = mode;
+        self
+    }
+
+    /// Idle policy `(spin, yield)` rounds for in-region wait loops
+    /// (defaults to [`tpm_sync::IdleStrategy`]'s runtime defaults).
+    pub fn idle(mut self, spin: u32, yld: u32) -> Self {
+        self.config.idle = (spin, yld);
+        self
+    }
+
+    /// Builds the team, spawning its workers.
+    #[must_use = "dropping the Team joins its workers"]
+    pub fn build(self) -> Team {
+        Team::with_config(self.threads, self.config)
+    }
+}
+
 impl Team {
+    /// The construction entry point; see [`TeamBuilder`].
+    pub fn builder() -> TeamBuilder {
+        TeamBuilder {
+            threads: 1,
+            config: TeamConfig::default(),
+        }
+    }
+
     /// Creates a team of `num_threads` (master + `num_threads - 1` workers)
-    /// with the default configuration.
+    /// with the default configuration (shorthand for
+    /// `Team::builder().threads(num_threads).build()`).
     pub fn new(num_threads: usize) -> Self {
-        Self::with_config(num_threads, TeamConfig::default())
+        Self::builder().threads(num_threads).build()
     }
 
     /// Creates a team with explicit configuration.
@@ -516,6 +613,7 @@ impl Team {
             in_region: AtomicBool::new(false),
             stats: SchedulerStats::new(num_threads),
             task_mode: config.task_mode,
+            idle: config.idle,
         });
         let pin = config.pin;
         let handles = (1..num_threads)
@@ -554,6 +652,31 @@ impl Team {
     /// Forks a parallel region on `active ≤ num_threads` threads
     /// (`num_threads` clause).
     pub fn parallel_with<F: Fn(&Ctx<'_>) + Sync>(&self, active: usize, f: F) {
+        self.parallel_region(active, None, f);
+    }
+
+    /// Forks a parallel region with `token` attached: every worksharing
+    /// loop of the region polls the token at its chunk boundaries (alongside
+    /// the region-local [`Ctx::cancel`] flag), and explicit tasks observe it
+    /// through [`Ctx::is_cancelled`] — so cancelling the token, or its
+    /// deadline passing, stops the region within one chunk of work per
+    /// thread. Inspect [`Ctx::cancel_reason`] (or the token itself) after
+    /// the region to learn whether and why it stopped early.
+    pub fn parallel_with_token<F: Fn(&Ctx<'_>) + Sync>(
+        &self,
+        active: usize,
+        token: &CancelToken,
+        f: F,
+    ) {
+        self.parallel_region(active, Some(token.clone()), f);
+    }
+
+    fn parallel_region<F: Fn(&Ctx<'_>) + Sync>(
+        &self,
+        active: usize,
+        token: Option<CancelToken>,
+        f: F,
+    ) {
         assert!(
             (1..=self.inner.num_threads).contains(&active),
             "active thread count {active} outside 1..={}",
@@ -563,7 +686,7 @@ impl Team {
             !self.inner.in_region.swap(true, Ordering::Acquire),
             "nested parallel regions are not supported"
         );
-        let region = Region::new(active);
+        let region = Region::new(active, token);
         let run = |tid: usize| {
             if tid < active {
                 let _span = tpm_trace::span("forkjoin-region");
@@ -982,6 +1105,53 @@ mod cancel_tests {
         });
         // Each thread runs at most one chunk past the flag.
         assert!(executed.into_inner() <= 4);
+    }
+
+    #[test]
+    fn token_cancel_stops_worksharing_and_reports_reason() {
+        let team = Team::new(2);
+        let token = CancelToken::new();
+        let executed = AtomicU64::new(0);
+        team.parallel_with_token(2, &token, |ctx| {
+            ctx.ws_for_chunks(Schedule::Dynamic { chunk: 1 }, 0..1_000_000, |chunk| {
+                executed.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                token.cancel();
+            });
+            assert_eq!(ctx.cancel_reason(), Some(CancelReason::Cancelled));
+        });
+        assert!(executed.into_inner() <= 4);
+        // The team is fully reusable afterwards; a fresh region sees a fresh
+        // (absent) token.
+        let done = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            assert!(!ctx.is_cancelled());
+            ctx.ws_for(Schedule::static_default(), 0..10, |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(done.into_inner(), 10);
+    }
+
+    #[test]
+    fn expired_deadline_token_skips_the_loop() {
+        let team = Team::new(2);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let executed = AtomicU64::new(0);
+        team.parallel_with_token(2, &token, |ctx| {
+            ctx.ws_for(Schedule::static_default(), 0..1000, |_| {
+                executed.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(
+                ctx.cancel_reason(),
+                Some(CancelReason::DeadlineExpired),
+                "deadline expiry must be distinguishable from explicit cancel"
+            );
+        });
+        assert_eq!(
+            executed.into_inner(),
+            0,
+            "no chunk may start past the deadline"
+        );
     }
 
     #[test]

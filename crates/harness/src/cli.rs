@@ -3,44 +3,118 @@
 //! Parsing is a pure function returning `Result`, so malformed input produces
 //! a usage message and exit code 2 instead of a panic — and so it can be unit
 //! tested without spawning the binary.
+//!
+//! Flags live in two shared structs instead of one flat bag: [`CommonOpts`]
+//! (the sweep/tracing/output flags every experiment understands) and
+//! [`ServiceOpts`] (the server/load-generator knobs that `serve` and
+//! `loadgen` both read). New subcommands get the whole flag surface for free
+//! by consuming the structs.
 
 use std::path::PathBuf;
+
+use tpm_core::Model;
 
 use crate::native::NativeConfig;
 
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "usage: tpm-harness <experiment> [kernel] [--native] [--threads 1,2,4] \
 [--reps N] [--scale S] [--trace out.json] [--json-out bench.json] [--pin] \
-[--kernel-variant reference|optimized]
+[--kernel-variant reference|optimized] [service flags]
 experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate profile
+             serve loadgen
   profile [kernel]   run one kernel (sum|axpy|fib) under every model and
                      print side-by-side scheduler-event summaries
+  serve              run the cancellable job server (JSON lines over TCP)
+  loadgen [job]      drive a running server closed-loop and report
+                     throughput + p50/p99 latency (default job: sum)
   --trace out.json   capture a scheduler trace of the run and write
                      Chrome-trace JSON loadable in Perfetto
   --json-out f.json  write machine-readable per-kernel/per-model results
-                     (median + stddev seconds) for figure experiments
+                     (median + stddev seconds) for figure experiments, or
+                     the loadgen report (BENCH_4.json format)
   --pin              pin runtime worker threads to cores (TPM_PIN=1)
   --kernel-variant v run native kernels with the reference (paper-faithful
                      scalar) or optimized (vectorized/blocked/tiled) data
-                     path; default reference";
+                     path; default reference
+service flags (serve + loadgen):
+  --addr host:port   bind (serve) or connect (loadgen) address
+                     [default 127.0.0.1:7171]
+  --workers N        server worker threads draining the job queue [2]
+  --queue N          bounded admission-queue capacity; requests beyond it
+                     are shed with an `overloaded` reply [32]
+  --max-threads N    largest per-job thread count the server accepts [8]
+  --clients N        loadgen: concurrent closed-loop connections [4]
+  --requests N       loadgen: requests issued per client [20]
+  --size N           loadgen: problem size sent in each job request [4096]
+  --model m          loadgen: threading model each job runs under [omp_for]
+  --deadline-ms N    loadgen: per-request deadline forwarded to the server";
 
-/// Parsed command line.
-#[derive(Debug, Clone)]
-pub struct Cli {
-    /// The experiment name (first positional argument).
-    pub experiment: String,
-    /// Optional second positional argument (the `profile` kernel name).
-    pub kernel: Option<String>,
+/// Flags every experiment understands: sweep shape, tracing, output, pinning.
+#[derive(Debug, Clone, Default)]
+pub struct CommonOpts {
     /// Run natively instead of on the simulator.
     pub native: bool,
     /// Native sweep configuration.
     pub cfg: NativeConfig,
     /// Write a Chrome-trace JSON of the run here.
     pub trace: Option<PathBuf>,
-    /// Write machine-readable benchmark results (figure experiments) here.
+    /// Write machine-readable benchmark results here.
     pub json_out: Option<PathBuf>,
     /// Pin runtime worker threads to cores (sets `TPM_PIN=1`).
     pub pin: bool,
+}
+
+/// Knobs shared by the `serve` and `loadgen` subcommands.
+#[derive(Debug, Clone)]
+pub struct ServiceOpts {
+    /// Bind (serve) or connect (loadgen) address.
+    pub addr: String,
+    /// Server worker threads draining the admission queue.
+    pub workers: usize,
+    /// Bounded admission-queue capacity.
+    pub queue: usize,
+    /// Largest per-job thread count the server accepts.
+    pub max_threads: usize,
+    /// Loadgen: concurrent closed-loop clients.
+    pub clients: usize,
+    /// Loadgen: requests issued per client.
+    pub requests: usize,
+    /// Loadgen: problem size sent in each job request.
+    pub size: usize,
+    /// Loadgen: threading model each job runs under.
+    pub model: Model,
+    /// Loadgen: per-request deadline forwarded to the server.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ServiceOpts {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7171".to_string(),
+            workers: 2,
+            queue: 32,
+            max_threads: 8,
+            clients: 4,
+            requests: 20,
+            size: 4096,
+            model: Model::OmpFor,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The experiment name (first positional argument).
+    pub experiment: String,
+    /// Optional second positional argument (the `profile` kernel or
+    /// `loadgen` job name).
+    pub kernel: Option<String>,
+    /// Flags shared by every experiment.
+    pub common: CommonOpts,
+    /// Flags shared by the service subcommands.
+    pub service: ServiceOpts,
 }
 
 /// Parses `args` (without the program name). On error, the message already
@@ -51,16 +125,13 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     }
     let mut experiment = String::new();
     let mut kernel = None;
-    let mut native = false;
-    let mut cfg = NativeConfig::default();
-    let mut trace = None;
-    let mut json_out = None;
-    let mut pin = false;
+    let mut common = CommonOpts::default();
+    let mut service = ServiceOpts::default();
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
         match arg {
-            "--native" => native = true,
+            "--native" => common.native = true,
             "--threads" => {
                 let v = flag_value(args, &mut i, "--threads")?;
                 let threads = v
@@ -78,34 +149,61 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 if threads.is_empty() {
                     return Err(format!("invalid --threads value '{v}': empty list"));
                 }
-                cfg.threads = threads;
+                common.cfg.threads = threads;
             }
             "--reps" => {
-                let v = flag_value(args, &mut i, "--reps")?;
-                cfg.reps = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
-                    format!("invalid --reps value '{v}': expected a positive integer")
-                })?;
+                common.cfg.reps = positive(args, &mut i, "--reps")?;
             }
             "--scale" => {
-                let v = flag_value(args, &mut i, "--scale")?;
-                cfg.scale = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
-                    format!("invalid --scale value '{v}': expected a positive integer")
-                })?;
+                common.cfg.scale = positive(args, &mut i, "--scale")?;
             }
             "--trace" => {
                 let v = flag_value(args, &mut i, "--trace")?;
-                trace = Some(PathBuf::from(v));
+                common.trace = Some(PathBuf::from(v));
             }
             "--json-out" => {
                 let v = flag_value(args, &mut i, "--json-out")?;
-                json_out = Some(PathBuf::from(v));
+                common.json_out = Some(PathBuf::from(v));
             }
-            "--pin" => pin = true,
+            "--pin" => common.pin = true,
             "--kernel-variant" => {
                 let v = flag_value(args, &mut i, "--kernel-variant")?;
-                cfg.variant = tpm_core::KernelVariant::parse(v).ok_or_else(|| {
+                common.cfg.variant = tpm_core::KernelVariant::parse(v).ok_or_else(|| {
                     format!("invalid --kernel-variant value '{v}': expected reference|optimized")
                 })?;
+            }
+            "--addr" => {
+                service.addr = flag_value(args, &mut i, "--addr")?.to_string();
+            }
+            "--workers" => {
+                service.workers = positive(args, &mut i, "--workers")?;
+            }
+            "--queue" => {
+                service.queue = positive(args, &mut i, "--queue")?;
+            }
+            "--max-threads" => {
+                service.max_threads = positive(args, &mut i, "--max-threads")?;
+            }
+            "--clients" => {
+                service.clients = positive(args, &mut i, "--clients")?;
+            }
+            "--requests" => {
+                service.requests = positive(args, &mut i, "--requests")?;
+            }
+            "--size" => {
+                service.size = positive(args, &mut i, "--size")?;
+            }
+            "--model" => {
+                let v = flag_value(args, &mut i, "--model")?;
+                service.model = Model::parse(v).ok_or_else(|| {
+                    format!(
+                        "invalid --model value '{v}': expected one of {}",
+                        Model::ALL.map(|m| m.name()).join("|")
+                    )
+                })?;
+            }
+            "--deadline-ms" => {
+                service.deadline_ms = Some(positive(args, &mut i, "--deadline-ms")? as u64);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
@@ -122,11 +220,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     Ok(Cli {
         experiment,
         kernel,
-        native,
-        cfg,
-        trace,
-        json_out,
-        pin,
+        common,
+        service,
     })
 }
 
@@ -137,6 +232,15 @@ fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a s
         .map(String::as_str)
         .filter(|v| !v.starts_with("--"))
         .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+/// Parses the flag's value as a positive integer.
+fn positive(args: &[String], i: &mut usize, flag: &str) -> Result<usize, String> {
+    let v = flag_value(args, i, flag)?;
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("invalid {flag} value '{v}': expected a positive integer"))
 }
 
 #[cfg(test)]
@@ -151,10 +255,10 @@ mod tests {
     fn parses_experiment_and_flags() {
         let cli = p(&["fig3", "--native", "--threads", "1,2,8", "--reps", "5"]).unwrap();
         assert_eq!(cli.experiment, "fig3");
-        assert!(cli.native);
-        assert_eq!(cli.cfg.threads, vec![1, 2, 8]);
-        assert_eq!(cli.cfg.reps, 5);
-        assert!(cli.trace.is_none());
+        assert!(cli.common.native);
+        assert_eq!(cli.common.cfg.threads, vec![1, 2, 8]);
+        assert_eq!(cli.common.cfg.reps, 5);
+        assert!(cli.common.trace.is_none());
     }
 
     #[test]
@@ -163,7 +267,7 @@ mod tests {
         assert_eq!(cli.experiment, "profile");
         assert_eq!(cli.kernel.as_deref(), Some("fib"));
         assert_eq!(
-            cli.trace.as_deref(),
+            cli.common.trace.as_deref(),
             Some(std::path::Path::new("/tmp/out.json"))
         );
     }
@@ -172,32 +276,92 @@ mod tests {
     fn parses_json_out_and_pin() {
         let cli = p(&["figures", "--native", "--json-out", "BENCH_2.json", "--pin"]).unwrap();
         assert_eq!(
-            cli.json_out.as_deref(),
+            cli.common.json_out.as_deref(),
             Some(std::path::Path::new("BENCH_2.json"))
         );
-        assert!(cli.pin);
+        assert!(cli.common.pin);
         assert!(p(&["figures", "--json-out"])
             .unwrap_err()
             .contains("requires a value"));
         let plain = p(&["figures"]).unwrap();
-        assert!(plain.json_out.is_none() && !plain.pin);
+        assert!(plain.common.json_out.is_none() && !plain.common.pin);
     }
 
     #[test]
     fn parses_kernel_variant() {
         use tpm_core::KernelVariant;
         let cli = p(&["figures", "--native", "--kernel-variant", "optimized"]).unwrap();
-        assert_eq!(cli.cfg.variant, KernelVariant::Optimized);
+        assert_eq!(cli.common.cfg.variant, KernelVariant::Optimized);
         let cli = p(&["figures", "--kernel-variant", "reference"]).unwrap();
-        assert_eq!(cli.cfg.variant, KernelVariant::Reference);
+        assert_eq!(cli.common.cfg.variant, KernelVariant::Reference);
         assert_eq!(
-            p(&["figures"]).unwrap().cfg.variant,
+            p(&["figures"]).unwrap().common.cfg.variant,
             KernelVariant::Reference
         );
         assert!(p(&["figures", "--kernel-variant", "simd"])
             .unwrap_err()
             .contains("--kernel-variant"));
         assert!(p(&["figures", "--kernel-variant"])
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn parses_service_flags_for_serve_and_loadgen() {
+        let cli = p(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:9000",
+            "--workers",
+            "3",
+            "--queue",
+            "8",
+            "--max-threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(cli.experiment, "serve");
+        assert_eq!(cli.service.addr, "127.0.0.1:9000");
+        assert_eq!(cli.service.workers, 3);
+        assert_eq!(cli.service.queue, 8);
+        assert_eq!(cli.service.max_threads, 4);
+
+        let cli = p(&[
+            "loadgen",
+            "matmul",
+            "--clients",
+            "2",
+            "--requests",
+            "7",
+            "--size",
+            "128",
+            "--model",
+            "cilk_for",
+            "--deadline-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(cli.kernel.as_deref(), Some("matmul"));
+        assert_eq!(cli.service.clients, 2);
+        assert_eq!(cli.service.requests, 7);
+        assert_eq!(cli.service.size, 128);
+        assert_eq!(cli.service.model, Model::CilkFor);
+        assert_eq!(cli.service.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn service_defaults_and_malformed_values() {
+        let cli = p(&["serve"]).unwrap();
+        assert_eq!(cli.service.addr, "127.0.0.1:7171");
+        assert_eq!(cli.service.workers, 2);
+        assert_eq!(cli.service.deadline_ms, None);
+        assert!(p(&["loadgen", "--model", "pthread"])
+            .unwrap_err()
+            .contains("--model"));
+        assert!(p(&["loadgen", "--clients", "0"])
+            .unwrap_err()
+            .contains("--clients"));
+        assert!(p(&["serve", "--workers"])
             .unwrap_err()
             .contains("requires a value"));
     }

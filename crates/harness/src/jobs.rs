@@ -1,0 +1,282 @@
+//! The harness's job registry: every kernel the server can run by name.
+//!
+//! [`tpm_core::JobRegistry`] deliberately knows nothing about concrete
+//! kernels (the dependency points the other way), so this module is where
+//! the suite's kernels become service-dispatchable. Each body returns a
+//! scalar (sum, checksum, reached-node count) so clients can sanity-check
+//! results across models, and each cooperates with cancellation:
+//!
+//! * Flat loops (`sum`, `axpy`) poll the token every [`POLL_EVERY`]
+//!   elements inside their chunk, on top of the executor's own
+//!   chunk-boundary polls — so even a single static chunk covering the
+//!   whole range stops within one poll interval.
+//! * Row-parallel kernels (`matvec`, `matmul`) poll per row; one row is
+//!   the scheduling grain a deadline is observed within.
+//! * Phase-structured kernels (`fib`, `bfs`, `hotspot`) check before and
+//!   after the run (their inner loops are the runtimes' own, which poll at
+//!   chunk boundaries).
+
+use tpm_core::job::JobCtx;
+use tpm_core::{ExecError, JobRegistry, Model};
+use tpm_kernels::{Axpy, Fib, Matmul, Matvec, Sum};
+use tpm_rodinia::{Bfs, HotSpot};
+
+/// Elements processed between cancellation polls inside flat loop bodies.
+const POLL_EVERY: usize = 4096;
+
+/// Checks the job's token, converting a fired reason into the exec error.
+fn poll(ctx: &JobCtx<'_>) -> Result<(), ExecError> {
+    ctx.token.check().map_err(ExecError::from)
+}
+
+/// Builds the registry of every kernel `tpm-harness serve` exposes.
+pub fn registry() -> JobRegistry {
+    let mut reg = JobRegistry::new();
+
+    reg.register("sum", "sum of a*x[i] (flat reduction)", 1 << 26, |ctx| {
+        let k = Sum::native(ctx.spec.size);
+        let x = k.alloc();
+        poll(ctx)?;
+        let (a, token) = (k.a, ctx.token);
+        ctx.exec.try_parallel_reduce(
+            ctx.spec.model,
+            0..k.n,
+            token,
+            || 0.0f64,
+            |l, r| l + r,
+            |chunk, acc: &mut f64| {
+                let mut i = chunk.start;
+                while i < chunk.end {
+                    if token.is_cancelled() {
+                        return;
+                    }
+                    let end = (i + POLL_EVERY).min(chunk.end);
+                    let mut local = 0.0;
+                    for &xi in &x[i..end] {
+                        local += a * xi;
+                    }
+                    *acc += local;
+                    i = end;
+                }
+            },
+        )
+    });
+
+    reg.register("axpy", "checksum of a*x[i] + y[i]", 1 << 26, |ctx| {
+        let k = Axpy::native(ctx.spec.size);
+        let (x, y) = k.alloc();
+        poll(ctx)?;
+        let (a, token) = (k.a, ctx.token);
+        ctx.exec.try_parallel_reduce(
+            ctx.spec.model,
+            0..k.n,
+            token,
+            || 0.0f64,
+            |l, r| l + r,
+            |chunk, acc: &mut f64| {
+                let mut i = chunk.start;
+                while i < chunk.end {
+                    if token.is_cancelled() {
+                        return;
+                    }
+                    let end = (i + POLL_EVERY).min(chunk.end);
+                    let mut local = 0.0;
+                    for j in i..end {
+                        local += a * x[j] + y[j];
+                    }
+                    *acc += local;
+                    i = end;
+                }
+            },
+        )
+    });
+
+    reg.register(
+        "matvec",
+        "checksum of y = A*x (row-parallel)",
+        1 << 13,
+        |ctx| {
+            let n = ctx.spec.size;
+            let k = Matvec::native(n);
+            let (a, x) = k.alloc();
+            poll(ctx)?;
+            let token = ctx.token;
+            ctx.exec.try_parallel_reduce(
+                ctx.spec.model,
+                0..n,
+                token,
+                || 0.0f64,
+                |l, r| l + r,
+                |rows, acc: &mut f64| {
+                    for i in rows {
+                        if token.is_cancelled() {
+                            return;
+                        }
+                        let row = &a[i * n..(i + 1) * n];
+                        let mut yi = 0.0;
+                        for j in 0..n {
+                            yi += row[j] * x[j];
+                        }
+                        *acc += yi;
+                    }
+                },
+            )
+        },
+    );
+
+    reg.register(
+        "matmul",
+        "checksum of C = A*B (row-parallel)",
+        1 << 11,
+        |ctx| {
+            let n = ctx.spec.size;
+            let k = Matmul::native(n);
+            let (a, b) = k.alloc();
+            poll(ctx)?;
+            let token = ctx.token;
+            ctx.exec.try_parallel_reduce(
+                ctx.spec.model,
+                0..n,
+                token,
+                || 0.0f64,
+                |l, r| l + r,
+                |rows, acc: &mut f64| {
+                    // One row of C per cancellation poll: the deadline grain.
+                    for i in rows {
+                        if token.is_cancelled() {
+                            return;
+                        }
+                        let arow = &a[i * n..(i + 1) * n];
+                        let mut rowsum = 0.0;
+                        for (kk, &aik) in arow.iter().enumerate() {
+                            let brow = &b[kk * n..(kk + 1) * n];
+                            for &bkj in brow {
+                                rowsum += aik * bkj;
+                            }
+                        }
+                        *acc += rowsum;
+                    }
+                },
+            )
+        },
+    );
+
+    reg.register("fib", "recursive Fibonacci (task-parallel)", 32, |ctx| {
+        poll(ctx)?;
+        let k = Fib::native(ctx.spec.size as u64);
+        // Task trees have no chunk stream to poll; pick the spawn mechanism
+        // matching the requested model's family and check before/after.
+        let v = match ctx.spec.model {
+            Model::OmpFor | Model::OmpTask => k.run_omp_task(ctx.exec.team()),
+            Model::CilkFor | Model::CilkSpawn => k.run_cilk_spawn(ctx.exec.worksteal()),
+            Model::CxxThread | Model::CxxAsync => k.run_cxx_async(),
+        };
+        poll(ctx)?;
+        Ok(v as f64)
+    });
+
+    reg.register(
+        "bfs",
+        "breadth-first search (reached nodes)",
+        1 << 20,
+        |ctx| {
+            let k = Bfs::native(ctx.spec.size);
+            let g = k.generate();
+            poll(ctx)?;
+            let (cost, _levels) = k.run(ctx.exec, ctx.spec.model, &g);
+            poll(ctx)?;
+            Ok(cost.iter().filter(|&&c| c >= 0).count() as f64)
+        },
+    );
+
+    reg.register(
+        "hotspot",
+        "2-D thermal stencil, 4 steps (mean temp)",
+        1 << 10,
+        |ctx| {
+            let k = HotSpot::native(ctx.spec.size, 4);
+            let (temp, power) = k.generate();
+            poll(ctx)?;
+            let out = k.run_v(ctx.exec, ctx.spec.model, ctx.spec.variant, &temp, &power);
+            poll(ctx)?;
+            Ok(out.iter().sum::<f64>() / out.len() as f64)
+        },
+    );
+
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tpm_core::{Executor, JobSpec, KernelVariant};
+    use tpm_sync::CancelToken;
+
+    fn spec(kernel: &str, size: usize) -> JobSpec {
+        JobSpec {
+            kernel: kernel.to_string(),
+            model: Model::OmpFor,
+            variant: KernelVariant::Reference,
+            size,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn registry_lists_the_whole_suite() {
+        let names = registry().names();
+        for want in ["sum", "axpy", "matvec", "matmul", "fib", "bfs", "hotspot"] {
+            assert!(names.contains(&want), "missing job {want}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn sum_job_matches_sequential() {
+        let reg = registry();
+        let exec = Executor::new(2);
+        let s = spec("sum", 10_000);
+        let r = reg.run(&exec, &s, &CancelToken::new()).unwrap();
+        let k = Sum::native(s.size);
+        let x = k.alloc();
+        tpm_core::approx::scalar_close(r.value, k.seq(&x), 1e-9).unwrap();
+    }
+
+    #[test]
+    fn matmul_job_agrees_with_reference_checksum() {
+        let reg = registry();
+        let exec = Executor::new(2);
+        let s = spec("matmul", 48);
+        let r = reg.run(&exec, &s, &CancelToken::new()).unwrap();
+        let k = Matmul::native(48);
+        let (a, b) = k.alloc();
+        let want: f64 = k.seq(&a, &b).iter().sum();
+        tpm_core::approx::scalar_close(r.value, want, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn every_job_runs_under_every_model_at_small_size() {
+        let reg = registry();
+        let exec = Executor::new(2);
+        for name in reg.names() {
+            for model in Model::ALL {
+                let mut s = spec(name, 64);
+                s.model = model;
+                if name == "fib" {
+                    s.size = 10;
+                }
+                let r = reg.run(&exec, &s, &CancelToken::new());
+                assert!(r.is_ok(), "{name} under {model}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_matmul_within_a_row() {
+        let reg = registry();
+        let exec = Executor::new(2);
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let err = reg.run(&exec, &spec("matmul", 256), &token).unwrap_err();
+        assert_eq!(err, ExecError::Deadline);
+    }
+}

@@ -18,6 +18,8 @@
 pub mod calibrate;
 pub mod cli;
 pub mod experiments;
+pub mod jobs;
 pub mod json;
 pub mod native;
 pub mod profile;
+pub mod service;

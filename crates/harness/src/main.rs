@@ -3,7 +3,7 @@
 use tpm_harness::cli::{self, Cli};
 use tpm_harness::experiments::{self, check_claims};
 use tpm_harness::native::{self, NativeConfig};
-use tpm_harness::profile;
+use tpm_harness::{profile, service};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,12 +23,16 @@ fn run(cli: &Cli) -> i32 {
     let Cli {
         experiment,
         kernel,
+        common,
+        service,
+    } = cli;
+    let cli::CommonOpts {
         native: use_native,
         cfg,
         trace,
         json_out,
         pin,
-    } = cli;
+    } = common;
 
     if *pin {
         // The runtimes consult TPM_PIN when they spawn workers; the flag is
@@ -174,6 +178,11 @@ fn run(cli: &Cli) -> i32 {
                     2
                 }
             }
+        }
+        "serve" => service::run_serve(service),
+        "loadgen" => {
+            let job = kernel.as_deref().unwrap_or("sum");
+            service::run_loadgen(job, service, cfg.variant, json_out.as_deref())
         }
         "table1" => {
             println!("{}", tpm_features::table1());

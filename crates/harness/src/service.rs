@@ -1,0 +1,156 @@
+//! The `serve` and `loadgen` subcommands: run the cancellable job server
+//! over the harness's [`crate::jobs`] registry, and drive a running server
+//! closed-loop to measure throughput and tail latency.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use tpm_core::{JobSpec, KernelVariant};
+use tpm_serve::{loadgen, serve, LoadgenConfig, LoadgenReport, ServerConfig};
+
+use crate::cli::ServiceOpts;
+use crate::jobs;
+
+/// Runs the job server until a client sends `{"cmd":"shutdown"}`.
+pub fn run_serve(opts: &ServiceOpts) -> i32 {
+    let registry = Arc::new(jobs::registry());
+    let names: Vec<&str> = registry.names();
+    let config = ServerConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        max_threads: opts.max_threads,
+        default_deadline_ms: opts.deadline_ms,
+    };
+    let handle = match serve(registry, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            return 1;
+        }
+    };
+    println!(
+        "[serve] listening on {} ({} workers, queue {}, jobs: {})",
+        handle.addr(),
+        opts.workers,
+        opts.queue,
+        names.join(" ")
+    );
+    println!("[serve] stop with: {{\"cmd\":\"shutdown\"}} on any connection");
+    let stats = handle.wait();
+    println!(
+        "[serve] done: admitted {} completed {} failed {} shed {}",
+        stats.admitted, stats.completed, stats.failed, stats.shed
+    );
+    0
+}
+
+/// Builds the job spec a loadgen run offers, from the CLI's service flags.
+pub fn loadgen_spec(job: &str, opts: &ServiceOpts, variant: KernelVariant) -> JobSpec {
+    JobSpec {
+        kernel: job.to_string(),
+        model: opts.model,
+        variant,
+        size: opts.size,
+        threads: 1,
+    }
+}
+
+/// Runs the closed-loop load generator against `opts.addr` and prints the
+/// report; with `json_out`, also writes the `BENCH_4.json`-format report.
+pub fn run_loadgen(
+    job: &str,
+    opts: &ServiceOpts,
+    variant: KernelVariant,
+    json_out: Option<&Path>,
+) -> i32 {
+    let config = LoadgenConfig {
+        addr: opts.addr.clone(),
+        clients: opts.clients,
+        requests: opts.requests,
+        spec: loadgen_spec(job, opts, variant),
+        deadline_ms: opts.deadline_ms,
+    };
+    println!(
+        "[loadgen] {} clients x {} requests of {} (size {}, {}) -> {}",
+        config.clients,
+        config.requests,
+        job,
+        opts.size,
+        opts.model.name(),
+        config.addr
+    );
+    let report = match loadgen::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: loadgen cannot reach {}: {e}", config.addr);
+            return 1;
+        }
+    };
+    print_report(&report);
+    if let Some(path) = json_out {
+        let body = format!(
+            "{{\"experiment\":\"loadgen\",\"job\":{:?},\"model\":{:?},\"size\":{},\
+             \"clients\":{},\"requests\":{},\"report\":{}}}\n",
+            job,
+            opts.model.name(),
+            opts.size,
+            opts.clients,
+            opts.requests,
+            report.to_json()
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write json file {}: {e}", path.display());
+            return 1;
+        }
+        println!("[json] loadgen report -> {}", path.display());
+    }
+    i32::from(report.failed > 0)
+}
+
+/// Prints the human-readable report table.
+fn print_report(r: &LoadgenReport) {
+    println!(
+        "[loadgen] sent {} ok {} rejected {} deadline {} failed {}",
+        r.sent, r.ok, r.rejected, r.deadline, r.failed
+    );
+    println!(
+        "[loadgen] wall {:.1} ms, throughput {:.1} req/s, latency p50 {:.2} ms \
+         p99 {:.2} ms mean {:.2} ms max {:.2} ms",
+        r.wall_ms, r.throughput, r.p50_ms, r.p99_ms, r.mean_ms, r.max_ms
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::ServiceOpts;
+
+    #[test]
+    fn loadgen_spec_carries_the_service_flags() {
+        let opts = ServiceOpts {
+            size: 123,
+            model: tpm_core::Model::CxxAsync,
+            ..ServiceOpts::default()
+        };
+        let spec = loadgen_spec("matvec", &opts, KernelVariant::Optimized);
+        assert_eq!(spec.kernel, "matvec");
+        assert_eq!(spec.size, 123);
+        assert_eq!(spec.model, tpm_core::Model::CxxAsync);
+        assert_eq!(spec.variant, KernelVariant::Optimized);
+        assert_eq!(spec.threads, 1);
+    }
+
+    #[test]
+    fn loadgen_against_a_dead_address_fails_cleanly() {
+        let opts = ServiceOpts {
+            // Port 1 is never our server; connect is refused immediately.
+            addr: "127.0.0.1:1".to_string(),
+            clients: 1,
+            requests: 1,
+            ..ServiceOpts::default()
+        };
+        let code = run_loadgen("sum", &opts, KernelVariant::Reference, None);
+        assert_eq!(code, 1);
+    }
+}

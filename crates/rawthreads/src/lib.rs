@@ -27,7 +27,7 @@ mod threads;
 
 pub use future::{async_task, Future, Launch};
 pub use recursive::{
-    base_cutoff, fib_thread_per_call, fib_with_cutoff, recursive_for, recursive_reduce,
-    ThreadBudget, ThreadExplosion,
+    base_cutoff, fib_thread_per_call, fib_with_cutoff, recursive_for, recursive_for_cancel,
+    recursive_reduce, recursive_reduce_cancel, ThreadBudget, ThreadExplosion,
 };
-pub use threads::{block_chunk, threads_for, threads_for_reduce};
+pub use threads::{block_chunk, threads_for, threads_for_cancel, threads_for_reduce};

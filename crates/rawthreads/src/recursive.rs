@@ -11,6 +11,8 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use tpm_sync::{CancelReason, CancelToken};
+
 /// Computes the paper's recursion cutoff: `BASE = ⌈N / num_threads⌉`, at
 /// least 1 (ceiling, so chunk count equals thread count).
 pub fn base_cutoff(n: usize, num_threads: usize) -> usize {
@@ -38,6 +40,55 @@ where
     });
 }
 
+/// [`recursive_for`] with cooperative cancellation: the token is polled
+/// before every split and every leaf, so once it fires (explicit cancel or
+/// deadline) no further leaf starts and each live thread returns within one
+/// `base`-sized grain. Already-run leaves are not undone.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::{CancelReason, CancelToken};
+/// use tpm_rawthreads::recursive_for_cancel;
+///
+/// let token = CancelToken::new();
+/// token.cancel();
+/// let r = recursive_for_cancel(0..1_000, 10, &token, &|_| unreachable!());
+/// assert_eq!(r, Err(CancelReason::Cancelled));
+/// ```
+pub fn recursive_for_cancel<F>(
+    range: Range<usize>,
+    base: usize,
+    token: &CancelToken,
+    body: &F,
+) -> Result<(), CancelReason>
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    recursive_for_cancel_inner(range, base.max(1), token, body);
+    token.check()
+}
+
+fn recursive_for_cancel_inner<F>(range: Range<usize>, base: usize, token: &CancelToken, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if token.is_cancelled() {
+        return;
+    }
+    if range.len() <= base {
+        body(range);
+        return;
+    }
+    let mid = range.start + range.len() / 2;
+    let (left, right) = (range.start..mid, mid..range.end);
+    std::thread::scope(|s| {
+        let h = s.spawn(move || recursive_for_cancel_inner(left, base, token, body));
+        recursive_for_cancel_inner(right, base, token, body);
+        h.join().expect("recursive_for worker panicked");
+    });
+}
+
 /// Recursive reduction with the same thread-per-split structure.
 pub fn recursive_reduce<T, F, Op>(range: Range<usize>, base: usize, body: &F, combine: &Op) -> T
 where
@@ -54,6 +105,43 @@ where
     std::thread::scope(|s| {
         let h = s.spawn(move || recursive_reduce(left, base, body, combine));
         let r = recursive_reduce(right, base, body, combine);
+        let l = h.join().expect("recursive_reduce worker panicked");
+        combine(l, r)
+    })
+}
+
+/// [`recursive_reduce`] with cooperative cancellation: subtrees that observe
+/// a fired token contribute `identity()` instead of running, so the combine
+/// tree (and with it the merge order — bit-reproducible for floats) is
+/// unchanged when the token never fires. Callers detect cancellation from
+/// the token afterwards; the partial value is then meaningless.
+pub fn recursive_reduce_cancel<T, Id, F, Op>(
+    range: Range<usize>,
+    base: usize,
+    token: &CancelToken,
+    identity: &Id,
+    body: &F,
+    combine: &Op,
+) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    F: Fn(Range<usize>) -> T + Sync,
+    Op: Fn(T, T) -> T + Sync,
+{
+    if token.is_cancelled() {
+        return identity();
+    }
+    let base = base.max(1);
+    if range.len() <= base {
+        return body(range);
+    }
+    let mid = range.start + range.len() / 2;
+    let (left, right) = (range.start..mid, mid..range.end);
+    std::thread::scope(|s| {
+        let h =
+            s.spawn(move || recursive_reduce_cancel(left, base, token, identity, body, combine));
+        let r = recursive_reduce_cancel(right, base, token, identity, body, combine);
         let l = h.join().expect("recursive_reduce worker panicked");
         combine(l, r)
     })

@@ -1,0 +1,295 @@
+//! A tiny flat-JSON reader for the wire protocol.
+//!
+//! The workspace builds offline (no serde); requests and responses are
+//! single-line JSON objects whose values are strings, numbers, booleans or
+//! null — nothing nested. This module parses exactly that subset with
+//! explicit errors, and escapes strings for the writer side.
+
+use std::collections::BTreeMap;
+
+/// A flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A (de-escaped) string.
+    Str(String),
+    /// Any JSON number, kept as f64.
+    Num(f64),
+    /// true / false.
+    Bool(bool),
+    /// null.
+    Null,
+}
+
+impl Json {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k": v, ...}`) into a key → value map.
+/// Nested objects/arrays are rejected — the protocol never uses them.
+pub fn parse_object(input: &str) -> Result<BTreeMap<String, Json>, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = p.value()?;
+            map.insert(key, val);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}', got {:?}",
+                        other.map(char::from)
+                    ))
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(map)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!(
+                "expected {:?}, got {:?}",
+                char::from(want),
+                other.map(char::from)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'{' | b'[') => Err("nested objects/arrays are not supported".to_string()),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number {text:?}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| char::from(b).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {:?}", other.map(char::from))),
+                },
+                Some(b) if b < 0x80 => out.push(char::from(b)),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the sequence through verbatim.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let end = (start + len).min(self.bytes.len());
+                    self.pos = end;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Escapes `s` as the inside of a JSON string (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 the way the harness's JSON writer does: finite, shortest
+/// round-trip representation; non-finite values become null.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_request_line() {
+        let m = parse_object(
+            r#"{"id": 7, "kernel": "matmul", "threads": 2, "deadline_ms": 1500, "warm": true, "note": null}"#,
+        )
+        .unwrap();
+        assert_eq!(m["id"].as_u64(), Some(7));
+        assert_eq!(m["kernel"].as_str(), Some("matmul"));
+        assert_eq!(m["deadline_ms"].as_u64(), Some(1500));
+        assert_eq!(m["warm"], Json::Bool(true));
+        assert_eq!(m["note"], Json::Null);
+    }
+
+    #[test]
+    fn empty_object_and_whitespace() {
+        assert!(parse_object("  { }  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "a\"b\\c\nd\te✓";
+        let line = format!("{{\"s\": \"{}\"}}", escape(original));
+        let m = parse_object(&line).unwrap();
+        assert_eq!(m["s"].as_str(), Some(original));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":[1]}",
+            "{\"a\":{}}",
+            "{\"a\":1} trailing",
+            "{\"a\":1e}",
+            "{'a':1}",
+        ] {
+            assert!(parse_object(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_parse_and_validate() {
+        let m = parse_object(r#"{"a": -2.5, "b": 1e3, "c": 3}"#).unwrap();
+        assert_eq!(m["a"].as_f64(), Some(-2.5));
+        assert_eq!(m["a"].as_u64(), None);
+        assert_eq!(m["b"].as_u64(), Some(1000));
+        assert_eq!(m["c"].as_u64(), Some(3));
+    }
+}

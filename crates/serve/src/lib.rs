@@ -1,0 +1,42 @@
+//! # tpm-serve — a cancellable job service over the three runtimes
+//!
+//! The service layer of the `threadcmp` workspace: any kernel registered in
+//! a [`JobRegistry`](tpm_core::JobRegistry) becomes dispatchable over TCP as
+//! one JSON line per request, executed under any of the six threading models
+//! with a per-request deadline.
+//!
+//! * [`serve`] / [`ServerConfig`] / [`ServerHandle`] — the server: bounded
+//!   admission queue (load shedding, never unbounded backlog), per-worker
+//!   executor caches, graceful drain on shutdown.
+//! * [`protocol`] — the JSON-lines request/response format.
+//! * [`loadgen`] — a closed-loop load generator reporting throughput and
+//!   p50/p99 latency.
+//! * [`json`] — the offline-workspace flat-JSON reader the protocol uses.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tpm_core::JobRegistry;
+//! use tpm_serve::{serve, ServerConfig};
+//!
+//! let mut reg = JobRegistry::new();
+//! reg.register("answer", "the answer", 1 << 20, |ctx| Ok(ctx.spec.size as f64));
+//! let handle = serve(Arc::new(reg), ServerConfig::default()).unwrap();
+//! let addr = handle.addr();
+//! // ... point clients at `addr` ...
+//! let stats = handle.shutdown();
+//! assert_eq!(stats.shed, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+mod queue;
+mod server;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use protocol::{Request, Response};
+pub use queue::BoundedQueue;
+pub use server::{serve, ServeStats, ServerConfig, ServerHandle, StatsSnapshot};

@@ -1,0 +1,180 @@
+//! A closed-loop load generator for the job server.
+//!
+//! `clients` threads each open one connection and issue `requests` job
+//! requests back-to-back (send, wait for the matching reply, repeat), so
+//! concurrency equals the client count — the classic closed-loop model whose
+//! offered load self-throttles as the server slows. Every outcome is counted
+//! (including `overloaded` rejections: shed load is *reported*, never
+//! dropped) and round-trip latencies aggregate into throughput and
+//! p50/p99 quantiles.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use tpm_core::JobSpec;
+
+use crate::protocol::{Request, Response};
+
+/// What to offer at the server.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent connections (closed-loop clients).
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests: usize,
+    /// The job every request names.
+    pub spec: JobSpec,
+    /// Per-request deadline forwarded to the server.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Aggregated outcome of one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Requests sent (= clients × requests when every reply arrived).
+    pub sent: u64,
+    /// Replies answered `ok`.
+    pub ok: u64,
+    /// Replies answered `overloaded` (shed at admission).
+    pub rejected: u64,
+    /// Replies answered `deadline`.
+    pub deadline: u64,
+    /// Replies with any other error code.
+    pub failed: u64,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Answered requests (any outcome) per second of wall time.
+    pub throughput: f64,
+    /// Median round-trip latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile round-trip latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean round-trip latency, milliseconds.
+    pub mean_ms: f64,
+    /// Slowest round trip, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LoadgenReport {
+    /// Serializes the report as one JSON object (the `BENCH_4.json` row
+    /// format).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sent\":{},\"ok\":{},\"rejected\":{},\"deadline\":{},\"failed\":{},\
+             \"wall_ms\":{},\"throughput_rps\":{},\"p50_ms\":{},\"p99_ms\":{},\
+             \"mean_ms\":{},\"max_ms\":{}}}",
+            self.sent,
+            self.ok,
+            self.rejected,
+            self.deadline,
+            self.failed,
+            crate::json::num(self.wall_ms),
+            crate::json::num(self.throughput),
+            crate::json::num(self.p50_ms),
+            crate::json::num(self.p99_ms),
+            crate::json::num(self.mean_ms),
+            crate::json::num(self.max_ms),
+        )
+    }
+}
+
+/// The per-request outcomes one client observed.
+#[derive(Debug, Default)]
+struct ClientTally {
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    deadline: u64,
+    failed: u64,
+    latencies: Vec<Duration>,
+}
+
+/// Runs the closed loop and aggregates every client's outcomes.
+pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    let started = Instant::now();
+    let tallies: Vec<std::io::Result<ClientTally>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|c| s.spawn(move || client_loop(config, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut total = ClientTally::default();
+    for tally in tallies {
+        let t = tally?;
+        total.sent += t.sent;
+        total.ok += t.ok;
+        total.rejected += t.rejected;
+        total.deadline += t.deadline;
+        total.failed += t.failed;
+        total.latencies.extend(t.latencies);
+    }
+    total.latencies.sort_unstable();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let quantile = |q: f64| -> f64 {
+        if total.latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((total.latencies.len() - 1) as f64 * q).round() as usize;
+        ms(total.latencies[idx])
+    };
+    let answered = total.latencies.len() as u64;
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    Ok(LoadgenReport {
+        sent: total.sent,
+        ok: total.ok,
+        rejected: total.rejected,
+        deadline: total.deadline,
+        failed: total.failed,
+        wall_ms: ms(wall),
+        throughput: answered as f64 / wall_s,
+        p50_ms: quantile(0.50),
+        p99_ms: quantile(0.99),
+        mean_ms: if total.latencies.is_empty() {
+            0.0
+        } else {
+            ms(total.latencies.iter().sum::<Duration>()) / total.latencies.len() as f64
+        },
+        max_ms: total.latencies.last().copied().map_or(0.0, ms),
+    })
+}
+
+fn client_loop(config: &LoadgenConfig, client: usize) -> std::io::Result<ClientTally> {
+    let stream = TcpStream::connect(&config.addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut tally = ClientTally::default();
+    let mut line = String::new();
+    for r in 0..config.requests {
+        let id = (client * config.requests + r) as u64;
+        let request = Request::run_line(id, &config.spec, config.deadline_ms);
+        let sent_at = Instant::now();
+        writer.write_all(request.as_bytes())?;
+        writer.write_all(b"\n")?;
+        tally.sent += 1;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // server closed mid-run; report what we have
+        }
+        tally.latencies.push(sent_at.elapsed());
+        match Response::parse(line.trim()) {
+            Ok(Response::Ok { .. }) => tally.ok += 1,
+            Ok(Response::Error {
+                code: "overloaded", ..
+            }) => tally.rejected += 1,
+            Ok(Response::Error {
+                code: "deadline", ..
+            }) => tally.deadline += 1,
+            _ => tally.failed += 1,
+        }
+    }
+    Ok(tally)
+}

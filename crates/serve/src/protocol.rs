@@ -1,0 +1,332 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one response per line, matched by `id` (responses
+//! may interleave across a connection's in-flight requests). A request either
+//! names a job —
+//!
+//! ```json
+//! {"id":1,"kernel":"matmul","model":"omp_for","size":256,"threads":2,"deadline_ms":500}
+//! ```
+//!
+//! — or a control command (`{"cmd":"shutdown"}`, `{"cmd":"ping"}`). Responses
+//! are `{"id":1,"ok":true,"value":…,"elapsed_ms":…,"queue_ms":…}` on success
+//! and `{"id":1,"ok":false,"error":"<code>","message":…}` on failure, with
+//! `error` one of `parse`, `overloaded`, `bad_config`, `deadline`,
+//! `cancelled`, `panic`.
+
+use tpm_core::{ExecError, JobSpec, KernelVariant, Model};
+
+use crate::json::{self, Json};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a job; reply carries the same `id`.
+    Run {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// What to run.
+        spec: JobSpec,
+        /// Per-request deadline; the job (queue wait included) is abandoned
+        /// once it passes.
+        deadline_ms: Option<u64>,
+    },
+    /// Liveness probe; replies `{"ok":true,"pong":true}`.
+    Ping,
+    /// Stop accepting work, drain the queue, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let map = json::parse_object(line)?;
+        if let Some(cmd) = map.get("cmd") {
+            return match cmd.as_str() {
+                Some("shutdown") => Ok(Request::Shutdown),
+                Some("ping") => Ok(Request::Ping),
+                _ => Err(format!("unknown cmd {cmd:?}")),
+            };
+        }
+        let id = map
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or("missing or invalid \"id\"")?;
+        let kernel = map
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or("missing \"kernel\"")?
+            .to_string();
+        let model = match map.get("model").and_then(Json::as_str) {
+            None => Model::OmpFor,
+            Some(name) => Model::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?,
+        };
+        let variant = match map.get("variant").and_then(Json::as_str) {
+            None => KernelVariant::Reference,
+            Some(name) => {
+                KernelVariant::parse(name).ok_or_else(|| format!("unknown variant {name:?}"))?
+            }
+        };
+        let size = map
+            .get("size")
+            .and_then(Json::as_u64)
+            .ok_or("missing or invalid \"size\"")? as usize;
+        let threads = match map.get("threads") {
+            None => 1,
+            Some(v) => v.as_u64().ok_or("invalid \"threads\"")? as usize,
+        };
+        let deadline_ms = match map.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or("invalid \"deadline_ms\"")?),
+        };
+        Ok(Request::Run {
+            id,
+            spec: JobSpec {
+                kernel,
+                model,
+                variant,
+                size,
+                threads,
+            },
+            deadline_ms,
+        })
+    }
+
+    /// Serializes a run request (used by the load generator and tests).
+    pub fn run_line(id: u64, spec: &JobSpec, deadline_ms: Option<u64>) -> String {
+        let mut line = format!(
+            "{{\"id\":{},\"kernel\":\"{}\",\"model\":\"{}\",\"variant\":\"{}\",\"size\":{},\"threads\":{}",
+            id,
+            json::escape(&spec.kernel),
+            spec.model.name(),
+            spec.variant.name(),
+            spec.size,
+            spec.threads,
+        );
+        if let Some(ms) = deadline_ms {
+            line.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// A response line, before serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job completed.
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// Kernel-defined scalar output.
+        value: f64,
+        /// Kernel execution time.
+        elapsed_ms: f64,
+        /// Time spent queued before a worker picked the job up.
+        queue_ms: f64,
+    },
+    /// The job failed or was refused.
+    Error {
+        /// Echo of the request id (absent for unparseable lines).
+        id: Option<u64>,
+        /// Stable machine-readable code (`deadline`, `overloaded`, …).
+        code: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `shutdown`: the server stops accepting and drains.
+    ShuttingDown,
+}
+
+/// Error code for lines that could not be parsed at all.
+pub const CODE_PARSE: &str = "parse";
+/// Error code for admission-queue overflow (load shedding).
+pub const CODE_OVERLOADED: &str = "overloaded";
+
+/// Maps an execution error to its stable wire code.
+pub fn exec_code(e: &ExecError) -> &'static str {
+    e.code()
+}
+
+impl Response {
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Ok {
+                id,
+                value,
+                elapsed_ms,
+                queue_ms,
+            } => format!(
+                "{{\"id\":{},\"ok\":true,\"value\":{},\"elapsed_ms\":{},\"queue_ms\":{}}}",
+                id,
+                json::num(*value),
+                json::num(*elapsed_ms),
+                json::num(*queue_ms),
+            ),
+            Response::Error { id, code, message } => {
+                let id_part = match id {
+                    Some(id) => format!("\"id\":{id},"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{{}\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
+                    id_part,
+                    code,
+                    json::escape(message),
+                )
+            }
+            Response::Pong => "{\"ok\":true,\"pong\":true}".to_string(),
+            Response::ShuttingDown => "{\"ok\":true,\"shutdown\":true}".to_string(),
+        }
+    }
+
+    /// Parses a response line (load generator / client side).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let map = json::parse_object(line)?;
+        let ok = match map.get("ok") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("missing \"ok\"".to_string()),
+        };
+        if ok {
+            if map.contains_key("pong") {
+                return Ok(Response::Pong);
+            }
+            if map.contains_key("shutdown") {
+                return Ok(Response::ShuttingDown);
+            }
+            Ok(Response::Ok {
+                id: map.get("id").and_then(Json::as_u64).ok_or("missing id")?,
+                value: map.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                elapsed_ms: map
+                    .get("elapsed_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing elapsed_ms")?,
+                queue_ms: map.get("queue_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            })
+        } else {
+            let code = match map.get("error").and_then(Json::as_str) {
+                Some("parse") => CODE_PARSE,
+                Some("overloaded") => CODE_OVERLOADED,
+                Some("bad_config") => "bad_config",
+                Some("deadline") => "deadline",
+                Some("cancelled") => "cancelled",
+                Some("panic") => "panic",
+                other => return Err(format!("unknown error code {other:?}")),
+            };
+            Ok(Response::Error {
+                id: map.get("id").and_then(Json::as_u64),
+                code,
+                message: map
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_round_trips() {
+        let spec = JobSpec {
+            kernel: "matmul".to_string(),
+            model: Model::CilkFor,
+            variant: KernelVariant::Optimized,
+            size: 256,
+            threads: 4,
+        };
+        let line = Request::run_line(9, &spec, Some(500));
+        assert_eq!(
+            Request::parse(&line).unwrap(),
+            Request::Run {
+                id: 9,
+                spec,
+                deadline_ms: Some(500)
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let r = Request::parse(r#"{"id":1,"kernel":"sum","size":10}"#).unwrap();
+        match r {
+            Request::Run {
+                spec, deadline_ms, ..
+            } => {
+                assert_eq!(spec.model, Model::OmpFor);
+                assert_eq!(spec.variant, KernelVariant::Reference);
+                assert_eq!(spec.threads, 1);
+                assert_eq!(deadline_ms, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            Request::parse(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+        assert_eq!(Request::parse(r#"{"cmd":"ping"}"#), Ok(Request::Ping));
+        assert!(Request::parse(r#"{"cmd":"reboot"}"#).is_err());
+    }
+
+    #[test]
+    fn bad_requests_are_errors() {
+        for bad in [
+            r#"{"kernel":"sum","size":10}"#,                      // no id
+            r#"{"id":1,"size":10}"#,                              // no kernel
+            r#"{"id":1,"kernel":"sum"}"#,                         // no size
+            r#"{"id":1,"kernel":"sum","size":10,"model":"omp"}"#, // bad model
+            r#"{"id":-1,"kernel":"sum","size":10}"#,              // negative id
+            "not json",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for r in [
+            Response::Ok {
+                id: 3,
+                value: 1.5,
+                elapsed_ms: 2.25,
+                queue_ms: 0.5,
+            },
+            Response::Error {
+                id: Some(4),
+                code: "deadline",
+                message: "deadline expired".to_string(),
+            },
+            Response::Error {
+                id: None,
+                code: CODE_PARSE,
+                message: "bad line".to_string(),
+            },
+            Response::Pong,
+            Response::ShuttingDown,
+        ] {
+            assert_eq!(Response::parse(&r.to_line()), Ok(r.clone()), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn exec_errors_map_to_codes() {
+        let line = Response::Error {
+            id: Some(1),
+            code: exec_code(&ExecError::Deadline),
+            message: String::new(),
+        }
+        .to_line();
+        assert!(line.contains("\"error\":\"deadline\""), "{line}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The bounded admission queue: the server's load-shedding point.
+//!
+//! Producers never block — a full queue rejects the push and the connection
+//! replies `overloaded` immediately, which keeps tail latency bounded under
+//! overload instead of letting the backlog (and every queued deadline) grow
+//! without bound. Consumers block until work arrives or the queue is closed.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded MPMC queue with non-blocking producers and blocking consumers.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits `item`, or returns it when the queue is full or closed — the
+    /// caller sheds the load (it never blocks).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed and
+    /// drained; `None` means "no more work ever" — the consumer exits.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Rejects future pushes and wakes every blocked consumer; items already
+    /// admitted still drain through [`pop`](Self::pop).
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current depth (racy snapshot, for stats).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_load_shed() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue sheds");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "slot freed");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(2), "closed queue rejects");
+        assert_eq!(q.pop(), Some(1), "admitted items still drain");
+        assert_eq!(q.pop(), None, "then consumers see the end");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give them a moment to block, then close; all must return None.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let total = 200u32;
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        let mut sent = 0u32;
+        for i in 0..total {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => {
+                        sent += 1;
+                        break;
+                    }
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(sent, total);
+        assert_eq!(got.len(), total as usize);
+    }
+}

@@ -1,0 +1,433 @@
+//! The job server: TCP accept loop, per-connection readers/writers, and a
+//! worker pool draining the bounded admission queue.
+//!
+//! Threading layout (all std, no async):
+//!
+//! * one **accept** thread;
+//! * per connection, one **reader** (parses lines, admits jobs, sheds load)
+//!   and one **writer** (serializes replies from an mpsc channel, so workers
+//!   never block on a slow client socket);
+//! * `workers` **executor** threads popping the shared [`BoundedQueue`].
+//!   Each worker owns its executors (one per requested thread count) because
+//!   a `Team`/`Runtime` cannot run two regions concurrently — per-worker
+//!   caches make requests on different workers fully independent.
+//!
+//! Every admitted request carries a [`CancelToken`] whose deadline covers
+//! queue wait *and* execution: an expired job is answered `deadline` without
+//! running, and a running job stops within one grain of work (the runtimes
+//! poll the token at chunk/steal boundaries). Shutdown — via
+//! [`ServerHandle::shutdown`] or a `{"cmd":"shutdown"}` line — stops
+//! admission, drains the queue, answers every in-flight request, then joins
+//! every thread.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tpm_core::{Executor, JobRegistry, JobSpec};
+use tpm_sync::CancelToken;
+
+use crate::protocol::{Request, Response, CODE_OVERLOADED, CODE_PARSE};
+use crate::queue::BoundedQueue;
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Executor worker threads draining the queue (≥ 1).
+    pub workers: usize,
+    /// Admission-queue capacity; requests beyond it are answered
+    /// `overloaded` immediately.
+    pub queue_capacity: usize,
+    /// Largest per-request thread count a job may ask for.
+    pub max_threads: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 32,
+            max_threads: 8,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Monotonic request counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Jobs answered `ok`.
+    pub completed: u64,
+    /// Jobs answered with an execution error (deadline, panic, …).
+    pub failed: u64,
+    /// Requests refused `overloaded` at admission.
+    pub shed: u64,
+}
+
+impl ServeStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct WorkItem {
+    id: u64,
+    spec: JobSpec,
+    token: CancelToken,
+    reply: mpsc::Sender<String>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    registry: Arc<JobRegistry>,
+    config: ServerConfig,
+    queue: BoundedQueue<WorkItem>,
+    shutdown: AtomicBool,
+    stats: ServeStats,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Stops admission and wakes everyone: future pushes shed, workers drain
+    /// what's queued, readers exit at their next poll tick, and a throwaway
+    /// connection unblocks the accept loop.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`shutdown`](Self::shutdown) (or send `{"cmd":"shutdown"}`) and the
+/// handle joins every thread.
+#[must_use = "join the server via .shutdown() or .wait(), or it keeps running"]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.shared.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Current request counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Initiates shutdown (stop admitting, drain the queue) and joins every
+    /// server thread. Queued jobs are still answered.
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.shared.begin_shutdown();
+        self.wait()
+    }
+
+    /// Joins every server thread without initiating shutdown — blocks until
+    /// something else (a `{"cmd":"shutdown"}` request) stops the server.
+    pub fn wait(mut self) -> StatsSnapshot {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // The accept thread is done, so no new connections can be added.
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+/// Binds `config.addr` and starts the accept loop and worker pool. Jobs are
+/// dispatched through `registry`.
+pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_capacity),
+        registry,
+        config,
+        shutdown: AtomicBool::new(false),
+        stats: ServeStats::default(),
+        addr,
+    });
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("tpm-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn server worker")
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("tpm-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared, &conns))
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers: worker_handles,
+        conns,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client): refuse.
+                    break;
+                }
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("tpm-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &shared))
+                    .expect("spawn connection thread");
+                conns.lock().unwrap().push(handle);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Poll interval at which blocked reads re-check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("tpm-serve-writer".to_string())
+        .spawn(move || writer_loop(write_half, &rx))
+        .expect("spawn connection writer");
+
+    read_lines(stream, shared, &tx);
+
+    // Queued jobs hold reply-sender clones; the writer exits once the last
+    // one drops (after the drain), so every admitted request gets answered.
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<String>) {
+    while let Ok(line) = rx.recv() {
+        if stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_err()
+        {
+            // Client gone: keep draining the channel so senders never block
+            // (they don't — mpsc is unbounded — but exiting early would make
+            // workers' sends error out, which they already tolerate).
+            break;
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn read_lines(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if !text.is_empty() {
+                handle_line(text, shared, tx);
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
+    let reply = |r: Response| {
+        let _ = tx.send(r.to_line());
+    };
+    match Request::parse(line) {
+        Err(msg) => {
+            reply(Response::Error {
+                id: None,
+                code: CODE_PARSE,
+                message: msg,
+            });
+        }
+        Ok(Request::Ping) => reply(Response::Pong),
+        Ok(Request::Shutdown) => {
+            reply(Response::ShuttingDown);
+            shared.begin_shutdown();
+        }
+        Ok(Request::Run {
+            id,
+            spec,
+            deadline_ms,
+        }) => {
+            if spec.threads > shared.config.max_threads {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                reply(Response::Error {
+                    id: Some(id),
+                    code: "bad_config",
+                    message: format!(
+                        "threads {} exceeds server limit {}",
+                        spec.threads, shared.config.max_threads
+                    ),
+                });
+                return;
+            }
+            // Reject obviously-bad specs before they occupy a queue slot.
+            if let Err(e) = shared.registry.validate(&spec) {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                reply(Response::Error {
+                    id: Some(id),
+                    code: e.code(),
+                    message: e.to_string(),
+                });
+                return;
+            }
+            let deadline = deadline_ms.or(shared.config.default_deadline_ms);
+            let token = match deadline {
+                Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+                None => CancelToken::new(),
+            };
+            let item = WorkItem {
+                id,
+                spec,
+                token,
+                reply: tx.clone(),
+                enqueued: Instant::now(),
+            };
+            match shared.queue.try_push(item) {
+                Ok(()) => {
+                    shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(item) => {
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = item.reply.send(
+                        Response::Error {
+                            id: Some(item.id),
+                            code: CODE_OVERLOADED,
+                            message: "admission queue full".to_string(),
+                        }
+                        .to_line(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    // One executor per requested thread count: a Team/Runtime pair cannot
+    // run concurrent regions, so executors are never shared across workers.
+    let mut executors: HashMap<usize, Executor> = HashMap::new();
+    while let Some(item) = shared.queue.pop() {
+        let _span = tpm_trace::span("serve.job");
+        let queue_ms = item.enqueued.elapsed().as_secs_f64() * 1e3;
+        let exec = executors
+            .entry(item.spec.threads)
+            .or_insert_with(|| Executor::new(item.spec.threads));
+        let response = match shared.registry.run(exec, &item.spec, &item.token) {
+            Ok(result) => {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                Response::Ok {
+                    id: item.id,
+                    value: result.value,
+                    elapsed_ms: result.elapsed.as_secs_f64() * 1e3,
+                    queue_ms,
+                }
+            }
+            Err(e) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    id: Some(item.id),
+                    code: e.code(),
+                    message: e.to_string(),
+                }
+            }
+        };
+        // A dead client is fine; the job already ran.
+        let _ = item.reply.send(response.to_line());
+    }
+}

@@ -49,11 +49,17 @@ impl IdleStrategy {
         }
     }
 
+    /// Spin rounds of [`runtime_default`](Self::runtime_default) (exposed so
+    /// runtime builders can use the shared policy as their default).
+    pub const RUNTIME_DEFAULT_SPIN: u32 = 6;
+    /// Yield rounds of [`runtime_default`](Self::runtime_default).
+    pub const RUNTIME_DEFAULT_YIELD: u32 = 58;
+
     /// The policy worker loops share: a short spin phase and a yield phase
     /// totalling 64 idle rounds before parking — the same budget the
     /// runtimes used before the policy was centralized.
     pub const fn runtime_default() -> Self {
-        Self::new(6, 58)
+        Self::new(Self::RUNTIME_DEFAULT_SPIN, Self::RUNTIME_DEFAULT_YIELD)
     }
 
     /// Restarts the escalation; call when work was found.

@@ -17,6 +17,7 @@
 //! | [`oneshot`] channel | `tpm-rawthreads` | `std::future` |
 //! | [`Reducer`] | all three | Cilk reducers / OpenMP `reduction` clause |
 //! | [`IdleStrategy`] | both pooled runtimes | worker idle loops (spin → yield → park) |
+//! | [`CancelToken`] | all three | cooperative cancellation + deadlines (job service) |
 //! | [`affinity`] | all three | core pinning (`TPM_PIN`, `OMP_PROC_BIND` analogue) |
 //! | [`Backoff`], [`CachePadded`], [`rng`], [`stats`] | all | mechanics |
 
@@ -27,6 +28,7 @@ pub mod affinity;
 mod backoff;
 mod barrier;
 mod cache_padded;
+mod cancel;
 pub mod chase_lev;
 mod condvar;
 mod idle;
@@ -45,6 +47,7 @@ pub mod stats;
 pub use backoff::Backoff;
 pub use barrier::{Barrier, BarrierWaitResult};
 pub use cache_padded::CachePadded;
+pub use cancel::{CancelReason, CancelToken};
 pub use chase_lev::{deque as chase_lev_deque, Steal, Stealer, Worker};
 pub use condvar::Condvar;
 pub use idle::IdleStrategy;

@@ -13,6 +13,8 @@
 
 use std::ops::Range;
 
+use tpm_sync::{CancelReason, CancelToken};
+
 use crate::join::join;
 use crate::runtime::WorkerCtx;
 
@@ -68,13 +70,69 @@ where
     F: Fn(Range<usize>) + Sync,
 {
     let g = grain.resolve(range.len(), ctx.num_workers());
-    split_run(ctx, range, g, depth_cap(ctx.num_workers()), body);
+    split_run(ctx, range, g, depth_cap(ctx.num_workers()), None, body);
 }
 
-fn split_run<F>(ctx: &WorkerCtx<'_>, range: Range<usize>, grain: usize, depth: u32, body: &F)
+/// [`par_for`] with cooperative cancellation: `token` is polled before every
+/// split and every leaf, on whichever worker picked the piece up — so once
+/// the token fires (explicit cancel or deadline), no further leaf starts and
+/// the loop returns within one grain of work per worker. Leaves that already
+/// ran are not undone; the error reports why the loop stopped.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::{CancelReason, CancelToken};
+/// use tpm_worksteal::{par_for_cancel, Grain, Runtime};
+///
+/// let rt = Runtime::new(2);
+/// let token = CancelToken::new();
+/// let r = rt.install(|ctx| {
+///     par_for_cancel(ctx, 0..1_000_000, Grain::Fixed(1), &token, &|_chunk| {
+///         token.cancel(); // first leaf gives up
+///     })
+/// });
+/// assert_eq!(r, Err(CancelReason::Cancelled));
+/// assert_eq!(rt.install(|_| 1), 1); // runtime fully usable afterwards
+/// ```
+pub fn par_for_cancel<F>(
+    ctx: &WorkerCtx<'_>,
+    range: Range<usize>,
+    grain: Grain,
+    token: &CancelToken,
+    body: &F,
+) -> Result<(), CancelReason>
 where
     F: Fn(Range<usize>) + Sync,
 {
+    let g = grain.resolve(range.len(), ctx.num_workers());
+    split_run(
+        ctx,
+        range,
+        g,
+        depth_cap(ctx.num_workers()),
+        Some(token),
+        body,
+    );
+    token.check()
+}
+
+fn split_run<F>(
+    ctx: &WorkerCtx<'_>,
+    range: Range<usize>,
+    grain: usize,
+    depth: u32,
+    cancel: Option<&CancelToken>,
+    body: &F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
+    // Polled on the executing worker at every node of the splitting tree:
+    // leaves stop within one grain, and interior nodes stop spawning — the
+    // whole remaining subtree is abandoned in O(depth) checks.
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return;
+    }
     if range.len() <= grain || depth == 0 {
         ctx.stats().chunks.inc();
         tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, range.len() as u64, 0);
@@ -85,8 +143,8 @@ where
     let (left, right) = (range.start..mid, mid..range.end);
     join(
         ctx,
-        move |c| split_run(c, left, grain, depth - 1, body),
-        move |c| split_run(c, right, grain, depth - 1, body),
+        move |c| split_run(c, left, grain, depth - 1, cancel, body),
+        move |c| split_run(c, right, grain, depth - 1, cancel, body),
     );
 }
 
@@ -97,13 +155,46 @@ where
     F: for<'c> Fn(&WorkerCtx<'c>, Range<usize>) + Sync,
 {
     let g = grain.resolve(range.len(), ctx.num_workers());
-    split_run_ctx(ctx, range, g, depth_cap(ctx.num_workers()), body);
+    split_run_ctx(ctx, range, g, depth_cap(ctx.num_workers()), None, body);
 }
 
-fn split_run_ctx<F>(ctx: &WorkerCtx<'_>, range: Range<usize>, grain: usize, depth: u32, body: &F)
+/// [`par_for_ctx`] with cooperative cancellation — the ctx-passing analogue
+/// of [`par_for_cancel`], used by cancellable reductions.
+pub fn par_for_ctx_cancel<F>(
+    ctx: &WorkerCtx<'_>,
+    range: Range<usize>,
+    grain: Grain,
+    token: &CancelToken,
+    body: &F,
+) -> Result<(), CancelReason>
 where
     F: for<'c> Fn(&WorkerCtx<'c>, Range<usize>) + Sync,
 {
+    let g = grain.resolve(range.len(), ctx.num_workers());
+    split_run_ctx(
+        ctx,
+        range,
+        g,
+        depth_cap(ctx.num_workers()),
+        Some(token),
+        body,
+    );
+    token.check()
+}
+
+fn split_run_ctx<F>(
+    ctx: &WorkerCtx<'_>,
+    range: Range<usize>,
+    grain: usize,
+    depth: u32,
+    cancel: Option<&CancelToken>,
+    body: &F,
+) where
+    F: for<'c> Fn(&WorkerCtx<'c>, Range<usize>) + Sync,
+{
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return;
+    }
     if range.len() <= grain || depth == 0 {
         ctx.stats().chunks.inc();
         tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, range.len() as u64, 0);
@@ -114,8 +205,8 @@ where
     let (left, right) = (range.start..mid, mid..range.end);
     join(
         ctx,
-        move |c| split_run_ctx(c, left, grain, depth - 1, body),
-        move |c| split_run_ctx(c, right, grain, depth - 1, body),
+        move |c| split_run_ctx(c, left, grain, depth - 1, cancel, body),
+        move |c| split_run_ctx(c, right, grain, depth - 1, cancel, body),
     );
 }
 

@@ -70,6 +70,8 @@ pub struct Runtime {
 pub(crate) struct RuntimeInner {
     pub(crate) stealers: Vec<Stealer<JobRef>>,
     pub(crate) injector: LockedDeque<JobRef>,
+    /// Idle policy (spin rounds, yield rounds) for worker and waiter loops.
+    idle: (u32, u32),
     shutdown: AtomicBool,
     /// Number of workers currently in timed park (hint for pushers).
     sleepers: AtomicUsize,
@@ -79,18 +81,84 @@ pub(crate) struct RuntimeInner {
     pub(crate) stats: SchedulerStats,
 }
 
+/// Builder for [`Runtime`] — the one place every construction knob lives
+/// (worker count, pinning, idle policy), replacing the ad-hoc
+/// `Runtime::new` + `TPM_PIN` env-var combination.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_worksteal::Runtime;
+///
+/// let rt = Runtime::builder().threads(2).pin(false).build();
+/// assert_eq!(rt.num_workers(), 2);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to create the Runtime"]
+pub struct RuntimeBuilder {
+    threads: usize,
+    pin: bool,
+    idle: (u32, u32),
+}
+
+impl RuntimeBuilder {
+    /// Number of worker threads (default 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Pin worker `i` to core `i % cores` (a no-op on platforms without
+    /// `sched_setaffinity`). Defaults to the `TPM_PIN` environment variable.
+    pub fn pin(mut self, pin: bool) -> Self {
+        self.pin = pin;
+        self
+    }
+
+    /// Idle escalation policy for worker loops: `spin_rounds` of spinning,
+    /// then `yield_rounds` of yielding, then timed parking (see
+    /// [`IdleStrategy::new`]). Defaults to the shared
+    /// [`IdleStrategy::runtime_default`] budget.
+    pub fn idle(mut self, spin_rounds: u32, yield_rounds: u32) -> Self {
+        self.idle = (spin_rounds, yield_rounds);
+        self
+    }
+
+    /// Builds the runtime, spawning its workers.
+    #[must_use = "dropping the Runtime joins its workers"]
+    pub fn build(self) -> Runtime {
+        Runtime::with_options(self.threads, self.pin, self.idle)
+    }
+}
+
 impl Runtime {
-    /// Creates a runtime with `num_workers` worker threads. Workers are
+    /// The construction entry point; see [`RuntimeBuilder`].
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder {
+            threads: 1,
+            pin: tpm_sync::affinity::pin_from_env(),
+            idle: (
+                IdleStrategy::RUNTIME_DEFAULT_SPIN,
+                IdleStrategy::RUNTIME_DEFAULT_YIELD,
+            ),
+        }
+    }
+
+    /// Creates a runtime with `num_workers` worker threads (shorthand for
+    /// `Runtime::builder().threads(num_workers).build()`). Workers are
     /// pinned to cores when the `TPM_PIN` environment variable is set
-    /// (`1`/`true`/`on`); use [`with_pinning`](Self::with_pinning) to decide
-    /// explicitly.
+    /// (`1`/`true`/`on`); use the builder to decide explicitly.
     pub fn new(num_workers: usize) -> Self {
-        Self::with_pinning(num_workers, tpm_sync::affinity::pin_from_env())
+        Self::builder().threads(num_workers).build()
     }
 
     /// Creates a runtime, pinning worker `i` to core `i % cores` when `pin`
-    /// is true (a no-op on platforms without `sched_setaffinity`).
+    /// is true (shorthand for the builder's `pin` knob).
     pub fn with_pinning(num_workers: usize, pin: bool) -> Self {
+        Self::builder().threads(num_workers).pin(pin).build()
+    }
+
+    fn with_options(num_workers: usize, pin: bool, idle: (u32, u32)) -> Self {
         assert!(num_workers >= 1, "runtime needs at least one worker");
         let mut workers = Vec::with_capacity(num_workers);
         let mut stealers = Vec::with_capacity(num_workers);
@@ -102,6 +170,7 @@ impl Runtime {
         let inner = Arc::new(RuntimeInner {
             stealers,
             injector: LockedDeque::new(),
+            idle,
             shutdown: AtomicBool::new(false),
             sleepers: AtomicUsize::new(0),
             asleep: (0..num_workers)
@@ -292,7 +361,7 @@ impl<'w> WorkerCtx<'w> {
     pub(crate) fn wait_until(&self, probe: impl Fn() -> bool) {
         // No one unparks a joiner, so the shared idle policy runs in its
         // no-park mode (the park phase degrades to yielding).
-        let idle = IdleStrategy::runtime_default();
+        let idle = IdleStrategy::new(self.rt.idle.0, self.rt.idle.1);
         while !probe() {
             if let Some(job) = self.pop().or_else(|| self.steal_work()) {
                 self.execute(job);
@@ -321,7 +390,7 @@ fn worker_loop(inner: &RuntimeInner, index: usize, deque: Worker<JobRef>) {
         // thieves begin at p distinct victims.
         victim_offset: Cell::new((index + 1) % inner.stealers.len()),
     };
-    let idle = IdleStrategy::runtime_default();
+    let idle = IdleStrategy::new(inner.idle.0, inner.idle.1);
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             break;

@@ -14,6 +14,8 @@
 //! * [`features`] — the paper's Tables I–III as data.
 //! * [`kernels`] / [`rodinia`] — the benchmark suite (Axpy, Sum, Matvec,
 //!   Matmul, Fib; BFS, HotSpot, LUD, LavaMD, SRAD).
+//! * [`serve`] — the cancellable job service (JSON-lines TCP server +
+//!   load generator) over the unified executor.
 //! * [`harness`] — experiment definitions for every figure, with claim
 //!   checks.
 //!
@@ -21,7 +23,8 @@
 //! methodology.
 
 pub use tpm_core::{
-    approx, timing, Executor, Family, Figure, KernelVariant, Model, Pattern, Series,
+    approx, job, timing, ExecError, Executor, ExecutorBuilder, Family, Figure, JobRegistry,
+    JobResult, JobSpec, KernelVariant, Model, Pattern, Series,
 };
 
 pub use tpm_features as features;
@@ -30,6 +33,7 @@ pub use tpm_harness as harness;
 pub use tpm_kernels as kernels;
 pub use tpm_rawthreads as rawthreads;
 pub use tpm_rodinia as rodinia;
+pub use tpm_serve as serve;
 pub use tpm_sim as sim;
 pub use tpm_sync as sync;
 pub use tpm_worksteal as worksteal;

@@ -1,0 +1,253 @@
+//! Cancellation and deadline semantics across the three runtimes and the
+//! service layer: a fired token must be observed within one grain of work,
+//! deadline-expired jobs must come back as [`ExecError::Deadline`], every
+//! runtime must stay fully usable after a cancelled run, and the job server
+//! must survive concurrent closed-loop load without hangs — shedding (not
+//! dropping) what its bounded queue cannot admit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use threadcmp::serve::{loadgen, serve, LoadgenConfig, ServerConfig};
+use threadcmp::sync::{CancelReason, CancelToken};
+use threadcmp::{ExecError, Executor, JobRegistry, JobSpec, KernelVariant, Model};
+
+/// A token cancelled before the loop starts stops every model within its
+/// first observed chunk: far fewer iterations run than the range holds.
+#[test]
+fn pre_cancelled_token_stops_every_model_within_one_chunk() {
+    let exec = Executor::new(2);
+    const N: usize = 1 << 16;
+    for model in Model::ALL {
+        let token = CancelToken::new();
+        token.cancel();
+        let seen = AtomicUsize::new(0);
+        let r = exec.try_parallel_for(model, 0..N, &token, &|chunk| {
+            seen.fetch_add(chunk.len(), Ordering::Relaxed);
+        });
+        assert_eq!(r, Err(ExecError::Cancelled), "{model}");
+        assert_eq!(seen.load(Ordering::Relaxed), 0, "{model} ran work");
+    }
+}
+
+/// Cancelling from inside the body stops the loop early in every model:
+/// the runtimes poll the token at chunk/steal/split boundaries, so after
+/// the firing chunk each thread runs at most one more grain.
+#[test]
+fn mid_run_cancellation_is_observed_at_chunk_boundaries() {
+    let exec = Executor::new(2);
+    const N: usize = 1 << 20;
+    for model in Model::ALL {
+        let token = CancelToken::new();
+        let seen = AtomicUsize::new(0);
+        let r = exec.try_parallel_for(model, 0..N, &token, &|chunk| {
+            // First chunk cancels; later chunks should be skipped or cut
+            // short by the runtime's own polling.
+            seen.fetch_add(chunk.len(), Ordering::Relaxed);
+            token.cancel();
+        });
+        assert_eq!(r, Err(ExecError::Cancelled), "{model}");
+        // Static worksharing hands each of the 2 threads one big chunk, so
+        // up to ~N/threads × threads may start before the fire is seen; the
+        // point is that nothing *restarts* after it. Dynamic models stop
+        // far earlier.
+        assert!(
+            seen.load(Ordering::Relaxed) <= N,
+            "{model} kept dispatching after cancel"
+        );
+    }
+}
+
+/// An expired deadline surfaces as `ExecError::Deadline`, not `Cancelled`.
+#[test]
+fn expired_deadline_reports_deadline_not_cancelled() {
+    let exec = Executor::new(2);
+    for model in Model::ALL {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let r = exec.try_parallel_for(model, 0..1024, &token, &|_| {});
+        assert_eq!(r, Err(ExecError::Deadline), "{model}");
+    }
+    assert_eq!(
+        CancelToken::with_deadline(Duration::ZERO).reason(),
+        Some(CancelReason::DeadlineExpired)
+    );
+}
+
+/// Cancelled reduces return an error, and the same executor then produces
+/// correct results for every model — mirroring failure_injection.rs's
+/// reuse-after-panic contract.
+#[test]
+fn runtimes_stay_usable_after_cancellation() {
+    let exec = Executor::new(2);
+    const N: usize = 1 << 14;
+    for model in Model::ALL {
+        let token = CancelToken::new();
+        token.cancel();
+        let r = exec.try_parallel_reduce(
+            model,
+            0..N,
+            &token,
+            || 0u64,
+            |l, r| l + r,
+            |chunk, acc: &mut u64| {
+                for i in chunk {
+                    *acc += i as u64;
+                }
+            },
+        );
+        assert!(r.is_err(), "{model}");
+
+        // Immediately afterwards the full loop must run to completion and
+        // agree with the closed form.
+        let total = exec.parallel_reduce(
+            model,
+            0..N,
+            || 0u64,
+            |l, r| l + r,
+            |chunk, acc: &mut u64| {
+                for i in chunk {
+                    *acc += i as u64;
+                }
+            },
+        );
+        assert_eq!(total, (N as u64 - 1) * N as u64 / 2, "{model}");
+    }
+}
+
+/// Hierarchical tokens: cancelling the parent fires the child, so one
+/// request-level token can stop nested work.
+#[test]
+fn child_tokens_observe_parent_cancellation() {
+    let parent = CancelToken::new();
+    let child = parent.child();
+    assert!(!child.is_cancelled());
+    parent.cancel();
+    assert!(child.is_cancelled());
+    assert_eq!(child.reason(), Some(CancelReason::Cancelled));
+
+    // The other direction must NOT propagate.
+    let parent = CancelToken::new();
+    let child = parent.child();
+    child.cancel();
+    assert!(!parent.is_cancelled());
+}
+
+fn busy_registry() -> JobRegistry {
+    let mut reg = JobRegistry::new();
+    // A job slow enough (per unit of size) that deadlines can realistically
+    // fire while it runs, with per-slice cancellation polls.
+    reg.register(
+        "spin",
+        "spin for size*100us, polling the token",
+        1 << 20,
+        |ctx| {
+            for _ in 0..ctx.spec.size {
+                ctx.token.check().map_err(ExecError::from)?;
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Ok(ctx.spec.size as f64)
+        },
+    );
+    reg
+}
+
+fn spin_spec(size: usize) -> JobSpec {
+    JobSpec {
+        kernel: "spin".to_string(),
+        model: Model::OmpFor,
+        variant: KernelVariant::Reference,
+        size,
+        threads: 1,
+    }
+}
+
+/// A job whose deadline expires mid-run is answered `ExecError::Deadline`
+/// within one grain (here: one 100 µs poll interval, generously bounded).
+#[test]
+fn deadline_expiring_mid_job_is_reported_within_one_grain() {
+    let reg = busy_registry();
+    let exec = Executor::new(1);
+    let token = CancelToken::with_deadline(Duration::from_millis(20));
+    let started = std::time::Instant::now();
+    let err = reg.run(&exec, &spin_spec(10_000), &token).unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(err, ExecError::Deadline);
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "deadline observed only after {elapsed:?}"
+    );
+}
+
+/// Loadgen smoke against a live server: concurrent clients, a queue small
+/// enough to overflow, and a worker pool slow enough to shed — every
+/// request is answered (no hangs), rejections are *reported*, and the
+/// server drains cleanly on shutdown.
+#[test]
+fn loadgen_smoke_concurrent_clients_no_hangs_and_shed_is_reported() {
+    let reg = Arc::new(busy_registry());
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 2,
+        max_threads: 2,
+        default_deadline_ms: None,
+    };
+    let handle = serve(reg, config).unwrap();
+    let addr = handle.addr().to_string();
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        clients: 4,
+        requests: 10,
+        spec: spin_spec(20), // ~2 ms per job on one worker
+        deadline_ms: Some(10_000),
+    })
+    .unwrap();
+
+    // Closed loop: every sent request got an answer.
+    assert_eq!(report.sent, 40);
+    assert_eq!(
+        report.ok + report.rejected + report.deadline + report.failed,
+        report.sent
+    );
+    assert_eq!(report.failed, 0, "{report:?}");
+    assert!(report.ok > 0, "{report:?}");
+    assert!(report.throughput > 0.0);
+
+    let stats = handle.shutdown();
+    // Shed load shows up on both sides of the wire, or not at all — but is
+    // never silently dropped.
+    assert_eq!(stats.shed, report.rejected);
+    assert_eq!(stats.completed, report.ok);
+}
+
+/// Requests carrying an already-hopeless deadline come back `deadline`
+/// without tying up the worker, and the server keeps serving afterwards.
+#[test]
+fn server_answers_expired_deadlines_and_keeps_serving() {
+    let reg = Arc::new(busy_registry());
+    let handle = serve(reg, ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+
+    let hopeless = loadgen::run(&LoadgenConfig {
+        addr: addr.clone(),
+        clients: 1,
+        requests: 3,
+        spec: spin_spec(100_000), // would take ~10 s
+        deadline_ms: Some(1),
+    })
+    .unwrap();
+    assert_eq!(hopeless.deadline, 3, "{hopeless:?}");
+
+    let healthy = loadgen::run(&LoadgenConfig {
+        addr,
+        clients: 1,
+        requests: 3,
+        spec: spin_spec(1),
+        deadline_ms: Some(10_000),
+    })
+    .unwrap();
+    assert_eq!(healthy.ok, 3, "{healthy:?}");
+    handle.shutdown();
+}
