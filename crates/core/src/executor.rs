@@ -63,15 +63,41 @@ impl ExecutorBuilder {
     }
 
     /// Materializes the fork-join team and work-stealing runtime.
+    ///
+    /// Panics on an unbuildable configuration; use
+    /// [`try_build`](Self::try_build) to get an [`ExecError`] instead.
     #[must_use]
     pub fn build(self) -> Executor {
-        assert!(self.threads >= 1);
+        match self.try_build() {
+            Ok(exec) => exec,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`build`](Self::build): returns [`ExecError::BadConfig`]
+    /// when the configuration cannot produce a working executor (currently:
+    /// a zero thread count) instead of panicking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpm_core::{ExecError, Executor};
+    ///
+    /// let r = Executor::builder().threads(0).try_build();
+    /// assert!(matches!(r, Err(ExecError::BadConfig(_))));
+    /// ```
+    pub fn try_build(self) -> Result<Executor, ExecError> {
+        if self.threads == 0 {
+            return Err(ExecError::BadConfig(
+                "thread count must be at least 1".into(),
+            ));
+        }
         let pin = self.pin.unwrap_or_else(tpm_sync::affinity::pin_from_env);
-        Executor {
+        Ok(Executor {
             threads: self.threads,
             team: Team::builder().threads(self.threads).pin(pin).build(),
             ws: Runtime::builder().threads(self.threads).pin(pin).build(),
-        }
+        })
     }
 }
 
@@ -495,5 +521,98 @@ mod tests {
         let exec = Executor::new(4);
         assert_eq!(exec.base_chunk(100), 25);
         assert_eq!(exec.base_chunk(2), 1);
+    }
+
+    #[test]
+    fn zero_threads_is_bad_config_not_a_panic() {
+        match Executor::builder().threads(0).try_build() {
+            Err(ExecError::BadConfig(msg)) => assert!(msg.contains("thread count")),
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_yields_cancelled_for_every_model() {
+        let exec = Executor::new(2);
+        for model in Model::ALL {
+            let token = CancelToken::new();
+            token.cancel();
+            let r = exec.try_parallel_for(model, 0..100, &token, &|_| unreachable!());
+            assert_eq!(r, Err(ExecError::Cancelled), "{model} for");
+            let r = exec.try_parallel_reduce(
+                model,
+                0..100,
+                &token,
+                || 0u64,
+                |a, b| a + b,
+                |_, _| unreachable!(),
+            );
+            assert_eq!(r, Err(ExecError::Cancelled), "{model} reduce");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_deadline_for_every_model() {
+        let exec = Executor::new(2);
+        for model in Model::ALL {
+            let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let r = exec.try_parallel_for(model, 0..100, &token, &|_| {});
+            assert_eq!(r, Err(ExecError::Deadline), "{model} for");
+            let r = exec.try_parallel_reduce(
+                model,
+                0..100,
+                &token,
+                || 0u64,
+                |a, b| a + b,
+                |chunk, acc| *acc += chunk.len() as u64,
+            );
+            assert_eq!(r, Err(ExecError::Deadline), "{model} reduce");
+        }
+    }
+
+    #[test]
+    fn body_panic_yields_panic_error_and_executor_survives() {
+        let exec = Executor::new(2);
+        for model in Model::ALL {
+            let token = CancelToken::new();
+            let r = exec.try_parallel_for(model, 0..100, &token, &|chunk| {
+                if chunk.contains(&50) {
+                    panic!("body boom in {model}");
+                }
+            });
+            match r {
+                Err(ExecError::Panic(msg)) => {
+                    assert!(msg.contains("body boom"), "{model}: {msg}")
+                }
+                other => panic!("{model}: expected Panic, got {other:?}"),
+            }
+            // The pools stay usable after containment.
+            let hits = AtomicU64::new(0);
+            exec.parallel_for(model, 0..10, &|chunk| {
+                hits.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            });
+            assert_eq!(hits.into_inner(), 10, "{model} reuse after panic");
+        }
+    }
+
+    #[test]
+    fn reduce_body_panic_yields_panic_error_for_every_model() {
+        let exec = Executor::new(2);
+        for model in Model::ALL {
+            let r = exec.try_parallel_reduce(
+                model,
+                0..100,
+                &CancelToken::new(),
+                || 0u64,
+                |a, b| a + b,
+                |chunk, _| {
+                    if chunk.contains(&50) {
+                        panic!("reduce boom");
+                    }
+                },
+            );
+            assert!(matches!(r, Err(ExecError::Panic(_))), "{model}: got {r:?}");
+        }
     }
 }

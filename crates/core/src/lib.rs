@@ -48,7 +48,7 @@ pub mod sweep;
 pub mod timing;
 mod variant;
 
-pub use error::ExecError;
+pub use error::{panic_message, ExecError};
 pub use executor::{Executor, ExecutorBuilder};
 pub use job::{JobCtx, JobRegistry, JobResult, JobSpec};
 pub use model::{Family, Model, Pattern};

@@ -1,0 +1,605 @@
+//! Fault-plan model and its JSON representation.
+//!
+//! A [`FaultPlan`] is a seed plus a list of [`SiteRule`]s. Rules are matched
+//! against probe *hit indices* (the per-site count of times execution passed
+//! the injection point), so a plan's decisions depend only on
+//! `(seed, site, hit index)` — never on wall-clock time or thread
+//! interleaving. Replaying the same workload under the same plan fires the
+//! same faults.
+//!
+//! The serve crate's JSON parser is deliberately flat (its wire protocol is
+//! one object per line); plans are nested (an array of rule objects), so this
+//! module carries its own small recursive-descent parser that reports
+//! `line:column` on every error — both syntax errors and semantic ones like
+//! an unknown site name.
+
+use std::fmt;
+
+/// An injection point in the runtimes or the service path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Site {
+    /// A worksharing/splitting loop chunk is about to run its body
+    /// (forkjoin `ws_for` chunks, worksteal split leaves, rawthreads
+    /// sub-chunks).
+    ChunkClaim = 0,
+    /// A worker is about to probe a victim deque (worksteal `steal_work`,
+    /// forkjoin task stealing, and the worksteal worker-loop top level —
+    /// the only place a `panic` fault is honored for this site).
+    StealAttempt = 1,
+    /// A thread is about to arrive at a region barrier (forkjoin
+    /// `Ctx::barrier`).
+    BarrierEntry = 2,
+    /// A spawned task body is about to execute (forkjoin task scope,
+    /// worksteal scope spawns).
+    TaskExec = 3,
+    /// The job service is about to admit a parsed request to its queue.
+    JobAdmission = 4,
+}
+
+impl Site {
+    /// Every site, in discriminant order.
+    pub const ALL: [Site; 5] = [
+        Site::ChunkClaim,
+        Site::StealAttempt,
+        Site::BarrierEntry,
+        Site::TaskExec,
+        Site::JobAdmission,
+    ];
+
+    /// Stable kebab-case name (used in plan JSON and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::ChunkClaim => "chunk-claim",
+            Site::StealAttempt => "steal-attempt",
+            Site::BarrierEntry => "barrier-entry",
+            Site::TaskExec => "task-exec",
+            Site::JobAdmission => "job-admission",
+        }
+    }
+
+    /// Inverse of [`Site::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Site::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic at the injection point (payload starts with `"injected"`).
+    Panic,
+    /// Sleep for the rule's `delay_us` before continuing normally.
+    Delay,
+    /// Report the steal attempt as a miss (only meaningful at
+    /// [`Site::StealAttempt`]; elsewhere it is a no-op for runtimes and a
+    /// load-shed for [`Site::JobAdmission`]).
+    StealMiss,
+    /// Drop the unit of work instead of running it. Runtimes surface the
+    /// drop as a contained panic with an `"injected task-drop"` payload so
+    /// it can never silently corrupt a result.
+    TaskDrop,
+}
+
+impl FaultKind {
+    /// Every kind, in a stable order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Panic,
+        FaultKind::Delay,
+        FaultKind::StealMiss,
+        FaultKind::TaskDrop,
+    ];
+
+    /// Stable kebab-case name (used in plan JSON and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay => "delay",
+            FaultKind::StealMiss => "steal-miss",
+            FaultKind::TaskDrop => "task-drop",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injection rule: where, what, and when it triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteRule {
+    /// Injection point this rule applies to.
+    pub site: Site,
+    /// Fault raised when the rule fires.
+    pub kind: FaultKind,
+    /// Fire on exactly the `nth` probe hit at this site (1-based). When set,
+    /// `probability` is ignored — this is the fully deterministic trigger.
+    pub nth: Option<u64>,
+    /// Per-hit fire probability in `[0, 1]`, decided by a seeded hash of the
+    /// hit index (so a given `(seed, hit)` always decides the same way).
+    pub probability: f64,
+    /// Cap on how many times this rule may fire (`0` = unlimited).
+    pub max_fires: u64,
+    /// Sleep duration for [`FaultKind::Delay`], in microseconds.
+    pub delay_us: u64,
+}
+
+impl SiteRule {
+    /// A rule that fires once, on the `nth` hit of `site`.
+    pub fn nth(site: Site, kind: FaultKind, nth: u64) -> Self {
+        Self {
+            site,
+            kind,
+            nth: Some(nth.max(1)),
+            probability: 0.0,
+            max_fires: 1,
+            delay_us: 0,
+        }
+    }
+
+    /// A rule that fires with `probability` on every hit of `site`.
+    pub fn prob(site: Site, kind: FaultKind, probability: f64) -> Self {
+        Self {
+            site,
+            kind,
+            nth: None,
+            probability: probability.clamp(0.0, 1.0),
+            max_fires: 0,
+            delay_us: 0,
+        }
+    }
+}
+
+/// A complete, installable fault plan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic decisions.
+    pub seed: u64,
+    /// The injection rules; several rules may target the same site.
+    pub rules: Vec<SiteRule>,
+}
+
+impl FaultPlan {
+    /// A plan with one rule.
+    pub fn single(rule: SiteRule) -> Self {
+        Self {
+            seed: 0,
+            rules: vec![rule],
+        }
+    }
+
+    /// Serializes the plan to the same JSON shape [`FaultPlan::parse_json`]
+    /// accepts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"seed\": {}, \"rules\": [", self.seed));
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"site\": \"{}\", \"kind\": \"{}\"",
+                r.site.name(),
+                r.kind.name()
+            ));
+            if let Some(n) = r.nth {
+                out.push_str(&format!(", \"nth\": {n}"));
+            }
+            if r.probability > 0.0 {
+                out.push_str(&format!(", \"probability\": {}", r.probability));
+            }
+            if r.max_fires > 0 {
+                out.push_str(&format!(", \"max_fires\": {}", r.max_fires));
+            }
+            if r.delay_us > 0 {
+                out.push_str(&format!(", \"delay_us\": {}", r.delay_us));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a plan from JSON like:
+    ///
+    /// ```json
+    /// {
+    ///   "seed": 42,
+    ///   "rules": [
+    ///     {"site": "chunk-claim", "kind": "panic", "nth": 3},
+    ///     {"site": "steal-attempt", "kind": "steal-miss", "probability": 0.25},
+    ///     {"site": "task-exec", "kind": "delay", "probability": 0.1, "delay_us": 500}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Unknown keys, unknown site/kind names, and malformed syntax are all
+    /// rejected with the `line:column` where the problem sits.
+    pub fn parse_json(text: &str) -> Result<Self, PlanError> {
+        Parser::new(text).parse_plan()
+    }
+}
+
+/// A fault-plan parse error with its position in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Schema-directed recursive-descent JSON parser for [`FaultPlan`]. Being
+/// schema-directed (rather than parsing to a generic value tree) means every
+/// semantic error — unknown key, wrong type, bad site name — is reported at
+/// the exact token position.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, PlanError> {
+        Err(PlanError {
+            line: self.line,
+            col: self.pos - self.line_start + 1,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), PlanError> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => self.err(format!("expected '{}', found '{}'", b as char, c as char)),
+            None => self.err(format!("expected '{}', found end of input", b as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, PlanError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(other) => {
+                            return self.err(format!("unsupported escape '\\{}'", other as char));
+                        }
+                        None => return self.err("unterminated string"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b'\n') | None => return self.err("unterminated string"),
+                Some(b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, PlanError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return self.err("expected a number");
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(v) => Ok(v),
+            Err(_) => self.err(format!("invalid number '{text}'")),
+        }
+    }
+
+    fn parse_u64(&mut self, what: &str) -> Result<u64, PlanError> {
+        let v = self.parse_number()?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return self.err(format!("{what} must be a non-negative integer"));
+        }
+        Ok(v as u64)
+    }
+
+    fn parse_plan(&mut self) -> Result<FaultPlan, PlanError> {
+        let mut plan = FaultPlan::default();
+        let mut saw_rules = false;
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                let key = self.parse_string()?;
+                self.expect(b':')?;
+                match key.as_str() {
+                    "seed" => plan.seed = self.parse_u64("seed")?,
+                    "rules" => {
+                        saw_rules = true;
+                        plan.rules = self.parse_rules()?;
+                    }
+                    other => return self.err(format!("unknown plan key \"{other}\"")),
+                }
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return self.err("expected ',' or '}' in plan object"),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.err("trailing characters after plan object");
+        }
+        if !saw_rules {
+            return self.err("plan is missing the \"rules\" array");
+        }
+        Ok(plan)
+    }
+
+    fn parse_rules(&mut self) -> Result<Vec<SiteRule>, PlanError> {
+        let mut rules = Vec::new();
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(rules);
+        }
+        loop {
+            rules.push(self.parse_rule()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(rules);
+                }
+                _ => return self.err("expected ',' or ']' in rules array"),
+            }
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<SiteRule, PlanError> {
+        let mut site = None;
+        let mut kind = None;
+        let mut nth = None;
+        let mut probability = 0.0f64;
+        let mut max_fires = 0u64;
+        let mut delay_us = 0u64;
+        self.expect(b'{')?;
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "site" => {
+                    let name = self.parse_string()?;
+                    site = Some(match Site::from_name(&name) {
+                        Some(s) => s,
+                        None => return self.err(format!("unknown site \"{name}\"")),
+                    });
+                }
+                "kind" => {
+                    let name = self.parse_string()?;
+                    kind = Some(match FaultKind::from_name(&name) {
+                        Some(k) => k,
+                        None => return self.err(format!("unknown fault kind \"{name}\"")),
+                    });
+                }
+                "nth" => {
+                    let n = self.parse_u64("nth")?;
+                    if n == 0 {
+                        return self.err("nth is 1-based and must be >= 1");
+                    }
+                    nth = Some(n);
+                }
+                "probability" => {
+                    let p = self.parse_number()?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return self.err("probability must be within [0, 1]");
+                    }
+                    probability = p;
+                }
+                "max_fires" => max_fires = self.parse_u64("max_fires")?,
+                "delay_us" => delay_us = self.parse_u64("delay_us")?,
+                other => return self.err(format!("unknown rule key \"{other}\"")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.err("expected ',' or '}' in rule object"),
+            }
+        }
+        let Some(site) = site else {
+            return self.err("rule is missing \"site\"");
+        };
+        let Some(kind) = kind else {
+            return self.err("rule is missing \"kind\"");
+        };
+        if nth.is_none() && probability == 0.0 {
+            return self.err("rule needs \"nth\" or a non-zero \"probability\" to ever fire");
+        }
+        Ok(SiteRule {
+            site,
+            kind,
+            nth,
+            probability,
+            max_fires,
+            delay_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_and_kind_names_round_trip() {
+        for s in Site::ALL {
+            assert_eq!(Site::from_name(s.name()), Some(s));
+        }
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(Site::from_name("nope"), None);
+        assert_eq!(FaultKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn parses_a_full_plan() {
+        let text = r#"{
+  "seed": 42,
+  "rules": [
+    {"site": "chunk-claim", "kind": "panic", "nth": 3},
+    {"site": "steal-attempt", "kind": "steal-miss", "probability": 0.25, "max_fires": 10},
+    {"site": "task-exec", "kind": "delay", "probability": 0.1, "delay_us": 500}
+  ]
+}"#;
+        let plan = FaultPlan::parse_json(text).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(plan.rules[0].site, Site::ChunkClaim);
+        assert_eq!(plan.rules[0].nth, Some(3));
+        assert_eq!(plan.rules[1].probability, 0.25);
+        assert_eq!(plan.rules[1].max_fires, 10);
+        assert_eq!(plan.rules[2].delay_us, 500);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let plan = FaultPlan {
+            seed: 7,
+            rules: vec![
+                SiteRule::nth(Site::BarrierEntry, FaultKind::Panic, 2),
+                SiteRule::prob(Site::StealAttempt, FaultKind::Delay, 0.5),
+            ],
+        };
+        let round = FaultPlan::parse_json(&plan.to_json()).unwrap();
+        assert_eq!(round, plan);
+    }
+
+    #[test]
+    fn unknown_site_reports_position() {
+        let text = "{\"seed\": 1,\n  \"rules\": [{\"site\": \"warp-core\", \"kind\": \"panic\", \"nth\": 1}]}";
+        let err = FaultPlan::parse_json(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("warp-core"), "{err}");
+    }
+
+    #[test]
+    fn syntax_error_reports_line_and_col() {
+        let err = FaultPlan::parse_json("{\n\"rules\": [}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.col > 1);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(FaultPlan::parse_json("{\"rules\": [], \"extra\": 1}")
+            .unwrap_err()
+            .message
+            .contains("unknown plan key"));
+        let never = "{\"rules\": [{\"site\": \"chunk-claim\", \"kind\": \"panic\"}]}";
+        assert!(FaultPlan::parse_json(never)
+            .unwrap_err()
+            .message
+            .contains("to ever fire"));
+        let zeroth = "{\"rules\": [{\"site\": \"chunk-claim\", \"kind\": \"panic\", \"nth\": 0}]}";
+        assert!(FaultPlan::parse_json(zeroth)
+            .unwrap_err()
+            .message
+            .contains("1-based"));
+        let badp =
+            "{\"rules\": [{\"site\": \"chunk-claim\", \"kind\": \"panic\", \"probability\": 1.5}]}";
+        assert!(FaultPlan::parse_json(badp)
+            .unwrap_err()
+            .message
+            .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn missing_rules_is_an_error() {
+        let err = FaultPlan::parse_json("{\"seed\": 1}").unwrap_err();
+        assert!(err.message.contains("rules"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let err = FaultPlan::parse_json("{\"rules\": []} x").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+}

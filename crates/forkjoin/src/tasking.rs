@@ -70,7 +70,21 @@ impl<'c, 'a> TaskScope<'c, 'a> {
             // Capture the whole SendPtr, not the raw pointer field (2021
             // disjoint capture would otherwise defeat the Send wrapper).
             let latch = latch;
-            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+            // Injected task faults run inside this containment layer, so the
+            // latch below always completes: a dropped task surfaces as a
+            // contained panic (observable, never silent), not a hang.
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                match tpm_fault::probe(tpm_fault::Site::TaskExec) {
+                    tpm_fault::Action::Panic => {
+                        tpm_fault::injected_panic(tpm_fault::Site::TaskExec)
+                    }
+                    tpm_fault::Action::TaskDrop => {
+                        tpm_fault::injected_drop(tpm_fault::Site::TaskExec)
+                    }
+                    _ => {}
+                }
+                f(ctx)
+            })) {
                 ctx.store_region_panic(p);
             }
             // SAFETY: the scope (and its latch) cannot be dropped until this

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use tpm_fault::{Action as FaultAction, Site as FaultSite};
 use tpm_sync::{
     Barrier, CancelReason, CancelToken, Condvar, CountLatch, LockedDeque, Mutex, Reducer,
     SchedulerStats, SpinLock,
@@ -170,6 +171,20 @@ impl Region {
     fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
         self.panic.lock().take()
     }
+
+    /// A thread's region body panicked past every containment layer: it
+    /// will never participate in another phase of this region. Resign it
+    /// from the barrier so the survivors' phases complete at reduced width
+    /// instead of deadlocking, and record the death in the trace.
+    fn desert(&self, tid: usize) {
+        tpm_trace::record(tpm_trace::EventKind::WorkerDeath, tid as u64, 0);
+        self.barrier.leave();
+        tpm_trace::record(
+            tpm_trace::EventKind::DegradedWidth,
+            self.barrier.num_threads() as u64,
+            0,
+        );
+    }
 }
 
 /// The per-thread view of an executing parallel region (OpenMP's implicit
@@ -225,6 +240,14 @@ impl<'a> Ctx<'a> {
     /// and `barrier_wait_ns` counters, and (when tracing is live) records a
     /// [`tpm_trace::EventKind::BarrierArrive`]/`BarrierRelease` pair.
     pub fn barrier(&self) {
+        // Injected barrier-entry faults exercise the desertion path: the
+        // panic unwinds out of the region body, and `Region::desert` repairs
+        // the barrier so siblings are not stranded.
+        match tpm_fault::probe(FaultSite::BarrierEntry) {
+            FaultAction::Panic => tpm_fault::injected_panic(FaultSite::BarrierEntry),
+            FaultAction::TaskDrop => tpm_fault::injected_drop(FaultSite::BarrierEntry),
+            _ => {}
+        }
         tpm_trace::record(tpm_trace::EventKind::BarrierArrive, 0, 0);
         let start = std::time::Instant::now();
         self.region.barrier.wait();
@@ -258,6 +281,21 @@ impl<'a> Ctx<'a> {
         let guarded = |c: Range<usize>| -> bool {
             if self.region.poisoned() || self.is_cancelled() {
                 return false;
+            }
+            match tpm_fault::probe(FaultSite::ChunkClaim) {
+                // Unwinds out of the region body; `Region::desert` repairs
+                // the barrier and the panic surfaces as ExecError::Panic.
+                FaultAction::Panic => tpm_fault::injected_panic(FaultSite::ChunkClaim),
+                FaultAction::TaskDrop => {
+                    // Dropping a chunk silently would corrupt the result:
+                    // poison the region so the drop is observable.
+                    self.region.store_panic(Box::new(format!(
+                        "injected task-drop at {}",
+                        FaultSite::ChunkClaim
+                    )));
+                    return false;
+                }
+                _ => {}
             }
             self.stats().chunks.inc();
             tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, c.len() as u64, 0);
@@ -499,6 +537,13 @@ impl<'a> Ctx<'a> {
                 if v == self.tid {
                     continue;
                 }
+                // Task-steal probes may not unwind (the caller can be a
+                // latch-wait loop); panics are downgraded to misses.
+                if tpm_fault::probe_no_panic(FaultSite::StealAttempt) != FaultAction::None {
+                    self.stats().failed_steals.inc();
+                    tpm_trace::record(tpm_trace::EventKind::FailedSteal, v as u64, 0);
+                    continue;
+                }
                 if let Some(t) = self.region.deques[v].steal_top() {
                     self.stats().steals.inc();
                     tpm_trace::record(tpm_trace::EventKind::Steal, v as u64, 0);
@@ -693,6 +738,7 @@ impl Team {
                 let ctx = Ctx::new(&self.inner, &region, tid);
                 if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
                     region.store_panic(p);
+                    region.desert(tid);
                 }
             }
         };
@@ -1039,6 +1085,59 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.into_inner(), 2);
+    }
+
+    #[test]
+    fn panic_before_barrier_does_not_deadlock_region() {
+        // Regression: a thread panicking *before* it arrives at a barrier
+        // used to strand its siblings in `Barrier::wait` forever (the panic
+        // was recorded, but the barrier still expected its arrival).
+        // `Region::desert` resigns the dead thread so survivors' phases
+        // complete at reduced width.
+        let team = Team::new(4);
+        let survivors = AtomicU64::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            team.parallel(|ctx| {
+                if ctx.thread_num() == 1 {
+                    panic!("dies before the barrier");
+                }
+                ctx.barrier();
+                ctx.barrier();
+                survivors.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(survivors.into_inner(), 3, "survivors finish the region");
+        // The team is reusable at full width afterwards.
+        let hits = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+        });
+        assert_eq!(hits.into_inner(), 4);
+    }
+
+    #[test]
+    fn panic_outside_loop_does_not_strand_ws_siblings() {
+        // Same desertion path, but the survivors are inside a worksharing
+        // loop's implicit trailing barrier when the death happens.
+        let team = Team::new(3);
+        let done = AtomicU64::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            team.parallel(|ctx| {
+                if ctx.thread_num() == 2 {
+                    panic!("dies without ever joining the loop");
+                }
+                ctx.ws_for(Schedule::Dynamic { chunk: 8 }, 0..100, |_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(r.is_err());
+        // Fail-fast semantics: once the region is poisoned, survivors skip
+        // remaining chunks — the point is that they *return* (no deadlock),
+        // not that they finish the loop.
+        assert!(done.into_inner() <= 100);
     }
 
     #[test]

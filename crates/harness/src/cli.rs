@@ -21,12 +21,19 @@ pub const USAGE: &str = "usage: tpm-harness <experiment> [kernel] [--native] [--
 [--reps N] [--scale S] [--trace out.json] [--json-out bench.json] [--pin] \
 [--kernel-variant reference|optimized] [service flags]
 experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate profile
-             serve loadgen
+             serve loadgen chaos
   profile [kernel]   run one kernel (sum|axpy|fib) under every model and
                      print side-by-side scheduler-event summaries
   serve              run the cancellable job server (JSON lines over TCP)
   loadgen [job]      drive a running server closed-loop and report
                      throughput + p50/p99 latency (default job: sum)
+  chaos              run the fault-injection matrix (seeded plans x all six
+                     models) and verify containment, recovery and replay;
+                     needs a build with --features inject
+  --fault-plan f.json install a fault plan (tpm-fault JSON) for the run;
+                     malformed plans are reported with file:line:column and
+                     exit 2. Probes are compiled out without --features
+                     inject (the flag then warns and is ignored)
   --trace out.json   capture a scheduler trace of the run and write
                      Chrome-trace JSON loadable in Perfetto
   --json-out f.json  write machine-readable per-kernel/per-model results
@@ -62,6 +69,8 @@ pub struct CommonOpts {
     pub json_out: Option<PathBuf>,
     /// Pin runtime worker threads to cores (sets `TPM_PIN=1`).
     pub pin: bool,
+    /// Install the fault plan at this path (tpm-fault JSON) for the run.
+    pub fault_plan: Option<PathBuf>,
 }
 
 /// Knobs shared by the `serve` and `loadgen` subcommands.
@@ -166,6 +175,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 common.json_out = Some(PathBuf::from(v));
             }
             "--pin" => common.pin = true,
+            "--fault-plan" => {
+                let v = flag_value(args, &mut i, "--fault-plan")?;
+                common.fault_plan = Some(PathBuf::from(v));
+            }
             "--kernel-variant" => {
                 let v = flag_value(args, &mut i, "--kernel-variant")?;
                 common.cfg.variant = tpm_core::KernelVariant::parse(v).ok_or_else(|| {
@@ -362,6 +375,20 @@ mod tests {
             .unwrap_err()
             .contains("--clients"));
         assert!(p(&["serve", "--workers"])
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn parses_fault_plan_path() {
+        let cli = p(&["chaos", "--fault-plan", "plan.json"]).unwrap();
+        assert_eq!(cli.experiment, "chaos");
+        assert_eq!(
+            cli.common.fault_plan.as_deref(),
+            Some(std::path::Path::new("plan.json"))
+        );
+        assert!(p(&["chaos"]).unwrap().common.fault_plan.is_none());
+        assert!(p(&["chaos", "--fault-plan"])
             .unwrap_err()
             .contains("requires a value"));
     }

@@ -16,6 +16,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod calibrate;
+pub mod chaos;
 pub mod cli;
 pub mod experiments;
 pub mod jobs;

@@ -3,7 +3,7 @@
 use tpm_harness::cli::{self, Cli};
 use tpm_harness::experiments::{self, check_claims};
 use tpm_harness::native::{self, NativeConfig};
-use tpm_harness::{profile, service};
+use tpm_harness::{chaos, profile, service};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,11 +15,36 @@ fn main() {
             std::process::exit(2);
         }
     };
-    std::process::exit(run(&cli));
+
+    // Load the fault plan before any work: a malformed plan is a usage
+    // error (exit 2) reported with its file:line:column, not a late panic.
+    let fault_plan = match cli.common.fault_plan.as_deref().map(chaos::load_plan) {
+        None => None,
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    if fault_plan.is_some() && !tpm_fault::compiled_in() {
+        eprintln!(
+            "warning: --fault-plan ignored: fault probes are compiled out \
+             (rebuild with --features inject)"
+        );
+    }
+    // The `chaos` subcommand installs plans round-by-round itself; every
+    // other experiment runs under the plan for its whole duration.
+    let _session = match (&cli.experiment[..], fault_plan.as_ref()) {
+        ("chaos", _) => None,
+        (_, Some(plan)) if tpm_fault::compiled_in() => Some(tpm_fault::FaultSession::install(plan)),
+        _ => None,
+    };
+
+    std::process::exit(run(&cli, fault_plan));
 }
 
 /// Runs the selected experiment; returns the process exit code.
-fn run(cli: &Cli) -> i32 {
+fn run(cli: &Cli, fault_plan: Option<tpm_fault::FaultPlan>) -> i32 {
     let Cli {
         experiment,
         kernel,
@@ -32,6 +57,7 @@ fn run(cli: &Cli) -> i32 {
         trace,
         json_out,
         pin,
+        fault_plan: _, // consumed in main(); the session is already live
     } = common;
 
     if *pin {
@@ -178,6 +204,10 @@ fn run(cli: &Cli) -> i32 {
                     2
                 }
             }
+        }
+        "chaos" => {
+            let threads = cfg.threads.iter().copied().max().unwrap_or(4);
+            chaos::run(fault_plan, threads)
         }
         "serve" => service::run_serve(service),
         "loadgen" => {

@@ -77,6 +77,13 @@ where
         return;
     }
     if range.len() <= base {
+        // Leaf claim: an injected panic unwinds through the split scopes
+        // below (each re-raises the original payload) up to the executor.
+        match tpm_fault::probe(tpm_fault::Site::ChunkClaim) {
+            tpm_fault::Action::Panic => tpm_fault::injected_panic(tpm_fault::Site::ChunkClaim),
+            tpm_fault::Action::TaskDrop => tpm_fault::injected_drop(tpm_fault::Site::ChunkClaim),
+            _ => {}
+        }
         body(range);
         return;
     }
@@ -85,7 +92,9 @@ where
     std::thread::scope(|s| {
         let h = s.spawn(move || recursive_for_cancel_inner(left, base, token, body));
         recursive_for_cancel_inner(right, base, token, body);
-        h.join().expect("recursive_for worker panicked");
+        if let Err(e) = h.join() {
+            std::panic::resume_unwind(e);
+        }
     });
 }
 

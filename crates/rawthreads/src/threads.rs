@@ -38,27 +38,59 @@ where
     let pin = tpm_sync::affinity::pin_from_env();
     let mut spawned = 0u64;
     std::thread::scope(|s| {
-        for tid in 0..num_threads {
-            let chunk = block_chunk(range.clone(), tid, num_threads);
-            if chunk.is_empty() {
-                continue;
+        let handles: Vec<_> = (0..num_threads)
+            .filter_map(|tid| {
+                let chunk = block_chunk(range.clone(), tid, num_threads);
+                if chunk.is_empty() {
+                    return None;
+                }
+                tpm_trace::record(tpm_trace::EventKind::ThreadSpawn, tid as u64, 0);
+                spawned += 1;
+                let body = &body;
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("tpm-rawthreads-{tid}"))
+                        .spawn_scoped(s, move || {
+                            if pin {
+                                tpm_sync::affinity::pin_current_thread(tid);
+                            }
+                            // An injected panic unwinds this thread; the
+                            // explicit joins below re-raise it with the
+                            // original payload on the caller.
+                            match tpm_fault::probe(tpm_fault::Site::ChunkClaim) {
+                                tpm_fault::Action::Panic => {
+                                    tpm_fault::injected_panic(tpm_fault::Site::ChunkClaim)
+                                }
+                                tpm_fault::Action::TaskDrop => {
+                                    tpm_fault::injected_drop(tpm_fault::Site::ChunkClaim)
+                                }
+                                _ => {}
+                            }
+                            tpm_trace::record(
+                                tpm_trace::EventKind::ChunkDispatch,
+                                chunk.len() as u64,
+                                0,
+                            );
+                            body(tid, chunk)
+                        })
+                        .expect("failed to spawn region thread"),
+                )
+            })
+            .collect();
+        // Join explicitly (rather than letting the scope do it) so the first
+        // panicking thread's payload is preserved for the caller — the scope
+        // would replace it with its own generic message. Every remaining
+        // thread is joined before re-raising.
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                first_panic.get_or_insert(p);
             }
-            tpm_trace::record(tpm_trace::EventKind::ThreadSpawn, tid as u64, 0);
-            spawned += 1;
-            let body = &body;
-            std::thread::Builder::new()
-                .name(format!("tpm-rawthreads-{tid}"))
-                .spawn_scoped(s, move || {
-                    if pin {
-                        tpm_sync::affinity::pin_current_thread(tid);
-                    }
-                    tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, chunk.len() as u64, 0);
-                    body(tid, chunk)
-                })
-                .expect("failed to spawn region thread");
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
         }
     });
-    // The scope exit joined every thread of the region.
     tpm_trace::record(tpm_trace::EventKind::ThreadJoin, spawned, 0);
 }
 
@@ -98,6 +130,13 @@ where
                 return;
             }
             let end = (start + piece).min(chunk.end);
+            match tpm_fault::probe(tpm_fault::Site::ChunkClaim) {
+                tpm_fault::Action::Panic => tpm_fault::injected_panic(tpm_fault::Site::ChunkClaim),
+                tpm_fault::Action::TaskDrop => {
+                    tpm_fault::injected_drop(tpm_fault::Site::ChunkClaim)
+                }
+                _ => {}
+            }
             body(tid, start..end);
             start = end;
         }
@@ -152,7 +191,12 @@ where
         handles
             .into_iter()
             .map(|h| {
-                let partial = h.join().expect("worker thread panicked");
+                // Re-raise with the original payload (not a fresh expect
+                // message) so callers can classify injected faults.
+                let partial = match h.join() {
+                    Ok(p) => p,
+                    Err(e) => std::panic::resume_unwind(e),
+                };
                 tpm_trace::record(tpm_trace::EventKind::ThreadJoin, 1, 0);
                 partial
             })

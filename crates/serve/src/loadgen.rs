@@ -7,6 +7,15 @@
 //! (including `overloaded` rejections: shed load is *reported*, never
 //! dropped) and round-trip latencies aggregate into throughput and
 //! p50/p99 quantiles.
+//!
+//! Failure classes are kept separate so a driver can tell an environment
+//! problem from a server decision: `connect_refused` (the server was not
+//! there, even after retries), `timed_out` (a socket deadline fired
+//! mid-conversation), `rejected` (the server shed the request at admission),
+//! `deadline` (the job's own budget expired), and `failed` (anything else).
+//! Connects retry with exponential backoff and deterministic seeded jitter,
+//! so a load run that races server startup doesn't abort on the first
+//! `ECONNREFUSED`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -29,6 +38,30 @@ pub struct LoadgenConfig {
     pub spec: JobSpec,
     /// Per-request deadline forwarded to the server.
     pub deadline_ms: Option<u64>,
+    /// Connection attempts per client before giving up (≥ 1). Retries use
+    /// exponential backoff with seeded jitter.
+    pub connect_retries: u32,
+    /// Base backoff before the second connect attempt, in milliseconds;
+    /// doubles per attempt (plus up to 50% jitter).
+    pub retry_base_ms: u64,
+    /// Seed for the retry jitter — same seed, same backoff schedule.
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// A config with the retry policy defaulted (5 attempts, 10 ms base).
+    pub fn new(addr: String, clients: usize, requests: usize, spec: JobSpec) -> Self {
+        Self {
+            addr,
+            clients,
+            requests,
+            spec,
+            deadline_ms: None,
+            connect_retries: 5,
+            retry_base_ms: 10,
+            seed: 0x10ad_6e11,
+        }
+    }
 }
 
 /// Aggregated outcome of one load-generation run.
@@ -44,6 +77,11 @@ pub struct LoadgenReport {
     pub deadline: u64,
     /// Replies with any other error code.
     pub failed: u64,
+    /// Clients that never got a connection (after all retries), or whose
+    /// connection was refused mid-run.
+    pub connect_refused: u64,
+    /// Socket timeouts observed mid-conversation.
+    pub timed_out: u64,
     /// Wall-clock duration of the whole run, milliseconds.
     pub wall_ms: f64,
     /// Answered requests (any outcome) per second of wall time.
@@ -64,6 +102,7 @@ impl LoadgenReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"sent\":{},\"ok\":{},\"rejected\":{},\"deadline\":{},\"failed\":{},\
+             \"connect_refused\":{},\"timed_out\":{},\
              \"wall_ms\":{},\"throughput_rps\":{},\"p50_ms\":{},\"p99_ms\":{},\
              \"mean_ms\":{},\"max_ms\":{}}}",
             self.sent,
@@ -71,6 +110,8 @@ impl LoadgenReport {
             self.rejected,
             self.deadline,
             self.failed,
+            self.connect_refused,
+            self.timed_out,
             crate::json::num(self.wall_ms),
             crate::json::num(self.throughput),
             crate::json::num(self.p50_ms),
@@ -78,6 +119,14 @@ impl LoadgenReport {
             crate::json::num(self.mean_ms),
             crate::json::num(self.max_ms),
         )
+    }
+
+    /// Whether the run saw any outcome a driver should treat as unexpected:
+    /// environment failures (refused connects, socket timeouts) or
+    /// non-protocol errors. Server-side shedding (`rejected`) and job
+    /// deadlines are *expected* classes under overload and don't count.
+    pub fn has_unexpected_failures(&self) -> bool {
+        self.failed > 0 || self.connect_refused > 0 || self.timed_out > 0
     }
 }
 
@@ -89,13 +138,58 @@ struct ClientTally {
     rejected: u64,
     deadline: u64,
     failed: u64,
+    connect_refused: u64,
+    timed_out: u64,
     latencies: Vec<Duration>,
 }
 
+/// SplitMix64 finalizer — the same deterministic hash `tpm-fault` uses, here
+/// driving retry jitter so backoff schedules replay under a fixed seed.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Connects with exponential backoff: attempt `a` (from 1) sleeps
+/// `base × 2^(a−1)` plus up to 50% deterministic jitter before retrying.
+fn connect_with_retry(config: &LoadgenConfig, client: usize) -> std::io::Result<TcpStream> {
+    let attempts = config.connect_retries.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match TcpStream::connect(&config.addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt + 1 < attempts {
+            let backoff = config.retry_base_ms.saturating_mul(1 << attempt.min(16));
+            let jitter = mix(config.seed ^ ((client as u64) << 32) ^ u64::from(attempt))
+                % (backoff / 2).max(1);
+            std::thread::sleep(Duration::from_millis(backoff + jitter));
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
+}
+
+/// Buckets a mid-run IO error into the report's failure classes.
+fn classify_io_error(e: &std::io::Error, tally: &mut ClientTally) {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::ConnectionRefused => tally.connect_refused += 1,
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => tally.timed_out += 1,
+        _ => tally.failed += 1,
+    }
+}
+
 /// Runs the closed loop and aggregates every client's outcomes.
+///
+/// IO failures no longer abort the run: they are classified into the
+/// report's `connect_refused` / `timed_out` / `failed` counters (the
+/// `io::Result` return is kept for API stability and is always `Ok`).
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let started = Instant::now();
-    let tallies: Vec<std::io::Result<ClientTally>> = std::thread::scope(|s| {
+    let tallies: Vec<ClientTally> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..config.clients.max(1))
             .map(|c| s.spawn(move || client_loop(config, c)))
             .collect();
@@ -107,13 +201,14 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let wall = started.elapsed();
 
     let mut total = ClientTally::default();
-    for tally in tallies {
-        let t = tally?;
+    for t in tallies {
         total.sent += t.sent;
         total.ok += t.ok;
         total.rejected += t.rejected;
         total.deadline += t.deadline;
         total.failed += t.failed;
+        total.connect_refused += t.connect_refused;
+        total.timed_out += t.timed_out;
         total.latencies.extend(t.latencies);
     }
     total.latencies.sort_unstable();
@@ -133,6 +228,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         rejected: total.rejected,
         deadline: total.deadline,
         failed: total.failed,
+        connect_refused: total.connect_refused,
+        timed_out: total.timed_out,
         wall_ms: ms(wall),
         throughput: answered as f64 / wall_s,
         p50_ms: quantile(0.50),
@@ -146,23 +243,50 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     })
 }
 
-fn client_loop(config: &LoadgenConfig, client: usize) -> std::io::Result<ClientTally> {
-    let stream = TcpStream::connect(&config.addr)?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+fn client_loop(config: &LoadgenConfig, client: usize) -> ClientTally {
     let mut tally = ClientTally::default();
+    let stream = match connect_with_retry(config, client) {
+        Ok(s) => s,
+        Err(e) => {
+            classify_io_error(&e, &mut tally);
+            // A non-refused connect failure (unroutable address, …) still
+            // counts once — in `failed` via the classifier above.
+            return tally;
+        }
+    };
+    if stream.set_nodelay(true).is_err() {
+        tally.failed += 1;
+        return tally;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            classify_io_error(&e, &mut tally);
+            return tally;
+        }
+    };
+    let mut reader = BufReader::new(stream);
     let mut line = String::new();
     for r in 0..config.requests {
         let id = (client * config.requests + r) as u64;
         let request = Request::run_line(id, &config.spec, config.deadline_ms);
         let sent_at = Instant::now();
-        writer.write_all(request.as_bytes())?;
-        writer.write_all(b"\n")?;
+        if let Err(e) = writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+        {
+            classify_io_error(&e, &mut tally);
+            break;
+        }
         tally.sent += 1;
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break; // server closed mid-run; report what we have
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // server closed mid-run; report what we have
+            Ok(_) => {}
+            Err(e) => {
+                classify_io_error(&e, &mut tally);
+                break;
+            }
         }
         tally.latencies.push(sent_at.elapsed());
         match Response::parse(line.trim()) {
@@ -176,5 +300,5 @@ fn client_loop(config: &LoadgenConfig, client: usize) -> std::io::Result<ClientT
             _ => tally.failed += 1,
         }
     }
-    Ok(tally)
+    tally
 }

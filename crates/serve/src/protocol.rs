@@ -33,6 +33,8 @@ pub enum Request {
     },
     /// Liveness probe; replies `{"ok":true,"pong":true}`.
     Ping,
+    /// Health probe; replies worker liveness and queue depth.
+    Health,
     /// Stop accepting work, drain the queue, exit.
     Shutdown,
 }
@@ -45,6 +47,7 @@ impl Request {
             return match cmd.as_str() {
                 Some("shutdown") => Ok(Request::Shutdown),
                 Some("ping") => Ok(Request::Ping),
+                Some("health") => Ok(Request::Health),
                 _ => Err(format!("unknown cmd {cmd:?}")),
             };
         }
@@ -136,6 +139,17 @@ pub enum Response {
     },
     /// Reply to `ping`.
     Pong,
+    /// Reply to `health`: worker liveness and load, for monitoring.
+    Health {
+        /// Workers currently able to take jobs.
+        live_workers: u64,
+        /// Worker-death incidents observed (each healed by a respawn).
+        dead_workers: u64,
+        /// Jobs waiting in the admission queue right now.
+        queue_depth: u64,
+        /// Jobs currently executing on a worker.
+        inflight: u64,
+    },
     /// Reply to `shutdown`: the server stops accepting and drains.
     ShuttingDown,
 }
@@ -144,6 +158,9 @@ pub enum Response {
 pub const CODE_PARSE: &str = "parse";
 /// Error code for admission-queue overflow (load shedding).
 pub const CODE_OVERLOADED: &str = "overloaded";
+/// Error code for failures injected by an active fault plan (`tpm-fault`):
+/// distinguishable from organic `panic` so chaos runs can tell them apart.
+pub const CODE_INJECTED: &str = "injected";
 
 /// Maps an execution error to its stable wire code.
 pub fn exec_code(e: &ExecError) -> &'static str {
@@ -179,6 +196,16 @@ impl Response {
                 )
             }
             Response::Pong => "{\"ok\":true,\"pong\":true}".to_string(),
+            Response::Health {
+                live_workers,
+                dead_workers,
+                queue_depth,
+                inflight,
+            } => format!(
+                "{{\"ok\":true,\"health\":true,\"live_workers\":{live_workers},\
+                 \"dead_workers\":{dead_workers},\"queue_depth\":{queue_depth},\
+                 \"inflight\":{inflight}}}"
+            ),
             Response::ShuttingDown => "{\"ok\":true,\"shutdown\":true}".to_string(),
         }
     }
@@ -193,6 +220,15 @@ impl Response {
         if ok {
             if map.contains_key("pong") {
                 return Ok(Response::Pong);
+            }
+            if map.contains_key("health") {
+                let field = |name: &str| map.get(name).and_then(Json::as_u64).unwrap_or(0);
+                return Ok(Response::Health {
+                    live_workers: field("live_workers"),
+                    dead_workers: field("dead_workers"),
+                    queue_depth: field("queue_depth"),
+                    inflight: field("inflight"),
+                });
             }
             if map.contains_key("shutdown") {
                 return Ok(Response::ShuttingDown);
@@ -214,6 +250,7 @@ impl Response {
                 Some("deadline") => "deadline",
                 Some("cancelled") => "cancelled",
                 Some("panic") => "panic",
+                Some("injected") => CODE_INJECTED,
                 other => return Err(format!("unknown error code {other:?}")),
             };
             Ok(Response::Error {
@@ -276,6 +313,7 @@ mod tests {
             Ok(Request::Shutdown)
         );
         assert_eq!(Request::parse(r#"{"cmd":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(Request::parse(r#"{"cmd":"health"}"#), Ok(Request::Health));
         assert!(Request::parse(r#"{"cmd":"reboot"}"#).is_err());
     }
 
@@ -312,7 +350,18 @@ mod tests {
                 code: CODE_PARSE,
                 message: "bad line".to_string(),
             },
+            Response::Error {
+                id: Some(7),
+                code: CODE_INJECTED,
+                message: "injected panic at job-admission".to_string(),
+            },
             Response::Pong,
+            Response::Health {
+                live_workers: 2,
+                dead_workers: 1,
+                queue_depth: 3,
+                inflight: 2,
+            },
             Response::ShuttingDown,
         ] {
             assert_eq!(Response::parse(&r.to_line()), Ok(r.clone()), "{r:?}");

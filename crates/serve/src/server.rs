@@ -23,15 +23,16 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tpm_core::{Executor, JobRegistry, JobSpec};
+use tpm_core::{panic_message, Executor, JobRegistry, JobSpec};
 use tpm_sync::CancelToken;
 
-use crate::protocol::{Request, Response, CODE_OVERLOADED, CODE_PARSE};
+use crate::protocol::{Request, Response, CODE_INJECTED, CODE_OVERLOADED, CODE_PARSE};
 use crate::queue::BoundedQueue;
 
 /// Tuning knobs for [`serve`].
@@ -49,6 +50,13 @@ pub struct ServerConfig {
     pub max_threads: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Watchdog grace factor: a job still executing after `grace ×` its
+    /// deadline budget is cancelled and answered `deadline` by the watchdog
+    /// (the runtimes normally observe the token themselves well before this;
+    /// the watchdog is the backstop for a wedged or fault-injected job).
+    pub deadline_grace: f64,
+    /// How often the watchdog scans in-flight jobs, in milliseconds.
+    pub watchdog_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +67,8 @@ impl Default for ServerConfig {
             queue_capacity: 32,
             max_threads: 8,
             default_deadline_ms: None,
+            deadline_grace: 2.0,
+            watchdog_interval_ms: 20,
         }
     }
 }
@@ -70,6 +80,7 @@ pub struct ServeStats {
     completed: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
+    watchdog_shed: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeStats`].
@@ -83,6 +94,9 @@ pub struct StatsSnapshot {
     pub failed: u64,
     /// Requests refused `overloaded` at admission.
     pub shed: u64,
+    /// Jobs the watchdog cancelled after they overran their deadline by the
+    /// grace factor.
+    pub watchdog_shed: u64,
 }
 
 impl ServeStats {
@@ -92,6 +106,7 @@ impl ServeStats {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            watchdog_shed: self.watchdog_shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -102,6 +117,23 @@ struct WorkItem {
     token: CancelToken,
     reply: mpsc::Sender<String>,
     enqueued: Instant,
+    /// The deadline budget (queue wait + execution) used to compute the
+    /// watchdog's hard-kill point; `None` when the request has no deadline.
+    deadline_budget: Option<Duration>,
+    /// Set by whichever side answers first (worker or watchdog) — every
+    /// request gets exactly one reply.
+    replied: Arc<AtomicBool>,
+}
+
+/// One executing job, as the watchdog sees it.
+struct Inflight {
+    id: u64,
+    token: CancelToken,
+    reply: mpsc::Sender<String>,
+    replied: Arc<AtomicBool>,
+    /// When the watchdog gives up on the job: deadline + (grace − 1) ×
+    /// budget. `None` (no deadline) means the watchdog never intervenes.
+    kill_at: Option<Instant>,
 }
 
 struct Shared {
@@ -111,6 +143,12 @@ struct Shared {
     shutdown: AtomicBool,
     stats: ServeStats,
     addr: SocketAddr,
+    /// Jobs currently executing, keyed by a server-global sequence number
+    /// (client ids are only unique per connection).
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    seq: AtomicU64,
+    live_workers: AtomicUsize,
+    dead_workers: AtomicU64,
 }
 
 impl Shared {
@@ -134,6 +172,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -157,6 +196,16 @@ impl ServerHandle {
         self.shared.stats.snapshot()
     }
 
+    /// Workers currently able to take jobs.
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::Relaxed)
+    }
+
+    /// Worker-death incidents observed so far (each healed by a respawn).
+    pub fn worker_deaths(&self) -> u64 {
+        self.shared.dead_workers.load(Ordering::Relaxed)
+    }
+
     /// Initiates shutdown (stop admitting, drain the queue) and joins every
     /// server thread. Queued jobs are still answered.
     pub fn shutdown(self) -> StatsSnapshot {
@@ -171,6 +220,9 @@ impl ServerHandle {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
             let _ = h.join();
         }
         // The accept thread is done, so no new connections can be added.
@@ -195,6 +247,10 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
         shutdown: AtomicBool::new(false),
         stats: ServeStats::default(),
         addr,
+        inflight: Mutex::new(HashMap::new()),
+        seq: AtomicU64::new(0),
+        live_workers: AtomicUsize::new(workers),
+        dead_workers: AtomicU64::new(0),
     });
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -203,10 +259,36 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("tpm-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || {
+                    // Self-healing worker slot: a panic escaping worker_loop
+                    // (jobs are individually contained, so this is executor
+                    // construction or an injected fault) is caught, counted,
+                    // and the same thread re-enters the loop — the slot never
+                    // goes dark.
+                    loop {
+                        match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))) {
+                            Ok(()) => break, // queue closed: clean exit
+                            Err(_) => {
+                                shared.live_workers.fetch_sub(1, Ordering::Relaxed);
+                                shared.dead_workers.fetch_add(1, Ordering::Relaxed);
+                                tpm_trace::record(tpm_trace::EventKind::WorkerDeath, i as u64, 0);
+                                shared.live_workers.fetch_add(1, Ordering::Relaxed);
+                                tpm_trace::record(tpm_trace::EventKind::WorkerRespawn, i as u64, 0);
+                            }
+                        }
+                    }
+                })
                 .expect("spawn server worker")
         })
         .collect();
+
+    let watchdog = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("tpm-serve-watchdog".to_string())
+            .spawn(move || watchdog_loop(&shared))
+            .expect("spawn watchdog")
+    };
 
     let accept = {
         let shared = Arc::clone(&shared);
@@ -221,8 +303,53 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
         shared,
         accept: Some(accept),
         workers: worker_handles,
+        watchdog: Some(watchdog),
         conns,
     })
+}
+
+/// Scans in-flight jobs and sheds any that overran their deadline by the
+/// grace factor: the token is cancelled (the runtimes stop within one grain)
+/// and the client is answered `deadline` immediately rather than waiting for
+/// the worker to notice. Exits once shutdown has fully drained.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let interval = Duration::from_millis(shared.config.watchdog_interval_ms.max(1));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst)
+            && shared.queue.is_empty()
+            && shared.inflight.lock().unwrap().is_empty()
+        {
+            break;
+        }
+        let now = Instant::now();
+        let mut overdue = Vec::new();
+        for entry in shared.inflight.lock().unwrap().values() {
+            let Some(kill_at) = entry.kill_at else {
+                continue;
+            };
+            if now < kill_at {
+                continue;
+            }
+            // Cancel unconditionally (idempotent), but reply only if the
+            // worker hasn't already: exactly one reply per request.
+            entry.token.cancel();
+            if !entry.replied.swap(true, Ordering::SeqCst) {
+                overdue.push((entry.id, entry.reply.clone()));
+            }
+        }
+        for (id, reply) in overdue {
+            shared.stats.watchdog_shed.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(
+                Response::Error {
+                    id: Some(id),
+                    code: "deadline",
+                    message: "shed by watchdog: exceeded deadline grace".to_string(),
+                }
+                .to_line(),
+            );
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 fn accept_loop(
@@ -323,6 +450,29 @@ fn read_lines(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Str
 }
 
 fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
+    // Containment for the admission path: a panic here (injected via the
+    // job-admission fault site, or organic) must cost one error reply, not
+    // the whole connection's reader thread.
+    if let Err(p) = catch_unwind(AssertUnwindSafe(|| handle_line_inner(line, shared, tx))) {
+        let message = panic_message(p);
+        let code = if tpm_fault::is_injected_message(&message) {
+            CODE_INJECTED
+        } else {
+            "panic"
+        };
+        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(
+            Response::Error {
+                id: None,
+                code,
+                message,
+            }
+            .to_line(),
+        );
+    }
+}
+
+fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
     let reply = |r: Response| {
         let _ = tx.send(r.to_line());
     };
@@ -335,6 +485,14 @@ fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
             });
         }
         Ok(Request::Ping) => reply(Response::Pong),
+        Ok(Request::Health) => {
+            reply(Response::Health {
+                live_workers: shared.live_workers.load(Ordering::Relaxed) as u64,
+                dead_workers: shared.dead_workers.load(Ordering::Relaxed),
+                queue_depth: shared.queue.len() as u64,
+                inflight: shared.inflight.lock().unwrap().len() as u64,
+            });
+        }
         Ok(Request::Shutdown) => {
             reply(Response::ShuttingDown);
             shared.begin_shutdown();
@@ -344,6 +502,34 @@ fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
             spec,
             deadline_ms,
         }) => {
+            // Fault-injection point: job admission. A panic rule unwinds
+            // into handle_line's catch (one error reply); a steal-miss rule
+            // models load shedding; a task-drop rule refuses the job with an
+            // `injected` reply — observable, never a silent drop.
+            match tpm_fault::probe(tpm_fault::Site::JobAdmission) {
+                tpm_fault::Action::Panic => {
+                    tpm_fault::injected_panic(tpm_fault::Site::JobAdmission)
+                }
+                tpm_fault::Action::TaskDrop => {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    reply(Response::Error {
+                        id: Some(id),
+                        code: CODE_INJECTED,
+                        message: "injected task-drop at job-admission".to_string(),
+                    });
+                    return;
+                }
+                tpm_fault::Action::StealMiss => {
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    reply(Response::Error {
+                        id: Some(id),
+                        code: CODE_OVERLOADED,
+                        message: "injected admission shed".to_string(),
+                    });
+                    return;
+                }
+                tpm_fault::Action::None => {}
+            }
             if spec.threads > shared.config.max_threads {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                 reply(Response::Error {
@@ -377,6 +563,8 @@ fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
                 token,
                 reply: tx.clone(),
                 enqueued: Instant::now(),
+                deadline_budget: deadline.map(Duration::from_millis),
+                replied: Arc::new(AtomicBool::new(false)),
             };
             match shared.queue.try_push(item) {
                 Ok(()) => {
@@ -408,8 +596,43 @@ fn worker_loop(shared: &Arc<Shared>) {
         let exec = executors
             .entry(item.spec.threads)
             .or_insert_with(|| Executor::new(item.spec.threads));
-        let response = match shared.registry.run(exec, &item.spec, &item.token) {
-            Ok(result) => {
+
+        // Register with the watchdog for the duration of the run. The
+        // hard-kill point is the token deadline plus the grace margin:
+        // deadline + (grace − 1) × budget.
+        let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+        let kill_at = match (item.token.deadline(), item.deadline_budget) {
+            (Some(deadline), Some(budget)) => {
+                let grace = (shared.config.deadline_grace - 1.0).max(0.0);
+                Some(deadline + budget.mul_f64(grace))
+            }
+            _ => None,
+        };
+        shared.inflight.lock().unwrap().insert(
+            seq,
+            Inflight {
+                id: item.id,
+                token: item.token.clone(),
+                reply: item.reply.clone(),
+                replied: Arc::clone(&item.replied),
+                kill_at,
+            },
+        );
+
+        // Contain the job: a panicking body that escapes the runtime's own
+        // containment (or an injected task-exec fault) costs one error
+        // reply, not the worker.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            shared.registry.run(exec, &item.spec, &item.token)
+        }));
+        shared.inflight.lock().unwrap().remove(&seq);
+
+        // Exactly one reply per request: skip if the watchdog beat us to it.
+        if item.replied.swap(true, Ordering::SeqCst) {
+            continue;
+        }
+        let response = match run {
+            Ok(Ok(result)) => {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                 Response::Ok {
                     id: item.id,
@@ -418,7 +641,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     queue_ms,
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                 Response::Error {
                     id: Some(item.id),
@@ -426,8 +649,210 @@ fn worker_loop(shared: &Arc<Shared>) {
                     message: e.to_string(),
                 }
             }
+            Err(p) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let message = panic_message(p);
+                let code = if tpm_fault::is_injected_message(&message) {
+                    CODE_INJECTED
+                } else {
+                    "panic"
+                };
+                Response::Error {
+                    id: Some(item.id),
+                    code,
+                    message,
+                }
+            }
         };
         // A dead client is fine; the job already ran.
         let _ = item.reply.send(response.to_line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A registry with one well-behaved job and one that ignores its cancel
+    /// token entirely (sleeps `size` ms) — the wedged-job case the watchdog
+    /// exists for.
+    fn test_registry() -> Arc<JobRegistry> {
+        let mut reg = JobRegistry::new();
+        reg.register("quick", "returns size", 1 << 20, |ctx| {
+            Ok(ctx.spec.size as f64)
+        });
+        reg.register(
+            "wedge",
+            "sleeps size ms, never polls the token",
+            10_000,
+            |ctx| {
+                std::thread::sleep(Duration::from_millis(ctx.spec.size as u64));
+                Ok(0.0)
+            },
+        );
+        reg.register("boom", "panics unconditionally", 1 << 20, |_ctx| {
+            panic!("job body exploded")
+        });
+        Arc::new(reg)
+    }
+
+    fn start(config: ServerConfig) -> (ServerHandle, BufReader<TcpStream>, TcpStream) {
+        let handle = serve(test_registry(), config).expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let writer = stream.try_clone().unwrap();
+        (handle, BufReader::new(stream), writer)
+    }
+
+    fn send_line(w: &mut TcpStream, line: &str) {
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+    }
+
+    fn read_response(r: &mut BufReader<TcpStream>) -> Response {
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        Response::parse(line.trim()).expect("parse response")
+    }
+
+    #[test]
+    fn watchdog_sheds_a_wedged_job_before_it_finishes() {
+        let (handle, mut reader, mut writer) = start(ServerConfig {
+            workers: 1,
+            deadline_grace: 2.0,
+            watchdog_interval_ms: 5,
+            ..ServerConfig::default()
+        });
+        // 600 ms of token-ignoring sleep under a 50 ms deadline: the
+        // runtimes can't stop it, so the watchdog must answer at
+        // deadline + (grace−1)×budget = ~100 ms.
+        send_line(
+            &mut writer,
+            r#"{"id":1,"kernel":"wedge","size":600,"deadline_ms":50}"#,
+        );
+        let started = Instant::now();
+        let resp = read_response(&mut reader);
+        let waited = started.elapsed();
+        match resp {
+            Response::Error { id, code, message } => {
+                assert_eq!(id, Some(1));
+                assert_eq!(code, "deadline");
+                assert!(message.contains("watchdog"), "{message}");
+            }
+            other => panic!("expected watchdog deadline reply, got {other:?}"),
+        }
+        assert!(
+            waited < Duration::from_millis(500),
+            "watchdog reply took {waited:?} (job itself needs 600 ms)"
+        );
+        let stats = handle.shutdown();
+        assert_eq!(stats.watchdog_shed, 1);
+        // The worker later finished the job but found it already answered.
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn health_reports_liveness_and_load_over_the_wire() {
+        let (handle, mut reader, mut writer) = start(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        send_line(&mut writer, r#"{"cmd":"health"}"#);
+        match read_response(&mut reader) {
+            Response::Health {
+                live_workers,
+                dead_workers,
+                queue_depth,
+                inflight,
+            } => {
+                assert_eq!(live_workers, 2);
+                assert_eq!(dead_workers, 0);
+                assert_eq!(queue_depth, 0);
+                assert_eq!(inflight, 0);
+            }
+            other => panic!("expected health reply, got {other:?}"),
+        }
+        // A job still runs fine after the probe.
+        send_line(&mut writer, r#"{"id":2,"kernel":"quick","size":7}"#);
+        match read_response(&mut reader) {
+            Response::Ok { id, value, .. } => {
+                assert_eq!(id, 2);
+                assert_eq!(value, 7.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[cfg(feature = "inject")]
+    mod inject {
+        use super::*;
+        use tpm_fault::{FaultKind, FaultPlan, FaultSession, Site, SiteRule};
+
+        #[test]
+        fn injected_admission_panic_is_one_error_reply_not_a_dead_connection() {
+            let _serial = tpm_fault::session_serial();
+            let session = FaultSession::install(&FaultPlan::single(SiteRule {
+                max_fires: 1,
+                ..SiteRule::prob(Site::JobAdmission, FaultKind::Panic, 1.0)
+            }));
+            let (handle, mut reader, mut writer) = start(ServerConfig::default());
+
+            send_line(&mut writer, r#"{"id":1,"kernel":"quick","size":3}"#);
+            match read_response(&mut reader) {
+                Response::Error { code, message, .. } => {
+                    assert_eq!(code, CODE_INJECTED);
+                    assert!(message.contains("injected"), "{message}");
+                }
+                other => panic!("expected injected error, got {other:?}"),
+            }
+            // Same connection, same reader thread: still serving.
+            send_line(&mut writer, r#"{"id":2,"kernel":"quick","size":5}"#);
+            match read_response(&mut reader) {
+                Response::Ok { id, value, .. } => {
+                    assert_eq!(id, 2);
+                    assert_eq!(value, 5.0);
+                }
+                other => panic!("{other:?}"),
+            }
+            handle.shutdown();
+            let report = session.report();
+            assert_eq!(report.fired.len(), 1);
+        }
+    }
+
+    #[test]
+    fn job_panic_is_contained_and_the_worker_stays_live() {
+        let (handle, mut reader, mut writer) = start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        send_line(&mut writer, r#"{"id":1,"kernel":"boom","size":3}"#);
+        match read_response(&mut reader) {
+            Response::Error { id, code, message } => {
+                assert_eq!(id, Some(1));
+                assert_eq!(code, "panic");
+                assert!(message.contains("exploded"), "{message}");
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        // Same (sole) worker takes the next job: containment, not death.
+        send_line(&mut writer, r#"{"id":2,"kernel":"quick","size":9}"#);
+        match read_response(&mut reader) {
+            Response::Ok { id, value, .. } => {
+                assert_eq!(id, 2);
+                assert_eq!(value, 9.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        send_line(&mut writer, r#"{"cmd":"health"}"#);
+        match read_response(&mut reader) {
+            Response::Health { live_workers, .. } => assert_eq!(live_workers, 1),
+            other => panic!("{other:?}"),
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
     }
 }

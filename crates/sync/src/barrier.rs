@@ -1,14 +1,26 @@
-//! A reusable sense-reversing centralized barrier.
+//! A reusable sense-reversing centralized barrier with dynamic membership.
 //!
 //! This is the barrier the paper's Table II compares across models
 //! (`#pragma omp barrier`, `pthread_barrier_t`, …). A sense-reversing design
 //! needs one atomic counter and one flag, supports unlimited reuse without
 //! re-initialization, and — unlike two-counter designs — cannot confuse
 //! consecutive phases.
+//!
+//! On top of the textbook design this barrier supports [`Barrier::leave`]:
+//! a participant that dies (panics out of its region body) can permanently
+//! resign so the survivors' phases still complete instead of deadlocking.
+//! Membership and the arrival count are packed into one atomic word, so the
+//! "did this RMW complete the phase?" decision is race-free: exactly one
+//! `wait` or `leave` observes `arrived == members` and finishes the phase.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::Backoff;
+
+/// `state` layout: members in the high half, arrivals in the low half.
+const SHIFT: u32 = usize::BITS / 2;
+const ARRIVED_MASK: usize = (1 << SHIFT) - 1;
+const ONE_MEMBER: usize = 1 << SHIFT;
 
 /// Outcome of a [`Barrier::wait`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +36,7 @@ impl BarrierWaitResult {
     }
 }
 
-/// A reusable barrier for a fixed-size group of threads.
+/// A reusable barrier for a group of threads whose membership can shrink.
 ///
 /// Waiting spins with backoff and eventually yields; on the oversubscribed
 /// hosts this workspace targets, yielding is essential (a pure spin barrier
@@ -52,8 +64,9 @@ impl BarrierWaitResult {
 /// ```
 #[derive(Debug)]
 pub struct Barrier {
-    num_threads: usize,
-    arrived: AtomicUsize,
+    /// Packed `(members << SHIFT) | arrived`. A single RMW total order on
+    /// this word decides phase completion.
+    state: AtomicUsize,
     sense: AtomicBool,
 }
 
@@ -62,32 +75,33 @@ impl Barrier {
     ///
     /// # Panics
     ///
-    /// Panics if `num_threads == 0`.
+    /// Panics if `num_threads == 0` or `num_threads` does not fit in half a
+    /// `usize` (it never does in practice).
     pub fn new(num_threads: usize) -> Self {
         assert!(num_threads > 0, "barrier needs at least one participant");
+        assert!(num_threads <= ARRIVED_MASK, "barrier membership too large");
         Self {
-            num_threads,
-            arrived: AtomicUsize::new(0),
+            state: AtomicUsize::new(num_threads << SHIFT),
             sense: AtomicBool::new(false),
         }
     }
 
-    /// Number of participating threads.
+    /// Current number of participating threads (shrinks on [`Barrier::leave`]).
     pub fn num_threads(&self) -> usize {
-        self.num_threads
+        self.state.load(Ordering::Acquire) >> SHIFT
     }
 
-    /// Blocks until all `num_threads` threads have called `wait` in this
-    /// phase. Fully reusable: the next `wait` starts the next phase.
+    /// Blocks until all current participants have called `wait` in this
+    /// phase (or resigned via [`Barrier::leave`]). Fully reusable: the next
+    /// `wait` starts the next phase.
     pub fn wait(&self) -> BarrierWaitResult {
         // The phase this arrival completes flips the sense to `!current`.
         let target = !self.sense.load(Ordering::Relaxed);
-        let prior = self.arrived.fetch_add(1, Ordering::AcqRel);
-        if prior + 1 == self.num_threads {
-            // Leader: reset the counter *before* releasing the others (they
-            // may immediately enter the next phase and increment it).
-            self.arrived.store(0, Ordering::Relaxed);
-            self.sense.store(target, Ordering::Release);
+        let prior = self.state.fetch_add(1, Ordering::AcqRel);
+        let arrived = (prior & ARRIVED_MASK) + 1;
+        let members = prior >> SHIFT;
+        if arrived == members {
+            self.complete_phase(target);
             BarrierWaitResult { is_leader: true }
         } else {
             let backoff = Backoff::new();
@@ -96,6 +110,46 @@ impl Barrier {
             }
             BarrierWaitResult { is_leader: false }
         }
+    }
+
+    /// Permanently resigns one participant that will never call `wait`
+    /// again (e.g. it panicked out of its region body). If the leaver was
+    /// the only straggler of the current phase, it completes the phase on
+    /// its way out so the waiters are released; all later phases complete
+    /// at the reduced membership.
+    ///
+    /// Must be called at most once per dead participant, and never from a
+    /// thread currently blocked in [`Barrier::wait`].
+    pub fn leave(&self) {
+        let target = !self.sense.load(Ordering::Relaxed);
+        let prior = self.state.fetch_sub(ONE_MEMBER, Ordering::AcqRel);
+        let members = (prior >> SHIFT) - 1;
+        let arrived = prior & ARRIVED_MASK;
+        // `arrived > 0` guards the members==0 case: nobody is waiting, so
+        // there is no phase to finish (and no sense flip to misalign).
+        if arrived == members && arrived > 0 {
+            self.complete_phase(target);
+        }
+    }
+
+    /// Finishes the current phase: resets the arrival count (preserving the
+    /// membership half, which concurrent `leave`s may still change) and then
+    /// flips the sense to release the waiters. Exactly one thread per phase
+    /// runs this — the one whose RMW made `arrived == members`.
+    fn complete_phase(&self, target: bool) {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            match self.state.compare_exchange_weak(
+                cur,
+                cur & !ARRIVED_MASK,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.sense.store(target, Ordering::Release);
     }
 }
 
@@ -159,5 +213,78 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), PHASES * N);
+    }
+
+    #[test]
+    fn leave_shrinks_membership() {
+        let b = Barrier::new(4);
+        assert_eq!(b.num_threads(), 4);
+        b.leave();
+        b.leave();
+        assert_eq!(b.num_threads(), 2);
+    }
+
+    #[test]
+    fn leave_releases_waiters_mid_phase() {
+        // Three members; two wait, the third resigns instead of arriving.
+        // Without the leave the two waiters would spin forever.
+        const PHASES: usize = 20;
+        let b = Barrier::new(3);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..PHASES {
+                        b.wait();
+                    }
+                });
+            }
+            s.spawn(|| b.leave());
+        });
+        assert_eq!(b.num_threads(), 2);
+    }
+
+    #[test]
+    fn leave_before_any_arrival_keeps_future_phases_working() {
+        let b = Barrier::new(2);
+        b.leave();
+        // The surviving solo member completes every phase alone.
+        for _ in 0..5 {
+            assert!(b.wait().is_leader());
+        }
+    }
+
+    #[test]
+    fn last_member_leaving_is_harmless() {
+        let b = Barrier::new(1);
+        b.leave();
+        assert_eq!(b.num_threads(), 0);
+    }
+
+    #[test]
+    fn concurrent_leaves_and_waits_never_deadlock() {
+        // Stress: half the members repeatedly wait, the other half resign at
+        // staggered points. Every phase must still complete.
+        const N: usize = 6;
+        let b = Barrier::new(N);
+        std::thread::scope(|s| {
+            for i in 0..N {
+                let b = &b;
+                s.spawn(move || {
+                    if i % 2 == 0 {
+                        for _ in 0..50 {
+                            b.wait();
+                        }
+                        b.leave();
+                    } else {
+                        // Participate in a few phases, then die.
+                        for _ in 0..(i * 3) {
+                            b.wait();
+                        }
+                        b.leave();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.num_threads(), 0);
     }
 }

@@ -33,11 +33,18 @@ pub enum EventKind {
     ThreadSpawn = 11,
     /// An OS thread was joined (`a` = ordinal or count).
     ThreadJoin = 12,
+    /// A worker died from an escaped panic (`a` = worker index).
+    WorkerDeath = 13,
+    /// A replacement worker took over a dead worker's slot (`a` = index).
+    WorkerRespawn = 14,
+    /// A team continued at reduced parallelism after a worker death
+    /// (`a` = surviving width).
+    DegradedWidth = 15,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::RegionBegin,
         EventKind::RegionEnd,
         EventKind::ChunkDispatch,
@@ -51,6 +58,9 @@ impl EventKind {
         EventKind::LockContended,
         EventKind::ThreadSpawn,
         EventKind::ThreadJoin,
+        EventKind::WorkerDeath,
+        EventKind::WorkerRespawn,
+        EventKind::DegradedWidth,
     ];
 
     /// Stable lowercase name (used in Chrome-trace output and summaries).
@@ -69,6 +79,9 @@ impl EventKind {
             EventKind::LockContended => "lock_contended",
             EventKind::ThreadSpawn => "thread_spawn",
             EventKind::ThreadJoin => "thread_join",
+            EventKind::WorkerDeath => "worker_death",
+            EventKind::WorkerRespawn => "worker_respawn",
+            EventKind::DegradedWidth => "degraded_width",
         }
     }
 

@@ -36,7 +36,17 @@ where
     A: FnOnce(&WorkerCtx<'_>) -> RA + Send,
     B: FnOnce(&WorkerCtx<'_>) -> RB + Send,
 {
-    let job_b = StackJob::new(b);
+    // The spawned side is a task-exec fault site: an injected panic unwinds
+    // out of the job (contained by the StackJob's panic capture) and an
+    // injected drop surfaces the same way — observable, never silent.
+    let job_b = StackJob::new(move |ctx: &WorkerCtx<'_>| {
+        match tpm_fault::probe(tpm_fault::Site::TaskExec) {
+            tpm_fault::Action::Panic => tpm_fault::injected_panic(tpm_fault::Site::TaskExec),
+            tpm_fault::Action::TaskDrop => tpm_fault::injected_drop(tpm_fault::Site::TaskExec),
+            _ => {}
+        }
+        b(ctx)
+    });
     // SAFETY: this frame blocks (below) until job_b's latch is set, so the
     // stack storage outlives the queued reference.
     unsafe {

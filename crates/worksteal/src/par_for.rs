@@ -134,6 +134,14 @@ fn split_run<F>(
         return;
     }
     if range.len() <= grain || depth == 0 {
+        // An injected panic here unwinds into the enclosing join's
+        // containment (StackJob stores the payload and completes its latch),
+        // so faults surface as the scope's re-raised panic, never a hang.
+        match tpm_fault::probe(tpm_fault::Site::ChunkClaim) {
+            tpm_fault::Action::Panic => tpm_fault::injected_panic(tpm_fault::Site::ChunkClaim),
+            tpm_fault::Action::TaskDrop => tpm_fault::injected_drop(tpm_fault::Site::ChunkClaim),
+            _ => {}
+        }
         ctx.stats().chunks.inc();
         tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, range.len() as u64, 0);
         body(range);
@@ -196,6 +204,11 @@ fn split_run_ctx<F>(
         return;
     }
     if range.len() <= grain || depth == 0 {
+        match tpm_fault::probe(tpm_fault::Site::ChunkClaim) {
+            tpm_fault::Action::Panic => tpm_fault::injected_panic(tpm_fault::Site::ChunkClaim),
+            tpm_fault::Action::TaskDrop => tpm_fault::injected_drop(tpm_fault::Site::ChunkClaim),
+            _ => {}
+        }
         ctx.stats().chunks.inc();
         tpm_trace::record(tpm_trace::EventKind::ChunkDispatch, range.len() as u64, 0);
         body(ctx, range);

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::thread::{JoinHandle, Thread};
 use std::time::Duration;
 
+use tpm_fault::{Action as FaultAction, Site as FaultSite};
 use tpm_sync::chase_lev::{self, Stealer, Worker};
 use tpm_sync::{CachePadded, IdleStrategy, LockedDeque, SchedulerStats};
 
@@ -76,9 +77,18 @@ pub(crate) struct RuntimeInner {
     /// Number of workers currently in timed park (hint for pushers).
     sleepers: AtomicUsize,
     asleep: Vec<CachePadded<AtomicBool>>,
-    /// Worker thread handles for targeted unparking (filled at construction).
+    /// Worker thread handles for targeted unparking (filled at construction,
+    /// slots overwritten when a replacement worker takes an index over).
     threads: tpm_sync::SpinLock<Vec<Thread>>,
     pub(crate) stats: SchedulerStats,
+    /// Whether workers pin to cores (needed again when respawning).
+    pin: bool,
+    /// Workers currently alive (shrinks on a death, restored on respawn).
+    live: AtomicUsize,
+    /// Total workers lost to escaped panics over the runtime's lifetime.
+    deaths: AtomicUsize,
+    /// Join handles of respawned replacement workers (drained on drop).
+    replacements: tpm_sync::SpinLock<Vec<JoinHandle<()>>>,
 }
 
 /// Builder for [`Runtime`] — the one place every construction knob lives
@@ -178,6 +188,10 @@ impl Runtime {
                 .collect(),
             threads: tpm_sync::SpinLock::new(Vec::new()),
             stats: SchedulerStats::new(num_workers),
+            pin,
+            live: AtomicUsize::new(num_workers),
+            deaths: AtomicUsize::new(0),
+            replacements: tpm_sync::SpinLock::new(Vec::new()),
         });
         let handles: Vec<JoinHandle<()>> = workers
             .into_iter()
@@ -186,12 +200,7 @@ impl Runtime {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("tpm-worksteal-{index}"))
-                    .spawn(move || {
-                        if pin {
-                            tpm_sync::affinity::pin_current_thread(index);
-                        }
-                        worker_loop(&inner, index, deque)
-                    })
+                    .spawn(move || worker_entry(inner, index, deque))
                     .expect("failed to spawn worker")
             })
             .collect();
@@ -202,6 +211,21 @@ impl Runtime {
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
         self.inner.stealers.len()
+    }
+
+    /// Workers currently alive. Briefly below [`num_workers`] while a dead
+    /// worker's replacement is starting; equal again once self-healing
+    /// completes.
+    ///
+    /// [`num_workers`]: Runtime::num_workers
+    pub fn live_workers(&self) -> usize {
+        self.inner.live.load(Ordering::Acquire)
+    }
+
+    /// Total workers lost to escaped panics since construction (each one is
+    /// replaced by a respawned thread on the same index).
+    pub fn worker_deaths(&self) -> usize {
+        self.inner.deaths.load(Ordering::Acquire)
     }
 
     /// Scheduler event counters.
@@ -235,7 +259,23 @@ impl Drop for Runtime {
             t.unpark();
         }
         for h in self.handles.drain(..) {
+            // A worker that died and was replaced exited cleanly (its panic
+            // was caught in `worker_entry`), so this cannot hang on a dead
+            // worker's arrival.
             let _ = h.join();
+        }
+        // Replacement workers spawned by the self-healing path. A
+        // replacement can itself die and push a further replacement, so
+        // drain until empty rather than iterating once.
+        loop {
+            let handle = self.inner.replacements.lock().pop();
+            match handle {
+                Some(h) => {
+                    h.thread().unpark();
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -323,6 +363,15 @@ impl<'w> WorkerCtx<'w> {
     /// them; the rest are served by local pops (or stolen onward by others),
     /// so one episode can feed many executions.
     pub(crate) fn steal_work(&self) -> Option<JobRef> {
+        // Steal probes can run inside `wait_until` while an unfinished stack
+        // job is still queued: unwinding here would free a job a thief may
+        // yet execute, so panic rules are inert at this probe (they fire at
+        // the worker-loop top level instead, where no such frame exists).
+        if tpm_fault::probe_no_panic(FaultSite::StealAttempt) != FaultAction::None {
+            self.stats().failed_steals.inc();
+            tpm_trace::record(tpm_trace::EventKind::FailedSteal, self.index as u64, 0);
+            return None;
+        }
         let n = self.rt.stealers.len();
         let start = self.victim_offset.get();
         self.victim_offset.set((start + 1) % n.max(1));
@@ -381,11 +430,61 @@ impl std::fmt::Debug for WorkerCtx<'_> {
     }
 }
 
-fn worker_loop(inner: &RuntimeInner, index: usize, deque: Worker<JobRef>) {
+/// Worker thread entry: pins, then runs [`worker_loop`] under a top-level
+/// `catch_unwind`. An escaped panic (nothing in normal operation reaches
+/// here — job execution has its own containment — but an injected
+/// worker-loop fault does) marks the worker dead and respawns a replacement
+/// thread on the same index with the same deque, so queued jobs survive the
+/// death and the runtime heals back to full width.
+fn worker_entry(inner: Arc<RuntimeInner>, index: usize, deque: Worker<JobRef>) {
+    if inner.pin {
+        tpm_sync::affinity::pin_current_thread(index);
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| worker_loop(&inner, index, &deque)));
+    if result.is_ok() || inner.shutdown.load(Ordering::Acquire) {
+        return;
+    }
+    // Died mid-panic: clear our sleep flag if set (wake_one must not burn a
+    // wakeup on a corpse), account the death, and respawn.
+    if inner.asleep[index].swap(false, Ordering::AcqRel) {
+        inner.sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+    inner.live.fetch_sub(1, Ordering::AcqRel);
+    inner.deaths.fetch_add(1, Ordering::AcqRel);
+    tpm_trace::record(tpm_trace::EventKind::WorkerDeath, index as u64, 0);
+    tpm_trace::record(
+        tpm_trace::EventKind::DegradedWidth,
+        inner.live.load(Ordering::Relaxed) as u64,
+        0,
+    );
+    let respawned = Arc::clone(&inner);
+    match std::thread::Builder::new()
+        .name(format!("tpm-worksteal-{index}"))
+        .spawn(move || {
+            tpm_trace::record(tpm_trace::EventKind::WorkerRespawn, index as u64, 0);
+            worker_entry(respawned, index, deque)
+        }) {
+        Ok(h) => {
+            // Point wake_one's slot at the replacement before counting it
+            // live, so a waker never unparks the dead thread.
+            if let Some(slot) = inner.threads.lock().get_mut(index) {
+                *slot = h.thread().clone();
+            }
+            inner.live.fetch_add(1, Ordering::AcqRel);
+            inner.replacements.lock().push(h);
+        }
+        Err(_) => {
+            // Could not spawn a replacement: the runtime stays degraded but
+            // alive (remaining workers still drain every queue).
+        }
+    }
+}
+
+fn worker_loop(inner: &RuntimeInner, index: usize, deque: &Worker<JobRef>) {
     let ctx = WorkerCtx {
         rt: inner,
         index,
-        deque: &deque,
+        deque,
         // Start each worker's scan at its right neighbor: p simultaneous
         // thieves begin at p distinct victims.
         victim_offset: Cell::new((index + 1) % inner.stealers.len()),
@@ -394,6 +493,12 @@ fn worker_loop(inner: &RuntimeInner, index: usize, deque: Worker<JobRef>) {
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             break;
+        }
+        // The one panic-safe steal-site probe: no job-owning frame is on the
+        // stack here, so an injected panic exercises the full worker-death +
+        // respawn path (caught in `worker_entry`).
+        if tpm_fault::probe(FaultSite::StealAttempt) == FaultAction::Panic {
+            tpm_fault::injected_panic(FaultSite::StealAttempt);
         }
         if let Some(job) = ctx.pop().or_else(|| ctx.steal_work()) {
             ctx.execute(job);
@@ -482,5 +587,90 @@ mod tests {
             rt.install(|_| ());
         }
         assert_eq!(rt.stats().snapshot().executed, 10);
+    }
+
+    #[cfg(feature = "inject")]
+    mod inject {
+        use super::*;
+        use std::time::{Duration, Instant};
+        use tpm_fault::{FaultKind, FaultPlan, FaultSession, Site, SiteRule};
+
+        /// A plan that kills exactly one worker: panic rules are inert at the
+        /// wait-path steal probes, so the single fire lands at a worker-loop
+        /// top-level probe where death + respawn containment exists.
+        fn one_death_plan() -> FaultPlan {
+            FaultPlan::single(SiteRule {
+                max_fires: 1,
+                ..SiteRule::prob(Site::StealAttempt, FaultKind::Panic, 1.0)
+            })
+        }
+
+        fn wait_for(deadline: Duration, cond: impl Fn() -> bool) -> bool {
+            let end = Instant::now() + deadline;
+            while Instant::now() < end {
+                if cond() {
+                    return true;
+                }
+                std::thread::yield_now();
+            }
+            cond()
+        }
+
+        #[test]
+        fn injected_worker_death_respawns_and_runtime_stays_usable() {
+            let _serial = tpm_fault::session_serial();
+            let rt = Runtime::new(3);
+            rt.install(|_| ());
+            assert_eq!(rt.live_workers(), 3);
+            let session = FaultSession::install(&one_death_plan());
+            assert!(
+                wait_for(Duration::from_secs(10), || rt.worker_deaths() == 1
+                    && rt.live_workers() == 3),
+                "worker should die exactly once and be replaced (deaths={}, live={})",
+                rt.worker_deaths(),
+                rt.live_workers()
+            );
+            let report = session.report();
+            assert_eq!(report.fired.len(), 1);
+            assert_eq!(report.fired[0].site, Site::StealAttempt);
+            assert_eq!(report.fired[0].kind, FaultKind::Panic);
+            // The healed pool runs new work at full width.
+            assert_eq!(rt.install(|ctx| ctx.num_workers()), 3);
+            drop(rt); // must join the replacement thread without hanging
+        }
+
+        #[test]
+        fn drop_immediately_after_worker_death_does_not_hang() {
+            let _serial = tpm_fault::session_serial();
+            let rt = Runtime::new(2);
+            let session = FaultSession::install(&one_death_plan());
+            assert!(
+                wait_for(Duration::from_secs(10), || rt.worker_deaths() == 1),
+                "injected death should land"
+            );
+            // Drop races the respawn: whether or not the replacement got
+            // spawned before shutdown, neither path may hang.
+            drop(rt);
+            drop(session);
+        }
+
+        #[test]
+        fn runtime_survives_repeated_deaths() {
+            let _serial = tpm_fault::session_serial();
+            let rt = Runtime::new(2);
+            let session = FaultSession::install(&FaultPlan::single(SiteRule {
+                max_fires: 3,
+                ..SiteRule::prob(Site::StealAttempt, FaultKind::Panic, 1.0)
+            }));
+            assert!(
+                wait_for(Duration::from_secs(10), || rt.worker_deaths() == 3
+                    && rt.live_workers() == 2),
+                "three deaths, each healed (deaths={}, live={})",
+                rt.worker_deaths(),
+                rt.live_workers()
+            );
+            drop(session);
+            assert_eq!(rt.install(|ctx| ctx.num_workers()), 2);
+        }
     }
 }

@@ -37,7 +37,21 @@ impl<'s, 'w> Scope<'s, 'w> {
             let panic = panic;
             // SAFETY: scope waits on the latch before dropping, so both
             // referents are alive here.
-            harness_panic(unsafe { &*panic.0 }, || f(ctx));
+            harness_panic(unsafe { &*panic.0 }, || {
+                // Injected task faults run inside the harness: the latch
+                // below always decrements, so a dropped task is a contained,
+                // observable panic — never a hang or silent omission.
+                match tpm_fault::probe(tpm_fault::Site::TaskExec) {
+                    tpm_fault::Action::Panic => {
+                        tpm_fault::injected_panic(tpm_fault::Site::TaskExec)
+                    }
+                    tpm_fault::Action::TaskDrop => {
+                        tpm_fault::injected_drop(tpm_fault::Site::TaskExec)
+                    }
+                    _ => {}
+                }
+                f(ctx)
+            });
             unsafe { &*latch.0 }.decrement();
         };
         let boxed: Box<dyn for<'c> FnOnce(&WorkerCtx<'c>) + Send + 's> = Box::new(wrapper);

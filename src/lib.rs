@@ -16,6 +16,8 @@
 //!   Matmul, Fib; BFS, HotSpot, LUD, LavaMD, SRAD).
 //! * [`serve`] — the cancellable job service (JSON-lines TCP server +
 //!   load generator) over the unified executor.
+//! * [`fault`] — seeded deterministic fault injection (compiled out unless
+//!   the `inject` feature is on) used by the chaos suite.
 //! * [`harness`] — experiment definitions for every figure, with claim
 //!   checks.
 //!
@@ -27,6 +29,7 @@ pub use tpm_core::{
     JobResult, JobSpec, KernelVariant, Model, Pattern, Series,
 };
 
+pub use tpm_fault as fault;
 pub use tpm_features as features;
 pub use tpm_forkjoin as forkjoin;
 pub use tpm_harness as harness;

@@ -192,16 +192,15 @@ fn loadgen_smoke_concurrent_clients_no_hangs_and_shed_is_reported() {
         queue_capacity: 2,
         max_threads: 2,
         default_deadline_ms: None,
+        ..ServerConfig::default()
     };
     let handle = serve(reg, config).unwrap();
     let addr = handle.addr().to_string();
 
     let report = loadgen::run(&LoadgenConfig {
-        addr,
-        clients: 4,
-        requests: 10,
-        spec: spin_spec(20), // ~2 ms per job on one worker
         deadline_ms: Some(10_000),
+        // ~2 ms per job on one worker
+        ..LoadgenConfig::new(addr, 4, 10, spin_spec(20))
     })
     .unwrap();
 
@@ -231,21 +230,16 @@ fn server_answers_expired_deadlines_and_keeps_serving() {
     let addr = handle.addr().to_string();
 
     let hopeless = loadgen::run(&LoadgenConfig {
-        addr: addr.clone(),
-        clients: 1,
-        requests: 3,
-        spec: spin_spec(100_000), // would take ~10 s
         deadline_ms: Some(1),
+        // would take ~10 s without the deadline
+        ..LoadgenConfig::new(addr.clone(), 1, 3, spin_spec(100_000))
     })
     .unwrap();
     assert_eq!(hopeless.deadline, 3, "{hopeless:?}");
 
     let healthy = loadgen::run(&LoadgenConfig {
-        addr,
-        clients: 1,
-        requests: 3,
-        spec: spin_spec(1),
         deadline_ms: Some(10_000),
+        ..LoadgenConfig::new(addr, 1, 3, spin_spec(1))
     })
     .unwrap();
     assert_eq!(healthy.ok, 3, "{healthy:?}");
