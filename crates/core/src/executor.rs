@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tpm_forkjoin::{Schedule, Team};
 use tpm_rawthreads as raw;
-use tpm_sync::CancelToken;
+use tpm_sync::{CancelToken, StatsSnapshot};
 use tpm_worksteal::{Grain, Runtime};
 
 use crate::error::{panic_message, ExecError};
@@ -128,6 +128,17 @@ impl Executor {
     /// Direct access to the Cilk-analogue runtime (for task-parallel code).
     pub fn worksteal(&self) -> &Runtime {
         &self.ws
+    }
+
+    /// Snapshots of both pooled runtimes' scheduler counters, in
+    /// `(forkjoin, worksteal)` order. Two snapshots bracket a job; their
+    /// difference (`StatsSnapshot` implements `Sub`) attributes the events
+    /// to that job — exact when the executor runs one job at a time, as in
+    /// the job service's per-worker executor caches. The rawthreads model
+    /// has no instance; its process-global counters live at
+    /// `tpm_rawthreads::stats()`.
+    pub fn runtime_stats(&self) -> (StatsSnapshot, StatsSnapshot) {
+        (self.team.stats().snapshot(), self.ws.stats().snapshot())
     }
 
     /// The chunk size the paper's manual/task chunkings use:

@@ -735,11 +735,20 @@ impl Team {
         let run = |tid: usize| {
             if tid < active {
                 let _span = tpm_trace::span("forkjoin-region");
+                // Busy time covers the whole region body on this thread;
+                // barrier waits inside are counted separately and can be
+                // subtracted by consumers that want pure compute time.
+                let started = std::time::Instant::now();
                 let ctx = Ctx::new(&self.inner, &region, tid);
                 if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
                     region.store_panic(p);
                     region.desert(tid);
                 }
+                self.inner
+                    .stats
+                    .worker(tid)
+                    .busy_ns
+                    .add(started.elapsed().as_nanos() as u64);
             }
         };
         if self.inner.num_threads == 1 {
@@ -862,6 +871,9 @@ fn worker_loop(inner: &TeamInner, tid: usize) {
                 if g.generation > seen {
                     break;
                 }
+                // Between regions workers sleep on the condvar; each wait
+                // episode is a park for utilization accounting.
+                inner.stats.worker(tid).parks.inc();
                 g = inner.cv.wait(g);
             }
             seen = g.generation;

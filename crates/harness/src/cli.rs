@@ -21,12 +21,16 @@ pub const USAGE: &str = "usage: tpm-harness <experiment> [kernel] [--native] [--
 [--reps N] [--scale S] [--trace out.json] [--json-out bench.json] [--pin] \
 [--kernel-variant reference|optimized] [service flags]
 experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate profile
-             serve loadgen chaos
+             serve loadgen top metrics chaos
   profile [kernel]   run one kernel (sum|axpy|fib) under every model and
                      print side-by-side scheduler-event summaries
   serve              run the cancellable job server (JSON lines over TCP)
   loadgen [job]      drive a running server closed-loop and report
                      throughput + p50/p99 latency (default job: sum)
+  top                scrape a running server's metrics each tick and render
+                     a live dashboard: req/s by outcome, latency quantiles,
+                     per-worker utilization, steal ratio, per-kernel p99
+  metrics            print one raw Prometheus scrape from a running server
   chaos              run the fault-injection matrix (seeded plans x all six
                      models) and verify containment, recovery and replay;
                      needs a build with --features inject
@@ -54,7 +58,12 @@ service flags (serve + loadgen):
   --requests N       loadgen: requests issued per client [20]
   --size N           loadgen: problem size sent in each job request [4096]
   --model m          loadgen: threading model each job runs under [omp_for]
-  --deadline-ms N    loadgen: per-request deadline forwarded to the server";
+  --deadline-ms N    loadgen: per-request deadline forwarded to the server
+  --job-threads N    loadgen: per-job thread count in each request [1]
+  --metrics-out f    serve: write the final metrics snapshot (one JSON line)
+                     here on shutdown [default: stderr]
+  --interval-ms N    top: milliseconds between dashboard refreshes [1000]
+  --frames N         top: render N frames then exit [default: until killed]";
 
 /// Flags every experiment understands: sweep shape, tracing, output, pinning.
 #[derive(Debug, Clone, Default)]
@@ -94,6 +103,14 @@ pub struct ServiceOpts {
     pub model: Model,
     /// Loadgen: per-request deadline forwarded to the server.
     pub deadline_ms: Option<u64>,
+    /// Loadgen: per-job thread count sent in each request.
+    pub job_threads: usize,
+    /// Serve: write the final metrics snapshot here on shutdown.
+    pub metrics_out: Option<PathBuf>,
+    /// Top: milliseconds between dashboard refreshes.
+    pub interval_ms: u64,
+    /// Top: render this many frames then exit (`None` = until killed).
+    pub frames: Option<usize>,
 }
 
 impl Default for ServiceOpts {
@@ -108,6 +125,10 @@ impl Default for ServiceOpts {
             size: 4096,
             model: Model::OmpFor,
             deadline_ms: None,
+            job_threads: 1,
+            metrics_out: None,
+            interval_ms: 1000,
+            frames: None,
         }
     }
 }
@@ -217,6 +238,19 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--deadline-ms" => {
                 service.deadline_ms = Some(positive(args, &mut i, "--deadline-ms")? as u64);
+            }
+            "--job-threads" => {
+                service.job_threads = positive(args, &mut i, "--job-threads")?;
+            }
+            "--metrics-out" => {
+                let v = flag_value(args, &mut i, "--metrics-out")?;
+                service.metrics_out = Some(PathBuf::from(v));
+            }
+            "--interval-ms" => {
+                service.interval_ms = positive(args, &mut i, "--interval-ms")? as u64;
+            }
+            "--frames" => {
+                service.frames = Some(positive(args, &mut i, "--frames")?);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
@@ -375,6 +409,39 @@ mod tests {
             .unwrap_err()
             .contains("--clients"));
         assert!(p(&["serve", "--workers"])
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        let cli = p(&[
+            "top",
+            "--interval-ms",
+            "200",
+            "--frames",
+            "3",
+            "--job-threads",
+            "2",
+            "--metrics-out",
+            "final.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.experiment, "top");
+        assert_eq!(cli.service.interval_ms, 200);
+        assert_eq!(cli.service.frames, Some(3));
+        assert_eq!(cli.service.job_threads, 2);
+        assert_eq!(
+            cli.service.metrics_out.as_deref(),
+            Some(std::path::Path::new("final.json"))
+        );
+        let plain = p(&["serve"]).unwrap();
+        assert_eq!(plain.service.interval_ms, 1000);
+        assert_eq!(plain.service.frames, None);
+        assert_eq!(plain.service.job_threads, 1);
+        assert!(plain.service.metrics_out.is_none());
+        assert!(p(&["top", "--frames", "0"]).is_err());
+        assert!(p(&["top", "--interval-ms"])
             .unwrap_err()
             .contains("requires a value"));
     }

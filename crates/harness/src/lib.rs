@@ -24,3 +24,4 @@ pub mod json;
 pub mod native;
 pub mod profile;
 pub mod service;
+pub mod top;

@@ -3,7 +3,7 @@
 use tpm_harness::cli::{self, Cli};
 use tpm_harness::experiments::{self, check_claims};
 use tpm_harness::native::{self, NativeConfig};
-use tpm_harness::{chaos, profile, service};
+use tpm_harness::{chaos, profile, service, top};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -214,6 +214,8 @@ fn run(cli: &Cli, fault_plan: Option<tpm_fault::FaultPlan>) -> i32 {
             let job = kernel.as_deref().unwrap_or("sum");
             service::run_loadgen(job, service, cfg.variant, json_out.as_deref())
         }
+        "top" => top::run(service),
+        "metrics" => top::run_once(service),
         "table1" => {
             println!("{}", tpm_features::table1());
             0

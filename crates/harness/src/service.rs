@@ -38,11 +38,26 @@ pub fn run_serve(opts: &ServiceOpts) -> i32 {
         names.join(" ")
     );
     println!("[serve] stop with: {{\"cmd\":\"shutdown\"}} on any connection");
+    // Keep a registry handle across the drain: the instrument cells are
+    // Arc-held by its entries, so the final snapshot reads complete totals
+    // after every thread has joined.
+    let registry = handle.metrics();
     let stats = handle.wait();
     println!(
         "[serve] done: admitted {} completed {} failed {} shed {} watchdog-shed {}",
         stats.admitted, stats.completed, stats.failed, stats.shed, stats.watchdog_shed
     );
+    let snapshot = registry.snapshot().to_json();
+    match &opts.metrics_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{snapshot}\n")) {
+                eprintln!("error: cannot write metrics file {}: {e}", path.display());
+                return 1;
+            }
+            println!("[serve] final metrics snapshot -> {}", path.display());
+        }
+        None => eprintln!("{snapshot}"),
+    }
     0
 }
 
@@ -53,7 +68,7 @@ pub fn loadgen_spec(job: &str, opts: &ServiceOpts, variant: KernelVariant) -> Jo
         model: opts.model,
         variant,
         size: opts.size,
-        threads: 1,
+        threads: opts.job_threads,
     }
 }
 
@@ -126,6 +141,12 @@ fn print_report(r: &LoadgenReport) {
         "[loadgen] wall {:.1} ms, throughput {:.1} req/s, latency p50 {:.2} ms \
          p99 {:.2} ms mean {:.2} ms max {:.2} ms",
         r.wall_ms, r.throughput, r.p50_ms, r.p99_ms, r.mean_ms, r.max_ms
+    );
+    // Client-vs-server side by side: the gap is queue wait plus transport.
+    println!(
+        "[loadgen] client p50 {:.2} ms p99 {:.2} ms | server p50 {:.2} ms \
+         p99 {:.2} ms (gap = queueing + transport)",
+        r.p50_ms, r.p99_ms, r.server_p50_ms, r.server_p99_ms
     );
 }
 

@@ -1,0 +1,212 @@
+//! Sharded counter and gauge cells.
+//!
+//! A single shared `AtomicU64` is correct but contended: every increment
+//! bounces the cache line between cores. Sharding gives each thread its own
+//! cache-line-padded cell — the increment is a relaxed RMW on a line no other
+//! core writes — and the (rare) reader sums the shards. This is the same
+//! trade the scheduler stats in `tpm-sync` make, generalized to instruments
+//! that are shared by name rather than owned by a worker index.
+
+use std::cell::Cell as StdCell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+use tpm_sync::CachePadded;
+
+/// Number of shards per instrument. A power of two so the thread-to-shard
+/// map is a mask. 16 padded cells is 2 KiB per instrument — cheap enough for
+/// a few hundred instruments, wide enough that a 16-thread writer storm sees
+/// almost no line sharing.
+pub(crate) const SHARDS: usize = 16;
+
+/// The calling thread's shard index, assigned round-robin on first use and
+/// cached in a thread-local. Threads created in order get distinct shards
+/// until wrap-around, so the common case (a pool of N ≤ 16 workers) is one
+/// private cell per worker.
+#[inline]
+pub(crate) fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: StdCell<usize> = const { StdCell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// A monotonically increasing counter, sharded per thread.
+///
+/// `inc`/`add` are a single relaxed `fetch_add` on the caller's private
+/// shard; `get` sums all shards (exact once writers are quiescent, and never
+/// loses increments — each lands in exactly one shard).
+#[derive(Debug)]
+pub struct Counter {
+    shards: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Zeroes every shard.
+    pub fn reset(&self) {
+        for s in self.shards.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A value that can go up and down, sharded per thread.
+///
+/// `add`/`sub` are relaxed RMWs on the caller's shard; `get` sums shards.
+/// Because an `add` on one thread may be matched by a `sub` on another,
+/// individual shards can go negative — only the sum is meaningful.
+#[derive(Debug)]
+pub struct Gauge {
+    shards: Box<[CachePadded<AtomicI64>]>,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| CachePadded::new(AtomicI64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Adds `n` (e.g. on enqueue / job start).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.shards[shard_index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (e.g. on dequeue / job end).
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Sets the gauge to `v`.
+    ///
+    /// Implemented as "store `v` in shard 0, zero the rest" — only sound for
+    /// single-writer gauges (a sampled level). Concurrent `add`/`sub` racing
+    /// a `set` can be partially overwritten; mixed-use gauges should stick to
+    /// `add`/`sub`, and sampled values are usually better served by
+    /// [`Registry::gauge_fn`](crate::Registry::gauge_fn).
+    pub fn set(&self, v: i64) {
+        self.shards[0].store(v, Ordering::Relaxed);
+        for s in self.shards.iter().skip(1) {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum of all shards.
+    pub fn get(&self) -> i64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_up_down_and_set() {
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+    }
+
+    #[test]
+    fn shard_index_is_stable_per_thread() {
+        let a = shard_index();
+        let b = shard_index();
+        assert_eq!(a, b);
+        assert!(a < SHARDS);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..25_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 200_000);
+    }
+
+    #[test]
+    fn concurrent_gauge_balances_to_zero() {
+        let g = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        g.add(3);
+                        g.sub(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Log-linear latency histogram with quantile estimation.
+//!
+//! Latencies span six-plus orders of magnitude (a cache-hit `sum` job is
+//! microseconds; a large `matmul` is seconds), so linear buckets are
+//! hopeless and exact reservoirs are too expensive for an always-on path.
+//! Log2 buckets subdivided linearly (4 sub-buckets per octave, the HDR
+//! histogram idea at its coarsest useful setting) bound the relative error
+//! of any reported quantile by the sub-bucket width: at most 1/4 ≈ 25% of
+//! the value, in practice far less because the estimate interpolates inside
+//! the bucket and clamps to the observed maximum.
+//!
+//! Recording is three relaxed RMWs (bucket count, running sum, max) on fixed
+//! storage — no locks, no allocation. Values are raw `u64`s; callers pick
+//! the unit (the service records nanoseconds and renders seconds via a
+//! `1e-9` scale at the registry).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: 8 exact small-value buckets (0..8) plus 4 sub-buckets
+/// per octave for octaves 3..=63, capped to fit. Indexes above the last
+/// octave clamp into the final bucket.
+pub const NUM_BUCKETS: usize = 8 + (64 - 3) * 4;
+
+/// Index of the bucket that counts `v`.
+///
+/// Values below 8 get exact buckets; otherwise the octave is `floor(log2 v)`
+/// and the top two bits below the leading bit pick one of 4 linear
+/// sub-buckets.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // 3..=63
+        let sub = ((v >> (exp - 2)) & 3) as usize;
+        (8 + (exp - 3) * 4 + sub).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (the smallest value it counts).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < 8 {
+        i as u64
+    } else {
+        let exp = 3 + (i - 8) / 4;
+        let sub = ((i - 8) % 4) as u64;
+        (1u64 << exp) + (sub << (exp - 2))
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(i + 1)
+    }
+}
+
+/// A fixed-size concurrent histogram.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count())
+            .field("sum", &s.sum)
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counts. Not atomic across buckets — a
+    /// scrape racing writers can be off by the writes in flight, which is
+    /// fine for monitoring (counts are cumulative and catch up next scrape).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counts (tests/benchmarks; not used on the live path).
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Immutable copy of a histogram's state, with quantile estimation and
+/// delta arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (length [`NUM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by walking the
+    /// cumulative counts and interpolating linearly inside the target
+    /// bucket. The estimate is clamped to the recorded maximum, so `q = 1`
+    /// returns `max` exactly and high quantiles never overshoot the data.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 0-based fractional rank of the order statistic we want.
+        let rank = q * (count - 1) as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let first = cum as f64; // rank of the first observation here
+            cum += c;
+            let last = cum as f64 - 1.0; // rank of the last observation here
+            if rank <= last {
+                let lo = bucket_lower_bound(i) as f64;
+                let hi = bucket_upper_bound(i).min(self.max.max(1)) as f64;
+                let frac = if c <= 1 {
+                    0.5
+                } else {
+                    (rank - first) / (c as f64 - 1.0)
+                };
+                let v = lo + frac * (hi - lo).max(0.0);
+                return v.min(self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Counts recorded since `prev` (which must be an earlier snapshot of
+    /// the same histogram). `max` cannot be deltaed — the result keeps the
+    /// current max, which is the max *so far*, not of the interval.
+    pub fn delta(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(prev.buckets.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(prev.sum),
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's lower bound must map back to that bucket, and
+        // bounds must be strictly increasing.
+        for i in 0..NUM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            if i + 1 < NUM_BUCKETS {
+                assert!(bucket_lower_bound(i + 1) > lo);
+            }
+        }
+        // And every value maps to the bucket whose range contains it.
+        for &v in &[0u64, 1, 7, 8, 9, 15, 16, 100, 1_000, 123_456_789, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v >= bucket_lower_bound(i));
+            assert!(v < bucket_upper_bound(i) || i == NUM_BUCKETS - 1);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for v in 0..8usize {
+            assert_eq!(s.buckets[v], 1);
+        }
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.sum, 28);
+        assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut prev = -1.0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let x = s.quantile(q);
+            assert!(x >= prev, "quantile({q}) = {x} < {prev}");
+            assert!(x <= 1000.0, "quantile({q}) = {x} exceeds max");
+            prev = x;
+        }
+        assert_eq!(s.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded_on_uniform() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99] {
+            let exact = q * 100_000.0;
+            let est = s.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.25, "q={q}: est {est} vs exact {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counts() {
+        let h = Histogram::new();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(10);
+        h.record(20);
+        let after = h.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum, 30);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 977);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

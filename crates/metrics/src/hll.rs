@@ -1,0 +1,205 @@
+//! HyperLogLog distinct-element sketch.
+//!
+//! Counting distinct clients/tenants exactly needs a hash set that grows
+//! with cardinality — unbounded memory on a hot path. HyperLogLog (Flajolet
+//! et al. 2007) estimates the count in fixed memory: hash each element, use
+//! the top `P` bits to pick one of `2^P` registers, and keep per register
+//! the maximum number of leading zeros (+1) seen in the remaining bits. Rare
+//! long runs of zeros imply many distinct hashes; the harmonic mean across
+//! registers turns that into an estimate with standard error
+//! `1.04 / sqrt(2^P)` — about **0.8%** at `P = 14` for 16 KiB of state.
+//!
+//! Insertion is one relaxed `fetch_max` on an `AtomicU8`, so the sketch is
+//! safe to share across threads with no locking, and merging two sketches is
+//! a register-wise max (useful for sharded tiers later).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::{hash_bytes, mix64};
+
+/// Register-index bits. `2^14 = 16384` registers ⇒ ~0.8% standard error.
+const P: u32 = 14;
+/// Number of registers.
+const M: usize = 1 << P;
+
+/// A concurrent HyperLogLog sketch with `2^14` one-byte registers.
+pub struct Hll {
+    registers: Box<[AtomicU8]>,
+}
+
+impl std::fmt::Debug for Hll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hll")
+            .field("estimate", &self.estimate())
+            .finish()
+    }
+}
+
+impl Hll {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Self {
+            registers: (0..M).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Inserts an already-uniform 64-bit hash.
+    #[inline]
+    pub fn insert_hash(&self, h: u64) {
+        let idx = (h >> (64 - P)) as usize;
+        let rest = h << P;
+        // Rank = position of the first 1-bit in the remaining 50 bits,
+        // counted from 1; all-zero remainder saturates the register.
+        let rank = (rest.leading_zeros() + 1).min(64 - P + 1) as u8;
+        self.registers[idx].fetch_max(rank, Ordering::Relaxed);
+    }
+
+    /// Inserts an integer key (mixed to a uniform hash first).
+    #[inline]
+    pub fn insert_u64(&self, x: u64) {
+        self.insert_hash(mix64(x));
+    }
+
+    /// Inserts a string key (e.g. a client id or peer address).
+    #[inline]
+    pub fn insert_str(&self, s: &str) {
+        self.insert_hash(hash_bytes(s.as_bytes()));
+    }
+
+    /// Estimated number of distinct elements inserted so far.
+    ///
+    /// Uses the bias-corrected harmonic-mean estimator, switching to linear
+    /// counting (`m · ln(m / zero_registers)`) in the small range where the
+    /// raw estimator is biased — which also makes small exact counts (0, 1,
+    /// a handful) come out essentially exact.
+    pub fn estimate(&self) -> f64 {
+        let m = M as f64;
+        let mut inv_sum = 0.0f64;
+        let mut zeros = 0usize;
+        for r in self.registers.iter() {
+            let v = r.load(Ordering::Relaxed);
+            if v == 0 {
+                zeros += 1;
+            }
+            inv_sum += f64::powi(2.0, -(v as i32));
+        }
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / inv_sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// `estimate()` rounded to the nearest integer (for exposition).
+    pub fn estimate_u64(&self) -> u64 {
+        self.estimate().round().max(0.0) as u64
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.registers
+            .iter()
+            .all(|r| r.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Folds `other` into `self` (register-wise max). The merged sketch
+    /// estimates the cardinality of the union of both insert streams.
+    pub fn merge(&self, other: &Hll) {
+        for (a, b) in self.registers.iter().zip(other.registers.iter()) {
+            a.fetch_max(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// Clears the sketch.
+    pub fn reset(&self) {
+        for r in self.registers.iter() {
+            r.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Hll {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = Hll::new();
+        assert!(h.is_empty());
+        assert_eq!(h.estimate_u64(), 0);
+    }
+
+    #[test]
+    fn small_counts_are_near_exact() {
+        let h = Hll::new();
+        for i in 0..100u64 {
+            h.insert_u64(i);
+        }
+        let est = h.estimate_u64();
+        assert!((95..=105).contains(&est), "estimate {est} for 100 distinct");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let h = Hll::new();
+        for _ in 0..10 {
+            for i in 0..50u64 {
+                h.insert_str(&format!("client-{i}"));
+            }
+        }
+        let est = h.estimate_u64();
+        assert!((45..=55).contains(&est), "estimate {est} for 50 distinct");
+    }
+
+    #[test]
+    fn hundred_thousand_within_five_percent() {
+        let h = Hll::new();
+        let n = 100_000u64;
+        for i in 0..n {
+            h.insert_u64(i);
+        }
+        let est = h.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "estimate {est} vs {n} (rel err {rel:.4})");
+    }
+
+    #[test]
+    fn merge_unions_streams() {
+        let a = Hll::new();
+        let b = Hll::new();
+        for i in 0..5_000u64 {
+            a.insert_u64(i);
+            b.insert_u64(i + 2_500); // half overlapping
+        }
+        a.merge(&b);
+        let est = a.estimate();
+        let rel = (est - 7_500.0).abs() / 7_500.0;
+        assert!(rel < 0.05, "merged estimate {est} vs 7500 (rel {rel:.4})");
+    }
+
+    #[test]
+    fn concurrent_inserts_match_serial_estimate() {
+        let h = Hll::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.insert_u64(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        let est = h.estimate();
+        let rel = (est - 40_000.0).abs() / 40_000.0;
+        assert!(rel < 0.05, "estimate {est} vs 40000 (rel {rel:.4})");
+    }
+}

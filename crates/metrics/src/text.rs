@@ -1,0 +1,563 @@
+//! Prometheus text exposition parsing and validation.
+//!
+//! The wire format the registry renders is also consumed inside this
+//! workspace: `tpm-harness top` scrapes a running server and diffs
+//! successive scrapes to show rates, and the test suite asserts
+//! format validity by round-tripping through this parser. Keeping the
+//! parser next to the renderer means a format change breaks a unit test
+//! here before it breaks an external scraper.
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name as it appears on the line (histogram series appear as
+    /// `<base>_bucket`, `<base>_sum`, `<base>_count`).
+    pub name: String,
+    /// Label pairs in line order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf` parses as infinity).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if every `(key, value)` pair in `want` appears in this sample's
+    /// labels (subset match; extra labels like `le` are allowed).
+    pub fn labels_match(&self, want: &[(&str, &str)]) -> bool {
+        want.iter().all(|(k, v)| self.label(k) == Some(*v))
+    }
+}
+
+/// A parsed scrape: all sample lines plus the `# TYPE` declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Scrape {
+    /// Sample lines in order.
+    pub samples: Vec<Sample>,
+    /// `(metric name, type)` pairs from `# TYPE` lines, in order.
+    pub types: Vec<(String, String)>,
+}
+
+impl Scrape {
+    /// Parses exposition text. Returns an error naming the first malformed
+    /// line; comment (`#`) and blank lines are skipped (but `# TYPE` lines
+    /// are collected).
+    pub fn parse(text: &str) -> Result<Scrape, String> {
+        let mut scrape = Scrape::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim_start();
+                if let Some(decl) = rest.strip_prefix("TYPE ") {
+                    let mut it = decl.split_whitespace();
+                    match (it.next(), it.next()) {
+                        (Some(name), Some(ty)) => {
+                            scrape.types.push((name.to_string(), ty.to_string()))
+                        }
+                        _ => return Err(format!("line {}: malformed TYPE", lineno + 1)),
+                    }
+                }
+                continue;
+            }
+            scrape
+                .samples
+                .push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+        Ok(scrape)
+    }
+
+    /// Declared type of metric `name`, if any.
+    pub fn type_of(&self, name: &str) -> Option<&str> {
+        self.types
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// The first sample named `name` whose labels contain all of `labels`.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels_match(labels))
+    }
+
+    /// Value of the first matching sample.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.find(name, labels).map(|s| s.value)
+    }
+
+    /// Sum of all samples named `name` (e.g. a counter across label values).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Estimates quantile `q` of histogram `name` (base name, without the
+    /// `_bucket` suffix) restricted to series matching `labels`, from the
+    /// cumulative bucket samples — the same computation PromQL's
+    /// `histogram_quantile` does.
+    pub fn histogram_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        let bucket_name = format!("{name}_bucket");
+        let mut buckets: Vec<(f64, f64)> = self
+            .samples
+            .iter()
+            .filter(|s| s.name == bucket_name && s.labels_match(labels))
+            .filter_map(|s| {
+                let le = s.label("le")?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().ok()?
+                };
+                Some((bound, s.value))
+            })
+            .collect();
+        if buckets.is_empty() {
+            return None;
+        }
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total = buckets.last()?.1;
+        if total <= 0.0 {
+            return Some(0.0);
+        }
+        let rank = q.clamp(0.0, 1.0) * total;
+        let mut prev_bound = 0.0;
+        let mut prev_cum = 0.0;
+        for &(bound, cum) in &buckets {
+            if cum >= rank {
+                if bound.is_infinite() {
+                    return Some(prev_bound);
+                }
+                let in_bucket = cum - prev_cum;
+                if in_bucket <= 0.0 {
+                    return Some(bound);
+                }
+                return Some(prev_bound + (bound - prev_bound) * (rank - prev_cum) / in_bucket);
+            }
+            prev_bound = bound;
+            prev_cum = cum;
+        }
+        Some(prev_bound)
+    }
+
+    /// Sample-wise `self - prev`, clamped at zero — the rate numerator for
+    /// a dashboard tick. Only meaningful for cumulative series; gauges
+    /// should be read from the current scrape directly.
+    ///
+    /// Histogram buckets get the cumulative treatment: a bound the earlier
+    /// scrape didn't render (the renderer elides never-hit buckets) still
+    /// had a cumulative count there — that of the largest earlier bound
+    /// below it — so a newly-appearing bucket doesn't inflate the interval.
+    pub fn delta(&self, prev: &Scrape) -> Scrape {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| Sample {
+                value: (s.value - prev_value(prev, s)).max(0.0),
+                ..s.clone()
+            })
+            .collect();
+        Scrape {
+            samples,
+            types: self.types.clone(),
+        }
+    }
+}
+
+/// The value sample `s` had in `prev`, for delta purposes: an exact
+/// name+labels match, or — for cumulative `_bucket` samples — the earlier
+/// cumulative count at the largest bound not above `s`'s (0 if none).
+fn prev_value(prev: &Scrape, s: &Sample) -> f64 {
+    if let Some(p) = prev
+        .samples
+        .iter()
+        .find(|p| p.name == s.name && p.labels == s.labels)
+    {
+        return p.value;
+    }
+    if !s.name.ends_with("_bucket") {
+        return 0.0;
+    }
+    let Some(le) = s.label("le") else { return 0.0 };
+    let bound = match le {
+        "+Inf" => f64::INFINITY,
+        _ => match le.parse::<f64>() {
+            Ok(b) => b,
+            Err(_) => return 0.0,
+        },
+    };
+    let mut want: Vec<(&str, &str)> = s
+        .labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    want.sort();
+    let mut best: Option<(f64, f64)> = None; // (bound, cumulative value)
+    for p in prev.samples.iter().filter(|p| p.name == s.name) {
+        let Some(ple) = p.label("le") else { continue };
+        let pb = match ple {
+            "+Inf" => f64::INFINITY,
+            _ => match ple.parse::<f64>() {
+                Ok(b) => b,
+                Err(_) => continue,
+            },
+        };
+        if pb > bound {
+            continue;
+        }
+        let mut got: Vec<(&str, &str)> = p
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        got.sort();
+        if got != want {
+            continue;
+        }
+        if best.is_none_or(|(bb, _)| pb > bb) {
+            best = Some((pb, p.value));
+        }
+    }
+    best.map_or(0.0, |(_, v)| v)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    // name[{k="v",...}] value
+    if let Some(brace) = line.find('{') {
+        let close = line.rfind('}').ok_or("unclosed label brace")?;
+        if close < brace {
+            return Err("mismatched braces".into());
+        }
+        Ok(Sample {
+            name: validate_name(&line[..brace])?,
+            labels: parse_labels(&line[brace + 1..close])?,
+            value: parse_value(line[close + 1..].trim())?,
+        })
+    } else {
+        let mut it = line.split_whitespace();
+        let name = it.next().ok_or("empty line")?;
+        let value = it.next().ok_or("missing value")?;
+        // A third token would be a timestamp (legal in the format, never
+        // emitted by our renderer); ignore it.
+        Ok(Sample {
+            name: validate_name(name)?,
+            labels: Vec::new(),
+            value: parse_value(value)?,
+        })
+    }
+}
+
+fn validate_name(name: &str) -> Result<String, String> {
+    if name.is_empty() {
+        return Err("empty metric name".into());
+    }
+    let ok = name.chars().enumerate().all(|(i, c)| {
+        c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+    });
+    if !ok {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(name.to_string())
+}
+
+fn parse_value(v: &str) -> Result<f64, String> {
+    match v {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => v.parse().map_err(|_| format!("invalid value {v:?}")),
+    }
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err("empty label key".into());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key}: expected opening quote"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("label {key}: unterminated value"));
+        }
+        labels.push((key, value));
+    }
+    Ok(labels)
+}
+
+/// Structural validation beyond line-level parsing: every sample's base
+/// metric has a `# TYPE`, histogram buckets are cumulative (non-decreasing
+/// with `le`), every histogram has a `+Inf` bucket, and `_count` equals the
+/// `+Inf` bucket. Returns the first violation.
+pub fn validate(text: &str) -> Result<Scrape, String> {
+    let scrape = Scrape::parse(text)?;
+    for s in &scrape.samples {
+        let base = base_name(&s.name, &scrape);
+        if scrape.type_of(base).is_none() {
+            return Err(format!("sample {} has no TYPE declaration", s.name));
+        }
+    }
+    // Check histogram invariants per (base, labels-minus-le) series.
+    let hist_names: Vec<&str> = scrape
+        .types
+        .iter()
+        .filter(|(_, t)| t == "histogram")
+        .map(|(n, _)| n.as_str())
+        .collect();
+    for name in hist_names {
+        let bucket_name = format!("{name}_bucket");
+        // Collect the distinct label sets (without `le`).
+        let mut keysets: Vec<Vec<(String, String)>> = Vec::new();
+        for s in scrape.samples.iter().filter(|s| s.name == bucket_name) {
+            let mut ls: Vec<(String, String)> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            ls.sort();
+            if !keysets.contains(&ls) {
+                keysets.push(ls);
+            }
+        }
+        for ls in keysets {
+            let series: Vec<&Sample> = scrape
+                .samples
+                .iter()
+                .filter(|s| {
+                    if s.name != bucket_name {
+                        return false;
+                    }
+                    let mut got: Vec<(String, String)> = s
+                        .labels
+                        .iter()
+                        .filter(|(k, _)| k != "le")
+                        .cloned()
+                        .collect();
+                    got.sort();
+                    got == ls
+                })
+                .collect();
+            let mut bounded: Vec<(f64, f64)> = Vec::new();
+            for s in &series {
+                let le = s
+                    .label("le")
+                    .ok_or_else(|| format!("{bucket_name}: bucket without le"))?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>()
+                        .map_err(|_| format!("{bucket_name}: bad le {le:?}"))?
+                };
+                bounded.push((bound, s.value));
+            }
+            bounded.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            if !bounded.last().is_some_and(|(b, _)| b.is_infinite()) {
+                return Err(format!("{bucket_name}{ls:?}: missing +Inf bucket"));
+            }
+            for w in bounded.windows(2) {
+                if w[1].1 < w[0].1 {
+                    return Err(format!(
+                        "{bucket_name}{ls:?}: cumulative counts decrease at le={}",
+                        w[1].0
+                    ));
+                }
+            }
+            let inf = bounded.last().unwrap().1;
+            let count_name = format!("{name}_count");
+            if let Some(c) = scrape.samples.iter().find(|s| {
+                s.name == count_name && {
+                    let mut got: Vec<(String, String)> = s.labels.clone();
+                    got.sort();
+                    got == ls
+                }
+            }) {
+                if (c.value - inf).abs() > f64::EPSILON {
+                    return Err(format!(
+                        "{count_name}{ls:?}: count {} != +Inf bucket {inf}",
+                        c.value
+                    ));
+                }
+            }
+        }
+    }
+    Ok(scrape)
+}
+
+/// Strips histogram suffixes so samples map back to their TYPE name.
+fn base_name<'a>(sample_name: &'a str, scrape: &Scrape) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if scrape.type_of(base) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    sample_name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn parses_plain_and_labeled_samples() {
+        let s = Scrape::parse("a_total 3\nb{x=\"1\",y=\"two\"} 4.5\n").unwrap();
+        assert_eq!(s.get("a_total", &[]), Some(3.0));
+        assert_eq!(s.get("b", &[("y", "two")]), Some(4.5));
+        assert_eq!(s.find("b", &[]).unwrap().label("x"), Some("1"));
+    }
+
+    #[test]
+    fn parses_escapes_and_inf() {
+        let s = Scrape::parse("m{msg=\"say \\\"hi\\\"\\nok\"} +Inf\n").unwrap();
+        assert_eq!(
+            s.find("m", &[]).unwrap().label("msg"),
+            Some("say \"hi\"\nok")
+        );
+        assert!(s.get("m", &[]).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Scrape::parse("no-dashes-allowed 1\n").is_err());
+        assert!(Scrape::parse("m{x=\"unterminated} 1\n").is_err());
+        assert!(Scrape::parse("m notanumber\n").is_err());
+        assert!(Scrape::parse("m\n").is_err());
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let reg = Registry::new();
+        reg.counter("req_total", "Requests.", &[("outcome", "ok")])
+            .add(12);
+        reg.gauge("depth", "Depth.", &[]).add(3);
+        let h = reg.histogram_scaled("dur_seconds", "Duration.", &[("kernel", "sum")], 1e-9);
+        h.record(5_000_000);
+        h.record(9_000_000);
+        let text = reg.render();
+        let scrape = validate(&text).expect("rendered output must validate");
+        assert_eq!(scrape.get("req_total", &[("outcome", "ok")]), Some(12.0));
+        assert_eq!(scrape.get("depth", &[]), Some(3.0));
+        assert_eq!(
+            scrape.get("dur_seconds_count", &[("kernel", "sum")]),
+            Some(2.0)
+        );
+        assert_eq!(scrape.type_of("dur_seconds"), Some("histogram"));
+        let p50 = scrape
+            .histogram_quantile("dur_seconds", &[("kernel", "sum")], 0.5)
+            .unwrap();
+        assert!(p50 > 0.001 && p50 < 0.02, "p50 {p50}");
+    }
+
+    #[test]
+    fn validate_catches_missing_type_and_broken_cumulative() {
+        assert!(validate("orphan 1\n").is_err());
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n";
+        assert!(validate(bad).unwrap_err().contains("decrease"));
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n";
+        assert!(validate(no_inf).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn histogram_quantile_matches_interpolation() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"10\"} 50
+h_bucket{le=\"20\"} 100
+h_bucket{le=\"+Inf\"} 100
+h_sum 1500
+h_count 100
+";
+        let s = Scrape::parse(text).unwrap();
+        let p50 = s.histogram_quantile("h", &[], 0.5).unwrap();
+        assert!((p50 - 10.0).abs() < 1e-9, "p50 {p50}");
+        let p75 = s.histogram_quantile("h", &[], 0.75).unwrap();
+        assert!((p75 - 15.0).abs() < 1e-9, "p75 {p75}");
+    }
+
+    #[test]
+    fn delta_subtracts_matching_samples() {
+        let a = Scrape::parse("c_total 10\ng 5\n").unwrap();
+        let b = Scrape::parse("c_total 17\ng 4\n").unwrap();
+        let d = b.delta(&a);
+        assert_eq!(d.get("c_total", &[]), Some(7.0));
+        assert_eq!(d.get("g", &[]), Some(0.0), "clamped at zero");
+    }
+
+    #[test]
+    fn delta_treats_new_buckets_as_cumulative_not_zero() {
+        // 100 fast observations, then 100 slow ones: the slow bucket first
+        // appears in the later scrape. Its earlier cumulative count at that
+        // bound was 100 (all fast obs are below it), not 0.
+        let before =
+            Scrape::parse("h_bucket{le=\"12\"} 100\nh_bucket{le=\"+Inf\"} 100\nh_count 100\n")
+                .unwrap();
+        let after = Scrape::parse(
+            "h_bucket{le=\"12\"} 100\nh_bucket{le=\"1024\"} 200\nh_bucket{le=\"+Inf\"} 200\nh_count 200\n",
+        )
+        .unwrap();
+        let d = after.delta(&before);
+        assert_eq!(d.get("h_bucket", &[("le", "12")]), Some(0.0));
+        assert_eq!(d.get("h_bucket", &[("le", "1024")]), Some(100.0));
+        assert_eq!(d.get("h_bucket", &[("le", "+Inf")]), Some(100.0));
+        // All 100 interval observations sit in (12, 1024]: the interval p50
+        // interpolates inside that bucket instead of below it.
+        let p50 = d.histogram_quantile("h", &[], 0.5).unwrap();
+        assert!(p50 > 500.0, "p50 {p50}");
+    }
+
+    #[test]
+    fn sum_totals_across_label_values() {
+        let s = Scrape::parse("r{o=\"ok\"} 7\nr{o=\"err\"} 2\n").unwrap();
+        assert!((s.sum("r") - 9.0).abs() < 1e-12);
+    }
+}

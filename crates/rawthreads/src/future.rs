@@ -137,6 +137,7 @@ where
         Launch::Async => {
             let (tx, rx) = oneshot::channel();
             tpm_trace::record(tpm_trace::EventKind::ThreadSpawn, 0, 0);
+            crate::stats().threads_spawned.inc();
             let handle = std::thread::Builder::new()
                 .name("tpm-async".into())
                 .spawn(move || {

@@ -23,6 +23,7 @@
 
 mod future;
 mod recursive;
+pub mod stats;
 mod threads;
 
 pub use future::{async_task, Future, Launch};
@@ -30,4 +31,5 @@ pub use recursive::{
     base_cutoff, fib_thread_per_call, fib_with_cutoff, recursive_for, recursive_for_cancel,
     recursive_reduce, recursive_reduce_cancel, ThreadBudget, ThreadExplosion,
 };
+pub use stats::{stats, RawStats};
 pub use threads::{block_chunk, threads_for, threads_for_cancel, threads_for_reduce};

@@ -1,0 +1,46 @@
+//! Global event counters for the no-runtime model.
+//!
+//! The other two models own a pool, so their counters live on the scheduler
+//! instance. This model has no instance — every region spawns fresh OS
+//! threads — so its counters are process-global. The interesting signal is
+//! exactly that: *how many threads this model keeps creating* (the overhead
+//! the paper charges against the C++11 versions), which a service exporting
+//! metrics wants visible next to the pooled runtimes' steal/chunk counts.
+
+use tpm_sync::Counter;
+
+/// Process-global counters for rawthreads activity.
+#[derive(Debug, Default)]
+pub struct RawStats {
+    /// OS threads spawned for parallel regions and async tasks.
+    pub threads_spawned: Counter,
+    /// Chunks (contiguous blocks) dispatched to region threads.
+    pub chunks: Counter,
+    /// Threads joined back.
+    pub joins: Counter,
+}
+
+/// The counters (see [`RawStats`]). Never reset on the live path; consumers
+/// that need intervals take deltas.
+pub fn stats() -> &'static RawStats {
+    static STATS: RawStats = RawStats {
+        threads_spawned: Counter::new(),
+        chunks: Counter::new(),
+        joins: Counter::new(),
+    };
+    &STATS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_bump_global_counters() {
+        let before = stats().threads_spawned.get();
+        let chunks_before = stats().chunks.get();
+        crate::threads_for(4, 0..100, |_, _| {});
+        assert!(stats().threads_spawned.get() >= before + 4);
+        assert!(stats().chunks.get() >= chunks_before + 4);
+    }
+}

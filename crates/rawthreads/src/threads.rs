@@ -45,6 +45,7 @@ where
                     return None;
                 }
                 tpm_trace::record(tpm_trace::EventKind::ThreadSpawn, tid as u64, 0);
+                crate::stats().threads_spawned.inc();
                 spawned += 1;
                 let body = &body;
                 Some(
@@ -71,6 +72,7 @@ where
                                 chunk.len() as u64,
                                 0,
                             );
+                            crate::stats().chunks.inc();
                             body(tid, chunk)
                         })
                         .expect("failed to spawn region thread"),
@@ -92,6 +94,7 @@ where
         }
     });
     tpm_trace::record(tpm_trace::EventKind::ThreadJoin, spawned, 0);
+    crate::stats().joins.add(spawned);
 }
 
 /// [`threads_for`] with cooperative cancellation. Each region thread polls
@@ -169,6 +172,7 @@ where
                     return None;
                 }
                 tpm_trace::record(tpm_trace::EventKind::ThreadSpawn, tid as u64, 0);
+                crate::stats().threads_spawned.inc();
                 let body = &body;
                 Some(
                     std::thread::Builder::new()
@@ -182,6 +186,7 @@ where
                                 chunk.len() as u64,
                                 0,
                             );
+                            crate::stats().chunks.inc();
                             body(tid, chunk)
                         })
                         .expect("failed to spawn region thread"),
@@ -198,6 +203,7 @@ where
                     Err(e) => std::panic::resume_unwind(e),
                 };
                 tpm_trace::record(tpm_trace::EventKind::ThreadJoin, 1, 0);
+                crate::stats().joins.inc();
                 partial
             })
             .collect::<Vec<T>>()

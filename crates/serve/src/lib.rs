@@ -32,11 +32,13 @@
 
 pub mod json;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 mod queue;
 mod server;
 
 pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::ServeMetrics;
 pub use protocol::{Request, Response};
 pub use queue::BoundedQueue;
 pub use server::{serve, ServeStats, ServerConfig, ServerHandle, StatsSnapshot};

@@ -16,12 +16,19 @@
 //! Connects retry with exponential backoff and deterministic seeded jitter,
 //! so a load run that races server startup doesn't abort on the first
 //! `ECONNREFUSED`.
+//!
+//! Latencies aggregate into two [`Histogram`]s rather than a sorted vector:
+//! the **client** round trip (send → reply, including queue wait and the
+//! socket) and the **server**-reported execution time from each `ok` reply.
+//! Reporting both side by side makes queueing visible — a large client p99
+//! over a small server p99 means time is spent waiting, not computing.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use tpm_core::JobSpec;
+use tpm_metrics::Histogram;
 
 use crate::protocol::{Request, Response};
 
@@ -94,6 +101,14 @@ pub struct LoadgenReport {
     pub mean_ms: f64,
     /// Slowest round trip, milliseconds.
     pub max_ms: f64,
+    /// Median server-side execution time, milliseconds (from `ok` replies'
+    /// `elapsed_ms`; 0 when nothing succeeded). Compare with [`p50_ms`]
+    /// (client view) to see queueing/transport overhead.
+    ///
+    /// [`p50_ms`]: Self::p50_ms
+    pub server_p50_ms: f64,
+    /// 99th-percentile server-side execution time, milliseconds.
+    pub server_p99_ms: f64,
 }
 
 impl LoadgenReport {
@@ -104,7 +119,8 @@ impl LoadgenReport {
             "{{\"sent\":{},\"ok\":{},\"rejected\":{},\"deadline\":{},\"failed\":{},\
              \"connect_refused\":{},\"timed_out\":{},\
              \"wall_ms\":{},\"throughput_rps\":{},\"p50_ms\":{},\"p99_ms\":{},\
-             \"mean_ms\":{},\"max_ms\":{}}}",
+             \"mean_ms\":{},\"max_ms\":{},\
+             \"server_p50_ms\":{},\"server_p99_ms\":{}}}",
             self.sent,
             self.ok,
             self.rejected,
@@ -118,6 +134,8 @@ impl LoadgenReport {
             crate::json::num(self.p99_ms),
             crate::json::num(self.mean_ms),
             crate::json::num(self.max_ms),
+            crate::json::num(self.server_p50_ms),
+            crate::json::num(self.server_p99_ms),
         )
     }
 
@@ -130,7 +148,9 @@ impl LoadgenReport {
     }
 }
 
-/// The per-request outcomes one client observed.
+/// The per-request outcomes one client observed. Latencies go straight into
+/// the run's shared histograms ([`Hists`]) — lock-free, so clients never
+/// contend on a vector.
 #[derive(Debug, Default)]
 struct ClientTally {
     sent: u64,
@@ -140,7 +160,14 @@ struct ClientTally {
     failed: u64,
     connect_refused: u64,
     timed_out: u64,
-    latencies: Vec<Duration>,
+}
+
+/// The run's latency aggregation: client round trips and server-reported
+/// execution times, both in nanoseconds.
+#[derive(Debug, Default)]
+struct Hists {
+    client: Histogram,
+    server: Histogram,
 }
 
 /// SplitMix64 finalizer — the same deterministic hash `tpm-fault` uses, here
@@ -189,9 +216,13 @@ fn classify_io_error(e: &std::io::Error, tally: &mut ClientTally) {
 /// `io::Result` return is kept for API stability and is always `Ok`).
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let started = Instant::now();
+    let hists = Hists::default();
     let tallies: Vec<ClientTally> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..config.clients.max(1))
-            .map(|c| s.spawn(move || client_loop(config, c)))
+            .map(|c| {
+                let hists = &hists;
+                s.spawn(move || client_loop(config, c, hists))
+            })
             .collect();
         handles
             .into_iter()
@@ -209,18 +240,10 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         total.failed += t.failed;
         total.connect_refused += t.connect_refused;
         total.timed_out += t.timed_out;
-        total.latencies.extend(t.latencies);
     }
-    total.latencies.sort_unstable();
-    let ms = |d: Duration| d.as_secs_f64() * 1e3;
-    let quantile = |q: f64| -> f64 {
-        if total.latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((total.latencies.len() - 1) as f64 * q).round() as usize;
-        ms(total.latencies[idx])
-    };
-    let answered = total.latencies.len() as u64;
+    let client = hists.client.snapshot();
+    let server = hists.server.snapshot();
+    let ns_to_ms = |v: f64| v / 1e6;
     let wall_s = wall.as_secs_f64().max(1e-9);
     Ok(LoadgenReport {
         sent: total.sent,
@@ -230,21 +253,20 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         failed: total.failed,
         connect_refused: total.connect_refused,
         timed_out: total.timed_out,
-        wall_ms: ms(wall),
-        throughput: answered as f64 / wall_s,
-        p50_ms: quantile(0.50),
-        p99_ms: quantile(0.99),
-        mean_ms: if total.latencies.is_empty() {
-            0.0
-        } else {
-            ms(total.latencies.iter().sum::<Duration>()) / total.latencies.len() as f64
-        },
-        max_ms: total.latencies.last().copied().map_or(0.0, ms),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput: client.count() as f64 / wall_s,
+        p50_ms: ns_to_ms(client.quantile(0.50)),
+        p99_ms: ns_to_ms(client.quantile(0.99)),
+        mean_ms: ns_to_ms(client.mean()),
+        max_ms: ns_to_ms(client.max as f64),
+        server_p50_ms: ns_to_ms(server.quantile(0.50)),
+        server_p99_ms: ns_to_ms(server.quantile(0.99)),
     })
 }
 
-fn client_loop(config: &LoadgenConfig, client: usize) -> ClientTally {
+fn client_loop(config: &LoadgenConfig, client: usize, hists: &Hists) -> ClientTally {
     let mut tally = ClientTally::default();
+    let ident = format!("lg-{client}");
     let stream = match connect_with_retry(config, client) {
         Ok(s) => s,
         Err(e) => {
@@ -269,7 +291,7 @@ fn client_loop(config: &LoadgenConfig, client: usize) -> ClientTally {
     let mut line = String::new();
     for r in 0..config.requests {
         let id = (client * config.requests + r) as u64;
-        let request = Request::run_line(id, &config.spec, config.deadline_ms);
+        let request = Request::run_line_as(id, &config.spec, config.deadline_ms, Some(&ident));
         let sent_at = Instant::now();
         if let Err(e) = writer
             .write_all(request.as_bytes())
@@ -288,9 +310,12 @@ fn client_loop(config: &LoadgenConfig, client: usize) -> ClientTally {
                 break;
             }
         }
-        tally.latencies.push(sent_at.elapsed());
+        hists.client.record(sent_at.elapsed().as_nanos() as u64);
         match Response::parse(line.trim()) {
-            Ok(Response::Ok { .. }) => tally.ok += 1,
+            Ok(Response::Ok { elapsed_ms, .. }) => {
+                tally.ok += 1;
+                hists.server.record((elapsed_ms.max(0.0) * 1e6) as u64);
+            }
             Ok(Response::Error {
                 code: "overloaded", ..
             }) => tally.rejected += 1,

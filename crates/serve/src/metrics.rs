@@ -1,0 +1,365 @@
+//! The service's metrics surface: RED metrics plus runtime counters.
+//!
+//! One [`ServeMetrics`] belongs to one server instance (its own
+//! [`Registry`], so tests and side-by-side servers don't share series).
+//! Everything the scrape exposes is pre-registered at server start —
+//! outcome counters over the fixed wire-code set, one duration histogram
+//! per registered kernel — so the hot path never takes the registry lock,
+//! only atomic increments on `Arc`-held cells.
+//!
+//! The RED triple for the service:
+//!
+//! * **Rate** — `tpm_requests_total{outcome=...}`, one count per reply.
+//! * **Errors** — the same series, split by wire code (`deadline`,
+//!   `overloaded`, `panic`, …) plus `watchdog` for backstop kills.
+//! * **Duration** — `tpm_request_duration_seconds{kernel=...}` (execution)
+//!   and `tpm_queue_wait_seconds` (admission-queue time), both histograms.
+//!
+//! Runtime health rides along: per-runtime scheduler event counters fed by
+//! snapshot deltas around each job, per-worker busy time, queue/inflight
+//! gauges sampled at scrape time, and an HLL sketch of distinct clients.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tpm_metrics::{Counter, Histogram, Hll, Registry};
+use tpm_sync::StatsSnapshot as RuntimeSnapshot;
+
+/// Scheduler events exported per pooled runtime, in the order they appear
+/// in [`RuntimeSnapshot`].
+const RUNTIME_EVENTS: [&str; 8] = [
+    "spawned",
+    "executed",
+    "steals",
+    "failed_steals",
+    "chunks",
+    "loop_claims",
+    "barrier_waits",
+    "parks",
+];
+
+/// Reply outcomes pre-registered on `tpm_requests_total`. `ok` plus every
+/// stable wire error code, `watchdog` for grace-period kills, and `other`
+/// as the catch-all so an unexpected code still lands somewhere visible.
+const OUTCOMES: [&str; 10] = [
+    "ok",
+    "parse",
+    "overloaded",
+    "bad_config",
+    "deadline",
+    "cancelled",
+    "panic",
+    "injected",
+    "watchdog",
+    "other",
+];
+
+/// Index of a pooled runtime in [`ServeMetrics`] arrays.
+pub const RT_FORKJOIN: usize = 0;
+/// See [`RT_FORKJOIN`].
+pub const RT_WORKSTEAL: usize = 1;
+
+/// All instruments the server records into, pre-registered and `Arc`-held.
+pub struct ServeMetrics {
+    registry: Arc<Registry>,
+    enabled: bool,
+    outcomes: Vec<(&'static str, Arc<Counter>)>,
+    durations: HashMap<String, Arc<Histogram>>,
+    queue_wait: Arc<Histogram>,
+    clients: Arc<Hll>,
+    worker_busy: Vec<Arc<Counter>>,
+    /// `[runtime][event]` counters, runtimes indexed by `RT_*`.
+    runtime_events: [Vec<Arc<Counter>>; 2],
+    runtime_busy: [Arc<Counter>; 2],
+}
+
+impl std::fmt::Debug for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMetrics")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl ServeMetrics {
+    /// Pre-registers every series: `workers` busy counters and one duration
+    /// histogram per kernel in `kernels` (jobs for unknown kernels — which
+    /// admission rejects anyway — fall back to `kernel="other"`).
+    pub fn new(workers: usize, kernels: &[&str]) -> Self {
+        let registry = Arc::new(Registry::new());
+        let outcomes = OUTCOMES
+            .iter()
+            .map(|o| {
+                (
+                    *o,
+                    registry.counter(
+                        "tpm_requests_total",
+                        "Requests answered, by outcome (ok or error/shed class).",
+                        &[("outcome", o)],
+                    ),
+                )
+            })
+            .collect();
+        let mut durations = HashMap::new();
+        for kernel in kernels.iter().copied().chain(["other"]) {
+            durations.insert(
+                kernel.to_string(),
+                registry.histogram_scaled(
+                    "tpm_request_duration_seconds",
+                    "Job execution time (queue wait excluded), per kernel.",
+                    &[("kernel", kernel)],
+                    1e-9,
+                ),
+            );
+        }
+        let queue_wait = registry.histogram_scaled(
+            "tpm_queue_wait_seconds",
+            "Time between admission and a worker picking the job up.",
+            &[],
+            1e-9,
+        );
+        let clients = registry.hll(
+            "tpm_distinct_clients",
+            "Estimated distinct clients seen (HLL sketch, ~1% error).",
+            &[],
+        );
+        let worker_busy = (0..workers.max(1))
+            .map(|w| {
+                let w = w.to_string();
+                registry.counter_scaled(
+                    "tpm_worker_busy_seconds_total",
+                    "Seconds each service worker spent executing jobs.",
+                    &[("worker", &w)],
+                    1e-9,
+                )
+            })
+            .collect();
+        let runtime_events = [RT_FORKJOIN, RT_WORKSTEAL].map(|rt| {
+            let name = if rt == RT_FORKJOIN {
+                "forkjoin"
+            } else {
+                "worksteal"
+            };
+            RUNTIME_EVENTS
+                .iter()
+                .map(|event| {
+                    registry.counter(
+                        "tpm_runtime_events_total",
+                        "Scheduler events (tasks, steals, chunks, parks) per runtime.",
+                        &[("runtime", name), ("event", event)],
+                    )
+                })
+                .collect()
+        });
+        let runtime_busy = [RT_FORKJOIN, RT_WORKSTEAL].map(|rt| {
+            let name = if rt == RT_FORKJOIN {
+                "forkjoin"
+            } else {
+                "worksteal"
+            };
+            registry.counter_scaled(
+                "tpm_runtime_busy_seconds_total",
+                "Seconds runtime workers spent executing (busy, not idle).",
+                &[("runtime", name)],
+                1e-9,
+            )
+        });
+        // The no-pool model's counters are process-global; expose them as
+        // scrape-time reads rather than per-job deltas (concurrent service
+        // workers would double-count interval deltas of a shared global).
+        registry.counter_fn(
+            "tpm_runtime_events_total",
+            "Scheduler events (tasks, steals, chunks, parks) per runtime.",
+            &[("runtime", "rawthreads"), ("event", "thread_spawns")],
+            || tpm_rawthreads::stats().threads_spawned.get() as f64,
+        );
+        registry.counter_fn(
+            "tpm_runtime_events_total",
+            "Scheduler events (tasks, steals, chunks, parks) per runtime.",
+            &[("runtime", "rawthreads"), ("event", "chunks")],
+            || tpm_rawthreads::stats().chunks.get() as f64,
+        );
+        Self {
+            registry,
+            enabled: tpm_metrics::enabled(),
+            outcomes,
+            durations,
+            queue_wait,
+            clients,
+            worker_busy,
+            runtime_events,
+            runtime_busy,
+        }
+    }
+
+    /// The backing registry (for gauge registration and scraping).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Whether recording is on (`TPM_METRICS` gate).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Counts one answered request by outcome (`ok` or a wire error code).
+    pub fn observe_outcome(&self, code: &str) {
+        if !self.enabled {
+            return;
+        }
+        let c = self
+            .outcomes
+            .iter()
+            .find(|(o, _)| *o == code)
+            .or_else(|| self.outcomes.iter().find(|(o, _)| *o == "other"))
+            .map(|(_, c)| c);
+        if let Some(c) = c {
+            c.inc();
+        }
+    }
+
+    /// Records a completed job: execution time into the kernel's histogram,
+    /// queue wait into the shared histogram, busy time onto `worker`'s
+    /// counter.
+    pub fn observe_job(&self, kernel: &str, worker: usize, queue_ns: u64, exec_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let h = self
+            .durations
+            .get(kernel)
+            .or_else(|| self.durations.get("other"));
+        if let Some(h) = h {
+            h.record(exec_ns);
+        }
+        self.queue_wait.record(queue_ns);
+        if let Some(busy) = self.worker_busy.get(worker) {
+            busy.add(exec_ns);
+        }
+    }
+
+    /// Folds one client identity into the distinct-clients sketch.
+    pub fn observe_client(&self, ident: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.clients.insert_str(ident);
+    }
+
+    /// Current distinct-client estimate (always available — it feeds the
+    /// `health` reply).
+    pub fn distinct_clients(&self) -> u64 {
+        self.clients.estimate_u64()
+    }
+
+    /// Adds a scheduler-snapshot delta to runtime `rt` (`RT_FORKJOIN` or
+    /// `RT_WORKSTEAL`). Exact per job because each service worker owns its
+    /// executors.
+    pub fn add_runtime_delta(&self, rt: usize, d: &RuntimeSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        let events = &self.runtime_events[rt];
+        let values = [
+            d.spawned,
+            d.executed,
+            d.steals,
+            d.failed_steals,
+            d.chunks,
+            d.loop_claims,
+            d.barrier_waits,
+            d.parks,
+        ];
+        for (c, v) in events.iter().zip(values) {
+            if v > 0 {
+                c.add(v);
+            }
+        }
+        if d.busy_ns > 0 {
+            self.runtime_busy[rt].add(d.busy_ns);
+        }
+    }
+
+    /// Renders the full Prometheus text exposition.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_counting_falls_back_to_other() {
+        let m = ServeMetrics::new(2, &["sum"]);
+        m.observe_outcome("ok");
+        m.observe_outcome("ok");
+        m.observe_outcome("deadline");
+        m.observe_outcome("mystery_code");
+        let text = m.render();
+        assert!(
+            text.contains("tpm_requests_total{outcome=\"ok\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("tpm_requests_total{outcome=\"deadline\"} 1"));
+        assert!(text.contains("tpm_requests_total{outcome=\"other\"} 1"));
+    }
+
+    #[test]
+    fn job_observation_feeds_kernel_histogram_and_worker_busy() {
+        let m = ServeMetrics::new(2, &["sum", "fib"]);
+        m.observe_job("sum", 0, 1_000, 2_000_000);
+        m.observe_job("nope", 1, 500, 1_000_000);
+        let text = m.render();
+        assert!(
+            text.contains("tpm_request_duration_seconds_count{kernel=\"sum\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("tpm_request_duration_seconds_count{kernel=\"other\"} 1"));
+        assert!(text.contains("tpm_queue_wait_seconds_count 2"));
+        assert!(text.contains("tpm_worker_busy_seconds_total{worker=\"0\"} 0.002"));
+    }
+
+    #[test]
+    fn runtime_delta_lands_on_labeled_series() {
+        let m = ServeMetrics::new(1, &[]);
+        let d = RuntimeSnapshot {
+            steals: 4,
+            executed: 10,
+            busy_ns: 3_000_000_000,
+            ..RuntimeSnapshot::default()
+        };
+        m.add_runtime_delta(RT_WORKSTEAL, &d);
+        let text = m.render();
+        assert!(
+            text.contains("tpm_runtime_events_total{runtime=\"worksteal\",event=\"steals\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("tpm_runtime_busy_seconds_total{runtime=\"worksteal\"} 3"));
+    }
+
+    #[test]
+    fn exposition_validates_and_covers_rawthreads() {
+        let m = ServeMetrics::new(1, &["sum"]);
+        m.observe_outcome("ok");
+        let scrape = tpm_metrics::text::validate(&m.render()).expect("valid exposition");
+        assert!(scrape
+            .find(
+                "tpm_runtime_events_total",
+                &[("runtime", "rawthreads"), ("event", "thread_spawns")]
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn distinct_clients_estimate_tracks_inserts() {
+        let m = ServeMetrics::new(1, &[]);
+        for i in 0..30 {
+            m.observe_client(&format!("10.0.0.{i}"));
+            m.observe_client(&format!("10.0.0.{i}")); // duplicates don't count
+        }
+        let est = m.distinct_clients();
+        assert!((28..=32).contains(&est), "estimate {est}");
+    }
+}

@@ -30,11 +30,17 @@ pub enum Request {
         /// Per-request deadline; the job (queue wait included) is abandoned
         /// once it passes.
         deadline_ms: Option<u64>,
+        /// Optional caller identity (tenant/client id) for distinct-client
+        /// accounting. Connections without one are identified by peer
+        /// address.
+        client: Option<String>,
     },
     /// Liveness probe; replies `{"ok":true,"pong":true}`.
     Ping,
     /// Health probe; replies worker liveness and queue depth.
     Health,
+    /// Metrics scrape; replies the full Prometheus text exposition.
+    Metrics,
     /// Stop accepting work, drain the queue, exit.
     Shutdown,
 }
@@ -48,6 +54,7 @@ impl Request {
                 Some("shutdown") => Ok(Request::Shutdown),
                 Some("ping") => Ok(Request::Ping),
                 Some("health") => Ok(Request::Health),
+                Some("metrics") => Ok(Request::Metrics),
                 _ => Err(format!("unknown cmd {cmd:?}")),
             };
         }
@@ -82,6 +89,7 @@ impl Request {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_u64().ok_or("invalid \"deadline_ms\"")?),
         };
+        let client = map.get("client").and_then(Json::as_str).map(str::to_string);
         Ok(Request::Run {
             id,
             spec: JobSpec {
@@ -92,11 +100,22 @@ impl Request {
                 threads,
             },
             deadline_ms,
+            client,
         })
     }
 
     /// Serializes a run request (used by the load generator and tests).
     pub fn run_line(id: u64, spec: &JobSpec, deadline_ms: Option<u64>) -> String {
+        Self::run_line_as(id, spec, deadline_ms, None)
+    }
+
+    /// [`run_line`](Self::run_line) with an explicit client identity.
+    pub fn run_line_as(
+        id: u64,
+        spec: &JobSpec,
+        deadline_ms: Option<u64>,
+        client: Option<&str>,
+    ) -> String {
         let mut line = format!(
             "{{\"id\":{},\"kernel\":\"{}\",\"model\":\"{}\",\"variant\":\"{}\",\"size\":{},\"threads\":{}",
             id,
@@ -108,6 +127,9 @@ impl Request {
         );
         if let Some(ms) = deadline_ms {
             line.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        if let Some(c) = client {
+            line.push_str(&format!(",\"client\":\"{}\"", json::escape(c)));
         }
         line.push('}');
         line
@@ -149,6 +171,20 @@ pub enum Response {
         queue_depth: u64,
         /// Jobs currently executing on a worker.
         inflight: u64,
+        /// Jobs admitted since startup (compact RED snapshot).
+        admitted: u64,
+        /// Jobs completed successfully since startup.
+        completed: u64,
+        /// Jobs refused at admission (overload shedding) since startup.
+        shed: u64,
+        /// Estimated distinct clients seen (HLL sketch; ~1% error).
+        distinct_clients: u64,
+    },
+    /// Reply to `metrics`: the full Prometheus text exposition, carried as
+    /// one escaped JSON string so the one-line-per-response framing holds.
+    Metrics {
+        /// Prometheus text exposition format, newlines and all.
+        exposition: String,
     },
     /// Reply to `shutdown`: the server stops accepting and drains.
     ShuttingDown,
@@ -201,10 +237,20 @@ impl Response {
                 dead_workers,
                 queue_depth,
                 inflight,
+                admitted,
+                completed,
+                shed,
+                distinct_clients,
             } => format!(
                 "{{\"ok\":true,\"health\":true,\"live_workers\":{live_workers},\
                  \"dead_workers\":{dead_workers},\"queue_depth\":{queue_depth},\
-                 \"inflight\":{inflight}}}"
+                 \"inflight\":{inflight},\"admitted\":{admitted},\
+                 \"completed\":{completed},\"shed\":{shed},\
+                 \"distinct_clients\":{distinct_clients}}}"
+            ),
+            Response::Metrics { exposition } => format!(
+                "{{\"ok\":true,\"metrics\":true,\"exposition\":\"{}\"}}",
+                json::escape(exposition),
             ),
             Response::ShuttingDown => "{\"ok\":true,\"shutdown\":true}".to_string(),
         }
@@ -228,6 +274,19 @@ impl Response {
                     dead_workers: field("dead_workers"),
                     queue_depth: field("queue_depth"),
                     inflight: field("inflight"),
+                    admitted: field("admitted"),
+                    completed: field("completed"),
+                    shed: field("shed"),
+                    distinct_clients: field("distinct_clients"),
+                });
+            }
+            if map.contains_key("metrics") {
+                return Ok(Response::Metrics {
+                    exposition: map
+                        .get("exposition")
+                        .and_then(Json::as_str)
+                        .ok_or("missing exposition")?
+                        .to_string(),
                 });
             }
             if map.contains_key("shutdown") {
@@ -284,10 +343,16 @@ mod tests {
             Request::parse(&line).unwrap(),
             Request::Run {
                 id: 9,
-                spec,
-                deadline_ms: Some(500)
+                spec: spec.clone(),
+                deadline_ms: Some(500),
+                client: None,
             }
         );
+        let line = Request::run_line_as(9, &spec, None, Some("tenant-a"));
+        match Request::parse(&line).unwrap() {
+            Request::Run { client, .. } => assert_eq!(client.as_deref(), Some("tenant-a")),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -314,6 +379,7 @@ mod tests {
         );
         assert_eq!(Request::parse(r#"{"cmd":"ping"}"#), Ok(Request::Ping));
         assert_eq!(Request::parse(r#"{"cmd":"health"}"#), Ok(Request::Health));
+        assert_eq!(Request::parse(r#"{"cmd":"metrics"}"#), Ok(Request::Metrics));
         assert!(Request::parse(r#"{"cmd":"reboot"}"#).is_err());
     }
 
@@ -361,6 +427,13 @@ mod tests {
                 dead_workers: 1,
                 queue_depth: 3,
                 inflight: 2,
+                admitted: 40,
+                completed: 35,
+                shed: 2,
+                distinct_clients: 4,
+            },
+            Response::Metrics {
+                exposition: "# TYPE a counter\na 1\n".to_string(),
             },
             Response::ShuttingDown,
         ] {

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use tpm_core::{panic_message, Executor, JobRegistry, JobSpec};
 use tpm_sync::CancelToken;
 
+use crate::metrics::{ServeMetrics, RT_FORKJOIN, RT_WORKSTEAL};
 use crate::protocol::{Request, Response, CODE_INJECTED, CODE_OVERLOADED, CODE_PARSE};
 use crate::queue::BoundedQueue;
 
@@ -149,6 +150,7 @@ struct Shared {
     seq: AtomicU64,
     live_workers: AtomicUsize,
     dead_workers: AtomicU64,
+    metrics: ServeMetrics,
 }
 
 impl Shared {
@@ -201,6 +203,20 @@ impl ServerHandle {
         self.shared.live_workers.load(Ordering::Relaxed)
     }
 
+    /// The server's metrics registry, cloneable out of the handle — the
+    /// instrument cells are `Arc`-held by the registry entries, so a clone
+    /// taken before [`wait`](Self::wait) still reads final values after the
+    /// server has fully drained and joined.
+    pub fn metrics(&self) -> Arc<tpm_metrics::Registry> {
+        Arc::clone(self.shared.metrics.registry())
+    }
+
+    /// The current Prometheus text exposition (same bytes a `metrics` wire
+    /// request returns).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render()
+    }
+
     /// Worker-death incidents observed so far (each healed by a respawn).
     pub fn worker_deaths(&self) -> u64 {
         self.shared.dead_workers.load(Ordering::Relaxed)
@@ -240,6 +256,7 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    let metrics = ServeMetrics::new(workers, &registry.names());
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_capacity),
         registry,
@@ -251,7 +268,51 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
         seq: AtomicU64::new(0),
         live_workers: AtomicUsize::new(workers),
         dead_workers: AtomicU64::new(0),
+        metrics,
     });
+    // Levels that already exist on `Shared` are sampled at scrape time.
+    // The closures capture a Weak so the registry (cloneable out of the
+    // handle) never keeps the server's threads' shared state alive.
+    {
+        let reg = Arc::clone(shared.metrics.registry());
+        let w = Arc::downgrade(&shared);
+        reg.gauge_fn(
+            "tpm_admission_queue_depth",
+            "Jobs waiting in the bounded admission queue.",
+            &[],
+            move || w.upgrade().map_or(0.0, |s| s.queue.len() as f64),
+        );
+        let w = Arc::downgrade(&shared);
+        reg.gauge_fn(
+            "tpm_inflight_jobs",
+            "Jobs currently executing on a worker.",
+            &[],
+            move || {
+                w.upgrade()
+                    .map_or(0.0, |s| s.inflight.lock().unwrap().len() as f64)
+            },
+        );
+        let w = Arc::downgrade(&shared);
+        reg.gauge_fn(
+            "tpm_live_workers",
+            "Workers currently able to take jobs.",
+            &[],
+            move || {
+                w.upgrade()
+                    .map_or(0.0, |s| s.live_workers.load(Ordering::Relaxed) as f64)
+            },
+        );
+        let w = Arc::downgrade(&shared);
+        reg.counter_fn(
+            "tpm_worker_deaths_total",
+            "Worker-death incidents (each healed by a respawn).",
+            &[],
+            move || {
+                w.upgrade()
+                    .map_or(0.0, |s| s.dead_workers.load(Ordering::Relaxed) as f64)
+            },
+        );
+    }
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let worker_handles: Vec<JoinHandle<()>> = (0..workers)
@@ -266,7 +327,7 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
                     // and the same thread re-enters the loop — the slot never
                     // goes dark.
                     loop {
-                        match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))) {
+                        match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, i))) {
                             Ok(()) => break, // queue closed: clean exit
                             Err(_) => {
                                 shared.live_workers.fetch_sub(1, Ordering::Relaxed);
@@ -339,6 +400,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
         }
         for (id, reply) in overdue {
             shared.stats.watchdog_shed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.observe_outcome("watchdog");
             let _ = reply.send(
                 Response::Error {
                     id: Some(id),
@@ -386,6 +448,12 @@ const READ_TICK: Duration = Duration::from_millis(100);
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
+    // The peer's IP identifies clients that don't send an explicit
+    // `client` field (the port would make every connection "distinct").
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -396,7 +464,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         .spawn(move || writer_loop(write_half, &rx))
         .expect("spawn connection writer");
 
-    read_lines(stream, shared, &tx);
+    read_lines(stream, shared, &tx, &peer);
 
     // Queued jobs hold reply-sender clones; the writer exits once the last
     // one drops (after the drain), so every admitted request gets answered.
@@ -420,7 +488,7 @@ fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<String>) {
     let _ = stream.flush();
 }
 
-fn read_lines(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
+fn read_lines(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<String>, peer: &str) {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -429,7 +497,7 @@ fn read_lines(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Str
             let text = String::from_utf8_lossy(&line);
             let text = text.trim();
             if !text.is_empty() {
-                handle_line(text, shared, tx);
+                handle_line(text, shared, tx, peer);
             }
         }
         match stream.read(&mut chunk) {
@@ -449,11 +517,13 @@ fn read_lines(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Str
     }
 }
 
-fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
+fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>, peer: &str) {
     // Containment for the admission path: a panic here (injected via the
     // job-admission fault site, or organic) must cost one error reply, not
     // the whole connection's reader thread.
-    if let Err(p) = catch_unwind(AssertUnwindSafe(|| handle_line_inner(line, shared, tx))) {
+    if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+        handle_line_inner(line, shared, tx, peer)
+    })) {
         let message = panic_message(p);
         let code = if tpm_fault::is_injected_message(&message) {
             CODE_INJECTED
@@ -461,6 +531,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
             "panic"
         };
         shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.observe_outcome(code);
         let _ = tx.send(
             Response::Error {
                 id: None,
@@ -472,12 +543,13 @@ fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
     }
 }
 
-fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>) {
+fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>, peer: &str) {
     let reply = |r: Response| {
         let _ = tx.send(r.to_line());
     };
     match Request::parse(line) {
         Err(msg) => {
+            shared.metrics.observe_outcome(CODE_PARSE);
             reply(Response::Error {
                 id: None,
                 code: CODE_PARSE,
@@ -486,11 +558,21 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
         }
         Ok(Request::Ping) => reply(Response::Pong),
         Ok(Request::Health) => {
+            let stats = shared.stats.snapshot();
             reply(Response::Health {
                 live_workers: shared.live_workers.load(Ordering::Relaxed) as u64,
                 dead_workers: shared.dead_workers.load(Ordering::Relaxed),
                 queue_depth: shared.queue.len() as u64,
                 inflight: shared.inflight.lock().unwrap().len() as u64,
+                admitted: stats.admitted,
+                completed: stats.completed,
+                shed: stats.shed + stats.watchdog_shed,
+                distinct_clients: shared.metrics.distinct_clients(),
+            });
+        }
+        Ok(Request::Metrics) => {
+            reply(Response::Metrics {
+                exposition: shared.metrics.render(),
             });
         }
         Ok(Request::Shutdown) => {
@@ -501,7 +583,13 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
             id,
             spec,
             deadline_ms,
+            client,
         }) => {
+            // Fold the caller into the distinct-clients sketch before any
+            // admission decision: shed traffic is still traffic.
+            shared
+                .metrics
+                .observe_client(client.as_deref().unwrap_or(peer));
             // Fault-injection point: job admission. A panic rule unwinds
             // into handle_line's catch (one error reply); a steal-miss rule
             // models load shedding; a task-drop rule refuses the job with an
@@ -512,6 +600,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
                 }
                 tpm_fault::Action::TaskDrop => {
                     shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.observe_outcome(CODE_INJECTED);
                     reply(Response::Error {
                         id: Some(id),
                         code: CODE_INJECTED,
@@ -521,6 +610,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
                 }
                 tpm_fault::Action::StealMiss => {
                     shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.observe_outcome(CODE_OVERLOADED);
                     reply(Response::Error {
                         id: Some(id),
                         code: CODE_OVERLOADED,
@@ -532,6 +622,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
             }
             if spec.threads > shared.config.max_threads {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.observe_outcome("bad_config");
                 reply(Response::Error {
                     id: Some(id),
                     code: "bad_config",
@@ -545,6 +636,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
             // Reject obviously-bad specs before they occupy a queue slot.
             if let Err(e) = shared.registry.validate(&spec) {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.observe_outcome(e.code());
                 reply(Response::Error {
                     id: Some(id),
                     code: e.code(),
@@ -572,6 +664,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
                 }
                 Err(item) => {
                     shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.observe_outcome(CODE_OVERLOADED);
                     let _ = item.reply.send(
                         Response::Error {
                             id: Some(item.id),
@@ -586,16 +679,25 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
     // One executor per requested thread count: a Team/Runtime pair cannot
     // run concurrent regions, so executors are never shared across workers.
-    let mut executors: HashMap<usize, Executor> = HashMap::new();
+    // Each executor carries the (team, worksteal) stats snapshot taken after
+    // its last job, so per-job scheduler deltas are exact — nothing else
+    // drives these pools.
+    let mut executors: HashMap<
+        usize,
+        (Executor, (tpm_sync::StatsSnapshot, tpm_sync::StatsSnapshot)),
+    > = HashMap::new();
     while let Some(item) = shared.queue.pop() {
         let _span = tpm_trace::span("serve.job");
-        let queue_ms = item.enqueued.elapsed().as_secs_f64() * 1e3;
-        let exec = executors
-            .entry(item.spec.threads)
-            .or_insert_with(|| Executor::new(item.spec.threads));
+        let queue_ns = item.enqueued.elapsed().as_nanos() as u64;
+        let queue_ms = queue_ns as f64 / 1e6;
+        let (exec, last) = executors.entry(item.spec.threads).or_insert_with(|| {
+            let exec = Executor::new(item.spec.threads);
+            let snap = exec.runtime_stats();
+            (exec, snap)
+        });
 
         // Register with the watchdog for the duration of the run. The
         // hard-kill point is the token deadline plus the grace margin:
@@ -622,18 +724,34 @@ fn worker_loop(shared: &Arc<Shared>) {
         // Contain the job: a panicking body that escapes the runtime's own
         // containment (or an injected task-exec fault) costs one error
         // reply, not the worker.
+        let exec_start = Instant::now();
         let run = catch_unwind(AssertUnwindSafe(|| {
             shared.registry.run(exec, &item.spec, &item.token)
         }));
+        let exec_ns = exec_start.elapsed().as_nanos() as u64;
         shared.inflight.lock().unwrap().remove(&seq);
 
-        // Exactly one reply per request: skip if the watchdog beat us to it.
+        shared
+            .metrics
+            .observe_job(&item.spec.kernel, index, queue_ns, exec_ns);
+        let (team_now, ws_now) = exec.runtime_stats();
+        shared
+            .metrics
+            .add_runtime_delta(RT_FORKJOIN, &(team_now - last.0));
+        shared
+            .metrics
+            .add_runtime_delta(RT_WORKSTEAL, &(ws_now - last.1));
+        *last = (team_now, ws_now);
+
+        // Exactly one reply per request: skip if the watchdog beat us to it
+        // (it already counted the request under `watchdog`).
         if item.replied.swap(true, Ordering::SeqCst) {
             continue;
         }
         let response = match run {
             Ok(Ok(result)) => {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.observe_outcome("ok");
                 Response::Ok {
                     id: item.id,
                     value: result.value,
@@ -643,6 +761,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             Ok(Err(e)) => {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.observe_outcome(e.code());
                 Response::Error {
                     id: Some(item.id),
                     code: e.code(),
@@ -657,6 +776,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 } else {
                     "panic"
                 };
+                shared.metrics.observe_outcome(code);
                 Response::Error {
                     id: Some(item.id),
                     code,
@@ -765,6 +885,7 @@ mod tests {
                 dead_workers,
                 queue_depth,
                 inflight,
+                ..
             } => {
                 assert_eq!(live_workers, 2);
                 assert_eq!(dead_workers, 0);

@@ -65,6 +65,15 @@ pub struct WorkerStats {
     pub barrier_waits: Counter,
     /// Total nanoseconds this worker spent waiting at barriers.
     pub barrier_wait_ns: Counter,
+    /// Times this worker gave up spinning/yielding and parked (condvar wait
+    /// or timed park). A high park rate with steady throughput means the
+    /// pool is over-provisioned; a high rate with poor throughput means
+    /// work arrives in bursts the idle policy keeps missing.
+    pub parks: Counter,
+    /// Nanoseconds this worker spent executing work (top-level tasks or
+    /// parallel-region bodies — not idle loops). `busy_ns / wall_ns` is the
+    /// worker's utilization.
+    pub busy_ns: Counter,
 }
 
 /// Counters for a whole scheduler instance: one padded [`WorkerStats`] per
@@ -93,6 +102,31 @@ pub struct StatsSnapshot {
     pub barrier_waits: u64,
     /// Total nanoseconds spent waiting at barriers (across workers).
     pub barrier_wait_ns: u64,
+    /// Total park episodes (across workers).
+    pub parks: u64,
+    /// Total nanoseconds spent executing work (across workers).
+    pub busy_ns: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    /// Events between two snapshots of the same scheduler (`later - earlier`).
+    /// Saturating, so a racing reset yields zeros instead of wrap-around.
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            spawned: self.spawned.saturating_sub(rhs.spawned),
+            executed: self.executed.saturating_sub(rhs.executed),
+            steals: self.steals.saturating_sub(rhs.steals),
+            failed_steals: self.failed_steals.saturating_sub(rhs.failed_steals),
+            chunks: self.chunks.saturating_sub(rhs.chunks),
+            loop_claims: self.loop_claims.saturating_sub(rhs.loop_claims),
+            barrier_waits: self.barrier_waits.saturating_sub(rhs.barrier_waits),
+            barrier_wait_ns: self.barrier_wait_ns.saturating_sub(rhs.barrier_wait_ns),
+            parks: self.parks.saturating_sub(rhs.parks),
+            busy_ns: self.busy_ns.saturating_sub(rhs.busy_ns),
+        }
+    }
 }
 
 impl SchedulerStats {
@@ -127,6 +161,8 @@ impl SchedulerStats {
             s.loop_claims += w.loop_claims.get();
             s.barrier_waits += w.barrier_waits.get();
             s.barrier_wait_ns += w.barrier_wait_ns.get();
+            s.parks += w.parks.get();
+            s.busy_ns += w.busy_ns.get();
         }
         s
     }
@@ -142,6 +178,8 @@ impl SchedulerStats {
             w.loop_claims.reset();
             w.barrier_waits.reset();
             w.barrier_wait_ns.reset();
+            w.parks.reset();
+            w.busy_ns.reset();
         }
     }
 }
@@ -179,6 +217,23 @@ mod tests {
         assert_eq!(snap.barrier_wait_ns, 1_234);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_subtraction_is_per_field_and_saturating() {
+        let s = SchedulerStats::new(2);
+        s.worker(0).executed.add(5);
+        s.worker(1).parks.add(2);
+        let before = s.snapshot();
+        s.worker(0).executed.add(3);
+        s.worker(0).busy_ns.add(1_000);
+        let after = s.snapshot();
+        let d = after - before;
+        assert_eq!(d.executed, 3);
+        assert_eq!(d.parks, 0);
+        assert_eq!(d.busy_ns, 1_000);
+        // Reversed operands saturate instead of wrapping.
+        assert_eq!((before - after).executed, 0);
     }
 
     #[test]

@@ -501,13 +501,23 @@ fn worker_loop(inner: &RuntimeInner, index: usize, deque: &Worker<JobRef>) {
             tpm_fault::injected_panic(FaultSite::StealAttempt);
         }
         if let Some(job) = ctx.pop().or_else(|| ctx.steal_work()) {
+            // Busy time is measured around top-level jobs only: nested jobs
+            // run inside this span (via join/wait), so timing them again
+            // would double-count — and per-task clocks would be too hot.
+            let started = std::time::Instant::now();
             ctx.execute(job);
+            inner
+                .stats
+                .worker(index)
+                .busy_ns
+                .add(started.elapsed().as_nanos() as u64);
             idle.reset();
             continue;
         }
         if idle.snooze() {
             // Timed park: flag ourselves asleep so pushers can unpark us;
             // the timeout bounds the cost of any lost wakeup.
+            inner.stats.worker(index).parks.inc();
             inner.asleep[index].store(true, Ordering::Release);
             inner.sleepers.fetch_add(1, Ordering::Relaxed);
             std::thread::park_timeout(PARK_INTERVAL);

@@ -34,6 +34,7 @@ pub use tpm_features as features;
 pub use tpm_forkjoin as forkjoin;
 pub use tpm_harness as harness;
 pub use tpm_kernels as kernels;
+pub use tpm_metrics as metrics;
 pub use tpm_rawthreads as rawthreads;
 pub use tpm_rodinia as rodinia;
 pub use tpm_serve as serve;
