@@ -54,8 +54,13 @@ service flags (serve + loadgen):
   --queue N          bounded admission-queue capacity; requests beyond it
                      are shed with an `overloaded` reply [32]
   --max-threads N    largest per-job thread count the server accepts [8]
-  --clients N        loadgen: concurrent closed-loop connections [4]
-  --requests N       loadgen: requests issued per client [20]
+  --clients N        loadgen: concurrent persistent connections [4]
+  --connections N    loadgen: alias of --clients
+  --requests N       loadgen: requests issued per connection [20]
+  --protocol p       loadgen: wire protocol, json|binary [json]
+  --window N         loadgen: requests kept in flight per connection
+                     (pipelining; 1 = closed loop) [1]
+  --data-path p      serve: socket data path, auto|epoll|threaded [auto]
   --size N           loadgen: problem size sent in each job request [4096]
   --model m          loadgen: threading model each job runs under [omp_for]
   --deadline-ms N    loadgen: per-request deadline forwarded to the server
@@ -93,10 +98,17 @@ pub struct ServiceOpts {
     pub queue: usize,
     /// Largest per-job thread count the server accepts.
     pub max_threads: usize,
-    /// Loadgen: concurrent closed-loop clients.
+    /// Loadgen: concurrent persistent connections (`--clients` /
+    /// `--connections`).
     pub clients: usize,
     /// Loadgen: requests issued per client.
     pub requests: usize,
+    /// Loadgen: wire protocol each connection speaks.
+    pub protocol: tpm_serve::Protocol,
+    /// Loadgen: requests kept in flight per connection (1 = closed loop).
+    pub window: usize,
+    /// Serve: socket data path.
+    pub data_path: tpm_serve::DataPath,
     /// Loadgen: problem size sent in each job request.
     pub size: usize,
     /// Loadgen: threading model each job runs under.
@@ -122,6 +134,9 @@ impl Default for ServiceOpts {
             max_threads: 8,
             clients: 4,
             requests: 20,
+            protocol: tpm_serve::Protocol::Json,
+            window: 1,
+            data_path: tpm_serve::DataPath::Auto,
             size: 4096,
             model: Model::OmpFor,
             deadline_ms: None,
@@ -218,11 +233,26 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--max-threads" => {
                 service.max_threads = positive(args, &mut i, "--max-threads")?;
             }
-            "--clients" => {
-                service.clients = positive(args, &mut i, "--clients")?;
+            "--clients" | "--connections" => {
+                service.clients = positive(args, &mut i, arg)?;
             }
             "--requests" => {
                 service.requests = positive(args, &mut i, "--requests")?;
+            }
+            "--protocol" => {
+                let v = flag_value(args, &mut i, "--protocol")?;
+                service.protocol = tpm_serve::Protocol::parse(v).ok_or_else(|| {
+                    format!("invalid --protocol value '{v}': expected json|binary")
+                })?;
+            }
+            "--window" => {
+                service.window = positive(args, &mut i, "--window")?;
+            }
+            "--data-path" => {
+                let v = flag_value(args, &mut i, "--data-path")?;
+                service.data_path = tpm_serve::DataPath::parse(v).ok_or_else(|| {
+                    format!("invalid --data-path value '{v}': expected auto|epoll|threaded")
+                })?;
             }
             "--size" => {
                 service.size = positive(args, &mut i, "--size")?;
@@ -442,6 +472,54 @@ mod tests {
         assert!(plain.service.metrics_out.is_none());
         assert!(p(&["top", "--frames", "0"]).is_err());
         assert!(p(&["top", "--interval-ms"])
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn parses_wire_protocol_flags() {
+        use tpm_serve::{DataPath, Protocol};
+        let cli = p(&[
+            "loadgen",
+            "--connections",
+            "256",
+            "--protocol",
+            "binary",
+            "--window",
+            "16",
+        ])
+        .unwrap();
+        assert_eq!(cli.service.clients, 256, "--connections aliases --clients");
+        assert_eq!(cli.service.protocol, Protocol::Binary);
+        assert_eq!(cli.service.window, 16);
+
+        let cli = p(&["serve", "--data-path", "threaded"]).unwrap();
+        assert_eq!(cli.service.data_path, DataPath::Threaded);
+        let cli = p(&["serve", "--data-path", "epoll"]).unwrap();
+        assert_eq!(cli.service.data_path, DataPath::Epoll);
+
+        let plain = p(&["serve"]).unwrap();
+        assert_eq!(plain.service.protocol, Protocol::Json);
+        assert_eq!(plain.service.window, 1);
+        assert_eq!(plain.service.data_path, DataPath::Auto);
+    }
+
+    #[test]
+    fn malformed_wire_protocol_flags_are_errors() {
+        let err = p(&["loadgen", "--protocol", "grpc"]).unwrap_err();
+        assert!(
+            err.contains("--protocol") && err.contains("json|binary"),
+            "{err}"
+        );
+        let err = p(&["serve", "--data-path", "io_uring"]).unwrap_err();
+        assert!(
+            err.contains("--data-path") && err.contains("auto|epoll|threaded"),
+            "{err}"
+        );
+        let err = p(&["loadgen", "--connections", "0"]).unwrap_err();
+        assert!(err.contains("--connections"), "{err}");
+        assert!(p(&["loadgen", "--window", "none"]).is_err());
+        assert!(p(&["loadgen", "--protocol"])
             .unwrap_err()
             .contains("requires a value"));
     }

@@ -21,18 +21,20 @@ pub fn run_serve(opts: &ServiceOpts) -> i32 {
         queue_capacity: opts.queue,
         max_threads: opts.max_threads,
         default_deadline_ms: opts.deadline_ms,
+        data_path: opts.data_path,
         ..ServerConfig::default()
     };
     let handle = match serve(registry, config) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            eprintln!("error: cannot start server on {}: {e}", opts.addr);
             return 1;
         }
     };
     println!(
-        "[serve] listening on {} ({} workers, queue {}, jobs: {})",
+        "[serve] listening on {} ({} data path, {} workers, queue {}, jobs: {})",
         handle.addr(),
+        handle.data_path().name(),
         opts.workers,
         opts.queue,
         names.join(" ")
@@ -82,6 +84,8 @@ pub fn run_loadgen(
 ) -> i32 {
     let config = LoadgenConfig {
         deadline_ms: opts.deadline_ms,
+        protocol: opts.protocol,
+        window: opts.window,
         ..LoadgenConfig::new(
             opts.addr.clone(),
             opts.clients,
@@ -90,12 +94,14 @@ pub fn run_loadgen(
         )
     };
     println!(
-        "[loadgen] {} clients x {} requests of {} (size {}, {}) -> {}",
+        "[loadgen] {} connections x {} requests of {} (size {}, {}, {} protocol, window {}) -> {}",
         config.clients,
         config.requests,
         job,
         opts.size,
         opts.model.name(),
+        config.protocol.name(),
+        config.window,
         config.addr
     );
     let report = match loadgen::run(&config) {
@@ -110,12 +116,14 @@ pub fn run_loadgen(
     if let Some(path) = json_out {
         let body = format!(
             "{{\"experiment\":\"loadgen\",\"job\":{:?},\"model\":{:?},\"size\":{},\
-             \"clients\":{},\"requests\":{},\"report\":{}}}\n",
+             \"clients\":{},\"requests\":{},\"protocol\":{:?},\"window\":{},\"report\":{}}}\n",
             job,
             opts.model.name(),
             opts.size,
             opts.clients,
             opts.requests,
+            opts.protocol.name(),
+            opts.window,
             report.to_json()
         );
         if let Err(e) = std::fs::write(path, body) {

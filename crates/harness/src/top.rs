@@ -107,6 +107,19 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// Formats a byte count as an adaptive `B`/`KiB`/`MiB`/`GiB` string.
+fn fmt_bytes(b: f64) -> String {
+    if b < 1024.0 {
+        format!("{b:.0}B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1}KiB", b / 1024.0)
+    } else if b < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1}MiB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2}GiB", b / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
 /// Renders one dashboard frame from the current scrape, the previous one,
 /// and the seconds elapsed between them. Pure — see the module docs.
 pub fn render(cur: &Scrape, prev: &Scrape, dt_s: f64) -> String {
@@ -131,6 +144,14 @@ pub fn render(cur: &Scrape, prev: &Scrape, dt_s: f64) -> String {
         cur.get("tpm_live_workers", &[]).unwrap_or(0.0),
         cur.get("tpm_worker_deaths_total", &[]).unwrap_or(0.0),
         cur.get("tpm_distinct_clients", &[]).unwrap_or(0.0),
+    ));
+
+    // ── connections and wire traffic ──────────────────────────────────
+    out.push_str(&format!(
+        "conns {:.0}   read {:>9}/s   written {:>9}/s\n",
+        cur.get("serve_connections_open", &[]).unwrap_or(0.0),
+        fmt_bytes(d.sum("serve_bytes_read_total") / dt),
+        fmt_bytes(d.sum("serve_bytes_written_total") / dt),
     ));
 
     // ── latency (interval quantiles from histogram deltas) ────────────
@@ -302,6 +323,24 @@ mod tests {
     }
 
     #[test]
+    fn render_shows_connections_and_byte_rates() {
+        let prev = scrape_of(
+            "serve_bytes_read_total 1000\n\
+             serve_bytes_written_total 0\n",
+        );
+        let cur = scrape_of(
+            "serve_connections_open 256\n\
+             serve_bytes_read_total 3048\n\
+             serve_bytes_written_total 2097152\n",
+        );
+        let frame = render(&cur, &prev, 2.0);
+        // (3048−1000)/2 = 1024 B/s read, 2 MiB over 2 s = 1 MiB/s written.
+        assert!(frame.contains("conns 256"), "{frame}");
+        assert!(frame.contains("1.0KiB/s"), "{frame}");
+        assert!(frame.contains("1.0MiB/s"), "{frame}");
+    }
+
+    #[test]
     fn render_shows_worker_utilization_bars() {
         let prev = scrape_of("tpm_worker_busy_seconds_total{worker=\"0\"} 10\n");
         let cur = scrape_of(
@@ -361,5 +400,9 @@ mod tests {
         assert_eq!(fmt_secs(0.000002), "2µs");
         assert_eq!(fmt_secs(0.005), "5.00ms");
         assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_bytes(512.0), "512B");
+        assert_eq!(fmt_bytes(1536.0), "1.5KiB");
+        assert_eq!(fmt_bytes(3.0 * 1024.0 * 1024.0), "3.0MiB");
+        assert_eq!(fmt_bytes(2.0 * 1024.0 * 1024.0 * 1024.0), "2.00GiB");
     }
 }

@@ -1,0 +1,571 @@
+//! The length-prefixed binary framing — the fast alternative to JSON lines.
+//!
+//! A connection opts in by sending a two-byte preamble before its first
+//! frame: `[0xB7, version]`. The server answers `[0xB7, accepted]` with
+//! `accepted = min(version, SUPPORTED_VERSION)` and both sides speak binary
+//! from then on. Connections whose first byte is anything else (JSON starts
+//! with `{`) stay on the JSON-lines protocol — the compatibility fallback.
+//!
+//! After the preamble, every message is one frame:
+//!
+//! ```text
+//! [len: u32 LE] [type: u8] [body: len−1 bytes]
+//! ```
+//!
+//! `len` counts the type byte plus the body and must be in `1..=MAX_FRAME`;
+//! anything else means the stream has lost framing (there is no way to find
+//! the next frame boundary) and the connection is closed. A *well-framed*
+//! body that fails to decode is recoverable: it costs one `parse` error
+//! reply, and the next frame parses normally.
+//!
+//! All integers are little-endian. Strings are UTF-8; interior strings carry
+//! a `u16` length, the *last* string of a frame is simply the remainder of
+//! the body (the frame length already delimits it). Request ids are chosen
+//! by the client and echoed verbatim, which is what makes pipelining safe:
+//! many requests can be in flight on one connection and responses may come
+//! back in any order.
+//!
+//! Frame types (requests 0x0_, responses 0x8_):
+//!
+//! | type | message | body |
+//! |---|---|---|
+//! | 0x01 | run      | id u64, model u8, variant u8, flags u8, threads u32, size u64, \[deadline_ms u64\], kernel (u16 + bytes), \[client = rest\] |
+//! | 0x02 | ping     | empty |
+//! | 0x03 | health   | empty |
+//! | 0x04 | metrics  | empty |
+//! | 0x05 | shutdown | empty |
+//! | 0x81 | ok       | id u64, value f64, elapsed_ms f64, queue_ms f64 |
+//! | 0x82 | error    | flags u8, \[id u64\], code u8, message = rest |
+//! | 0x83 | pong     | empty |
+//! | 0x84 | health   | 8 × u64 (live, dead, queue, inflight, admitted, completed, shed, distinct) |
+//! | 0x85 | metrics  | exposition = rest |
+//! | 0x86 | shutting-down | empty |
+//!
+//! `flags` bit 0 marks an optional deadline (run) or id (error); run's bit 1
+//! marks a client identity. Error codes travel as one byte indexing
+//! [`ERROR_CODES`] — unknown values decode to `"other"` so a newer server
+//! never breaks an older client.
+
+use tpm_core::{JobSpec, KernelVariant, Model};
+
+use crate::protocol::{Request, Response};
+
+/// First byte of the binary preamble. Never a valid JSON start, so one byte
+/// is enough to sniff the protocol.
+pub const MAGIC: u8 = 0xB7;
+/// The framing version this build speaks.
+pub const SUPPORTED_VERSION: u8 = 1;
+/// Hard cap on `len`: a frame longer than this (or of length 0) means the
+/// stream has lost framing and the connection must close.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Stable wire error codes, indexed by the byte that carries them. Keep
+/// appended-only: positions are the protocol.
+pub const ERROR_CODES: [&str; 8] = [
+    "parse",
+    "overloaded",
+    "bad_config",
+    "deadline",
+    "cancelled",
+    "panic",
+    "injected",
+    "other",
+];
+
+/// The code byte for `code`, falling back to `other`'s slot.
+#[must_use]
+pub fn error_code_byte(code: &str) -> u8 {
+    ERROR_CODES
+        .iter()
+        .position(|c| *c == code)
+        .unwrap_or(ERROR_CODES.len() - 1) as u8
+}
+
+/// The static code string for byte `b` (`other` for unknown bytes).
+#[must_use]
+pub fn error_code_str(b: u8) -> &'static str {
+    ERROR_CODES
+        .get(b as usize)
+        .copied()
+        .unwrap_or(ERROR_CODES[ERROR_CODES.len() - 1])
+}
+
+const TYPE_RUN: u8 = 0x01;
+const TYPE_PING: u8 = 0x02;
+const TYPE_HEALTH: u8 = 0x03;
+const TYPE_METRICS: u8 = 0x04;
+const TYPE_SHUTDOWN: u8 = 0x05;
+const TYPE_OK: u8 = 0x81;
+const TYPE_ERROR: u8 = 0x82;
+const TYPE_PONG: u8 = 0x83;
+const TYPE_HEALTH_REPLY: u8 = 0x84;
+const TYPE_METRICS_REPLY: u8 = 0x85;
+const TYPE_SHUTTING_DOWN: u8 = 0x86;
+
+const FLAG_DEADLINE: u8 = 0x01;
+const FLAG_CLIENT: u8 = 0x02;
+const FLAG_ID: u8 = 0x01;
+
+/// A little-endian reader over a frame body. Decoding borrows straight from
+/// the connection's read buffer — only the strings that outlive the frame
+/// (kernel name, client identity, messages) allocate.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("frame truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u16`-prefixed interior string.
+    fn str16(&mut self) -> Result<String, String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_string())
+    }
+
+    /// The remainder of the body as a string (the frame's last field).
+    fn rest_str(&mut self) -> Result<String, String> {
+        let bytes = self.take(self.buf.len() - self.pos)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_string())
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after frame payload",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+/// Appends a `[len][type][payload]` frame to `out`.
+fn put_frame(out: &mut Vec<u8>, ty: u8, payload: &[u8]) {
+    debug_assert!(payload.len() < MAX_FRAME, "oversized frame");
+    out.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
+    out.push(ty);
+    out.extend_from_slice(payload);
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let len = s.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..len]);
+}
+
+/// Encodes one request as a binary frame.
+#[must_use]
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match req {
+        Request::Ping => put_frame(&mut out, TYPE_PING, &[]),
+        Request::Health => put_frame(&mut out, TYPE_HEALTH, &[]),
+        Request::Metrics => put_frame(&mut out, TYPE_METRICS, &[]),
+        Request::Shutdown => put_frame(&mut out, TYPE_SHUTDOWN, &[]),
+        Request::Run {
+            id,
+            spec,
+            deadline_ms,
+            client,
+        } => {
+            let mut body = Vec::with_capacity(48 + spec.kernel.len());
+            body.extend_from_slice(&id.to_le_bytes());
+            body.push(spec.model as u8);
+            body.push(spec.variant as u8);
+            let mut flags = 0u8;
+            if deadline_ms.is_some() {
+                flags |= FLAG_DEADLINE;
+            }
+            if client.is_some() {
+                flags |= FLAG_CLIENT;
+            }
+            body.push(flags);
+            body.extend_from_slice(&(spec.threads as u32).to_le_bytes());
+            body.extend_from_slice(&(spec.size as u64).to_le_bytes());
+            if let Some(ms) = deadline_ms {
+                body.extend_from_slice(&ms.to_le_bytes());
+            }
+            put_str16(&mut body, &spec.kernel);
+            if let Some(c) = client {
+                body.extend_from_slice(c.as_bytes());
+            }
+            put_frame(&mut out, TYPE_RUN, &body);
+        }
+    }
+    out
+}
+
+/// Decodes one request from a complete frame payload (`type` byte included,
+/// length prefix stripped). A malformed payload is a recoverable per-frame
+/// error — framing itself is still intact.
+pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let mut c = Cursor::new(payload);
+    let ty = c.u8()?;
+    let req = match ty {
+        TYPE_PING => Request::Ping,
+        TYPE_HEALTH => Request::Health,
+        TYPE_METRICS => Request::Metrics,
+        TYPE_SHUTDOWN => Request::Shutdown,
+        TYPE_RUN => {
+            let id = c.u64()?;
+            let model_byte = c.u8()?;
+            let model = *Model::ALL
+                .get(model_byte as usize)
+                .ok_or_else(|| format!("unknown model byte {model_byte:#04x}"))?;
+            let variant = match c.u8()? {
+                0 => KernelVariant::Reference,
+                1 => KernelVariant::Optimized,
+                b => return Err(format!("unknown variant byte {b:#04x}")),
+            };
+            let flags = c.u8()?;
+            let threads = c.u32()? as usize;
+            let size = c.u64()? as usize;
+            let deadline_ms = if flags & FLAG_DEADLINE != 0 {
+                Some(c.u64()?)
+            } else {
+                None
+            };
+            let kernel = c.str16()?;
+            let client = if flags & FLAG_CLIENT != 0 {
+                Some(c.rest_str()?)
+            } else {
+                None
+            };
+            Request::Run {
+                id,
+                spec: JobSpec {
+                    kernel,
+                    model,
+                    variant,
+                    size,
+                    threads,
+                },
+                deadline_ms,
+                client,
+            }
+        }
+        other => return Err(format!("unknown request frame type {other:#04x}")),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Encodes one response as a binary frame.
+#[must_use]
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    match resp {
+        Response::Pong => put_frame(&mut out, TYPE_PONG, &[]),
+        Response::ShuttingDown => put_frame(&mut out, TYPE_SHUTTING_DOWN, &[]),
+        Response::Ok {
+            id,
+            value,
+            elapsed_ms,
+            queue_ms,
+        } => {
+            let mut body = Vec::with_capacity(32);
+            body.extend_from_slice(&id.to_le_bytes());
+            body.extend_from_slice(&value.to_le_bytes());
+            body.extend_from_slice(&elapsed_ms.to_le_bytes());
+            body.extend_from_slice(&queue_ms.to_le_bytes());
+            put_frame(&mut out, TYPE_OK, &body);
+        }
+        Response::Error { id, code, message } => {
+            let mut body = Vec::with_capacity(16 + message.len());
+            body.push(if id.is_some() { FLAG_ID } else { 0 });
+            if let Some(id) = id {
+                body.extend_from_slice(&id.to_le_bytes());
+            }
+            body.push(error_code_byte(code));
+            // The message is the frame's tail; clamp so a pathological panic
+            // string can't push the frame over MAX_FRAME.
+            let max = MAX_FRAME - body.len() - 1;
+            let mut msg = message.as_bytes();
+            if msg.len() > max {
+                let mut end = max;
+                while end > 0 && !message.is_char_boundary(end) {
+                    end -= 1;
+                }
+                msg = &msg[..end];
+            }
+            body.extend_from_slice(msg);
+            put_frame(&mut out, TYPE_ERROR, &body);
+        }
+        Response::Health {
+            live_workers,
+            dead_workers,
+            queue_depth,
+            inflight,
+            admitted,
+            completed,
+            shed,
+            distinct_clients,
+        } => {
+            let mut body = Vec::with_capacity(64);
+            for v in [
+                live_workers,
+                dead_workers,
+                queue_depth,
+                inflight,
+                admitted,
+                completed,
+                shed,
+                distinct_clients,
+            ] {
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+            put_frame(&mut out, TYPE_HEALTH_REPLY, &body);
+        }
+        Response::Metrics { exposition } => {
+            let mut body = Vec::with_capacity(exposition.len());
+            let max = MAX_FRAME - 1;
+            let mut end = exposition.len().min(max);
+            while end > 0 && !exposition.is_char_boundary(end) {
+                end -= 1;
+            }
+            body.extend_from_slice(&exposition.as_bytes()[..end]);
+            put_frame(&mut out, TYPE_METRICS_REPLY, &body);
+        }
+    }
+    out
+}
+
+/// Decodes one response from a complete frame payload (client side).
+pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
+    let mut c = Cursor::new(payload);
+    let ty = c.u8()?;
+    let resp = match ty {
+        TYPE_PONG => Response::Pong,
+        TYPE_SHUTTING_DOWN => Response::ShuttingDown,
+        TYPE_OK => Response::Ok {
+            id: c.u64()?,
+            value: c.f64()?,
+            elapsed_ms: c.f64()?,
+            queue_ms: c.f64()?,
+        },
+        TYPE_ERROR => {
+            let flags = c.u8()?;
+            let id = if flags & FLAG_ID != 0 {
+                Some(c.u64()?)
+            } else {
+                None
+            };
+            let code = error_code_str(c.u8()?);
+            let message = c.rest_str()?;
+            Response::Error { id, code, message }
+        }
+        TYPE_HEALTH_REPLY => Response::Health {
+            live_workers: c.u64()?,
+            dead_workers: c.u64()?,
+            queue_depth: c.u64()?,
+            inflight: c.u64()?,
+            admitted: c.u64()?,
+            completed: c.u64()?,
+            shed: c.u64()?,
+            distinct_clients: c.u64()?,
+        },
+        TYPE_METRICS_REPLY => Response::Metrics {
+            exposition: c.rest_str()?,
+        },
+        other => return Err(format!("unknown response frame type {other:#04x}")),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip(frame: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4, "length prefix covers the payload");
+        &frame[4..]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Health,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Run {
+                id: 42,
+                spec: JobSpec {
+                    kernel: "matmul".to_string(),
+                    model: Model::CilkSpawn,
+                    variant: KernelVariant::Optimized,
+                    size: 1 << 20,
+                    threads: 8,
+                },
+                deadline_ms: Some(250),
+                client: Some("tenant-π".to_string()),
+            },
+            Request::Run {
+                id: u64::MAX,
+                spec: JobSpec {
+                    kernel: String::new(),
+                    model: Model::OmpFor,
+                    variant: KernelVariant::Reference,
+                    size: 0,
+                    threads: 1,
+                },
+                deadline_ms: None,
+                client: None,
+            },
+        ];
+        for req in reqs {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(strip(&frame)), Ok(req.clone()), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Ok {
+                id: 7,
+                value: -0.5,
+                elapsed_ms: 12.25,
+                queue_ms: 0.125,
+            },
+            Response::Error {
+                id: Some(9),
+                code: "deadline",
+                message: "budget expired".to_string(),
+            },
+            Response::Error {
+                id: None,
+                code: "parse",
+                message: String::new(),
+            },
+            Response::Health {
+                live_workers: 2,
+                dead_workers: 1,
+                queue_depth: 3,
+                inflight: 4,
+                admitted: 5,
+                completed: 6,
+                shed: 7,
+                distinct_clients: 8,
+            },
+            Response::Metrics {
+                exposition: "# TYPE a counter\na 1\n".to_string(),
+            },
+        ];
+        for resp in resps {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(strip(&frame)), Ok(resp.clone()), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn error_code_table_round_trips_and_tolerates_unknowns() {
+        for (i, code) in ERROR_CODES.iter().enumerate() {
+            assert_eq!(error_code_byte(code), i as u8);
+            assert_eq!(error_code_str(i as u8), *code);
+        }
+        assert_eq!(error_code_str(0xFF), "other");
+        assert_eq!(error_code_byte("never-heard-of-it"), 7);
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_errors_not_panics() {
+        let full = encode_request(&Request::Run {
+            id: 1,
+            spec: JobSpec {
+                kernel: "sum".to_string(),
+                model: Model::OmpFor,
+                variant: KernelVariant::Reference,
+                size: 64,
+                threads: 2,
+            },
+            deadline_ms: Some(10),
+            client: None,
+        });
+        let payload = strip(&full);
+        for cut in 0..payload.len() {
+            assert!(decode_request(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extended = payload.to_vec();
+        extended.push(0);
+        assert!(decode_request(&extended).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn unknown_types_and_bad_enum_bytes_are_errors() {
+        assert!(decode_request(&[0x7F]).is_err());
+        assert!(
+            decode_response(&[0x01]).is_err(),
+            "request type as response"
+        );
+        let mut body = vec![TYPE_RUN];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(99); // model byte out of range
+        body.extend_from_slice(&[0, 0]);
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&[3, 0]);
+        body.extend_from_slice(b"sum");
+        assert!(decode_request(&body).unwrap_err().contains("model"));
+    }
+
+    #[test]
+    fn oversized_error_message_is_clamped_under_max_frame() {
+        let resp = Response::Error {
+            id: Some(1),
+            code: "panic",
+            message: "x".repeat(MAX_FRAME * 2),
+        };
+        let frame = encode_response(&resp);
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert!(len <= MAX_FRAME, "{len}");
+        let decoded = decode_response(strip(&frame)).unwrap();
+        match decoded {
+            Response::Error { code, message, .. } => {
+                assert_eq!(code, "panic");
+                assert!(!message.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

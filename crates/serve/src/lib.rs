@@ -1,16 +1,23 @@
 //! # tpm-serve — a cancellable job service over the three runtimes
 //!
 //! The service layer of the `threadcmp` workspace: any kernel registered in
-//! a [`JobRegistry`](tpm_core::JobRegistry) becomes dispatchable over TCP as
-//! one JSON line per request, executed under any of the six threading models
-//! with a per-request deadline.
+//! a [`JobRegistry`](tpm_core::JobRegistry) becomes dispatchable over TCP,
+//! executed under any of the six threading models with a per-request
+//! deadline.
 //!
 //! * [`serve`] / [`ServerConfig`] / [`ServerHandle`] — the server: bounded
 //!   admission queue (load shedding, never unbounded backlog), per-worker
-//!   executor caches, graceful drain on shutdown.
-//! * [`protocol`] — the JSON-lines request/response format.
-//! * [`loadgen`] — a closed-loop load generator reporting throughput and
-//!   p50/p99 latency.
+//!   executor caches, graceful drain on shutdown. Two data paths
+//!   ([`DataPath`]): an epoll reactor (connections are buffers, not
+//!   threads) and the thread-per-connection baseline.
+//! * [`protocol`] — the request/response model; JSON-lines is its text
+//!   encoding.
+//! * [`frame`] / [`wire`] — the length-prefixed binary encoding and the
+//!   protocol-sniffing incremental decoder both data paths share. Clients
+//!   pick a protocol per connection ([`Protocol`]); requests pipeline and
+//!   may complete out of order (match replies by `id`).
+//! * [`loadgen`] — a load generator over persistent connections with a
+//!   pipelined in-flight window, reporting throughput and p50/p99 latency.
 //! * [`json`] — the offline-workspace flat-JSON reader the protocol uses.
 //!
 //! ```
@@ -30,15 +37,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod frame;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 mod queue;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod reactor;
 mod server;
+pub mod wire;
 
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use metrics::ServeMetrics;
 pub use protocol::{Request, Response};
 pub use queue::BoundedQueue;
-pub use server::{serve, ServeStats, ServerConfig, ServerHandle, StatsSnapshot};
+pub use server::{serve, DataPath, ServeStats, ServerConfig, ServerHandle, StatsSnapshot};
+pub use wire::Protocol;

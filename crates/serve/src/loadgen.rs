@@ -1,12 +1,16 @@
 //! A closed-loop load generator for the job server.
 //!
-//! `clients` threads each open one connection and issue `requests` job
-//! requests back-to-back (send, wait for the matching reply, repeat), so
-//! concurrency equals the client count — the classic closed-loop model whose
-//! offered load self-throttles as the server slows. Every outcome is counted
-//! (including `overloaded` rejections: shed load is *reported*, never
-//! dropped) and round-trip latencies aggregate into throughput and
-//! p50/p99 quantiles.
+//! `clients` threads each open one **persistent connection** and issue
+//! `requests` job requests over it, keeping up to `window` of them in
+//! flight (pipelined — replies may come back out of order and are matched
+//! to their send time by request id). `window = 1` is the classic
+//! closed-loop model whose offered load self-throttles as the server slows;
+//! larger windows measure the pipelining headroom the epoll data path
+//! exists for. Either wire protocol works ([`Protocol`]): JSON lines, or
+//! the length-prefixed binary framing (the generator performs the preamble
+//! handshake). Every outcome is counted (including `overloaded` rejections:
+//! shed load is *reported*, never dropped) and round-trip latencies
+//! aggregate into throughput and p50/p99 quantiles.
 //!
 //! Failure classes are kept separate so a driver can tell an environment
 //! problem from a server decision: `connect_refused` (the server was not
@@ -23,14 +27,17 @@
 //! Reporting both side by side makes queueing visible — a large client p99
 //! over a small server p99 means time is spent waiting, not computing.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use tpm_core::JobSpec;
 use tpm_metrics::Histogram;
 
+use crate::frame::SUPPORTED_VERSION;
 use crate::protocol::{Request, Response};
+use crate::wire::{self, Protocol, ResponseDecoder, Step};
 
 /// What to offer at the server.
 #[derive(Debug, Clone)]
@@ -53,10 +60,16 @@ pub struct LoadgenConfig {
     pub retry_base_ms: u64,
     /// Seed for the retry jitter — same seed, same backoff schedule.
     pub seed: u64,
+    /// Wire protocol each connection speaks.
+    pub protocol: Protocol,
+    /// Requests kept in flight per connection (≥ 1; 1 = strict closed
+    /// loop, send-then-wait).
+    pub window: usize,
 }
 
 impl LoadgenConfig {
-    /// A config with the retry policy defaulted (5 attempts, 10 ms base).
+    /// A config with the retry policy defaulted (5 attempts, 10 ms base),
+    /// JSON protocol, and a window of 1 (closed loop).
     pub fn new(addr: String, clients: usize, requests: usize, spec: JobSpec) -> Self {
         Self {
             addr,
@@ -67,6 +80,8 @@ impl LoadgenConfig {
             connect_retries: 5,
             retry_base_ms: 10,
             seed: 0x10ad_6e11,
+            protocol: Protocol::Json,
+            window: 1,
         }
     }
 }
@@ -287,43 +302,108 @@ fn client_loop(config: &LoadgenConfig, client: usize, hists: &Hists) -> ClientTa
             return tally;
         }
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    for r in 0..config.requests {
-        let id = (client * config.requests + r) as u64;
-        let request = Request::run_line_as(id, &config.spec, config.deadline_ms, Some(&ident));
-        let sent_at = Instant::now();
+    let mut reader = stream;
+    if config.protocol == Protocol::Binary {
+        // Preamble handshake: propose our version, consume the server's
+        // two-byte accept before any frame flows.
+        let mut accept = [0u8; 2];
         if let Err(e) = writer
-            .write_all(request.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
+            .write_all(&wire::client_preamble(SUPPORTED_VERSION))
+            .and_then(|()| reader.read_exact(&mut accept))
         {
             classify_io_error(&e, &mut tally);
-            break;
+            return tally;
         }
-        tally.sent += 1;
-        line.clear();
-        match reader.read_line(&mut line) {
+    }
+    let mut decoder = ResponseDecoder::new(config.protocol);
+    let window = config.window.max(1);
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let mut next = 0usize;
+    let mut chunk = [0u8; 16 << 10];
+    'conn: while next < config.requests || !in_flight.is_empty() {
+        // Fill the pipeline window, then service replies.
+        while next < config.requests && in_flight.len() < window {
+            let id = (client * config.requests + next) as u64;
+            let request = Request::Run {
+                id,
+                spec: config.spec.clone(),
+                deadline_ms: config.deadline_ms,
+                client: Some(ident.clone()),
+            };
+            let bytes = wire::encode_request(config.protocol, &request);
+            let sent_at = Instant::now();
+            if let Err(e) = writer.write_all(&bytes) {
+                classify_io_error(&e, &mut tally);
+                break 'conn;
+            }
+            tally.sent += 1;
+            in_flight.insert(id, sent_at);
+            next += 1;
+        }
+        // Drain what the decoder already buffered before blocking on the
+        // socket again — replies can arrive fused in one read.
+        let mut progressed = false;
+        loop {
+            match decoder.next() {
+                Step::NeedMore => break,
+                Step::Preamble(_) => {}
+                Step::Message(resp) => {
+                    progressed = true;
+                    absorb(resp, &mut in_flight, &mut tally, hists);
+                }
+                Step::Corrupt(_) => {
+                    tally.failed += 1;
+                    break 'conn;
+                }
+            }
+        }
+        if progressed {
+            continue; // window may have opened; top it up first
+        }
+        match reader.read(&mut chunk) {
             Ok(0) => break, // server closed mid-run; report what we have
-            Ok(_) => {}
+            Ok(n) => decoder.feed(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => {
                 classify_io_error(&e, &mut tally);
                 break;
             }
         }
-        hists.client.record(sent_at.elapsed().as_nanos() as u64);
-        match Response::parse(line.trim()) {
-            Ok(Response::Ok { elapsed_ms, .. }) => {
-                tally.ok += 1;
-                hists.server.record((elapsed_ms.max(0.0) * 1e6) as u64);
-            }
-            Ok(Response::Error {
-                code: "overloaded", ..
-            }) => tally.rejected += 1,
-            Ok(Response::Error {
-                code: "deadline", ..
-            }) => tally.deadline += 1,
-            _ => tally.failed += 1,
-        }
     }
     tally
+}
+
+/// Folds one decoded reply into the tallies, matched to its send time by
+/// request id (pipelined replies arrive in any order).
+fn absorb(
+    resp: Result<Response, String>,
+    in_flight: &mut HashMap<u64, Instant>,
+    tally: &mut ClientTally,
+    hists: &Hists,
+) {
+    match resp {
+        Ok(Response::Ok { id, elapsed_ms, .. }) => {
+            if let Some(sent_at) = in_flight.remove(&id) {
+                hists.client.record(sent_at.elapsed().as_nanos() as u64);
+            }
+            tally.ok += 1;
+            hists.server.record((elapsed_ms.max(0.0) * 1e6) as u64);
+        }
+        Ok(Response::Error { id, code, .. }) => {
+            // An id-less error (the server's panic containment) still
+            // answered *some* request; retire the oldest so the window
+            // can't wedge waiting for a reply that already came.
+            let id = id.or_else(|| in_flight.keys().min().copied());
+            if let Some(sent_at) = id.and_then(|id| in_flight.remove(&id)) {
+                hists.client.record(sent_at.elapsed().as_nanos() as u64);
+            }
+            match code {
+                "overloaded" => tally.rejected += 1,
+                "deadline" => tally.deadline += 1,
+                _ => tally.failed += 1,
+            }
+        }
+        // Pong/health/…: we never sent those requests.
+        Ok(_) | Err(_) => tally.failed += 1,
+    }
 }

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tpm_metrics::{Counter, Histogram, Hll, Registry};
+use tpm_metrics::{Counter, Gauge, Histogram, Hll, Registry};
 use tpm_sync::StatsSnapshot as RuntimeSnapshot;
 
 /// Scheduler events exported per pooled runtime, in the order they appear
@@ -71,6 +71,9 @@ pub struct ServeMetrics {
     /// `[runtime][event]` counters, runtimes indexed by `RT_*`.
     runtime_events: [Vec<Arc<Counter>>; 2],
     runtime_busy: [Arc<Counter>; 2],
+    connections_open: Arc<Gauge>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
 }
 
 impl std::fmt::Debug for ServeMetrics {
@@ -179,6 +182,21 @@ impl ServeMetrics {
             &[("runtime", "rawthreads"), ("event", "chunks")],
             || tpm_rawthreads::stats().chunks.get() as f64,
         );
+        let connections_open = registry.gauge(
+            "serve_connections_open",
+            "Client connections currently open (both data paths).",
+            &[],
+        );
+        let bytes_read = registry.counter(
+            "serve_bytes_read_total",
+            "Bytes read from client sockets.",
+            &[],
+        );
+        let bytes_written = registry.counter(
+            "serve_bytes_written_total",
+            "Bytes written to client sockets.",
+            &[],
+        );
         Self {
             registry,
             enabled: tpm_metrics::enabled(),
@@ -189,6 +207,9 @@ impl ServeMetrics {
             worker_busy,
             runtime_events,
             runtime_busy,
+            connections_open,
+            bytes_read,
+            bytes_written,
         }
     }
 
@@ -235,6 +256,34 @@ impl ServeMetrics {
         self.queue_wait.record(queue_ns);
         if let Some(busy) = self.worker_busy.get(worker) {
             busy.add(exec_ns);
+        }
+    }
+
+    /// Counts a connection opening on the `serve_connections_open` gauge.
+    pub fn conn_opened(&self) {
+        if self.enabled {
+            self.connections_open.add(1);
+        }
+    }
+
+    /// Counts a connection closing on the `serve_connections_open` gauge.
+    pub fn conn_closed(&self) {
+        if self.enabled {
+            self.connections_open.sub(1);
+        }
+    }
+
+    /// Adds socket-read volume to `serve_bytes_read_total`.
+    pub fn add_bytes_read(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.bytes_read.add(n);
+        }
+    }
+
+    /// Adds socket-write volume to `serve_bytes_written_total`.
+    pub fn add_bytes_written(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.bytes_written.add(n);
         }
     }
 
@@ -350,6 +399,22 @@ mod tests {
                 &[("runtime", "rawthreads"), ("event", "thread_spawns")]
             )
             .is_some());
+    }
+
+    #[test]
+    fn connection_and_byte_instruments_render() {
+        let m = ServeMetrics::new(1, &[]);
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.add_bytes_read(128);
+        m.add_bytes_written(64);
+        m.add_bytes_written(0); // no-op, not a zero sample
+        let text = m.render();
+        assert!(text.contains("serve_connections_open 1"), "{text}");
+        assert!(text.contains("serve_bytes_read_total 128"), "{text}");
+        assert!(text.contains("serve_bytes_written_total 64"), "{text}");
+        tpm_metrics::text::validate(&text).expect("valid exposition");
     }
 
     #[test]

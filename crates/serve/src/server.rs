@@ -1,24 +1,33 @@
-//! The job server: TCP accept loop, per-connection readers/writers, and a
-//! worker pool draining the bounded admission queue.
+//! The job server: two interchangeable socket data paths feeding one worker
+//! pool through the bounded admission queue.
 //!
-//! Threading layout (all std, no async):
+//! * **Epoll reactor** (the default where supported): one reactor thread
+//!   multiplexes the listener and every connection through raw `epoll`
+//!   syscalls ([`tpm_sync::epoll`]) — nonblocking accept, per-connection
+//!   read/write buffers, incremental frame decoding, responses flushed back
+//!   through the same thread. Connections cost a buffer, not an OS thread,
+//!   so thousands can be open at once.
+//! * **Thread-per-connection** (the fallback, and the paper's baseline):
+//!   one reader and one writer thread per connection, blocking IO.
 //!
-//! * one **accept** thread;
-//! * per connection, one **reader** (parses lines, admits jobs, sheds load)
-//!   and one **writer** (serializes replies from an mpsc channel, so workers
-//!   never block on a slow client socket);
-//! * `workers` **executor** threads popping the shared [`BoundedQueue`].
-//!   Each worker owns its executors (one per requested thread count) because
-//!   a `Team`/`Runtime` cannot run two regions concurrently — per-worker
-//!   caches make requests on different workers fully independent.
+//! Both paths speak both wire protocols (JSON lines and the binary framing
+//! — sniffed per connection, see [`crate::wire`]), decode through the same
+//! [`Decoder`], and dispatch through the same [`handle_frame`], so protocol
+//! behaviour is identical; only the socket mechanics differ. `workers`
+//! executor threads drain the shared [`BoundedQueue`]; each worker owns its
+//! executors (one per requested thread count) because a `Team`/`Runtime`
+//! cannot run two regions concurrently.
 //!
 //! Every admitted request carries a [`CancelToken`] whose deadline covers
 //! queue wait *and* execution: an expired job is answered `deadline` without
 //! running, and a running job stops within one grain of work (the runtimes
 //! poll the token at chunk/steal boundaries). Shutdown — via
-//! [`ServerHandle::shutdown`] or a `{"cmd":"shutdown"}` line — stops
-//! admission, drains the queue, answers every in-flight request, then joins
-//! every thread.
+//! [`ServerHandle::shutdown`] or a shutdown request — stops admission,
+//! drains the queue, answers every in-flight request, then joins every
+//! thread. The reactor stays up until the last admitted job's reply has
+//! been flushed: a `pending` count of live [`WorkItem`]s (decremented by
+//! each item's `Drop`, *after* its reply is sent) tells it when the drain
+//! is truly over.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -30,11 +39,49 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tpm_core::{panic_message, Executor, JobRegistry, JobSpec};
+use tpm_sync::epoll::EventFd;
 use tpm_sync::CancelToken;
 
 use crate::metrics::{ServeMetrics, RT_FORKJOIN, RT_WORKSTEAL};
 use crate::protocol::{Request, Response, CODE_INJECTED, CODE_OVERLOADED, CODE_PARSE};
 use crate::queue::BoundedQueue;
+use crate::wire::{self, Decoder, Protocol, Step};
+
+/// Which socket data path the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPath {
+    /// Epoll reactor where the platform supports it, threaded elsewhere.
+    #[default]
+    Auto,
+    /// Epoll reactor; [`serve`] fails on platforms without the shim.
+    Epoll,
+    /// One reader + one writer OS thread per connection (the baseline the
+    /// reactor is benchmarked against).
+    Threaded,
+}
+
+impl DataPath {
+    /// The CLI spelling (`auto` / `epoll` / `threaded`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DataPath::Auto => "auto",
+            DataPath::Epoll => "epoll",
+            DataPath::Threaded => "threaded",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<DataPath> {
+        match s {
+            "auto" => Some(DataPath::Auto),
+            "epoll" => Some(DataPath::Epoll),
+            "threaded" => Some(DataPath::Threaded),
+            _ => None,
+        }
+    }
+}
 
 /// Tuning knobs for [`serve`].
 #[derive(Debug, Clone)]
@@ -58,6 +105,8 @@ pub struct ServerConfig {
     pub deadline_grace: f64,
     /// How often the watchdog scans in-flight jobs, in milliseconds.
     pub watchdog_interval_ms: u64,
+    /// Socket data path (see [`DataPath`]).
+    pub data_path: DataPath,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +119,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             deadline_grace: 2.0,
             watchdog_interval_ms: 20,
+            data_path: DataPath::Auto,
         }
     }
 }
@@ -112,76 +162,156 @@ impl ServeStats {
     }
 }
 
-struct WorkItem {
-    id: u64,
-    spec: JobSpec,
-    token: CancelToken,
-    reply: mpsc::Sender<String>,
-    enqueued: Instant,
+/// Where a reply goes, independent of which data path produced the request.
+/// Serialization (per the connection's negotiated protocol) happens at send
+/// time on the replying thread, so the reactor never serializes under load.
+#[derive(Clone)]
+pub(crate) enum ReplySink {
+    /// Threaded path: the connection's writer thread drains this channel.
+    Thread {
+        /// Wire encoding the connection sniffed to.
+        proto: Protocol,
+        /// Pre-encoded bytes for the writer thread.
+        tx: mpsc::Sender<Vec<u8>>,
+    },
+    /// Reactor path: completions flow to the reactor (tagged with the
+    /// connection token), which appends them to that connection's write
+    /// buffer; the eventfd wakes it out of `epoll_wait`.
+    Reactor {
+        /// Reactor-assigned connection token.
+        conn: u64,
+        /// Wire encoding the connection sniffed to.
+        proto: Protocol,
+        /// Completion channel into the reactor.
+        tx: mpsc::Sender<(u64, Vec<u8>)>,
+        /// Wakes the reactor's `epoll_wait`.
+        wake: Arc<EventFd>,
+    },
+}
+
+impl ReplySink {
+    pub(crate) fn send(&self, resp: &Response) {
+        match self {
+            ReplySink::Thread { proto, tx } => {
+                let _ = tx.send(wire::encode_response(*proto, resp));
+            }
+            ReplySink::Reactor {
+                conn,
+                proto,
+                tx,
+                wake,
+            } => {
+                let _ = tx.send((*conn, wire::encode_response(*proto, resp)));
+                wake.signal();
+            }
+        }
+    }
+}
+
+pub(crate) struct WorkItem {
+    pub(crate) id: u64,
+    pub(crate) spec: JobSpec,
+    pub(crate) token: CancelToken,
+    pub(crate) reply: ReplySink,
+    pub(crate) enqueued: Instant,
     /// The deadline budget (queue wait + execution) used to compute the
     /// watchdog's hard-kill point; `None` when the request has no deadline.
-    deadline_budget: Option<Duration>,
-    /// Set by whichever side answers first (worker or watchdog) — every
-    /// request gets exactly one reply.
-    replied: Arc<AtomicBool>,
+    pub(crate) deadline_budget: Option<Duration>,
+    /// Set by whichever side answers first (worker, watchdog, shed path, or
+    /// the `Drop` backstop) — every request gets exactly one reply.
+    pub(crate) replied: Arc<AtomicBool>,
+    /// The server's live-item count, decremented by `Drop`. The reactor
+    /// drains until it reads zero, so a reply can never be lost between
+    /// "queue looks empty" and "worker actually sent it".
+    pub(crate) pending: Arc<AtomicU64>,
+}
+
+impl Drop for WorkItem {
+    fn drop(&mut self) {
+        // Backstop: an item dropped unanswered (a worker thread unwinding
+        // between pop and reply) still costs exactly one error reply, never
+        // a silently hung client. Reply first, then decrement — the reactor
+        // treats pending == 0 as "every reply is already in my channel".
+        if !self.replied.swap(true, Ordering::SeqCst) {
+            self.reply.send(&Response::Error {
+                id: Some(self.id),
+                code: "panic",
+                message: "request dropped without a reply".to_string(),
+            });
+        }
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// One executing job, as the watchdog sees it.
-struct Inflight {
+pub(crate) struct Inflight {
     id: u64,
     token: CancelToken,
-    reply: mpsc::Sender<String>,
+    reply: ReplySink,
     replied: Arc<AtomicBool>,
     /// When the watchdog gives up on the job: deadline + (grace − 1) ×
     /// budget. `None` (no deadline) means the watchdog never intervenes.
     kill_at: Option<Instant>,
 }
 
-struct Shared {
-    registry: Arc<JobRegistry>,
-    config: ServerConfig,
-    queue: BoundedQueue<WorkItem>,
-    shutdown: AtomicBool,
-    stats: ServeStats,
-    addr: SocketAddr,
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<JobRegistry>,
+    pub(crate) config: ServerConfig,
+    pub(crate) queue: BoundedQueue<WorkItem>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) stats: ServeStats,
+    pub(crate) addr: SocketAddr,
     /// Jobs currently executing, keyed by a server-global sequence number
     /// (client ids are only unique per connection).
-    inflight: Mutex<HashMap<u64, Inflight>>,
-    seq: AtomicU64,
-    live_workers: AtomicUsize,
-    dead_workers: AtomicU64,
-    metrics: ServeMetrics,
+    pub(crate) inflight: Mutex<HashMap<u64, Inflight>>,
+    pub(crate) seq: AtomicU64,
+    pub(crate) live_workers: AtomicUsize,
+    pub(crate) dead_workers: AtomicU64,
+    pub(crate) metrics: ServeMetrics,
+    /// Live [`WorkItem`]s (admitted or shed-in-progress, queued or
+    /// executing). See [`WorkItem::pending`].
+    pub(crate) pending: Arc<AtomicU64>,
+    /// The reactor's wake eventfd, when the reactor path is running —
+    /// `begin_shutdown` signals it so a quiescent reactor re-checks.
+    pub(crate) reactor_wake: Mutex<Option<Arc<EventFd>>>,
 }
 
 impl Shared {
     /// Stops admission and wakes everyone: future pushes shed, workers drain
-    /// what's queued, readers exit at their next poll tick, and a throwaway
-    /// connection unblocks the accept loop.
-    fn begin_shutdown(&self) {
+    /// what's queued, threaded readers exit at their next poll tick, the
+    /// reactor re-checks its drain condition, and a throwaway connection
+    /// unblocks a blocking accept loop.
+    pub(crate) fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         self.queue.close();
+        if let Some(wake) = self.reactor_wake.lock().unwrap().as_ref() {
+            wake.signal();
+        }
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
     }
 }
 
 /// A running server. Dropping the handle does NOT stop the server; call
-/// [`shutdown`](Self::shutdown) (or send `{"cmd":"shutdown"}`) and the
+/// [`shutdown`](Self::shutdown) (or send a shutdown request) and the
 /// handle joins every thread.
 #[must_use = "join the server via .shutdown() or .wait(), or it keeps running"]
 pub struct ServerHandle {
     shared: Arc<Shared>,
+    /// The accept thread (threaded path) or the reactor thread (epoll path).
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    data_path: DataPath,
 }
 
 impl std::fmt::Debug for ServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.shared.addr)
+            .field("data_path", &self.data_path)
             .field("stats", &self.stats())
             .finish()
     }
@@ -191,6 +321,12 @@ impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The data path actually running (`Auto` resolved to what the platform
+    /// supports).
+    pub fn data_path(&self) -> DataPath {
+        self.data_path
     }
 
     /// Current request counters.
@@ -230,7 +366,7 @@ impl ServerHandle {
     }
 
     /// Joins every server thread without initiating shutdown — blocks until
-    /// something else (a `{"cmd":"shutdown"}` request) stops the server.
+    /// something else (a shutdown request over the wire) stops the server.
     pub fn wait(mut self) -> StatsSnapshot {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
@@ -250,7 +386,7 @@ impl ServerHandle {
     }
 }
 
-/// Binds `config.addr` and starts the accept loop and worker pool. Jobs are
+/// Binds `config.addr` and starts the data path and worker pool. Jobs are
 /// dispatched through `registry`.
 pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
@@ -269,6 +405,8 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
         live_workers: AtomicUsize::new(workers),
         dead_workers: AtomicU64::new(0),
         metrics,
+        pending: Arc::new(AtomicU64::new(0)),
+        reactor_wake: Mutex::new(None),
     });
     // Levels that already exist on `Shared` are sampled at scrape time.
     // The closures capture a Weak so the registry (cloneable out of the
@@ -351,13 +489,35 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
             .expect("spawn watchdog")
     };
 
-    let accept = {
-        let shared = Arc::clone(&shared);
-        let conns = Arc::clone(&conns);
-        std::thread::Builder::new()
-            .name("tpm-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &shared, &conns))
-            .expect("spawn accept loop")
+    let want_reactor = match shared.config.data_path {
+        DataPath::Threaded => false,
+        DataPath::Epoll | DataPath::Auto => true,
+    };
+    let (accept, resolved_path) = if want_reactor {
+        match try_spawn_reactor(listener, &shared) {
+            Ok(h) => (h, DataPath::Epoll),
+            Err((listener, e)) => {
+                if shared.config.data_path == DataPath::Epoll {
+                    // The caller demanded the reactor; don't run degraded.
+                    shared.begin_shutdown();
+                    for h in worker_handles {
+                        let _ = h.join();
+                    }
+                    let _ = watchdog.join();
+                    drop(listener);
+                    return Err(e);
+                }
+                (
+                    spawn_accept_thread(listener, &shared, &conns),
+                    DataPath::Threaded,
+                )
+            }
+        }
+    } else {
+        (
+            spawn_accept_thread(listener, &shared, &conns),
+            DataPath::Threaded,
+        )
     };
 
     Ok(ServerHandle {
@@ -366,7 +526,64 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
         workers: worker_handles,
         watchdog: Some(watchdog),
         conns,
+        data_path: resolved_path,
     })
+}
+
+fn spawn_accept_thread(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let conns = Arc::clone(conns);
+    std::thread::Builder::new()
+        .name("tpm-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &shared, &conns))
+        .expect("spawn accept loop")
+}
+
+/// Spawns the epoll reactor, or hands the listener back with the error so
+/// `Auto` can fall back to the threaded path.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn try_spawn_reactor(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+) -> Result<JoinHandle<()>, (TcpListener, std::io::Error)> {
+    use tpm_sync::epoll::Epoll;
+    let ep = match Epoll::new() {
+        Ok(ep) => ep,
+        Err(e) => return Err((listener, e)),
+    };
+    let wake = match EventFd::new() {
+        Ok(w) => Arc::new(w),
+        Err(e) => return Err((listener, e)),
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        return Err((listener, e));
+    }
+    let (tx, rx) = mpsc::channel();
+    *shared.reactor_wake.lock().unwrap() = Some(Arc::clone(&wake));
+    let shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("tpm-serve-reactor".to_string())
+        .spawn(move || crate::reactor::run(&ep, listener, &shared, &tx, &rx, &wake))
+        .expect("spawn reactor");
+    Ok(handle)
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn try_spawn_reactor(
+    listener: TcpListener,
+    _shared: &Arc<Shared>,
+) -> Result<JoinHandle<()>, (TcpListener, std::io::Error)> {
+    Err((
+        listener,
+        std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "epoll data path is Linux x86-64 only",
+        ),
+    ))
 }
 
 /// Scans in-flight jobs and sheds any that overran their deadline by the
@@ -401,14 +618,11 @@ fn watchdog_loop(shared: &Arc<Shared>) {
         for (id, reply) in overdue {
             shared.stats.watchdog_shed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.observe_outcome("watchdog");
-            let _ = reply.send(
-                Response::Error {
-                    id: Some(id),
-                    code: "deadline",
-                    message: "shed by watchdog: exceeded deadline grace".to_string(),
-                }
-                .to_line(),
-            );
+            reply.send(&Response::Error {
+                id: Some(id),
+                code: "deadline",
+                message: "shed by watchdog: exceeded deadline grace".to_string(),
+            });
         }
         std::thread::sleep(interval);
     }
@@ -458,51 +672,54 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (tx, rx) = mpsc::channel::<String>();
-    let writer = std::thread::Builder::new()
-        .name("tpm-serve-writer".to_string())
-        .spawn(move || writer_loop(write_half, &rx))
-        .expect("spawn connection writer");
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("tpm-serve-writer".to_string())
+            .spawn(move || writer_loop(write_half, &rx, &shared))
+            .expect("spawn connection writer")
+    };
 
-    read_lines(stream, shared, &tx, &peer);
+    shared.metrics.conn_opened();
+    read_loop(stream, shared, &tx, &peer);
+    shared.metrics.conn_closed();
 
-    // Queued jobs hold reply-sender clones; the writer exits once the last
+    // Queued jobs hold reply-sink clones; the writer exits once the last
     // one drops (after the drain), so every admitted request gets answered.
     drop(tx);
     let _ = writer.join();
 }
 
-fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<String>) {
-    while let Ok(line) = rx.recv() {
-        if stream
-            .write_all(line.as_bytes())
-            .and_then(|()| stream.write_all(b"\n"))
-            .is_err()
-        {
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>, shared: &Arc<Shared>) {
+    while let Ok(bytes) = rx.recv() {
+        if stream.write_all(&bytes).is_err() {
             // Client gone: keep draining the channel so senders never block
             // (they don't — mpsc is unbounded — but exiting early would make
             // workers' sends error out, which they already tolerate).
             break;
         }
+        shared.metrics.add_bytes_written(bytes.len() as u64);
     }
     let _ = stream.flush();
 }
 
-fn read_lines(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<String>, peer: &str) {
-    let mut buf: Vec<u8> = Vec::new();
+/// The threaded read loop: bytes → [`Decoder`] → [`handle_frame`]. Shared
+/// decode logic with the reactor means both wire protocols (and pipelining)
+/// work identically on both data paths.
+fn read_loop(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>, peer: &str) {
+    let mut decoder = Decoder::new();
     let mut chunk = [0u8; 4096];
     loop {
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let text = String::from_utf8_lossy(&line);
-            let text = text.trim();
-            if !text.is_empty() {
-                handle_line(text, shared, tx, peer);
-            }
-        }
         match stream.read(&mut chunk) {
             Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                shared.metrics.add_bytes_read(n as u64);
+                decoder.feed(&chunk[..n]);
+                if !pump_decoder(&mut decoder, shared, tx, peer) {
+                    break; // framing lost: error already queued, close
+                }
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -517,12 +734,55 @@ fn read_lines(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Str
     }
 }
 
-fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>, peer: &str) {
-    // Containment for the admission path: a panic here (injected via the
-    // job-admission fault site, or organic) must cost one error reply, not
-    // the whole connection's reader thread.
+/// Drains every decodable message out of `decoder`. Returns `false` when the
+/// stream is corrupt (the caller closes the connection).
+fn pump_decoder(
+    decoder: &mut Decoder,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<Vec<u8>>,
+    peer: &str,
+) -> bool {
+    loop {
+        match decoder.next() {
+            Step::NeedMore => return true,
+            Step::Preamble(v) => {
+                let _ = tx.send(wire::server_preamble(Decoder::negotiate(v)).to_vec());
+            }
+            Step::Message(parsed) => {
+                let proto = decoder.protocol().unwrap_or_default();
+                let sink = ReplySink::Thread {
+                    proto,
+                    tx: tx.clone(),
+                };
+                handle_frame(parsed, shared, &sink, peer);
+            }
+            Step::Corrupt(message) => {
+                let proto = decoder.protocol().unwrap_or_default();
+                let _ = tx.send(wire::encode_response(
+                    proto,
+                    &Response::Error {
+                        id: None,
+                        code: CODE_PARSE,
+                        message,
+                    },
+                ));
+                return false;
+            }
+        }
+    }
+}
+
+/// Dispatches one decoded message (or its parse error) with panic
+/// containment: a panic here — injected via the job-admission fault site,
+/// or organic — must cost one error reply, not the data path's thread.
+pub(crate) fn handle_frame(
+    parsed: Result<Request, String>,
+    shared: &Arc<Shared>,
+    sink: &ReplySink,
+    peer: &str,
+) {
     if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
-        handle_line_inner(line, shared, tx, peer)
+        handle_request(parsed, shared, sink, peer)
     })) {
         let message = panic_message(p);
         let code = if tpm_fault::is_injected_message(&message) {
@@ -532,34 +792,33 @@ fn handle_line(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>, peer
         };
         shared.stats.failed.fetch_add(1, Ordering::Relaxed);
         shared.metrics.observe_outcome(code);
-        let _ = tx.send(
-            Response::Error {
-                id: None,
-                code,
-                message,
-            }
-            .to_line(),
-        );
+        sink.send(&Response::Error {
+            id: None,
+            code,
+            message,
+        });
     }
 }
 
-fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>, peer: &str) {
-    let reply = |r: Response| {
-        let _ = tx.send(r.to_line());
-    };
-    match Request::parse(line) {
+fn handle_request(
+    parsed: Result<Request, String>,
+    shared: &Arc<Shared>,
+    sink: &ReplySink,
+    peer: &str,
+) {
+    match parsed {
         Err(msg) => {
             shared.metrics.observe_outcome(CODE_PARSE);
-            reply(Response::Error {
+            sink.send(&Response::Error {
                 id: None,
                 code: CODE_PARSE,
                 message: msg,
             });
         }
-        Ok(Request::Ping) => reply(Response::Pong),
+        Ok(Request::Ping) => sink.send(&Response::Pong),
         Ok(Request::Health) => {
             let stats = shared.stats.snapshot();
-            reply(Response::Health {
+            sink.send(&Response::Health {
                 live_workers: shared.live_workers.load(Ordering::Relaxed) as u64,
                 dead_workers: shared.dead_workers.load(Ordering::Relaxed),
                 queue_depth: shared.queue.len() as u64,
@@ -571,12 +830,12 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
             });
         }
         Ok(Request::Metrics) => {
-            reply(Response::Metrics {
+            sink.send(&Response::Metrics {
                 exposition: shared.metrics.render(),
             });
         }
         Ok(Request::Shutdown) => {
-            reply(Response::ShuttingDown);
+            sink.send(&Response::ShuttingDown);
             shared.begin_shutdown();
         }
         Ok(Request::Run {
@@ -591,7 +850,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
                 .metrics
                 .observe_client(client.as_deref().unwrap_or(peer));
             // Fault-injection point: job admission. A panic rule unwinds
-            // into handle_line's catch (one error reply); a steal-miss rule
+            // into handle_frame's catch (one error reply); a steal-miss rule
             // models load shedding; a task-drop rule refuses the job with an
             // `injected` reply — observable, never a silent drop.
             match tpm_fault::probe(tpm_fault::Site::JobAdmission) {
@@ -601,7 +860,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
                 tpm_fault::Action::TaskDrop => {
                     shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                     shared.metrics.observe_outcome(CODE_INJECTED);
-                    reply(Response::Error {
+                    sink.send(&Response::Error {
                         id: Some(id),
                         code: CODE_INJECTED,
                         message: "injected task-drop at job-admission".to_string(),
@@ -611,7 +870,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
                 tpm_fault::Action::StealMiss => {
                     shared.stats.shed.fetch_add(1, Ordering::Relaxed);
                     shared.metrics.observe_outcome(CODE_OVERLOADED);
-                    reply(Response::Error {
+                    sink.send(&Response::Error {
                         id: Some(id),
                         code: CODE_OVERLOADED,
                         message: "injected admission shed".to_string(),
@@ -623,7 +882,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
             if spec.threads > shared.config.max_threads {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.observe_outcome("bad_config");
-                reply(Response::Error {
+                sink.send(&Response::Error {
                     id: Some(id),
                     code: "bad_config",
                     message: format!(
@@ -637,7 +896,7 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
             if let Err(e) = shared.registry.validate(&spec) {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.observe_outcome(e.code());
-                reply(Response::Error {
+                sink.send(&Response::Error {
                     id: Some(id),
                     code: e.code(),
                     message: e.to_string(),
@@ -649,14 +908,16 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
                 Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
                 None => CancelToken::new(),
             };
+            shared.pending.fetch_add(1, Ordering::SeqCst);
             let item = WorkItem {
                 id,
                 spec,
                 token,
-                reply: tx.clone(),
+                reply: sink.clone(),
                 enqueued: Instant::now(),
                 deadline_budget: deadline.map(Duration::from_millis),
                 replied: Arc::new(AtomicBool::new(false)),
+                pending: Arc::clone(&shared.pending),
             };
             match shared.queue.try_push(item) {
                 Ok(()) => {
@@ -665,14 +926,14 @@ fn handle_line_inner(line: &str, shared: &Arc<Shared>, tx: &mpsc::Sender<String>
                 Err(item) => {
                     shared.stats.shed.fetch_add(1, Ordering::Relaxed);
                     shared.metrics.observe_outcome(CODE_OVERLOADED);
-                    let _ = item.reply.send(
-                        Response::Error {
-                            id: Some(item.id),
-                            code: CODE_OVERLOADED,
-                            message: "admission queue full".to_string(),
-                        }
-                        .to_line(),
-                    );
+                    // Claim the reply before sending so the Drop backstop
+                    // (which runs right after) doesn't answer a second time.
+                    item.replied.swap(true, Ordering::SeqCst);
+                    item.reply.send(&Response::Error {
+                        id: Some(item.id),
+                        code: CODE_OVERLOADED,
+                        message: "admission queue full".to_string(),
+                    });
                 }
             }
         }
@@ -785,7 +1046,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
             }
         };
         // A dead client is fine; the job already ran.
-        let _ = item.reply.send(response.to_line());
+        item.reply.send(&response);
     }
 }
 
@@ -834,6 +1095,19 @@ mod tests {
         let mut line = String::new();
         r.read_line(&mut line).unwrap();
         Response::parse(line.trim()).expect("parse response")
+    }
+
+    #[test]
+    fn auto_resolves_to_a_concrete_path() {
+        let handle = serve(test_registry(), ServerConfig::default()).expect("bind");
+        let resolved = handle.data_path();
+        assert_ne!(resolved, DataPath::Auto);
+        if tpm_sync::epoll::supported() {
+            assert_eq!(resolved, DataPath::Epoll);
+        } else {
+            assert_eq!(resolved, DataPath::Threaded);
+        }
+        handle.shutdown();
     }
 
     #[test]
@@ -928,7 +1202,7 @@ mod tests {
                 }
                 other => panic!("expected injected error, got {other:?}"),
             }
-            // Same connection, same reader thread: still serving.
+            // Same connection, same data-path thread: still serving.
             send_line(&mut writer, r#"{"id":2,"kernel":"quick","size":5}"#);
             match read_response(&mut reader) {
                 Response::Ok { id, value, .. } => {
@@ -975,5 +1249,23 @@ mod tests {
         let stats = handle.shutdown();
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn threaded_path_still_serves_when_forced() {
+        let (handle, mut reader, mut writer) = start(ServerConfig {
+            data_path: DataPath::Threaded,
+            ..ServerConfig::default()
+        });
+        assert_eq!(handle.data_path(), DataPath::Threaded);
+        send_line(&mut writer, r#"{"id":1,"kernel":"quick","size":11}"#);
+        match read_response(&mut reader) {
+            Response::Ok { id, value, .. } => {
+                assert_eq!(id, 1);
+                assert_eq!(value, 11.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        handle.shutdown();
     }
 }

@@ -1,0 +1,274 @@
+//! Property and adversarial tests for the wire layer: arbitrary messages
+//! survive an encode → split-anywhere → decode round trip, and arbitrary
+//! garbage never panics the decoder.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use tpm_core::{JobSpec, KernelVariant, Model};
+use tpm_serve::wire::{self, Decoder, Protocol, ResponseDecoder, Step};
+use tpm_serve::{Request, Response};
+
+fn ascii_string(max_len: usize) -> impl Strategy<Value = String> {
+    collection::vec(0u8..62, 0..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|b| {
+                let b = b % 62;
+                (match b {
+                    0..=25 => b'a' + b,
+                    26..=51 => b'A' + (b - 26),
+                    _ => b'0' + (b - 52),
+                }) as char
+            })
+            .collect()
+    })
+}
+
+fn arb_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Health),
+        Just(Request::Metrics),
+        Just(Request::Shutdown),
+        (
+            any::<u64>(),
+            (0usize..Model::ALL.len(), 0usize..KernelVariant::ALL.len()),
+            (1u32..256).prop_map(|t| t as usize),
+            any::<u64>(),
+        )
+            .prop_map(|(id, (model, variant), threads, size)| Request::Run {
+                id,
+                spec: JobSpec {
+                    kernel: format!("k{}", model),
+                    model: Model::ALL[model],
+                    variant: KernelVariant::ALL[variant],
+                    size: size as usize % (1 << 40),
+                    threads,
+                },
+                deadline_ms: if size & 1 == 0 {
+                    Some(size >> 32)
+                } else {
+                    None
+                },
+                client: if size & 2 == 0 {
+                    Some(format!("tenant-{}", size % 97))
+                } else {
+                    None
+                },
+            })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        Just(Response::ShuttingDown),
+        // Integers stay below 2^53: the JSON leg carries them through f64.
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(id, a, b)| Response::Ok {
+            id: id % (1 << 50),
+            value: (a % 1_000_000) as f64 / 8.0,
+            elapsed_ms: (b % 100_000) as f64 / 16.0,
+            queue_ms: (a % 1_000) as f64 / 4.0,
+        }),
+        (any::<u64>(), 0usize..5, ascii_string(40)).prop_map(|(id, code, message)| {
+            Response::Error {
+                id: if id & 1 == 0 {
+                    Some(id % (1 << 50))
+                } else {
+                    None
+                },
+                code: ["parse", "overloaded", "bad_config", "deadline", "cancelled"][code],
+                message,
+            }
+        }),
+        collection::vec(any::<u64>(), 8).prop_map(|v| Response::Health {
+            live_workers: v[0] % 1_000_000,
+            dead_workers: v[1] % 1_000_000,
+            queue_depth: v[2] % 1_000_000,
+            inflight: v[3] % 1_000_000,
+            admitted: v[4] % 1_000_000,
+            completed: v[5] % 1_000_000,
+            shed: v[6] % 1_000_000,
+            distinct_clients: v[7] % 1_000_000,
+        }),
+        ascii_string(200).prop_map(|exposition| Response::Metrics { exposition }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_round_trip_through_chunked_binary_decode(
+        reqs in collection::vec(arb_request(), 1..6),
+        chunk_len in 1usize..17,
+    ) {
+        let mut bytes = wire::client_preamble(1).to_vec();
+        for r in &reqs {
+            bytes.extend_from_slice(&wire::encode_request(Protocol::Binary, r));
+        }
+        let mut d = Decoder::new();
+        let mut got = Vec::new();
+        let mut saw_preamble = false;
+        for chunk in bytes.chunks(chunk_len) {
+            d.feed(chunk);
+            loop {
+                match d.next() {
+                    Step::NeedMore => break,
+                    Step::Preamble(v) => {
+                        prop_assert_eq!(v, 1);
+                        saw_preamble = true;
+                    }
+                    Step::Message(Ok(r)) => got.push(r),
+                    other => panic!("unexpected step: {other:?}"),
+                }
+            }
+        }
+        prop_assert!(saw_preamble);
+        prop_assert_eq!(got, reqs);
+    }
+
+    #[test]
+    fn responses_round_trip_through_chunked_decode_both_protocols(
+        resps in collection::vec(arb_response(), 1..6),
+        chunk_len in 1usize..17,
+    ) {
+        for proto in [Protocol::Json, Protocol::Binary] {
+            let mut bytes = Vec::new();
+            for r in &resps {
+                bytes.extend_from_slice(&wire::encode_response(proto, r));
+            }
+            let mut d = ResponseDecoder::new(proto);
+            let mut got = Vec::new();
+            for chunk in bytes.chunks(chunk_len) {
+                d.feed(chunk);
+                loop {
+                    match d.next() {
+                        Step::NeedMore => break,
+                        Step::Message(Ok(r)) => got.push(r),
+                        other => panic!("unexpected step ({proto:?}): {other:?}"),
+                    }
+                }
+            }
+            prop_assert_eq!(&got, &resps);
+            prop_assert_eq!(d.pending_len(), 0);
+        }
+    }
+
+    /// Arbitrary garbage: the decoder may report errors or corruption but
+    /// must never panic, and must never fabricate a `Run` out of noise fed
+    /// after corruption is declared.
+    #[test]
+    fn garbage_never_panics_the_decoder(
+        garbage in collection::vec(any::<u8>(), 0..600),
+        chunk_len in 1usize..33,
+    ) {
+        let mut d = Decoder::new();
+        let mut corrupt = false;
+        for chunk in garbage.chunks(chunk_len) {
+            d.feed(chunk);
+            loop {
+                match d.next() {
+                    Step::NeedMore => break,
+                    Step::Corrupt(_) => {
+                        corrupt = true;
+                        break;
+                    }
+                    Step::Preamble(_) | Step::Message(_) => {}
+                }
+            }
+            if corrupt {
+                break;
+            }
+        }
+    }
+
+    /// Garbage that *starts* like the binary protocol (magic byte) still
+    /// never panics — the length-prefix sanity bounds hold.
+    #[test]
+    fn magic_prefixed_garbage_never_panics(
+        garbage in collection::vec(any::<u8>(), 0..600),
+    ) {
+        let mut d = Decoder::new();
+        d.feed(&[0xB7, 1]);
+        d.feed(&garbage);
+        for _ in 0..garbage.len() + 4 {
+            match d.next() {
+                Step::NeedMore | Step::Corrupt(_) => break,
+                Step::Preamble(_) | Step::Message(_) => {}
+            }
+        }
+    }
+}
+
+/// Every byte boundary: a two-request binary stream split into exactly two
+/// feeds at position `i`, for every `i` — no boundary loses or duplicates
+/// a message.
+#[test]
+fn binary_stream_splits_cleanly_at_every_byte_boundary() {
+    let reqs = [
+        Request::Run {
+            id: 42,
+            spec: JobSpec {
+                kernel: "sum".to_string(),
+                model: Model::CilkSpawn,
+                variant: KernelVariant::Optimized,
+                size: 1 << 20,
+                threads: 4,
+            },
+            deadline_ms: Some(250),
+            client: Some("edge".to_string()),
+        },
+        Request::Ping,
+    ];
+    let mut bytes = wire::client_preamble(1).to_vec();
+    for r in &reqs {
+        bytes.extend_from_slice(&wire::encode_request(Protocol::Binary, r));
+    }
+    for cut in 0..=bytes.len() {
+        let mut d = Decoder::new();
+        let mut got = Vec::new();
+        for part in [&bytes[..cut], &bytes[cut..]] {
+            d.feed(part);
+            loop {
+                match d.next() {
+                    Step::NeedMore => break,
+                    Step::Preamble(v) => assert_eq!(v, 1, "cut at {cut}"),
+                    Step::Message(Ok(r)) => got.push(r),
+                    other => panic!("cut at {cut}: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got.as_slice(), reqs.as_slice(), "cut at {cut}");
+    }
+}
+
+/// The JSON side of the same guarantee, for the protocol-sniffing path.
+#[test]
+fn json_stream_splits_cleanly_at_every_byte_boundary() {
+    let bytes = b"{\"cmd\":\"ping\"}\n{\"id\":7,\"kernel\":\"sum\",\"size\":9}\n".to_vec();
+    for cut in 0..=bytes.len() {
+        let mut d = Decoder::new();
+        let mut got = Vec::new();
+        for part in [&bytes[..cut], &bytes[cut..]] {
+            d.feed(part);
+            loop {
+                match d.next() {
+                    Step::NeedMore => break,
+                    Step::Message(Ok(r)) => got.push(r),
+                    other => panic!("cut at {cut}: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got.len(), 2, "cut at {cut}");
+        assert_eq!(got[0], Request::Ping, "cut at {cut}");
+        assert!(
+            matches!(&got[1], Request::Run { id: 7, spec, .. } if spec.kernel == "sum"),
+            "cut at {cut}: {:?}",
+            got[1]
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! Raw `epoll` and `eventfd` syscall shims for readiness-driven IO.
+//!
+//! The workspace builds offline with no `libc` (same discipline as
+//! [`crate::affinity`]'s `sched_setaffinity`), so the Linux implementation
+//! issues the syscalls directly and everywhere else the constructors return
+//! [`std::io::ErrorKind::Unsupported`] — callers fall back to a threaded
+//! data path. Only the subset the `tpm-serve` reactor needs is bound:
+//! `epoll_create1`, `epoll_ctl`, `epoll_wait`, `eventfd2`, and `read` /
+//! `write` / `close` on the eventfd.
+//!
+//! The API is deliberately level-triggered (the epoll default): the reactor
+//! reads and writes until `WouldBlock` on every readiness report, so a
+//! partially-drained socket simply reports ready again on the next wait —
+//! no edge-tracking state to get wrong.
+
+use std::io;
+
+/// Readiness: the fd has bytes to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd can accept bytes without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Condition: the fd is in an error state (always reported, never armed).
+pub const EPOLLERR: u32 = 0x008;
+/// Condition: the peer hung up (always reported, never armed).
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness: the peer closed its write half (half-close detection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness report. Matches the kernel's `struct epoll_event` layout
+/// on x86-64 (packed to 12 bytes); accessed through methods because packed
+/// fields cannot be borrowed.
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct Event {
+    events: u32,
+    data: u64,
+}
+
+impl Event {
+    /// An empty slot for a [`Epoll::wait`] buffer.
+    #[must_use]
+    pub fn zeroed() -> Self {
+        Self::default()
+    }
+
+    /// The readiness bits (`EPOLLIN | …`).
+    #[must_use]
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The caller token registered with the fd.
+    #[must_use]
+    pub fn data(&self) -> u64 {
+        self.data
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event")
+            .field("events", &self.events())
+            .field("data", &self.data())
+            .finish()
+    }
+}
+
+/// Whether this platform has the epoll shim (Linux x86-64 only).
+#[must_use]
+pub fn supported() -> bool {
+    cfg!(all(target_os = "linux", target_arch = "x86_64"))
+}
+
+/// An epoll instance. Closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// Creates an epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        let fd = sys::epoll_create1()?;
+        Ok(Self { fd })
+    }
+
+    /// Registers `fd` for `events`, reporting `token` back on readiness.
+    pub fn add(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the armed event set for an already-registered `fd`.
+    pub fn modify(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`. Closing the fd removes it implicitly; an explicit
+    /// delete keeps the interest list honest while the fd is still open.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (-1 = forever) for readiness; fills
+    /// `events` and returns how many entries are valid. Interruption by a
+    /// signal returns `ErrorKind::Interrupted` — callers retry.
+    pub fn wait(&self, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        sys::epoll_wait(self.fd, events, timeout_ms)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        let _ = sys::close(self.fd);
+    }
+}
+
+/// A wakeup fd: any thread [`signal`](Self::signal)s it, the reactor's
+/// `epoll_wait` reports it readable, and [`drain`](Self::drain) resets it.
+/// Created nonblocking so a drain of an unsignalled fd never hangs.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: i32,
+}
+
+impl EventFd {
+    /// Creates an eventfd (`EFD_CLOEXEC | EFD_NONBLOCK`, counter 0).
+    pub fn new() -> io::Result<Self> {
+        let fd = sys::eventfd2()?;
+        Ok(Self { fd })
+    }
+
+    /// The raw fd, for registration with an [`Epoll`].
+    #[must_use]
+    pub fn raw_fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Wakes any waiter: adds 1 to the counter. Safe from any thread; a
+    /// full counter (never in practice) is ignored — the fd is already
+    /// readable, which is all a wake needs.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        let _ = sys::write(self.fd, &one.to_ne_bytes());
+    }
+
+    /// Resets the counter so the fd stops reporting readable. Returns how
+    /// many signals had accumulated (0 when none — nonblocking).
+    pub fn drain(&self) -> u64 {
+        let mut buf = [0u8; 8];
+        match sys::read(self.fd, &mut buf) {
+            Ok(8) => u64::from_ne_bytes(buf),
+            _ => 0,
+        }
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        let _ = sys::close(self.fd);
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Direct x86-64 Linux syscalls. Numbers from `asm/unistd_64.h`;
+    //! negative returns are `-errno` per the raw syscall ABI (no libc errno
+    //! translation happens here).
+
+    use super::Event;
+    use std::io;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    const SYS_READ: usize = 0;
+    const SYS_WRITE: usize = 1;
+    const SYS_CLOSE: usize = 3;
+    const SYS_EPOLL_WAIT: usize = 232;
+    const SYS_EPOLL_CTL: usize = 233;
+    const SYS_EVENTFD2: usize = 290;
+    const SYS_EPOLL_CREATE1: usize = 291;
+
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const EFD_CLOEXEC: usize = 0o2000000;
+    const EFD_NONBLOCK: usize = 0o4000;
+
+    /// Issues a 4-argument syscall. SAFETY: the caller guarantees the
+    /// argument registers are valid for the specific syscall (pointers live
+    /// and sized correctly); rcx/r11 are declared clobbered per the ABI.
+    unsafe fn syscall4(nr: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    pub fn epoll_create1() -> io::Result<i32> {
+        // SAFETY: no pointer arguments.
+        check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) }).map(|fd| fd as i32)
+    }
+
+    pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let ev = Event {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` lives across the call and matches the kernel layout;
+        // the kernel only reads it (and ignores it entirely for DEL).
+        check(unsafe {
+            syscall4(
+                SYS_EPOLL_CTL,
+                epfd as usize,
+                op as usize,
+                fd as usize,
+                std::ptr::addr_of!(ev) as usize,
+            )
+        })
+        .map(|_| ())
+    }
+
+    pub fn epoll_wait(epfd: i32, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `events` is valid for `len` entries of the kernel layout
+        // and the kernel writes at most that many.
+        check(unsafe {
+            syscall4(
+                SYS_EPOLL_WAIT,
+                epfd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+            )
+        })
+    }
+
+    pub fn eventfd2() -> io::Result<i32> {
+        // SAFETY: no pointer arguments.
+        check(unsafe { syscall4(SYS_EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0) })
+            .map(|fd| fd as i32)
+    }
+
+    pub fn read(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is valid for writes of its length.
+        check(unsafe {
+            syscall4(
+                SYS_READ,
+                fd as usize,
+                buf.as_mut_ptr() as usize,
+                buf.len(),
+                0,
+            )
+        })
+    }
+
+    pub fn write(fd: i32, buf: &[u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is valid for reads of its length.
+        check(unsafe { syscall4(SYS_WRITE, fd as usize, buf.as_ptr() as usize, buf.len(), 0) })
+    }
+
+    pub fn close(fd: i32) -> io::Result<usize> {
+        // SAFETY: no pointer arguments; the caller owns the fd.
+        check(unsafe { syscall4(SYS_CLOSE, fd as usize, 0, 0, 0) })
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    //! Stubs for platforms without the shim: constructors fail with
+    //! `Unsupported` so callers take the threaded fallback path.
+
+    use super::Event;
+    use std::io;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll shim is Linux x86-64 only",
+        ))
+    }
+
+    pub fn epoll_create1() -> io::Result<i32> {
+        unsupported()
+    }
+
+    pub fn epoll_ctl(_: i32, _: i32, _: i32, _: u32, _: u64) -> io::Result<()> {
+        unsupported()
+    }
+
+    pub fn epoll_wait(_: i32, _: &mut [Event], _: i32) -> io::Result<usize> {
+        unsupported()
+    }
+
+    pub fn eventfd2() -> io::Result<i32> {
+        unsupported()
+    }
+
+    pub fn read(_: i32, _: &mut [u8]) -> io::Result<usize> {
+        unsupported()
+    }
+
+    pub fn write(_: i32, _: &[u8]) -> io::Result<usize> {
+        unsupported()
+    }
+
+    pub fn close(_: i32) -> io::Result<usize> {
+        unsupported()
+    }
+}
+
+#[cfg(all(test, target_os = "linux", target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn supported_matches_platform() {
+        assert!(supported());
+    }
+
+    #[test]
+    fn eventfd_signal_wakes_epoll_and_drain_resets() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.raw_fd(), 7, EPOLLIN).unwrap();
+
+        let mut buf = [Event::zeroed(); 4];
+        // Unsignalled: a zero-timeout wait reports nothing.
+        assert_eq!(ep.wait(&mut buf, 0).unwrap(), 0);
+
+        ev.signal();
+        ev.signal();
+        let n = ep.wait(&mut buf, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(buf[0].data(), 7);
+        assert_ne!(buf[0].events() & EPOLLIN, 0);
+
+        assert_eq!(ev.drain(), 2, "two signals accumulated");
+        assert_eq!(ev.drain(), 0, "drained fd reads empty, nonblocking");
+        assert_eq!(ep.wait(&mut buf, 0).unwrap(), 0, "no longer readable");
+    }
+
+    #[test]
+    fn socket_readiness_add_modify_delete() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(listener.as_raw_fd(), 1, EPOLLIN).unwrap();
+
+        let mut buf = [Event::zeroed(); 4];
+        assert_eq!(ep.wait(&mut buf, 0).unwrap(), 0, "no pending accept yet");
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let n = ep.wait(&mut buf, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(buf[0].data(), 1, "listener readable: pending accept");
+
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        ep.add(server_side.as_raw_fd(), 2, EPOLLIN | EPOLLRDHUP)
+            .unwrap();
+        client.write_all(b"hi").unwrap();
+        let n = ep.wait(&mut buf, 2000).unwrap();
+        assert!((1..=2).contains(&n));
+        assert!(
+            (0..n).any(|i| buf[i].data() == 2 && buf[i].events() & EPOLLIN != 0),
+            "connection readable after client write"
+        );
+        let mut b = [0u8; 8];
+        assert_eq!(server_side.read(&mut b).unwrap(), 2);
+
+        // Writable interest via modify: an idle socket is instantly ready.
+        ep.modify(server_side.as_raw_fd(), 2, EPOLLOUT).unwrap();
+        let n = ep.wait(&mut buf, 2000).unwrap();
+        assert!((0..n).any(|i| buf[i].data() == 2 && buf[i].events() & EPOLLOUT != 0));
+
+        ep.delete(server_side.as_raw_fd()).unwrap();
+        drop(client);
+        // Deleted fd no longer reports, even after peer close.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let n = ep.wait(&mut buf, 0).unwrap();
+        assert!(
+            (0..n).all(|i| buf[i].data() != 2),
+            "deleted fd must not report"
+        );
+    }
+}

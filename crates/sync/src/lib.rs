@@ -19,6 +19,7 @@
 //! | [`IdleStrategy`] | both pooled runtimes | worker idle loops (spin → yield → park) |
 //! | [`CancelToken`] | all three | cooperative cancellation + deadlines (job service) |
 //! | [`affinity`] | all three | core pinning (`TPM_PIN`, `OMP_PROC_BIND` analogue) |
+//! | [`epoll`] | `tpm-serve` | readiness-driven socket reactor (raw syscall shim) |
 //! | [`Backoff`], [`CachePadded`], [`rng`], [`stats`] | all | mechanics |
 
 #![warn(missing_docs)]
@@ -31,6 +32,7 @@ mod cache_padded;
 mod cancel;
 pub mod chase_lev;
 mod condvar;
+pub mod epoll;
 mod idle;
 mod latch;
 mod locked_deque;
