@@ -1,0 +1,113 @@
+//! A counting wrapper around the system allocator.
+//!
+//! Install it in a binary with
+//! `#[global_allocator] static A: CountingAlloc = CountingAlloc;` and every
+//! heap operation in the process bumps a relaxed atomic — cheap enough to
+//! leave on permanently, precise enough to report measured allocations per
+//! request in BENCH rows instead of estimates.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static REALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// The [`std::alloc::System`] allocator plus relaxed per-operation counters.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation verbatim to `System`; the counter bumps
+// are allocation-free (static atomics), so no reentrancy is possible.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A point-in-time view of the process-wide heap counters.
+///
+/// Counters are zero unless [`CountingAlloc`] is installed as the global
+/// allocator in the running binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// `alloc` + `alloc_zeroed` calls.
+    pub allocations: u64,
+    /// `dealloc` calls.
+    pub deallocations: u64,
+    /// `realloc` calls.
+    pub reallocations: u64,
+    /// Bytes requested (growth-only for reallocs).
+    pub bytes_allocated: u64,
+}
+
+impl AllocSnapshot {
+    /// The delta from `earlier` to `self` (saturating).
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            deallocations: self.deallocations.saturating_sub(earlier.deallocations),
+            reallocations: self.reallocations.saturating_sub(earlier.reallocations),
+            bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+        }
+    }
+}
+
+/// Reads the process-wide heap counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        deallocations: DEALLOCATIONS.load(Ordering::Relaxed),
+        reallocations: REALLOCATIONS.load(Ordering::Relaxed),
+        bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_saturates_and_subtracts() {
+        let a = AllocSnapshot {
+            allocations: 10,
+            deallocations: 4,
+            reallocations: 2,
+            bytes_allocated: 1000,
+        };
+        let b = AllocSnapshot {
+            allocations: 25,
+            deallocations: 9,
+            reallocations: 2,
+            bytes_allocated: 1600,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.allocations, 15);
+        assert_eq!(d.deallocations, 5);
+        assert_eq!(d.reallocations, 0);
+        assert_eq!(d.bytes_allocated, 600);
+        assert_eq!(a.since(&b).allocations, 0, "saturating");
+    }
+}

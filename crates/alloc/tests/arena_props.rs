@@ -1,0 +1,115 @@
+//! Property tests for the arena: regions within a generation never
+//! overlap and never lose their bytes, resets recycle capacity without
+//! corrupting newly carved regions, and per-worker arenas are isolated
+//! under concurrent use.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use tpm_alloc::Arena;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary allocation sizes against an arbitrary chunk size: every
+    /// region keeps a distinct fill pattern until the end of the
+    /// generation, i.e. no two live regions alias.
+    #[test]
+    fn regions_never_alias_within_a_generation(
+        chunk in 64usize..2048,
+        sizes in collection::vec(0usize..300, 1..80),
+    ) {
+        let arena = Arena::with_chunk_size(chunk);
+        let regions: Vec<(u8, &mut [u8])> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let tag = (i % 251) as u8;
+                let r = arena.alloc_bytes(len);
+                r.fill(tag);
+                (tag, r)
+            })
+            .collect();
+        let expected: u64 = sizes.iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(arena.stats().allocated_bytes, expected);
+        for (tag, r) in &regions {
+            prop_assert!(r.iter().all(|b| b == tag));
+        }
+    }
+
+    /// Reset-then-reuse: after a bulk reset the arena serves a fresh round
+    /// of writes correctly (no bookkeeping corruption from recycled
+    /// chunks), an identical allocation pattern replayed after a reset
+    /// grows no new capacity, and the generation counter advances every
+    /// reset.
+    #[test]
+    fn reset_recycles_without_corruption(
+        chunk in 64usize..1024,
+        sizes in collection::vec(1usize..200, 1..40),
+        replays in 2usize..6,
+    ) {
+        let mut arena = Arena::with_chunk_size(chunk);
+        let mut first_round_capacity = 0;
+        for round in 0..replays {
+            prop_assert_eq!(arena.generation(), round as u64);
+            let regions: Vec<(u8, &mut [u8])> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| {
+                    let tag = ((i * 7 + round) % 251) as u8;
+                    let r = arena.alloc_bytes(len);
+                    r.fill(tag);
+                    (tag, r)
+                })
+                .collect();
+            for (tag, r) in &regions {
+                prop_assert!(r.iter().all(|b| b == tag));
+            }
+            let cap = arena.stats().capacity_bytes;
+            if round == 0 {
+                first_round_capacity = cap;
+            } else {
+                // The replayed pattern is identical, so recycled chunks
+                // must satisfy it in place.
+                prop_assert_eq!(cap, first_round_capacity);
+            }
+            arena.reset();
+        }
+        prop_assert_eq!(arena.stats().resets, replays as u64);
+        let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(arena.stats().allocated_bytes, total * replays as u64);
+    }
+}
+
+/// Per-worker isolation: arenas moved onto different threads, each doing
+/// interleaved alloc/verify/reset cycles, never observe each other's
+/// writes (the type is Send + !Sync, so this is exercising the real
+/// deployment shape: one arena per worker).
+#[test]
+fn per_worker_arenas_are_isolated_under_concurrency() {
+    let threads: Vec<_> = (0..8u8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut arena = Arena::with_chunk_size(512);
+                for round in 0..200usize {
+                    let regions: Vec<&mut [u8]> = (0..16)
+                        .map(|i| {
+                            let r = arena.alloc_bytes(5 + (round + i) % 90);
+                            r.fill(t);
+                            r
+                        })
+                        .collect();
+                    for r in &regions {
+                        assert!(r.iter().all(|&b| b == t), "cross-worker bleed");
+                    }
+                    drop(regions);
+                    arena.reset();
+                }
+                assert_eq!(arena.stats().resets, 200);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}

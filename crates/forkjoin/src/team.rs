@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use tpm_fault::{Action as FaultAction, Site as FaultSite};
+use tpm_sync::topology::NumaTopology;
 use tpm_sync::{
     Barrier, CancelReason, CancelToken, Condvar, CountLatch, LockedDeque, Mutex, Reducer,
     SchedulerStats, SpinLock,
@@ -200,6 +201,38 @@ pub struct Ctx<'a> {
     single_seq: Cell<usize>,
     /// XorShift state for steal victim selection.
     rng: Cell<u64>,
+    /// Same-NUMA-node steal victims (empty when node-aware stealing is
+    /// inactive — single node, `TPM_NUMA=off` — or no same-node peer
+    /// exists). The steal loop spends its first sweep on these before
+    /// falling back to uniform victims.
+    local_victims: Vec<usize>,
+}
+
+/// Same-node peers of `tid` under the worker→CPU mapping `tid % cpus`
+/// (matching `affinity::pin_current_thread`). Pure so it is testable; the
+/// cached policy gate lives in [`numa_local_victims`].
+fn local_victims_for(topo: &NumaTopology, tid: usize, active: usize) -> Vec<usize> {
+    let cpus = topo.num_cpus().max(1);
+    let node = topo.node_of_cpu(tid % cpus);
+    (0..active)
+        .filter(|&v| v != tid && topo.node_of_cpu(v % cpus) == node)
+        .collect()
+}
+
+/// [`local_victims_for`] behind the process-wide policy gate: node-aware
+/// stealing needs a multi-node topology and `TPM_NUMA` not off (unset
+/// defaults to "only when `TPM_PIN` is on", since without pinning the
+/// worker→CPU mapping is fiction).
+fn numa_local_victims(tid: usize, active: usize) -> Vec<usize> {
+    static TOPO: std::sync::OnceLock<Option<NumaTopology>> = std::sync::OnceLock::new();
+    match TOPO.get_or_init(|| {
+        let t = NumaTopology::probe();
+        (t.num_nodes() > 1 && tpm_sync::topology::numa_from_env(tpm_sync::affinity::pin_from_env()))
+            .then_some(t)
+    }) {
+        Some(topo) => local_victims_for(topo, tid, active),
+        None => Vec::new(),
+    }
 }
 
 impl<'a> Ctx<'a> {
@@ -211,6 +244,7 @@ impl<'a> Ctx<'a> {
             ws_seq: Cell::new(0),
             single_seq: Cell::new(0),
             rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ (tid as u64 + 1)),
+            local_victims: numa_local_victims(tid, region.active),
         }
     }
 
@@ -501,14 +535,19 @@ impl<'a> Ctx<'a> {
         self.region.store_panic(payload);
     }
 
-    /// Next steal victim (uniform over the other threads).
-    pub(crate) fn next_victim(&self) -> usize {
+    /// Advances the XorShift stream one step.
+    fn rng_next(&self) -> u64 {
         let mut x = self.rng.get();
         x ^= x >> 12;
         x ^= x << 25;
         x ^= x >> 27;
         self.rng.set(x);
-        let r = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next steal victim (uniform over the other threads).
+    pub(crate) fn next_victim(&self) -> usize {
+        let r = (self.rng_next() >> 33) as usize;
         let n = self.region.active;
         if n <= 1 {
             return 0;
@@ -530,10 +569,18 @@ impl<'a> Ctx<'a> {
             TaskMode::BreadthFirst => own.pop_top(),
         };
         let task = task.or_else(|| {
-            // Randomized stealing from the FIFO end, a few rounds.
+            // Randomized stealing from the FIFO end, a few rounds. With
+            // node-aware stealing active, the first sweep's worth of
+            // probes draws from same-node victims only (a remote steal
+            // drags the task's working set across the interconnect);
+            // later rounds go uniform so remote work is still found.
             let n = self.region.active;
-            for _ in 0..(2 * n) {
-                let v = self.next_victim();
+            for round in 0..(2 * n) {
+                let v = if round < n && !self.local_victims.is_empty() {
+                    self.local_victims[(self.rng_next() >> 33) as usize % self.local_victims.len()]
+                } else {
+                    self.next_victim()
+                };
                 if v == self.tid {
                     continue;
                 }
@@ -894,6 +941,20 @@ fn worker_loop(inner: &TeamInner, tid: usize) {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn local_victims_follow_the_worker_to_cpu_mapping() {
+        // Two nodes of two CPUs each; workers map to CPUs as tid % cpus.
+        let topo = NumaTopology::parse_spec("0-1;2-3").unwrap();
+        assert_eq!(local_victims_for(&topo, 0, 4), vec![1]);
+        assert_eq!(local_victims_for(&topo, 2, 4), vec![3]);
+        // Oversubscription wraps: tid 4 lands on CPU 0 (node 0) alongside
+        // workers 0, 1, and 5.
+        assert_eq!(local_victims_for(&topo, 4, 6), vec![0, 1, 5]);
+        // A worker with no same-node peer gets an empty list (the steal
+        // loop then falls back to uniform selection).
+        assert_eq!(local_victims_for(&topo, 2, 3), Vec::<usize>::new());
+    }
 
     #[test]
     fn region_runs_on_all_threads() {

@@ -20,8 +20,11 @@ use crate::native::NativeConfig;
 pub const USAGE: &str = "usage: tpm-harness <experiment> [kernel] [--native] [--threads 1,2,4] \
 [--reps N] [--scale S] [--trace out.json] [--json-out bench.json] [--pin] \
 [--kernel-variant reference|optimized] [service flags]
-experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibrate profile
-             serve loadgen top metrics chaos
+experiments: table1 table2 table3 fig1..fig10 figures tables all check ht numasim calibrate
+             profile serve loadgen top metrics chaos
+  numasim            sweep NUMA placement (packed|scatter) x steal-victim
+                     policy (random|node_aware) on the simulated two-socket
+                     testbed; --json-out writes the row table
   profile [kernel]   run one kernel (sum|axpy|fib) under every model and
                      print side-by-side scheduler-event summaries
   serve              run the cancellable job server (JSON lines over TCP)
@@ -44,6 +47,10 @@ experiments: table1 table2 table3 fig1..fig10 figures tables all check ht calibr
                      (median + stddev seconds) for figure experiments, or
                      the loadgen report (BENCH_4.json format)
   --pin              pin runtime worker threads to cores (TPM_PIN=1)
+  --numa mode        NUMA-aware victim ordering in the worksteal/forkjoin
+                     runtimes: on (TPM_NUMA=1), off (TPM_NUMA=0), or auto
+                     (probe sysfs; node-aware only on multi-node machines
+                     with --pin) [auto]
   --kernel-variant v run native kernels with the reference (paper-faithful
                      scalar) or optimized (vectorized/blocked/tiled) data
                      path; default reference
@@ -61,6 +68,8 @@ service flags (serve + loadgen):
   --window N         loadgen: requests kept in flight per connection
                      (pipelining; 1 = closed loop) [1]
   --data-path p      serve: socket data path, auto|epoll|threaded [auto]
+  --arena mode       serve: recycle reply buffers through the per-worker
+                     pool (tpm-alloc), on|off [on]
   --size N           loadgen: problem size sent in each job request [4096]
   --model m          loadgen: threading model each job runs under [omp_for]
   --deadline-ms N    loadgen: per-request deadline forwarded to the server
@@ -85,6 +94,9 @@ pub struct CommonOpts {
     pub pin: bool,
     /// Install the fault plan at this path (tpm-fault JSON) for the run.
     pub fault_plan: Option<PathBuf>,
+    /// NUMA-aware victim ordering: `Some(true)` forces it (`TPM_NUMA=1`),
+    /// `Some(false)` disables it, `None` lets the topology probe decide.
+    pub numa: Option<bool>,
 }
 
 /// Knobs shared by the `serve` and `loadgen` subcommands.
@@ -123,6 +135,8 @@ pub struct ServiceOpts {
     pub interval_ms: u64,
     /// Top: render this many frames then exit (`None` = until killed).
     pub frames: Option<usize>,
+    /// Serve: recycle reply buffers through the per-worker pool.
+    pub arena: bool,
 }
 
 impl Default for ServiceOpts {
@@ -144,6 +158,7 @@ impl Default for ServiceOpts {
             metrics_out: None,
             interval_ms: 1000,
             frames: None,
+            arena: true,
         }
     }
 }
@@ -211,6 +226,17 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 common.json_out = Some(PathBuf::from(v));
             }
             "--pin" => common.pin = true,
+            "--numa" => {
+                let v = flag_value(args, &mut i, "--numa")?;
+                common.numa = match v {
+                    "on" => Some(true),
+                    "off" => Some(false),
+                    "auto" => None,
+                    _ => {
+                        return Err(format!("invalid --numa value '{v}': expected on|off|auto"));
+                    }
+                };
+            }
             "--fault-plan" => {
                 let v = flag_value(args, &mut i, "--fault-plan")?;
                 common.fault_plan = Some(PathBuf::from(v));
@@ -271,6 +297,14 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--job-threads" => {
                 service.job_threads = positive(args, &mut i, "--job-threads")?;
+            }
+            "--arena" => {
+                let v = flag_value(args, &mut i, "--arena")?;
+                service.arena = match v {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err(format!("invalid --arena value '{v}': expected on|off")),
+                };
             }
             "--metrics-out" => {
                 let v = flag_value(args, &mut i, "--metrics-out")?;
@@ -520,6 +554,37 @@ mod tests {
         assert!(err.contains("--connections"), "{err}");
         assert!(p(&["loadgen", "--window", "none"]).is_err());
         assert!(p(&["loadgen", "--protocol"])
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn parses_arena_and_numa_modes() {
+        let cli = p(&["serve", "--arena", "off", "--numa", "on"]).unwrap();
+        assert!(!cli.service.arena);
+        assert_eq!(cli.common.numa, Some(true));
+        let cli = p(&["serve", "--arena", "on", "--numa", "off"]).unwrap();
+        assert!(cli.service.arena);
+        assert_eq!(cli.common.numa, Some(false));
+        let cli = p(&["fig5", "--numa", "auto"]).unwrap();
+        assert_eq!(cli.common.numa, None);
+
+        // Defaults: arena on, numa auto.
+        let plain = p(&["serve"]).unwrap();
+        assert!(plain.service.arena);
+        assert_eq!(plain.common.numa, None);
+
+        let err = p(&["serve", "--arena", "maybe"]).unwrap_err();
+        assert!(err.contains("--arena") && err.contains("on|off"), "{err}");
+        let err = p(&["fig5", "--numa", "both"]).unwrap_err();
+        assert!(
+            err.contains("--numa") && err.contains("on|off|auto"),
+            "{err}"
+        );
+        assert!(p(&["serve", "--arena"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(p(&["serve", "--numa"])
             .unwrap_err()
             .contains("requires a value"));
     }

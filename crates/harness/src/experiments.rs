@@ -6,7 +6,10 @@
 use tpm_core::{Figure, Model, Series};
 use tpm_kernels::{Axpy, Fib, Matmul, Matvec, Sum};
 use tpm_rodinia::{Bfs, HotSpot, LavaMd, Lud, Srad};
-use tpm_sim::{DequeKind, LoopPolicy, LoopWorkload, PhasedWorkload, Simulator};
+use tpm_sim::{
+    CostModel, DequeKind, LoopPolicy, LoopWorkload, PhasedWorkload, Placement, Simulator,
+    VictimPolicy,
+};
 
 /// The thread axis of the paper's figures (up to the 36 physical cores).
 pub const THREADS: [usize; 7] = [1, 2, 4, 8, 16, 32, 36];
@@ -174,6 +177,95 @@ pub fn ht_extension() -> Figure {
         fig.series.push(s);
     }
     fig
+}
+
+/// Thread axis of the NUMA placement sweep: within one socket (8), exactly
+/// one socket (18), spilling across (24), and both sockets full (36).
+pub const NUMA_THREADS: [usize; 4] = [8, 18, 24, 36];
+
+/// Extension experiment (`numasim`): NUMA placement × victim-policy sweep of
+/// the Fig. 5 task tree on the simulated two-socket testbed. Cross-node
+/// steals pay [`tpm_sim::CostModel::steal_remote_penalty`]; node-aware
+/// victim ordering (what `--numa on` enables in the real runtimes) earns
+/// its keep once workers span both sockets.
+pub fn numasim_figure() -> Figure {
+    let sim = Simulator::paper_testbed();
+    let fw = Fib::paper().sim_workload();
+    let mut fig = Figure::new("Extension: NUMA placement x victim policy, Fib(40) (simulated)");
+    for placement in [Placement::Packed, Placement::Scatter] {
+        for policy in [VictimPolicy::Random, VictimPolicy::NodeAware] {
+            let mut s = Series::new(format!("{}/{}", placement.name(), policy.name()));
+            for &p in &NUMA_THREADS {
+                let (r, _) = sim.run_fib_placed(DequeKind::LockFree, &fw, p, placement, policy);
+                s.push(p, r.seconds());
+            }
+            fig.series.push(s);
+        }
+    }
+    fig
+}
+
+/// Cost model of the pre-padding Chase–Lev deque: `top`, `bottom` and the
+/// per-worker stats shared one cache line, so with thieves active every
+/// owner push/pop ping-pongs that line (one extra coherence round trip,
+/// ~40 ns) and every steal probe pays a full cross-core miss on a line the
+/// owner keeps dirtying (~100 ns). The padded layout (one line per field,
+/// `tpm_sync::CachePadded`) is the calibrated baseline.
+fn unpadded_cost() -> CostModel {
+    let mut c = CostModel::calibrated();
+    c.push_lockfree_ns += 40.0;
+    c.pop_lockfree_ns += 40.0;
+    c.steal_attempt_ns += 100.0;
+    c.steal_success_ns += 100.0;
+    c
+}
+
+/// Machine-readable `numasim` sweep — one row per placement × policy ×
+/// thread count with steal counts, plus the padded-vs-unpadded deque-layout
+/// comparison on the same steal-heavy tree, for `BENCH_<n>.json` tracking.
+pub fn numasim_json() -> String {
+    let sim = Simulator::paper_testbed();
+    let fw = Fib::paper().sim_workload();
+    let rows = tpm_sim::placement_sweep(&sim, &fw, &NUMA_THREADS);
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"numasim\",\n");
+    out.push_str("  \"machine\": \"xeon_e5_2699v3\",\n");
+    out.push_str(&format!(
+        "  \"workload\": \"fib{}_cutoff{}\",\n  \"rows\": [\n",
+        fw.n, fw.leaf_cutoff
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"placement\": \"{}\", \"policy\": \"{}\", \"threads\": {}, \
+             \"makespan_ms\": {:.3}, \"steals\": {}, \"remote_steals\": {}}}{}\n",
+            r.placement.name(),
+            r.policy.name(),
+            r.threads,
+            r.makespan_ns / 1e6,
+            r.steals,
+            r.remote_steals,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"padding\": [\n");
+    let unpadded = Simulator {
+        cost: unpadded_cost(),
+        ..sim
+    };
+    for (i, &p) in NUMA_THREADS.iter().enumerate() {
+        let pad = sim.run_fib(DequeKind::LockFree, &fw, p);
+        let raw = unpadded.run_fib(DequeKind::LockFree, &fw, p);
+        out.push_str(&format!(
+            "    {{\"threads\": {p}, \"padded_ms\": {:.3}, \"unpadded_ms\": {:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            pad.makespan_ns / 1e6,
+            raw.makespan_ns / 1e6,
+            raw.makespan_ns / pad.makespan_ns,
+            if i + 1 < NUMA_THREADS.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// All ten figures, in order.
@@ -345,5 +437,35 @@ mod tests {
         assert!(at("matmul_2k", 72) < at("matmul_2k", 36) * 0.95);
         // Axpy (bandwidth-bound): no gain from SMT.
         assert!(at("axpy_100m", 72) >= at("axpy_100m", 36) * 0.98);
+    }
+
+    #[test]
+    fn numasim_covers_every_cell_and_padding_wins() {
+        let fig = numasim_figure();
+        assert_eq!(fig.series.len(), 4, "2 placements x 2 policies");
+        for s in &fig.series {
+            assert_eq!(s.points.len(), NUMA_THREADS.len());
+        }
+        let j = numasim_json();
+        assert!(j.contains("\"placement\": \"packed\""));
+        assert!(j.contains("\"policy\": \"node_aware\""));
+        assert!(j.contains("\"remote_steals\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // The deque-padding claim BENCH_8 records: the task-protocol-bound
+        // fib tree runs ≥ 5% faster with one-line-per-field deques.
+        for line in j.lines().filter(|l| l.contains("\"speedup\"")) {
+            let speedup: f64 = line
+                .split("\"speedup\": ")
+                .nth(1)
+                .and_then(|s| s.split('}').next())
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert!(
+                speedup >= 1.05,
+                "padding speedup {speedup} below 5%:\n{line}"
+            );
+        }
     }
 }

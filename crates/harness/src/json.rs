@@ -44,7 +44,7 @@ fn num(v: f64) -> String {
 /// {
 ///   "experiment": "figures", "native": true,
 ///   "threads": [1, 2], "reps": 3, "scale": 1, "pinned": false,
-///   "kernel_variant": "reference",
+///   "numa": "auto", "kernel_variant": "reference",
 ///   "figures": [
 ///     { "title": "Fig.1 Axpy (native)",
 ///       "series": [
@@ -58,6 +58,7 @@ pub fn run_json(
     experiment: &str,
     native: bool,
     pinned: bool,
+    numa: &str,
     cfg: &NativeConfig,
     figures: &[Figure],
 ) -> String {
@@ -66,6 +67,7 @@ pub fn run_json(
     out.push_str(&format!("  \"experiment\": \"{}\",\n", esc(experiment)));
     out.push_str(&format!("  \"native\": {native},\n"));
     out.push_str(&format!("  \"pinned\": {pinned},\n"));
+    out.push_str(&format!("  \"numa\": \"{}\",\n", esc(numa)));
     out.push_str(&format!(
         "  \"kernel_variant\": \"{}\",\n",
         cfg.variant.name()
@@ -142,8 +144,9 @@ mod tests {
             reps: 3,
             variant: tpm_core::KernelVariant::Optimized,
         };
-        let j = run_json("figures", true, false, &cfg, &sample());
+        let j = run_json("figures", true, false, "on", &cfg, &sample());
         assert!(j.contains("\"experiment\": \"figures\""));
+        assert!(j.contains("\"numa\": \"on\""));
         assert!(j.contains("\"kernel_variant\": \"optimized\""));
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"median_s\": 0.250000000"));

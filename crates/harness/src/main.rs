@@ -5,6 +5,11 @@ use tpm_harness::experiments::{self, check_claims};
 use tpm_harness::native::{self, NativeConfig};
 use tpm_harness::{chaos, profile, service, top};
 
+/// Count every heap operation so `serve` can report measured
+/// allocations-per-request (the `--arena` win) instead of estimates.
+#[global_allocator]
+static ALLOC: tpm_alloc::CountingAlloc = tpm_alloc::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match cli::parse(&args) {
@@ -58,12 +63,20 @@ fn run(cli: &Cli, fault_plan: Option<tpm_fault::FaultPlan>) -> i32 {
         json_out,
         pin,
         fault_plan: _, // consumed in main(); the session is already live
+        numa,
     } = common;
 
     if *pin {
         // The runtimes consult TPM_PIN when they spawn workers; the flag is
         // just the CLI spelling of the env knob.
         std::env::set_var("TPM_PIN", "1");
+    }
+    match numa {
+        // Like --pin: the runtimes consult TPM_NUMA at worker spawn; auto
+        // leaves the env alone so the sysfs topology probe decides.
+        Some(true) => std::env::set_var("TPM_NUMA", "1"),
+        Some(false) => std::env::set_var("TPM_NUMA", "0"),
+        None => {}
     }
 
     type SimFig = fn() -> tpm_core::Figure;
@@ -161,7 +174,13 @@ fn run(cli: &Cli, fault_plan: Option<tpm_fault::FaultPlan>) -> i32 {
             return code;
         }
         let figs = collected.borrow();
-        let body = tpm_harness::json::run_json(experiment, *use_native, *pin, cfg, &figs);
+        let numa_mode = match numa {
+            Some(true) => "on",
+            Some(false) => "off",
+            None => "auto",
+        };
+        let body =
+            tpm_harness::json::run_json(experiment, *use_native, *pin, numa_mode, cfg, &figs);
         match std::fs::write(path, body) {
             Ok(()) => {
                 println!("[json] {} figure(s) -> {}", figs.len(), path.display());
@@ -184,6 +203,23 @@ fn run(cli: &Cli, fault_plan: Option<tpm_fault::FaultPlan>) -> i32 {
             let fig = experiments::ht_extension();
             println!("{}", fig.to_table());
             0
+        }
+        "numasim" => {
+            let fig = experiments::numasim_figure();
+            println!("{}", fig.to_table());
+            match json_out {
+                None => 0,
+                Some(path) => match std::fs::write(path, experiments::numasim_json()) {
+                    Ok(()) => {
+                        println!("[json] numasim sweep -> {}", path.display());
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot write json file {}: {e}", path.display());
+                        1
+                    }
+                },
+            }
         }
         "profile" => {
             let kernel = kernel.as_deref().unwrap_or("sum");
@@ -212,7 +248,12 @@ fn run(cli: &Cli, fault_plan: Option<tpm_fault::FaultPlan>) -> i32 {
         "serve" => service::run_serve(service),
         "loadgen" => {
             let job = kernel.as_deref().unwrap_or("sum");
-            service::run_loadgen(job, service, cfg.variant, json_out.as_deref())
+            let numa_mode = match numa {
+                Some(true) => "on",
+                Some(false) => "off",
+                None => "auto",
+            };
+            service::run_loadgen(job, service, cfg.variant, numa_mode, json_out.as_deref())
         }
         "top" => top::run(service),
         "metrics" => top::run_once(service),

@@ -22,8 +22,10 @@ pub fn run_serve(opts: &ServiceOpts) -> i32 {
         max_threads: opts.max_threads,
         default_deadline_ms: opts.deadline_ms,
         data_path: opts.data_path,
+        arena: opts.arena,
         ..ServerConfig::default()
     };
+    let heap_before = tpm_alloc::snapshot();
     let handle = match serve(registry, config) {
         Ok(h) => h,
         Err(e) => {
@@ -32,11 +34,12 @@ pub fn run_serve(opts: &ServiceOpts) -> i32 {
         }
     };
     println!(
-        "[serve] listening on {} ({} data path, {} workers, queue {}, jobs: {})",
+        "[serve] listening on {} ({} data path, {} workers, queue {}, arena {}, jobs: {})",
         handle.addr(),
         handle.data_path().name(),
         opts.workers,
         opts.queue,
+        if opts.arena { "on" } else { "off" },
         names.join(" ")
     );
     println!("[serve] stop with: {{\"cmd\":\"shutdown\"}} on any connection");
@@ -49,6 +52,21 @@ pub fn run_serve(opts: &ServiceOpts) -> i32 {
         "[serve] done: admitted {} completed {} failed {} shed {} watchdog-shed {}",
         stats.admitted, stats.completed, stats.failed, stats.shed, stats.watchdog_shed
     );
+    // Measured (not estimated) allocator traffic per request: the counters
+    // are live because the harness binary installs tpm-alloc's CountingAlloc
+    // as #[global_allocator]. This is the --arena before/after number.
+    let heap = tpm_alloc::snapshot().since(&heap_before);
+    if stats.admitted > 0 {
+        println!(
+            "[serve] heap: {:.1} allocs/request, {:.0} bytes/request \
+             ({} allocs, {} reallocs total; arena {})",
+            heap.allocations as f64 / stats.admitted as f64,
+            heap.bytes_allocated as f64 / stats.admitted as f64,
+            heap.allocations,
+            heap.reallocations,
+            if opts.arena { "on" } else { "off" }
+        );
+    }
     let snapshot = registry.snapshot().to_json();
     match &opts.metrics_out {
         Some(path) => {
@@ -80,6 +98,7 @@ pub fn run_loadgen(
     job: &str,
     opts: &ServiceOpts,
     variant: KernelVariant,
+    numa_mode: &str,
     json_out: Option<&Path>,
 ) -> i32 {
     let config = LoadgenConfig {
@@ -116,7 +135,8 @@ pub fn run_loadgen(
     if let Some(path) = json_out {
         let body = format!(
             "{{\"experiment\":\"loadgen\",\"job\":{:?},\"model\":{:?},\"size\":{},\
-             \"clients\":{},\"requests\":{},\"protocol\":{:?},\"window\":{},\"report\":{}}}\n",
+             \"clients\":{},\"requests\":{},\"protocol\":{:?},\"window\":{},\
+             \"arena\":{},\"numa\":{:?},\"report\":{}}}\n",
             job,
             opts.model.name(),
             opts.size,
@@ -124,6 +144,8 @@ pub fn run_loadgen(
             opts.requests,
             opts.protocol.name(),
             opts.window,
+            opts.arena,
+            numa_mode,
             report.to_json()
         );
         if let Err(e) = std::fs::write(path, body) {
@@ -187,7 +209,7 @@ mod tests {
             requests: 1,
             ..ServiceOpts::default()
         };
-        let code = run_loadgen("sum", &opts, KernelVariant::Reference, None);
+        let code = run_loadgen("sum", &opts, KernelVariant::Reference, "auto", None);
         assert_eq!(code, 1);
     }
 }

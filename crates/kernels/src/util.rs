@@ -114,8 +114,27 @@ pub fn random_vec_on(exec: &Executor, model: Model, n: usize, seed: u64) -> Vec<
     // `vec![0.0; n]` allocates zeroed pages lazily (no touch); the parallel
     // fill below performs the first touch with the kernel's own schedule.
     let mut v = vec![0.0f64; n];
+    advise_hugepages_for(&v);
     fill_random_on(exec, model, &mut v, seed);
     v
+}
+
+/// Buffers at least this large get a transparent-huge-page hint before
+/// first touch (2 MiB = one x86-64 huge page; smaller buffers cannot
+/// contain one).
+const HUGEPAGE_THRESHOLD_BYTES: usize = 2 << 20;
+
+/// Best-effort `madvise(MADV_HUGEPAGE)` for a large kernel buffer, issued
+/// *before* first touch so the page-fault storm can map 2 MiB pages
+/// directly (a 100 M-element input is ~195 k base pages but ~380 huge
+/// pages — fewer faults, far fewer TLB misses during the kernel sweep).
+/// No-op for small buffers and on platforms without `madvise`.
+pub fn advise_hugepages_for<T>(buf: &[T]) -> bool {
+    let bytes = std::mem::size_of_val(buf);
+    if bytes < HUGEPAGE_THRESHOLD_BYTES {
+        return false;
+    }
+    tpm_sync::topology::advise_hugepages(buf.as_ptr().cast(), bytes)
 }
 
 /// Fills `out` with the [`random_vec`] stream for `seed` via a parallel
@@ -193,6 +212,17 @@ mod tests {
                 assert_eq!(got, expected, "{model} @{threads}t");
             }
         }
+    }
+
+    #[test]
+    fn hugepage_hint_skips_small_buffers_and_preserves_data() {
+        let small = vec![1.0f64; 16];
+        assert!(!advise_hugepages_for(&small), "below threshold");
+        // 4 MiB of f64: over the threshold; hint may or may not be accepted
+        // (THP can be off), but the data must be untouched either way.
+        let big = vec![2.5f64; (4 << 20) / 8];
+        let _ = advise_hugepages_for(&big);
+        assert!(big.iter().all(|&x| x == 2.5));
     }
 
     #[test]

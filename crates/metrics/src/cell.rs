@@ -48,6 +48,12 @@ pub struct Counter {
     shards: Box<[CachePadded<AtomicU64>]>,
 }
 
+// False-sharing audit: the whole point of sharding is that each shard owns
+// its line pair; a CachePadded regression would silently serialise every
+// instrument in the process, so pin it at build time here too.
+tpm_sync::assert_cache_isolated!(CachePadded<AtomicU64>);
+tpm_sync::assert_cache_isolated!(CachePadded<std::sync::atomic::AtomicI64>);
+
 impl Counter {
     /// Creates a zeroed counter.
     pub fn new() -> Self {

@@ -175,14 +175,6 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Appends a `[len][type][payload]` frame to `out`.
-fn put_frame(out: &mut Vec<u8>, ty: u8, payload: &[u8]) {
-    debug_assert!(payload.len() < MAX_FRAME, "oversized frame");
-    out.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
-    out.push(ty);
-    out.extend_from_slice(payload);
-}
-
 fn put_str16(out: &mut Vec<u8>, s: &str) {
     let len = s.len().min(u16::MAX as usize);
     out.extend_from_slice(&(len as u16).to_le_bytes());
@@ -193,21 +185,31 @@ fn put_str16(out: &mut Vec<u8>, s: &str) {
 #[must_use]
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
+    encode_request_into(req, &mut out);
+    out
+}
+
+/// Appends one request frame to `out` without intermediate allocation (the
+/// load generator's arena staging path); bytes are identical to
+/// [`encode_request`].
+pub fn encode_request_into(req: &Request, out: &mut Vec<u8>) {
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
     match req {
-        Request::Ping => put_frame(&mut out, TYPE_PING, &[]),
-        Request::Health => put_frame(&mut out, TYPE_HEALTH, &[]),
-        Request::Metrics => put_frame(&mut out, TYPE_METRICS, &[]),
-        Request::Shutdown => put_frame(&mut out, TYPE_SHUTDOWN, &[]),
+        Request::Ping => out.push(TYPE_PING),
+        Request::Health => out.push(TYPE_HEALTH),
+        Request::Metrics => out.push(TYPE_METRICS),
+        Request::Shutdown => out.push(TYPE_SHUTDOWN),
         Request::Run {
             id,
             spec,
             deadline_ms,
             client,
         } => {
-            let mut body = Vec::with_capacity(48 + spec.kernel.len());
-            body.extend_from_slice(&id.to_le_bytes());
-            body.push(spec.model as u8);
-            body.push(spec.variant as u8);
+            out.push(TYPE_RUN);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(spec.model as u8);
+            out.push(spec.variant as u8);
             let mut flags = 0u8;
             if deadline_ms.is_some() {
                 flags |= FLAG_DEADLINE;
@@ -215,20 +217,21 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             if client.is_some() {
                 flags |= FLAG_CLIENT;
             }
-            body.push(flags);
-            body.extend_from_slice(&(spec.threads as u32).to_le_bytes());
-            body.extend_from_slice(&(spec.size as u64).to_le_bytes());
+            out.push(flags);
+            out.extend_from_slice(&(spec.threads as u32).to_le_bytes());
+            out.extend_from_slice(&(spec.size as u64).to_le_bytes());
             if let Some(ms) = deadline_ms {
-                body.extend_from_slice(&ms.to_le_bytes());
+                out.extend_from_slice(&ms.to_le_bytes());
             }
-            put_str16(&mut body, &spec.kernel);
+            put_str16(out, &spec.kernel);
             if let Some(c) = client {
-                body.extend_from_slice(c.as_bytes());
+                out.extend_from_slice(c.as_bytes());
             }
-            put_frame(&mut out, TYPE_RUN, &body);
         }
     }
-    out
+    let payload = out.len() - len_at - 4;
+    debug_assert!((1..=MAX_FRAME).contains(&payload), "oversized frame");
+    out[len_at..len_at + 4].copy_from_slice(&(payload as u32).to_le_bytes());
 }
 
 /// Decodes one request from a complete frame payload (`type` byte included,
@@ -290,32 +293,44 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
 #[must_use]
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::with_capacity(48);
+    encode_response_into(resp, &mut out);
+    out
+}
+
+/// Appends one response frame to `out` without intermediate allocation —
+/// the arena/pooled-buffer encode path ([`encode_response`] is this plus a
+/// fresh `Vec`). The frame body is written directly after a 4-byte length
+/// placeholder, patched once the body length is known; output bytes are
+/// identical to [`encode_response`].
+pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
     match resp {
-        Response::Pong => put_frame(&mut out, TYPE_PONG, &[]),
-        Response::ShuttingDown => put_frame(&mut out, TYPE_SHUTTING_DOWN, &[]),
+        Response::Pong => out.push(TYPE_PONG),
+        Response::ShuttingDown => out.push(TYPE_SHUTTING_DOWN),
         Response::Ok {
             id,
             value,
             elapsed_ms,
             queue_ms,
         } => {
-            let mut body = Vec::with_capacity(32);
-            body.extend_from_slice(&id.to_le_bytes());
-            body.extend_from_slice(&value.to_le_bytes());
-            body.extend_from_slice(&elapsed_ms.to_le_bytes());
-            body.extend_from_slice(&queue_ms.to_le_bytes());
-            put_frame(&mut out, TYPE_OK, &body);
+            out.push(TYPE_OK);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+            out.extend_from_slice(&elapsed_ms.to_le_bytes());
+            out.extend_from_slice(&queue_ms.to_le_bytes());
         }
         Response::Error { id, code, message } => {
-            let mut body = Vec::with_capacity(16 + message.len());
-            body.push(if id.is_some() { FLAG_ID } else { 0 });
+            out.push(TYPE_ERROR);
+            out.push(if id.is_some() { FLAG_ID } else { 0 });
             if let Some(id) = id {
-                body.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&id.to_le_bytes());
             }
-            body.push(error_code_byte(code));
+            out.push(error_code_byte(code));
             // The message is the frame's tail; clamp so a pathological panic
-            // string can't push the frame over MAX_FRAME.
-            let max = MAX_FRAME - body.len() - 1;
+            // string can't push the frame over MAX_FRAME. Payload so far is
+            // everything past the length placeholder (type byte included).
+            let max = MAX_FRAME - (out.len() - len_at - 4);
             let mut msg = message.as_bytes();
             if msg.len() > max {
                 let mut end = max;
@@ -324,8 +339,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
                 msg = &msg[..end];
             }
-            body.extend_from_slice(msg);
-            put_frame(&mut out, TYPE_ERROR, &body);
+            out.extend_from_slice(msg);
         }
         Response::Health {
             live_workers,
@@ -337,7 +351,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             shed,
             distinct_clients,
         } => {
-            let mut body = Vec::with_capacity(64);
+            out.push(TYPE_HEALTH_REPLY);
             for v in [
                 live_workers,
                 dead_workers,
@@ -348,22 +362,22 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 shed,
                 distinct_clients,
             ] {
-                body.extend_from_slice(&v.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
             }
-            put_frame(&mut out, TYPE_HEALTH_REPLY, &body);
         }
         Response::Metrics { exposition } => {
-            let mut body = Vec::with_capacity(exposition.len());
+            out.push(TYPE_METRICS_REPLY);
             let max = MAX_FRAME - 1;
             let mut end = exposition.len().min(max);
             while end > 0 && !exposition.is_char_boundary(end) {
                 end -= 1;
             }
-            body.extend_from_slice(&exposition.as_bytes()[..end]);
-            put_frame(&mut out, TYPE_METRICS_REPLY, &body);
+            out.extend_from_slice(&exposition.as_bytes()[..end]);
         }
     }
-    out
+    let payload = out.len() - len_at - 4;
+    debug_assert!((1..=MAX_FRAME).contains(&payload), "oversized frame");
+    out[len_at..len_at + 4].copy_from_slice(&(payload as u32).to_le_bytes());
 }
 
 /// Decodes one response from a complete frame payload (client side).

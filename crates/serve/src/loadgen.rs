@@ -28,10 +28,11 @@
 //! over a small server p99 means time is spent waiting, not computing.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use tpm_alloc::Arena;
 use tpm_core::JobSpec;
 use tpm_metrics::Histogram;
 
@@ -214,6 +215,20 @@ fn connect_with_retry(config: &LoadgenConfig, client: usize) -> std::io::Result<
     Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
 }
 
+/// Writes every staged slice with as few syscalls as the kernel allows —
+/// a full pipeline window usually goes out in one `writev`.
+fn write_all_vectored(stream: &mut TcpStream, mut bufs: &mut [IoSlice<'_>]) -> std::io::Result<()> {
+    while !bufs.is_empty() {
+        match stream.write_vectored(bufs) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Buckets a mid-run IO error into the report's failure classes.
 fn classify_io_error(e: &std::io::Error, tally: &mut ClientTally) {
     use std::io::ErrorKind;
@@ -320,25 +335,49 @@ fn client_loop(config: &LoadgenConfig, client: usize, hists: &Hists) -> ClientTa
     let mut in_flight: HashMap<u64, Instant> = HashMap::new();
     let mut next = 0usize;
     let mut chunk = [0u8; 16 << 10];
+    // One request value per connection, re-id'd per send: the spec and
+    // client-identity strings are built once, not cloned per request.
+    let mut request = Request::Run {
+        id: 0,
+        spec: config.spec.clone(),
+        deadline_ms: config.deadline_ms,
+        client: Some(ident),
+    };
+    // Each window top-up is staged in the arena (encode into `scratch`,
+    // copy into a region) and sent as one vectored write; the regions die
+    // at the `reset()` after the write — one arena generation per batch.
+    let mut arena = Arena::new();
+    let mut scratch: Vec<u8> = Vec::with_capacity(256);
+    let mut batch: Vec<(u64, Instant)> = Vec::with_capacity(window);
     'conn: while next < config.requests || !in_flight.is_empty() {
         // Fill the pipeline window, then service replies.
-        while next < config.requests && in_flight.len() < window {
-            let id = (client * config.requests + next) as u64;
-            let request = Request::Run {
-                id,
-                spec: config.spec.clone(),
-                deadline_ms: config.deadline_ms,
-                client: Some(ident.clone()),
-            };
-            let bytes = wire::encode_request(config.protocol, &request);
-            let sent_at = Instant::now();
-            if let Err(e) = writer.write_all(&bytes) {
+        if next < config.requests && in_flight.len() < window {
+            let mut staged: Vec<IoSlice<'_>> = Vec::with_capacity(window);
+            while next < config.requests && in_flight.len() + staged.len() < window {
+                let id = (client * config.requests + next) as u64;
+                if let Request::Run {
+                    id: ref mut rid, ..
+                } = request
+                {
+                    *rid = id;
+                }
+                scratch.clear();
+                wire::encode_request_into(config.protocol, &request, &mut scratch);
+                staged.push(IoSlice::new(arena.alloc_slice_copy(&scratch)));
+                batch.push((id, Instant::now()));
+                next += 1;
+            }
+            let write = write_all_vectored(&mut writer, &mut staged);
+            drop(staged);
+            arena.reset();
+            if let Err(e) = write {
                 classify_io_error(&e, &mut tally);
                 break 'conn;
             }
-            tally.sent += 1;
-            in_flight.insert(id, sent_at);
-            next += 1;
+            for (id, sent_at) in batch.drain(..) {
+                tally.sent += 1;
+                in_flight.insert(id, sent_at);
+            }
         }
         // Drain what the decoder already buffered before blocking on the
         // socket again — replies can arrive fused in one read.

@@ -29,6 +29,7 @@ use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 
+use tpm_alloc::PooledBuf;
 use tpm_sync::epoll::{Epoll, Event, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 use crate::protocol::{Response, CODE_PARSE};
@@ -94,8 +95,8 @@ pub(crate) fn run(
     ep: &Epoll,
     listener: TcpListener,
     shared: &Arc<Shared>,
-    tx: &mpsc::Sender<(u64, Vec<u8>)>,
-    rx: &mpsc::Receiver<(u64, Vec<u8>)>,
+    tx: &mpsc::Sender<(u64, PooledBuf)>,
+    rx: &mpsc::Receiver<(u64, PooledBuf)>,
     wake: &Arc<EventFd>,
 ) {
     if ep
@@ -109,6 +110,9 @@ pub(crate) fn run(
     let mut next_token = FIRST_CONN_TOKEN;
     let mut events = vec![Event::zeroed(); 256];
     let mut chunk = vec![0u8; 16 << 10];
+    // Sweep scratch, reused every iteration: the idle tick allocates
+    // nothing.
+    let mut dead = Vec::new();
 
     loop {
         // The 100 ms timeout is a backstop: the wake eventfd makes shutdown
@@ -132,7 +136,7 @@ pub(crate) fn run(
             }
         }
         drain_completions(&mut conns, rx);
-        sweep(ep, shared, &mut conns);
+        sweep(ep, shared, &mut conns, &mut dead);
 
         if shared.shutdown.load(Ordering::SeqCst)
             && shared.queue.is_empty()
@@ -142,7 +146,7 @@ pub(crate) fn run(
             // reply; every send happens-before the decrement, so one more
             // drain now is guaranteed to see everything.
             drain_completions(&mut conns, rx);
-            sweep(ep, shared, &mut conns);
+            sweep(ep, shared, &mut conns, &mut dead);
             if conns.values().all(Conn::flushed) {
                 break;
             }
@@ -208,7 +212,7 @@ fn on_conn_ready(
     conn: &mut Conn,
     events: u32,
     shared: &Arc<Shared>,
-    tx: &mpsc::Sender<(u64, Vec<u8>)>,
+    tx: &mpsc::Sender<(u64, PooledBuf)>,
     wake: &Arc<EventFd>,
     chunk: &mut [u8],
 ) {
@@ -250,7 +254,7 @@ fn on_conn_ready(
 fn pump_conn(
     conn: &mut Conn,
     shared: &Arc<Shared>,
-    tx: &mpsc::Sender<(u64, Vec<u8>)>,
+    tx: &mpsc::Sender<(u64, PooledBuf)>,
     wake: &Arc<EventFd>,
 ) {
     loop {
@@ -265,24 +269,27 @@ fn pump_conn(
                 let sink = ReplySink::Reactor {
                     conn: conn.token,
                     proto: conn.decoder.protocol().unwrap_or_default(),
+                    pool: shared.pool.clone(),
                     tx: tx.clone(),
                     wake: Arc::clone(wake),
                 };
                 handle_frame(parsed, shared, &sink, &conn.peer);
             }
             Step::Corrupt(message) => {
-                // Framing is unrecoverable: answer directly (skipping the
-                // channel — no worker involved) and stop reading. Replies
-                // already owed still flush before the close.
+                // Framing is unrecoverable: answer directly into the write
+                // buffer (skipping the channel — no worker involved) and
+                // stop reading. Replies already owed still flush before the
+                // close.
                 let proto = conn.decoder.protocol().unwrap_or_default();
-                conn.wbuf.extend_from_slice(&wire::encode_response(
+                wire::encode_response_into(
                     proto,
                     &Response::Error {
                         id: None,
                         code: CODE_PARSE,
                         message,
                     },
-                ));
+                    &mut conn.wbuf,
+                );
                 conn.closing = true;
                 break;
             }
@@ -290,10 +297,11 @@ fn pump_conn(
     }
 }
 
-fn drain_completions(conns: &mut HashMap<u64, Conn>, rx: &mpsc::Receiver<(u64, Vec<u8>)>) {
+fn drain_completions(conns: &mut HashMap<u64, Conn>, rx: &mpsc::Receiver<(u64, PooledBuf)>) {
     while let Ok((token, bytes)) = rx.try_recv() {
         // A missing token means the client disconnected mid-job; its reply
-        // has nowhere to go.
+        // has nowhere to go. Either way `bytes` drops here, returning its
+        // capacity to the pool.
         if let Some(conn) = conns.get_mut(&token) {
             conn.awaiting = conn.awaiting.saturating_sub(1);
             conn.wbuf.extend_from_slice(&bytes);
@@ -303,8 +311,8 @@ fn drain_completions(conns: &mut HashMap<u64, Conn>, rx: &mpsc::Receiver<(u64, V
 
 /// Per-iteration maintenance: flush buffered output, re-arm interest sets
 /// that changed, and reap finished or broken connections.
-fn sweep(ep: &Epoll, shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn>) {
-    let mut dead = Vec::new();
+fn sweep(ep: &Epoll, shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn>, dead: &mut Vec<u64>) {
+    dead.clear();
     for conn in conns.values_mut() {
         if !conn.broken {
             flush_conn(conn, shared);
@@ -318,7 +326,7 @@ fn sweep(ep: &Epoll, shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn>) {
             conn.armed = want;
         }
     }
-    for token in dead {
+    for token in dead.drain(..) {
         if let Some(conn) = conns.remove(&token) {
             let _ = ep.delete(conn.stream.as_raw_fd());
             shared.metrics.conn_closed();

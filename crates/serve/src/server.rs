@@ -38,6 +38,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tpm_alloc::{BufPool, PooledBuf};
 use tpm_core::{panic_message, Executor, JobRegistry, JobSpec};
 use tpm_sync::epoll::EventFd;
 use tpm_sync::CancelToken;
@@ -107,6 +108,11 @@ pub struct ServerConfig {
     pub watchdog_interval_ms: u64,
     /// Socket data path (see [`DataPath`]).
     pub data_path: DataPath,
+    /// Recycle reply buffers through a shared pool instead of allocating a
+    /// fresh `Vec` per response (`--arena on|off`; on by default). Reply
+    /// bytes are identical either way — only the buffer's provenance
+    /// changes.
+    pub arena: bool,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +126,7 @@ impl Default for ServerConfig {
             deadline_grace: 2.0,
             watchdog_interval_ms: 20,
             data_path: DataPath::Auto,
+            arena: true,
         }
     }
 }
@@ -171,8 +178,10 @@ pub(crate) enum ReplySink {
     Thread {
         /// Wire encoding the connection sniffed to.
         proto: Protocol,
+        /// Reply-buffer pool (`None` when `--arena off`).
+        pool: Option<Arc<BufPool>>,
         /// Pre-encoded bytes for the writer thread.
-        tx: mpsc::Sender<Vec<u8>>,
+        tx: mpsc::Sender<PooledBuf>,
     },
     /// Reactor path: completions flow to the reactor (tagged with the
     /// connection token), which appends them to that connection's write
@@ -182,26 +191,41 @@ pub(crate) enum ReplySink {
         conn: u64,
         /// Wire encoding the connection sniffed to.
         proto: Protocol,
+        /// Reply-buffer pool (`None` when `--arena off`).
+        pool: Option<Arc<BufPool>>,
         /// Completion channel into the reactor.
-        tx: mpsc::Sender<(u64, Vec<u8>)>,
+        tx: mpsc::Sender<(u64, PooledBuf)>,
         /// Wakes the reactor's `epoll_wait`.
         wake: Arc<EventFd>,
     },
 }
 
+/// Encodes one reply into a pool-recycled buffer (or a plain vector when
+/// arenas are off). The buffer's capacity returns to the pool when the
+/// writer/reactor thread drops it after flushing.
+fn encode_reply(pool: &Option<Arc<BufPool>>, proto: Protocol, resp: &Response) -> PooledBuf {
+    let mut buf = match pool {
+        Some(p) => p.take(),
+        None => PooledBuf::unpooled(),
+    };
+    wire::encode_response_into(proto, resp, &mut buf);
+    buf
+}
+
 impl ReplySink {
     pub(crate) fn send(&self, resp: &Response) {
         match self {
-            ReplySink::Thread { proto, tx } => {
-                let _ = tx.send(wire::encode_response(*proto, resp));
+            ReplySink::Thread { proto, pool, tx } => {
+                let _ = tx.send(encode_reply(pool, *proto, resp));
             }
             ReplySink::Reactor {
                 conn,
                 proto,
+                pool,
                 tx,
                 wake,
             } => {
-                let _ = tx.send((*conn, wire::encode_response(*proto, resp)));
+                let _ = tx.send((*conn, encode_reply(pool, *proto, resp)));
                 wake.signal();
             }
         }
@@ -274,6 +298,8 @@ pub(crate) struct Shared {
     /// The reactor's wake eventfd, when the reactor path is running —
     /// `begin_shutdown` signals it so a quiescent reactor re-checks.
     pub(crate) reactor_wake: Mutex<Option<Arc<EventFd>>>,
+    /// Reply-buffer pool shared by every sink (`None` when `--arena off`).
+    pub(crate) pool: Option<Arc<BufPool>>,
 }
 
 impl Shared {
@@ -393,6 +419,7 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
     let metrics = ServeMetrics::new(workers, &registry.names());
+    let pool = config.arena.then(|| BufPool::for_serve(workers));
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_capacity),
         registry,
@@ -407,6 +434,7 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
         metrics,
         pending: Arc::new(AtomicU64::new(0)),
         reactor_wake: Mutex::new(None),
+        pool,
     });
     // Levels that already exist on `Shared` are sampled at scrape time.
     // The closures capture a Weak so the registry (cloneable out of the
@@ -450,6 +478,45 @@ pub fn serve(registry: Arc<JobRegistry>, config: ServerConfig) -> std::io::Resul
                     .map_or(0.0, |s| s.dead_workers.load(Ordering::Relaxed) as f64)
             },
         );
+        // Arena instruments exist only when the pool does, so `--arena off`
+        // is visible in the exposition as their absence.
+        if let Some(pool) = &shared.pool {
+            let w = Arc::downgrade(pool);
+            reg.counter_fn(
+                "tpm_arena_pool_hits_total",
+                "Reply-buffer takes served from the pool free list.",
+                &[],
+                move || w.upgrade().map_or(0.0, |p| p.stats().hits as f64),
+            );
+            let w = Arc::downgrade(pool);
+            reg.counter_fn(
+                "tpm_arena_pool_misses_total",
+                "Reply-buffer takes that allocated a fresh buffer.",
+                &[],
+                move || w.upgrade().map_or(0.0, |p| p.stats().misses as f64),
+            );
+            let w = Arc::downgrade(pool);
+            reg.counter_fn(
+                "tpm_arena_resets_total",
+                "Bulk region resets (each buffer return rewinds one region).",
+                &[],
+                move || w.upgrade().map_or(0.0, |p| p.stats().returns as f64),
+            );
+            let w = Arc::downgrade(pool);
+            reg.counter_fn(
+                "tpm_arena_bytes_recycled_total",
+                "Buffer capacity handed back out of the pool, in bytes.",
+                &[],
+                move || w.upgrade().map_or(0.0, |p| p.stats().recycled_bytes as f64),
+            );
+            let w = Arc::downgrade(pool);
+            reg.gauge_fn(
+                "tpm_arena_buffers_retained",
+                "Reply buffers currently parked on the pool free list.",
+                &[],
+                move || w.upgrade().map_or(0.0, |p| p.stats().retained as f64),
+            );
+        }
     }
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -592,6 +659,9 @@ fn try_spawn_reactor(
 /// the worker to notice. Exits once shutdown has fully drained.
 fn watchdog_loop(shared: &Arc<Shared>) {
     let interval = Duration::from_millis(shared.config.watchdog_interval_ms.max(1));
+    // Scratch reused across scan ticks; the common (nothing overdue) tick
+    // allocates nothing.
+    let mut overdue = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst)
             && shared.queue.is_empty()
@@ -600,7 +670,6 @@ fn watchdog_loop(shared: &Arc<Shared>) {
             break;
         }
         let now = Instant::now();
-        let mut overdue = Vec::new();
         for entry in shared.inflight.lock().unwrap().values() {
             let Some(kill_at) = entry.kill_at else {
                 continue;
@@ -615,7 +684,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                 overdue.push((entry.id, entry.reply.clone()));
             }
         }
-        for (id, reply) in overdue {
+        for (id, reply) in overdue.drain(..) {
             shared.stats.watchdog_shed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.observe_outcome("watchdog");
             reply.send(&Response::Error {
@@ -672,7 +741,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    let (tx, rx) = mpsc::channel::<PooledBuf>();
     let writer = {
         let shared = Arc::clone(shared);
         std::thread::Builder::new()
@@ -691,7 +760,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = writer.join();
 }
 
-fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>, shared: &Arc<Shared>) {
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<PooledBuf>, shared: &Arc<Shared>) {
     while let Ok(bytes) = rx.recv() {
         if stream.write_all(&bytes).is_err() {
             // Client gone: keep draining the channel so senders never block
@@ -700,6 +769,7 @@ fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>, shared: &Arc
             break;
         }
         shared.metrics.add_bytes_written(bytes.len() as u64);
+        // Dropping `bytes` here returns its capacity to the pool.
     }
     let _ = stream.flush();
 }
@@ -707,7 +777,12 @@ fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>, shared: &Arc
 /// The threaded read loop: bytes → [`Decoder`] → [`handle_frame`]. Shared
 /// decode logic with the reactor means both wire protocols (and pipelining)
 /// work identically on both data paths.
-fn read_loop(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Vec<u8>>, peer: &str) {
+fn read_loop(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<PooledBuf>,
+    peer: &str,
+) {
     let mut decoder = Decoder::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -739,26 +814,28 @@ fn read_loop(mut stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Vec<
 fn pump_decoder(
     decoder: &mut Decoder,
     shared: &Arc<Shared>,
-    tx: &mpsc::Sender<Vec<u8>>,
+    tx: &mpsc::Sender<PooledBuf>,
     peer: &str,
 ) -> bool {
     loop {
         match decoder.next() {
             Step::NeedMore => return true,
             Step::Preamble(v) => {
-                let _ = tx.send(wire::server_preamble(Decoder::negotiate(v)).to_vec());
+                let _ = tx.send(wire::server_preamble(Decoder::negotiate(v)).to_vec().into());
             }
             Step::Message(parsed) => {
                 let proto = decoder.protocol().unwrap_or_default();
                 let sink = ReplySink::Thread {
                     proto,
+                    pool: shared.pool.clone(),
                     tx: tx.clone(),
                 };
                 handle_frame(parsed, shared, &sink, peer);
             }
             Step::Corrupt(message) => {
                 let proto = decoder.protocol().unwrap_or_default();
-                let _ = tx.send(wire::encode_response(
+                let _ = tx.send(encode_reply(
+                    &shared.pool,
                     proto,
                     &Response::Error {
                         id: None,

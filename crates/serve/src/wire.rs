@@ -311,19 +311,37 @@ impl ResponseDecoder {
 /// trailing newline, or one binary frame.
 #[must_use]
 pub fn encode_response(proto: Protocol, resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_response_into(proto, resp, &mut out);
+    out
+}
+
+/// [`encode_response`] appending into a caller-owned buffer — the arena
+/// path: workers encode into a pooled buffer whose capacity survives from
+/// reply to reply instead of allocating a fresh `Vec` per response. Output
+/// bytes are identical to [`encode_response`].
+pub fn encode_response_into(proto: Protocol, resp: &Response, out: &mut Vec<u8>) {
     match proto {
         Protocol::Json => {
-            let mut line = resp.to_line().into_bytes();
-            line.push(b'\n');
-            line
+            out.extend_from_slice(resp.to_line().as_bytes());
+            out.push(b'\n');
         }
-        Protocol::Binary => frame::encode_response(resp),
+        Protocol::Binary => frame::encode_response_into(resp, out),
     }
 }
 
 /// Serializes `req` for a connection speaking `proto`.
 #[must_use]
 pub fn encode_request(proto: Protocol, req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_request_into(proto, req, &mut out);
+    out
+}
+
+/// [`encode_request`] appending into a caller-owned buffer — the load
+/// generator's staging path. Output bytes are identical to
+/// [`encode_request`].
+pub fn encode_request_into(proto: Protocol, req: &Request, out: &mut Vec<u8>) {
     match proto {
         Protocol::Json => match req {
             Request::Run {
@@ -332,17 +350,17 @@ pub fn encode_request(proto: Protocol, req: &Request) -> Vec<u8> {
                 deadline_ms,
                 client,
             } => {
-                let mut line =
-                    Request::run_line_as(*id, spec, *deadline_ms, client.as_deref()).into_bytes();
-                line.push(b'\n');
-                line
+                out.extend_from_slice(
+                    Request::run_line_as(*id, spec, *deadline_ms, client.as_deref()).as_bytes(),
+                );
+                out.push(b'\n');
             }
-            Request::Ping => b"{\"cmd\":\"ping\"}\n".to_vec(),
-            Request::Health => b"{\"cmd\":\"health\"}\n".to_vec(),
-            Request::Metrics => b"{\"cmd\":\"metrics\"}\n".to_vec(),
-            Request::Shutdown => b"{\"cmd\":\"shutdown\"}\n".to_vec(),
+            Request::Ping => out.extend_from_slice(b"{\"cmd\":\"ping\"}\n"),
+            Request::Health => out.extend_from_slice(b"{\"cmd\":\"health\"}\n"),
+            Request::Metrics => out.extend_from_slice(b"{\"cmd\":\"metrics\"}\n"),
+            Request::Shutdown => out.extend_from_slice(b"{\"cmd\":\"shutdown\"}\n"),
         },
-        Protocol::Binary => frame::encode_request(req),
+        Protocol::Binary => frame::encode_request_into(req, out),
     }
 }
 
@@ -484,6 +502,75 @@ mod tests {
             assert_eq!(d.next(), Step::Message(Ok(resp.clone())), "{proto:?}");
             assert_eq!(d.next(), Step::NeedMore);
             assert_eq!(d.pending_len(), 0);
+        }
+    }
+
+    #[test]
+    fn encode_response_into_is_byte_identical_for_every_shape() {
+        let resps = [
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Ok {
+                id: 17,
+                value: -2.75,
+                elapsed_ms: 3.5,
+                queue_ms: 0.125,
+            },
+            Response::Error {
+                id: Some(9),
+                code: "deadline",
+                message: "budget expired".to_string(),
+            },
+            Response::Error {
+                id: None,
+                code: "parse",
+                message: String::new(),
+            },
+            Response::Health {
+                live_workers: 1,
+                dead_workers: 2,
+                queue_depth: 3,
+                inflight: 4,
+                admitted: 5,
+                completed: 6,
+                shed: 7,
+                distinct_clients: 8,
+            },
+            Response::Metrics {
+                exposition: "# TYPE a counter\na 1\n".to_string(),
+            },
+        ];
+        for proto in [Protocol::Json, Protocol::Binary] {
+            // Pipelined replies append into one buffer; each appended frame
+            // must match its standalone encoding regardless of what precedes
+            // it.
+            let mut appended = b"prefix".to_vec();
+            let mut expected = b"prefix".to_vec();
+            for resp in &resps {
+                encode_response_into(proto, resp, &mut appended);
+                expected.extend_from_slice(&encode_response(proto, resp));
+            }
+            assert_eq!(appended, expected, "{proto:?}");
+        }
+    }
+
+    #[test]
+    fn encode_request_into_is_byte_identical_for_every_shape() {
+        let reqs = [
+            Request::Ping,
+            Request::Health,
+            Request::Metrics,
+            Request::Shutdown,
+            run_req(7),
+        ];
+        for proto in [Protocol::Json, Protocol::Binary] {
+            let mut appended = b"preamble".to_vec();
+            let mut expected = b"preamble".to_vec();
+            for req in &reqs {
+                encode_request_into(proto, req, &mut appended);
+                expected.extend_from_slice(&encode_request(proto, req));
+            }
+            assert_eq!(appended, expected, "{proto:?}");
         }
     }
 

@@ -1,0 +1,156 @@
+//! Arena on/off equivalence: the reply-buffer pool must change where reply
+//! bytes live, never what they say. Runs the same workload against servers
+//! with `arena: true` and `arena: false` and compares replies field for
+//! field, plus a loadgen smoke over both wire protocols asserting clean
+//! runs and live arena metrics.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use tpm_core::{JobRegistry, JobSpec, KernelVariant, Model};
+use tpm_serve::wire::{self, ResponseDecoder, Step};
+use tpm_serve::{loadgen, serve, LoadgenConfig, Protocol, Request, Response, ServerConfig};
+
+fn test_registry() -> Arc<JobRegistry> {
+    let mut reg = JobRegistry::new();
+    reg.register("quick", "returns size", 1 << 20, |ctx| {
+        Ok(ctx.spec.size as f64)
+    });
+    Arc::new(reg)
+}
+
+fn spec(size: usize) -> JobSpec {
+    JobSpec {
+        kernel: "quick".to_string(),
+        model: Model::CilkFor,
+        variant: KernelVariant::Reference,
+        size,
+        threads: 1,
+    }
+}
+
+/// Pipelines `n` run requests (id i carries size 100 + i) over one
+/// connection and returns every reply keyed by id, reduced to the fields
+/// that must not depend on buffer provenance.
+fn run_batch(addr: std::net::SocketAddr, proto: Protocol, n: u64) -> BTreeMap<u64, (String, u64)> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    if proto == Protocol::Binary {
+        stream
+            .write_all(&wire::client_preamble(tpm_serve::frame::SUPPORTED_VERSION))
+            .unwrap();
+        let mut accept = [0u8; 2];
+        stream.read_exact(&mut accept).unwrap();
+    }
+    let mut bytes = Vec::new();
+    for id in 0..n {
+        let req = Request::Run {
+            id,
+            spec: spec(100 + id as usize),
+            deadline_ms: None,
+            client: Some("arena-smoke".to_string()),
+        };
+        wire::encode_request_into(proto, &req, &mut bytes);
+    }
+    stream.write_all(&bytes).unwrap();
+
+    let mut decoder = ResponseDecoder::new(proto);
+    let mut got = BTreeMap::new();
+    let mut chunk = [0u8; 4096];
+    while got.len() < n as usize {
+        let read = stream.read(&mut chunk).unwrap();
+        assert!(read > 0, "server closed early ({}/{n} replies)", got.len());
+        decoder.feed(&chunk[..read]);
+        loop {
+            match decoder.next() {
+                Step::NeedMore => break,
+                Step::Message(Ok(Response::Ok { id, value, .. })) => {
+                    got.insert(id, ("ok".to_string(), value as u64));
+                }
+                Step::Message(Ok(Response::Error { id, code, .. })) => {
+                    got.insert(id.unwrap(), (code.to_string(), 0));
+                }
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+    }
+    got
+}
+
+#[test]
+fn replies_match_field_for_field_across_arena_settings() {
+    for proto in [Protocol::Json, Protocol::Binary] {
+        let mut runs = Vec::new();
+        for arena in [true, false] {
+            let handle = serve(
+                test_registry(),
+                ServerConfig {
+                    workers: 2,
+                    queue_capacity: 256,
+                    arena,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind");
+            runs.push(run_batch(handle.addr(), proto, 64));
+            handle.shutdown();
+        }
+        assert_eq!(runs[0].len(), 64);
+        assert_eq!(
+            runs[0], runs[1],
+            "{proto:?}: replies must be identical with arenas on and off"
+        );
+        // Every reply must be the kernel's own answer (size echoed back).
+        for (id, (code, value)) in &runs[0] {
+            assert_eq!(code, "ok");
+            assert_eq!(*value, 100 + id);
+        }
+    }
+}
+
+#[test]
+fn loadgen_smoke_is_clean_and_arena_metrics_are_live() {
+    for proto in [Protocol::Json, Protocol::Binary] {
+        for arena in [true, false] {
+            let handle = serve(
+                test_registry(),
+                ServerConfig {
+                    workers: 2,
+                    queue_capacity: 256,
+                    arena,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind");
+            let report = loadgen::run(&LoadgenConfig {
+                protocol: proto,
+                window: 8,
+                ..LoadgenConfig::new(handle.addr().to_string(), 4, 50, spec(64))
+            })
+            .expect("loadgen");
+            assert_eq!(report.sent, 200, "{proto:?} arena={arena}");
+            assert_eq!(report.ok, 200, "{proto:?} arena={arena}");
+            assert!(!report.has_unexpected_failures(), "{report:?}");
+
+            let text = handle.metrics_text();
+            if arena {
+                let resets: f64 = text
+                    .lines()
+                    .find(|l| l.starts_with("tpm_arena_resets_total"))
+                    .and_then(|l| l.split_whitespace().last())
+                    .expect("arena metric exposed")
+                    .parse()
+                    .unwrap();
+                assert!(resets > 0.0, "pool saw returns:\n{text}");
+            } else {
+                assert!(
+                    !text.contains("tpm_arena_"),
+                    "arena off must not expose arena metrics"
+                );
+            }
+            handle.shutdown();
+        }
+    }
+}

@@ -50,6 +50,11 @@ pub struct CostModel {
     /// and smallest for compute-bound ones (Matmul ~10%), exactly the
     /// signature of a bandwidth-side effect.
     pub steal_locality_derate: f64,
+    /// Multiplier (≥ 1) on steal costs when thief and victim sit on
+    /// different NUMA nodes: the victim's deque top lives in the remote
+    /// socket's cache hierarchy, so every CAS round trip crosses QPI
+    /// (~2× the latency of an on-socket snoop on the testbed).
+    pub steal_remote_penalty: f64,
 }
 
 impl CostModel {
@@ -70,6 +75,7 @@ impl CostModel {
             split_ns: 45.0,
             task_frame_ns: 55.0,
             steal_locality_derate: 0.5,
+            steal_remote_penalty: 2.0,
         }
     }
 
@@ -91,6 +97,7 @@ impl CostModel {
             split_ns: 0.0,
             task_frame_ns: 0.0,
             steal_locality_derate: 1.0,
+            steal_remote_penalty: 1.0,
         }
     }
 }
@@ -145,6 +152,15 @@ mod tests {
     fn thread_spawn_dominates_task_push() {
         let c = CostModel::calibrated();
         assert!(c.thread_spawn_ns > 100.0 * c.push_lockfree_ns);
+    }
+
+    #[test]
+    fn remote_steals_cost_more_than_local() {
+        let c = CostModel::calibrated();
+        assert!(c.steal_remote_penalty > 1.0);
+        assert!(c.steal_success_ns * c.steal_remote_penalty > c.steal_success_ns);
+        // The free model must not smuggle a NUMA penalty into baselines.
+        assert_eq!(CostModel::free().steal_remote_penalty, 1.0);
     }
 
     #[test]

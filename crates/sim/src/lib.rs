@@ -17,6 +17,9 @@
 //!   ([`LoopPolicy`]); [`Simulator::run_phased`] — dependent phase
 //!   sequences (BFS levels, HotSpot steps, LUD eliminations);
 //!   [`Simulator::run_fib`] — recursive task trees.
+//! * [`Simulator::run_fib_placed`] / [`placement_sweep`] — NUMA placement
+//!   ([`Placement`]) × victim policy ([`VictimPolicy`]) sweeps; cross-node
+//!   steals pay [`CostModel::steal_remote_penalty`].
 //!
 //! Everything is deterministic: same inputs, same [`SimResult`], bit for bit.
 //!
@@ -36,6 +39,7 @@
 mod cost;
 mod loop_sim;
 mod machine;
+mod placement;
 mod result;
 pub mod trace;
 mod tree_sim;
@@ -44,6 +48,7 @@ mod workload;
 pub use cost::{CostModel, DequeKind};
 pub use loop_sim::{LoopPolicy, Simulator};
 pub use machine::Machine;
+pub use placement::{placement_sweep, Placement, PlacementRow, VictimPolicy};
 pub use result::SimResult;
 pub use trace::{Activity, Span, Trace};
 pub use workload::{fib_value, FibWorkload, Imbalance, LoopWorkload, PhasedWorkload};

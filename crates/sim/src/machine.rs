@@ -82,6 +82,13 @@ impl Machine {
         self.cores / self.sockets.max(1)
     }
 
+    /// NUMA node of a physical core: sockets own contiguous core ranges
+    /// (core 0–17 on socket 0, 18–35 on socket 1 for the testbed), matching
+    /// the sysfs numbering `tpm_sync::topology` probes on real hardware.
+    pub fn node_of_core(&self, core: usize) -> usize {
+        (core / self.cores_per_socket().max(1)).min(self.sockets.max(1) - 1)
+    }
+
     /// Effective per-core streaming bandwidth in bytes/ns when `active`
     /// threads stream concurrently.
     ///
@@ -122,6 +129,19 @@ mod tests {
         let m = Machine::xeon_e5_2699v3();
         assert_eq!(m.cores, 36);
         assert_eq!(m.cores_per_socket(), 18);
+    }
+
+    #[test]
+    fn node_of_core_splits_contiguous_ranges() {
+        let m = Machine::xeon_e5_2699v3();
+        assert_eq!(m.node_of_core(0), 0);
+        assert_eq!(m.node_of_core(17), 0);
+        assert_eq!(m.node_of_core(18), 1);
+        assert_eq!(m.node_of_core(35), 1);
+        // Out-of-range cores clamp to the last socket rather than panic.
+        assert_eq!(m.node_of_core(99), 1);
+        let s = Machine::small(4);
+        assert_eq!(s.node_of_core(3), 0);
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! NUMA placement-policy simulation: where workers sit and whom they rob.
+//!
+//! The real runtimes in this workspace gained node-aware victim ordering
+//! (`tpm-worksteal`'s `VictimPlan`, `tpm-forkjoin`'s local-victim rounds);
+//! this module predicts when that matters. It re-runs the Fig. 5 fib task
+//! tree with two extra degrees of freedom the plain [`Simulator::run_fib`]
+//! abstracts away:
+//!
+//! * [`Placement`] — how software threads map onto physical cores: `Packed`
+//!   fills socket 0 before touching socket 1 (Linux's default `taskset`
+//!   order); `Scatter` round-robins sockets (OpenMP's `KMP_AFFINITY=scatter`).
+//! * [`VictimPolicy`] — whom a starving worker robs: `Random` picks
+//!   uniformly (the classic Blumofe–Leiserson choice); `NodeAware`
+//!   alternates same-socket attempts with uniform fallback rounds, the
+//!   discipline the real runtimes implement.
+//!
+//! Cross-node steals pay [`CostModel::steal_remote_penalty`] on every deque
+//! round trip — the thief's CAS on a victim whose deque top lives in the
+//! other socket's cache crosses the interconnect. [`placement_sweep`]
+//! tabulates all four combinations for the figure pipeline.
+
+use std::collections::VecDeque;
+
+use tpm_sync::SplitMix64;
+
+use crate::cost::DequeKind;
+use crate::loop_sim::{EventQueue, Simulator};
+use crate::result::SimResult;
+use crate::workload::FibWorkload;
+
+/// How software threads are pinned onto physical cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fill socket 0 completely before spilling onto socket 1.
+    Packed,
+    /// Round-robin threads across sockets (scatter/spread affinity).
+    Scatter,
+}
+
+impl Placement {
+    /// Physical core assigned to worker `tid` on `machine`.
+    pub fn core_of_worker(&self, machine: &crate::Machine, tid: usize) -> usize {
+        let cores = machine.cores.max(1);
+        match self {
+            Placement::Packed => tid % cores,
+            Placement::Scatter => {
+                let sockets = machine.sockets.max(1);
+                let per = machine.cores_per_socket().max(1);
+                ((tid % sockets) * per + (tid / sockets) % per) % cores
+            }
+        }
+    }
+
+    /// Stable lowercase name for JSON rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::Packed => "packed",
+            Placement::Scatter => "scatter",
+        }
+    }
+}
+
+/// How a starving worker chooses its steal victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Uniform random over all other workers.
+    Random,
+    /// Alternate same-node attempts with uniform fallback rounds — the
+    /// ordering `tpm-worksteal` and `tpm-forkjoin` implement under `--numa`.
+    NodeAware,
+}
+
+impl VictimPolicy {
+    /// Stable lowercase name for JSON rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VictimPolicy::Random => "random",
+            VictimPolicy::NodeAware => "node_aware",
+        }
+    }
+}
+
+/// One cell of the placement × victim-policy sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementRow {
+    /// Thread→core mapping used.
+    pub placement: Placement,
+    /// Victim-selection discipline used.
+    pub policy: VictimPolicy,
+    /// Worker count.
+    pub threads: usize,
+    /// Simulated makespan in virtual nanoseconds.
+    pub makespan_ns: f64,
+    /// Successful steals, total.
+    pub steals: u64,
+    /// Successful steals whose thief and victim sat on different nodes.
+    pub remote_steals: u64,
+    /// Scheduling overhead paid, virtual nanoseconds.
+    pub overhead_ns: f64,
+}
+
+impl Simulator {
+    /// [`Simulator::run_fib`] with explicit thread placement and victim
+    /// policy; cross-node steal traffic pays
+    /// [`CostModel::steal_remote_penalty`] per deque round trip. Returns the
+    /// usual result plus the count of cross-node successful steals.
+    pub fn run_fib_placed(
+        &self,
+        kind: DequeKind,
+        fw: &FibWorkload,
+        threads: usize,
+        placement: Placement,
+        policy: VictimPolicy,
+    ) -> (SimResult, u64) {
+        let p = threads.max(1);
+        let node_of: Vec<usize> = (0..p)
+            .map(|tid| {
+                self.machine
+                    .node_of_core(placement.core_of_worker(&self.machine, tid))
+            })
+            .collect();
+        // Same-node victim candidates per worker. On one socket this is
+        // everyone-but-self, so NodeAware's local rounds draw from the same
+        // pool as uniform rounds and the policy becomes unobservable.
+        let local: Vec<Vec<usize>> = (0..p)
+            .map(|w| {
+                (0..p)
+                    .filter(|&v| v != w && node_of[v] == node_of[w])
+                    .collect()
+            })
+            .collect();
+
+        let remote_mult = |a: usize, b: usize| -> f64 {
+            if node_of[a] == node_of[b] {
+                1.0
+            } else {
+                self.cost.steal_remote_penalty.max(1.0)
+            }
+        };
+
+        let mut r = SimResult::default();
+        let mut remote_steals: u64 = 0;
+        let mut rng = SplitMix64::new(0x9_1ACE ^ ((p as u64) << 6) ^ fw.n);
+        let mut queue = EventQueue::new();
+        let mut deques: Vec<VecDeque<u64>> = vec![VecDeque::new(); p];
+        let mut deque_free = vec![0.0f64; p];
+        // Per-worker attempt parity: even rounds go node-local (when the
+        // policy and topology allow), odd rounds go uniform so cross-node
+        // work still migrates — mirrors forkjoin's 2n-round schedule.
+        let mut attempts = vec![0u64; p];
+        let mut outstanding: u64 = 1;
+        deques[0].push_back(fw.n);
+        queue.push(self.cost.region_fork_per_thread_ns, 0);
+        for t in 1..p {
+            queue.push(0.0, t);
+        }
+        let mut max_finish = 0.0f64;
+        while let Some((time, w)) = queue.pop() {
+            if !deques[w].is_empty() {
+                let pop_cost = self.cost.pop_cost(kind);
+                let begin = if matches!(kind, DequeKind::Locked) {
+                    let b = time.max(deque_free[w]);
+                    deque_free[w] = b + pop_cost;
+                    b
+                } else {
+                    time
+                };
+                let node = deques[w].pop_back().expect("checked nonempty");
+                outstanding -= 1;
+                r.overhead_ns += pop_cost;
+                let mut t = begin + pop_cost;
+                let mut n = node;
+                while n > fw.leaf_cutoff && n >= 2 {
+                    let push_cost = self.cost.push_cost(kind) + self.cost.task_frame_ns;
+                    if matches!(kind, DequeKind::Locked) {
+                        let b = t.max(deque_free[w]);
+                        deque_free[w] = b + push_cost;
+                        t = b + push_cost;
+                    } else {
+                        t += push_cost;
+                    }
+                    deques[w].push_back(n - 1);
+                    outstanding += 1;
+                    r.tasks += 1;
+                    r.overhead_ns += push_cost;
+                    t += fw.call_ns;
+                    r.busy_ns += fw.call_ns;
+                    n -= 2;
+                }
+                let leaf = fw.leaf_work_ns(n);
+                t += leaf;
+                r.busy_ns += leaf;
+                queue.push(t, w);
+                continue;
+            }
+            if outstanding == 0 {
+                max_finish = max_finish.max(time);
+                continue;
+            }
+            attempts[w] += 1;
+            let v = if matches!(policy, VictimPolicy::NodeAware)
+                && !local[w].is_empty()
+                && attempts[w] % 2 == 1
+            {
+                local[w][rng.next_bounded(local[w].len() as u64) as usize]
+            } else {
+                rng.next_bounded(p as u64) as usize
+            };
+            if v != w && !deques[v].is_empty() {
+                let cost = remote_mult(w, v)
+                    * match kind {
+                        DequeKind::LockFree => self.cost.steal_success_ns,
+                        DequeKind::Locked => self.cost.steal_success_ns + self.cost.pop_locked_ns,
+                    };
+                let begin = time.max(deque_free[v]);
+                deque_free[v] = begin + cost;
+                if let Some(node) = deques[v].pop_front() {
+                    deques[w].push_back(node);
+                    r.steals += 1;
+                    if node_of[w] != node_of[v] {
+                        remote_steals += 1;
+                    }
+                    r.overhead_ns += cost;
+                    queue.push(begin + cost, w);
+                } else {
+                    r.failed_steals += 1;
+                    queue.push(begin + self.cost.steal_attempt_ns, w);
+                }
+            } else {
+                // A failed probe still snoops the victim's cache line; remote
+                // probes pay the interconnect round trip too.
+                let cost = if v == w {
+                    self.cost.steal_attempt_ns
+                } else {
+                    remote_mult(w, v) * self.cost.steal_attempt_ns
+                };
+                r.failed_steals += 1;
+                r.overhead_ns += cost;
+                queue.push(time + cost, w);
+            }
+        }
+        r.makespan_ns = max_finish + self.cost.barrier_per_thread_ns * p as f64;
+        r.overhead_ns += self.cost.barrier_per_thread_ns * p as f64;
+        (r, remote_steals)
+    }
+}
+
+/// Runs every placement × victim-policy combination of `fw` at each thread
+/// count, using lock-free deques (the discipline both real runtimes use).
+pub fn placement_sweep(sim: &Simulator, fw: &FibWorkload, threads: &[usize]) -> Vec<PlacementRow> {
+    let mut rows = Vec::new();
+    for &t in threads {
+        for placement in [Placement::Packed, Placement::Scatter] {
+            for policy in [VictimPolicy::Random, VictimPolicy::NodeAware] {
+                let (r, remote) = sim.run_fib_placed(DequeKind::LockFree, fw, t, placement, policy);
+                rows.push(PlacementRow {
+                    placement,
+                    policy,
+                    threads: t,
+                    makespan_ns: r.makespan_ns,
+                    steals: r.steals,
+                    remote_steals: remote,
+                    overhead_ns: r.overhead_ns,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn fw(n: u64, cutoff: u64) -> FibWorkload {
+        FibWorkload {
+            n,
+            leaf_cutoff: cutoff,
+            call_ns: 2.0,
+        }
+    }
+
+    #[test]
+    fn packed_fills_socket_zero_first_scatter_alternates() {
+        let m = Machine::xeon_e5_2699v3();
+        for tid in 0..18 {
+            assert_eq!(m.node_of_core(Placement::Packed.core_of_worker(&m, tid)), 0);
+        }
+        assert_eq!(m.node_of_core(Placement::Packed.core_of_worker(&m, 18)), 1);
+        assert_eq!(m.node_of_core(Placement::Scatter.core_of_worker(&m, 0)), 0);
+        assert_eq!(m.node_of_core(Placement::Scatter.core_of_worker(&m, 1)), 1);
+        assert_eq!(m.node_of_core(Placement::Scatter.core_of_worker(&m, 2)), 0);
+        // Scatter never assigns two of the first `cores` workers to one core.
+        let mut seen = vec![false; m.cores];
+        for tid in 0..m.cores {
+            let c = Placement::Scatter.core_of_worker(&m, tid);
+            assert!(!seen[c], "core {c} double-assigned");
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn node_aware_cuts_remote_steals_on_two_sockets() {
+        let sim = Simulator::paper_testbed();
+        let w = fw(28, 14);
+        let (rand, rand_remote) = sim.run_fib_placed(
+            DequeKind::LockFree,
+            &w,
+            24,
+            Placement::Packed,
+            VictimPolicy::Random,
+        );
+        let (na, na_remote) = sim.run_fib_placed(
+            DequeKind::LockFree,
+            &w,
+            24,
+            Placement::Packed,
+            VictimPolicy::NodeAware,
+        );
+        assert!(rand.steals > 0 && na.steals > 0);
+        let rand_frac = rand_remote as f64 / rand.steals as f64;
+        let na_frac = na_remote as f64 / na.steals as f64;
+        assert!(
+            na_frac < rand_frac,
+            "node-aware remote fraction {na_frac:.3} !< random {rand_frac:.3}"
+        );
+        assert!(
+            na.makespan_ns <= rand.makespan_ns * 1.02,
+            "node-aware {} should not trail random {} meaningfully",
+            na.makespan_ns,
+            rand.makespan_ns
+        );
+    }
+
+    #[test]
+    fn remote_penalty_slows_cross_socket_stealing() {
+        let mut sim = Simulator::paper_testbed();
+        let w = fw(28, 14);
+        sim.cost.steal_remote_penalty = 1.0;
+        let (flat, _) = sim.run_fib_placed(
+            DequeKind::LockFree,
+            &w,
+            24,
+            Placement::Scatter,
+            VictimPolicy::Random,
+        );
+        sim.cost.steal_remote_penalty = 4.0;
+        let (steep, _) = sim.run_fib_placed(
+            DequeKind::LockFree,
+            &w,
+            24,
+            Placement::Scatter,
+            VictimPolicy::Random,
+        );
+        assert!(
+            steep.makespan_ns > flat.makespan_ns,
+            "penalty 4× {} !> 1× {}",
+            steep.makespan_ns,
+            flat.makespan_ns
+        );
+    }
+
+    #[test]
+    fn single_socket_is_invariant_to_penalty_and_placement() {
+        // One node ⇒ no steal is ever remote, so the penalty constant and the
+        // placement must be unobservable, bit for bit.
+        let mut sim = Simulator {
+            machine: Machine::small(8),
+            cost: crate::CostModel::calibrated(),
+        };
+        let w = fw(24, 12);
+        let base = sim.run_fib_placed(
+            DequeKind::LockFree,
+            &w,
+            8,
+            Placement::Packed,
+            VictimPolicy::Random,
+        );
+        assert_eq!(base.1, 0, "no remote steals on one socket");
+        sim.cost.steal_remote_penalty = 7.5;
+        let steep = sim.run_fib_placed(
+            DequeKind::LockFree,
+            &w,
+            8,
+            Placement::Packed,
+            VictimPolicy::Random,
+        );
+        assert_eq!(base, steep);
+        sim.cost.steal_remote_penalty = 2.0;
+        let scattered = sim.run_fib_placed(
+            DequeKind::LockFree,
+            &w,
+            8,
+            Placement::Scatter,
+            VictimPolicy::Random,
+        );
+        assert_eq!(base, scattered);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = Simulator::paper_testbed();
+        let w = fw(24, 12);
+        let a = sim.run_fib_placed(
+            DequeKind::Locked,
+            &w,
+            16,
+            Placement::Packed,
+            VictimPolicy::NodeAware,
+        );
+        let b = sim.run_fib_placed(
+            DequeKind::Locked,
+            &w,
+            16,
+            Placement::Packed,
+            VictimPolicy::NodeAware,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_covers_every_cell() {
+        let sim = Simulator::paper_testbed();
+        let rows = placement_sweep(&sim, &fw(24, 12), &[8, 24]);
+        assert_eq!(rows.len(), 2 * 2 * 2);
+        assert!(rows.iter().all(|r| r.makespan_ns > 0.0));
+        // Names are stable (the figure pipeline keys on them).
+        assert!(rows.iter().any(|r| r.placement.name() == "packed"));
+        assert!(rows.iter().any(|r| r.policy.name() == "node_aware"));
+    }
+}

@@ -52,7 +52,11 @@ impl std::fmt::Display for CancelReason {
     }
 }
 
+/// Aligned to a cache line: every task on the runtime polls `cancelled`
+/// on its hot path, so the flag word must not share a line with whatever
+/// the allocator places next to this node (false-sharing audit, ISSUE 8).
 #[derive(Debug)]
+#[repr(align(64))]
 struct Inner {
     /// Set once by [`CancelToken::cancel`]; never cleared.
     cancelled: AtomicBool,
@@ -64,6 +68,8 @@ struct Inner {
     /// Parent link; checks walk to the root.
     parent: Option<Arc<Inner>>,
 }
+
+crate::assert_line_aligned!(Inner);
 
 impl Inner {
     fn new(deadline: Option<Instant>, parent: Option<Arc<Inner>>) -> Arc<Self> {

@@ -25,6 +25,8 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::Arc;
 
+use crate::CachePadded;
+
 /// Result of a steal attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Steal<T> {
@@ -78,12 +80,24 @@ impl<T> Buffer<T> {
 }
 
 struct Inner<T> {
-    /// Steal end. Monotonically increasing.
-    top: AtomicIsize,
-    /// Owner end.
-    bottom: AtomicIsize,
-    buffer: AtomicPtr<Buffer<T>>,
+    /// Steal end. Monotonically increasing. Padded: thieves CAS this word
+    /// continuously while the owner hammers `bottom` — unpadded, the two
+    /// ends share a line and every owner push/pop invalidates every
+    /// thief's cached copy (and vice versa), which is pure coherence
+    /// traffic with no data dependency behind it.
+    top: CachePadded<AtomicIsize>,
+    /// Owner end. Owner-private on the fast path; see `top`.
+    bottom: CachePadded<AtomicIsize>,
+    /// Read by everyone, written only on (rare) growth — padded so a
+    /// buffer swap doesn't invalidate the index lines mid-protocol.
+    buffer: CachePadded<AtomicPtr<Buffer<T>>>,
 }
+
+// Layout pinned by the false-sharing audit: the two deque ends (and the
+// buffer pointer) must each own their line pair; a repack fails the build.
+crate::assert_cache_isolated!(Inner<()>);
+crate::assert_fields_separated!(Inner<()>, top, bottom);
+crate::assert_fields_separated!(Inner<()>, bottom, buffer);
 
 // SAFETY: the protocol transfers each element to exactly one consumer.
 unsafe impl<T: Send> Send for Inner<T> {}
@@ -157,9 +171,9 @@ unsafe impl<T: Send> Sync for Stealer<T> {}
 pub fn deque<T: Send>(initial_capacity: usize) -> (Worker<T>, Stealer<T>) {
     let cap = initial_capacity.next_power_of_two().max(2);
     let inner = Arc::new(Inner {
-        top: AtomicIsize::new(0),
-        bottom: AtomicIsize::new(0),
-        buffer: AtomicPtr::new(Box::into_raw(Buffer::alloc(cap))),
+        top: CachePadded::new(AtomicIsize::new(0)),
+        bottom: CachePadded::new(AtomicIsize::new(0)),
+        buffer: CachePadded::new(AtomicPtr::new(Box::into_raw(Buffer::alloc(cap)))),
     });
     (
         Worker {

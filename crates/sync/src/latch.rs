@@ -30,10 +30,16 @@ use crate::Backoff;
 /// });
 /// assert!(latch.probe());
 /// ```
+/// Aligned to a cache line: one side spins on the word while the other
+/// writes it once; a neighbour's writes on the same line would turn the
+/// spin into MESI ping-pong (false-sharing audit, ISSUE 8).
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct SpinLatch {
     set: AtomicUsize, // usize to share the CountLatch fast path shape
 }
+
+crate::assert_line_aligned!(SpinLatch);
 
 impl SpinLatch {
     /// Creates an unset latch.
@@ -72,10 +78,15 @@ impl SpinLatch {
 /// far is still outstanding", which is exactly the `taskwait`/`cilk_sync`
 /// condition. Waiters must therefore only rely on `probe()` at points where
 /// no concurrent increments can occur (e.g. after the spawning phase).
+/// Aligned like [`SpinLatch`], and for the same reason: the join counter
+/// is decremented by every finishing task while the owner polls it.
 #[derive(Debug)]
+#[repr(align(64))]
 pub struct CountLatch {
     count: AtomicUsize,
 }
+
+crate::assert_line_aligned!(CountLatch);
 
 impl CountLatch {
     /// Creates a latch that requires `count` decrements.

@@ -1,0 +1,149 @@
+//! Compile-time layout assertions for false-sharing-sensitive types.
+//!
+//! The false-sharing audit (see `docs` in the README's "Memory system"
+//! section) fixed the layouts of the hot shared structs — Chase–Lev deque
+//! ends, cancellation tokens, barrier/latch words, per-worker stats. A
+//! refactor that quietly repacks one of them reintroduces MESI ping-pong
+//! with no functional symptom, so the fixed layouts are pinned by `const`
+//! assertions that fail the *build*, not a benchmark three PRs later:
+//!
+//! * [`assert_cache_isolated!`] — the type owns its cache line(s): aligned
+//!   to at least [`PAD_LINE`] and sized in whole multiples of its
+//!   alignment, so adjacent values (e.g. array elements) never share.
+//! * [`assert_line_aligned!`] — weaker: alignment at least [`CACHE_LINE`],
+//!   for heap singletons that only need isolation from allocator
+//!   neighbours.
+//! * [`assert_fields_separated!`] — two named fields sit at least
+//!   [`CACHE_LINE`] apart, for producer/consumer field pairs inside one
+//!   struct (deque `top` vs `bottom`).
+//!
+//! [`assert_cache_isolated!`]: crate::assert_cache_isolated
+//! [`assert_line_aligned!`]: crate::assert_line_aligned
+//! [`assert_fields_separated!`]: crate::assert_fields_separated
+
+/// The conservative cache-line size layouts are audited against (64 bytes
+/// on every x86-64 and most AArch64 parts).
+pub const CACHE_LINE: usize = 64;
+
+/// The padding quantum [`crate::CachePadded`] uses: a 128-byte line *pair*,
+/// covering x86-64 adjacent-line prefetch and 128-byte-line AArch64 parts.
+pub const PAD_LINE: usize = 128;
+
+/// Build-failing check that `$ty` owns its cache line(s): alignment at
+/// least [`PAD_LINE`] and size a whole multiple of the alignment.
+#[macro_export]
+macro_rules! assert_cache_isolated {
+    ($ty:ty) => {
+        const _: () = {
+            assert!(
+                core::mem::align_of::<$ty>() >= $crate::layout::PAD_LINE,
+                concat!(
+                    stringify!($ty),
+                    ": alignment fell below the padded-line quantum; a neighbour can share its cache line"
+                ),
+            );
+            assert!(
+                core::mem::size_of::<$ty>() % core::mem::align_of::<$ty>() == 0,
+                concat!(stringify!($ty), ": size is not a multiple of its alignment"),
+            );
+        };
+    };
+}
+
+/// Build-failing check that `$ty` starts on its own cache line (alignment
+/// at least [`CACHE_LINE`]).
+#[macro_export]
+macro_rules! assert_line_aligned {
+    ($ty:ty) => {
+        const _: () = assert!(
+            core::mem::align_of::<$ty>() >= $crate::layout::CACHE_LINE,
+            concat!(stringify!($ty), ": lost its cache-line alignment"),
+        );
+    };
+}
+
+/// Build-failing check that two fields of `$ty` are at least
+/// [`CACHE_LINE`] bytes apart (writers of one never invalidate readers of
+/// the other).
+#[macro_export]
+macro_rules! assert_fields_separated {
+    ($ty:ty, $a:ident, $b:ident) => {
+        const _: () = {
+            let a = core::mem::offset_of!($ty, $a);
+            let b = core::mem::offset_of!($ty, $b);
+            let gap = if a > b { a - b } else { b - a };
+            assert!(
+                gap >= $crate::layout::CACHE_LINE,
+                concat!(
+                    stringify!($ty),
+                    ": fields ",
+                    stringify!($a),
+                    " and ",
+                    stringify!($b),
+                    " share a cache line"
+                ),
+            );
+        };
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Barrier, CachePadded, CancelToken, CountLatch, SpinLatch};
+    use std::mem::{align_of, size_of};
+
+    // The macros themselves, exercised against the canonical padded type.
+    crate::assert_cache_isolated!(CachePadded<u64>);
+    crate::assert_line_aligned!(CachePadded<[u8; 3]>);
+
+    struct TwoEnds {
+        owner: CachePadded<u64>,
+        thief: CachePadded<u64>,
+    }
+    crate::assert_fields_separated!(TwoEnds, owner, thief);
+
+    /// The `#[repr(align(64))]` audit from ISSUE 8: every hot shared struct
+    /// the runtimes hammer holds its audited alignment. Sizes are asserted
+    /// as *bounds* (not exact) so portable layout changes don't break the
+    /// test, while an accidental de-padding does.
+    #[test]
+    fn hot_shared_structs_keep_their_audited_layout() {
+        // CachePadded is the padding quantum everything else leans on.
+        assert_eq!(align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(size_of::<CachePadded<u64>>(), 128);
+
+        // Synchronisation words arriving threads spin on: isolated from
+        // allocator/stack neighbours.
+        assert!(align_of::<Barrier>() >= 64, "Barrier lost its alignment");
+        assert!(
+            align_of::<SpinLatch>() >= 64,
+            "SpinLatch lost its alignment"
+        );
+        assert!(
+            align_of::<CountLatch>() >= 64,
+            "CountLatch lost its alignment"
+        );
+
+        // The token handle itself is a pointer; the shared heap node behind
+        // it carries the alignment (asserted at its definition site in
+        // cancel.rs — here we pin the handle staying pointer-sized).
+        assert_eq!(size_of::<CancelToken>(), size_of::<usize>());
+
+        let _ = TwoEnds {
+            owner: CachePadded::new(0),
+            thief: CachePadded::new(0),
+        };
+    }
+
+    #[test]
+    fn worker_stats_do_not_share_lines_when_padded() {
+        let shards: Vec<CachePadded<crate::WorkerStats>> = (0..4)
+            .map(|_| CachePadded::new(Default::default()))
+            .collect();
+        for pair in shards.windows(2) {
+            let a = &*pair[0] as *const _ as usize;
+            let b = &*pair[1] as *const _ as usize;
+            assert!(b.abs_diff(a) >= 128);
+        }
+    }
+}

@@ -35,6 +35,7 @@ mod condvar;
 pub mod epoll;
 mod idle;
 mod latch;
+pub mod layout;
 mod locked_deque;
 mod mutex;
 pub mod oneshot;
@@ -45,6 +46,7 @@ mod rwlock;
 mod semaphore;
 mod spinlock;
 pub mod stats;
+pub mod topology;
 
 pub use backoff::Backoff;
 pub use barrier::{Barrier, BarrierWaitResult};

@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use tpm_fault::{Action as FaultAction, Site as FaultSite};
 use tpm_sync::chase_lev::{self, Stealer, Worker};
+use tpm_sync::topology::NumaTopology;
 use tpm_sync::{CachePadded, IdleStrategy, LockedDeque, SchedulerStats};
 
 use crate::job::{JobRef, StackJob};
@@ -81,6 +82,13 @@ pub(crate) struct RuntimeInner {
     /// slots overwritten when a replacement worker takes an index over).
     threads: tpm_sync::SpinLock<Vec<Thread>>,
     pub(crate) stats: SchedulerStats,
+    /// Per-worker victim scan order: same-NUMA-node victims first, remote
+    /// nodes after (both segments empty-safe). With NUMA disabled — or one
+    /// node — every victim lands in the local segment and the scan is the
+    /// classic neighbour-first round-robin.
+    victim_plans: Vec<VictimPlan>,
+    /// Whether node-aware victim ordering is active (for introspection).
+    numa: bool,
     /// Whether workers pin to cores (needed again when respawning).
     pin: bool,
     /// Workers currently alive (shrinks on a death, restored on respawn).
@@ -108,6 +116,7 @@ pub(crate) struct RuntimeInner {
 pub struct RuntimeBuilder {
     threads: usize,
     pin: bool,
+    numa: Option<bool>,
     idle: (u32, u32),
 }
 
@@ -125,6 +134,18 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Node-aware victim ordering: thieves scan same-NUMA-node victims
+    /// before crossing the interconnect (steal intra-socket first — a
+    /// remote steal drags the task's working set across sockets). Defaults
+    /// to the `TPM_NUMA` environment variable, and with that unset to
+    /// "only when pinning is on and the probed topology has multiple
+    /// nodes". Workers map to CPUs as `index % cpus`, matching
+    /// [`pin`](Self::pin)'s placement.
+    pub fn numa(mut self, numa: bool) -> Self {
+        self.numa = Some(numa);
+        self
+    }
+
     /// Idle escalation policy for worker loops: `spin_rounds` of spinning,
     /// then `yield_rounds` of yielding, then timed parking (see
     /// [`IdleStrategy::new`]). Defaults to the shared
@@ -137,7 +158,7 @@ impl RuntimeBuilder {
     /// Builds the runtime, spawning its workers.
     #[must_use = "dropping the Runtime joins its workers"]
     pub fn build(self) -> Runtime {
-        Runtime::with_options(self.threads, self.pin, self.idle)
+        Runtime::with_options(self.threads, self.pin, self.numa, self.idle)
     }
 }
 
@@ -147,6 +168,7 @@ impl Runtime {
         RuntimeBuilder {
             threads: 1,
             pin: tpm_sync::affinity::pin_from_env(),
+            numa: None,
             idle: (
                 IdleStrategy::RUNTIME_DEFAULT_SPIN,
                 IdleStrategy::RUNTIME_DEFAULT_YIELD,
@@ -168,7 +190,7 @@ impl Runtime {
         Self::builder().threads(num_workers).pin(pin).build()
     }
 
-    fn with_options(num_workers: usize, pin: bool, idle: (u32, u32)) -> Self {
+    fn with_options(num_workers: usize, pin: bool, numa: Option<bool>, idle: (u32, u32)) -> Self {
         assert!(num_workers >= 1, "runtime needs at least one worker");
         let mut workers = Vec::with_capacity(num_workers);
         let mut stealers = Vec::with_capacity(num_workers);
@@ -177,6 +199,9 @@ impl Runtime {
             workers.push(w);
             stealers.push(s);
         }
+        let topo = NumaTopology::probe();
+        let numa =
+            numa.unwrap_or_else(|| tpm_sync::topology::numa_from_env(pin && topo.num_nodes() > 1));
         let inner = Arc::new(RuntimeInner {
             stealers,
             injector: LockedDeque::new(),
@@ -188,6 +213,8 @@ impl Runtime {
                 .collect(),
             threads: tpm_sync::SpinLock::new(Vec::new()),
             stats: SchedulerStats::new(num_workers),
+            victim_plans: build_victim_plans(&topo, num_workers, numa),
+            numa,
             pin,
             live: AtomicUsize::new(num_workers),
             deaths: AtomicUsize::new(0),
@@ -231,6 +258,12 @@ impl Runtime {
     /// Scheduler event counters.
     pub fn stats(&self) -> &SchedulerStats {
         &self.inner.stats
+    }
+
+    /// Whether node-aware victim ordering is active (see
+    /// [`RuntimeBuilder::numa`]).
+    pub fn numa_enabled(&self) -> bool {
+        self.inner.numa
     }
 
     /// Runs `f` on a worker thread, blocking the calling (external) thread
@@ -286,6 +319,40 @@ impl std::fmt::Debug for Runtime {
             .field("num_workers", &self.num_workers())
             .finish()
     }
+}
+
+/// One worker's precomputed steal-scan order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct VictimPlan {
+    /// Victims on this worker's NUMA node, neighbour-first.
+    local: Vec<usize>,
+    /// Victims on remote nodes, neighbour-first (empty when NUMA-unaware
+    /// or single-node: then *every* victim is "local").
+    remote: Vec<usize>,
+}
+
+/// Precomputes each worker's victim order. Worker `w` notionally occupies
+/// CPU `w % cpus` (the same mapping `affinity::pin_current_thread` uses),
+/// and scans victims starting from its right neighbour — so `p`
+/// simultaneous thieves start at `p` distinct victims — visiting same-node
+/// victims before crossing the interconnect.
+fn build_victim_plans(topo: &NumaTopology, workers: usize, numa: bool) -> Vec<VictimPlan> {
+    let cpus = topo.num_cpus().max(1);
+    (0..workers)
+        .map(|w| {
+            let my_node = topo.node_of_cpu(w % cpus);
+            let mut local = Vec::new();
+            let mut remote = Vec::new();
+            for v in (w + 1..workers).chain(0..w) {
+                if numa && topo.node_of_cpu(v % cpus) != my_node {
+                    remote.push(v);
+                } else {
+                    local.push(v);
+                }
+            }
+            VictimPlan { local, remote }
+        })
+        .collect()
 }
 
 impl RuntimeInner {
@@ -352,8 +419,9 @@ impl<'w> WorkerCtx<'w> {
         self.deque.pop()
     }
 
-    /// One steal episode: scan every other worker once, round-robin from
-    /// this worker's rotating offset, then the injector. `None` if nothing
+    /// One steal episode: scan every other worker once — same-NUMA-node
+    /// victims first, then remote nodes, each segment round-robin from this
+    /// worker's rotating offset — then the injector. `None` if nothing
     /// was found (callers loop, with escalating idle backoff between
     /// episodes — re-sweeping immediately here would only re-probe deques
     /// observed empty microseconds ago).
@@ -372,27 +440,27 @@ impl<'w> WorkerCtx<'w> {
             tpm_trace::record(tpm_trace::EventKind::FailedSteal, self.index as u64, 0);
             return None;
         }
-        let n = self.rt.stealers.len();
+        let plan = &self.rt.victim_plans[self.index];
         let start = self.victim_offset.get();
-        self.victim_offset.set((start + 1) % n.max(1));
-        for k in 0..n {
-            let v = (start + k) % n;
-            if v == self.index {
-                continue;
-            }
-            let got = self.rt.stealers[v].steal_batch_into(self.deque, STEAL_BATCH_LIMIT);
-            if got > 0 {
-                self.stats().steals.inc();
-                tpm_trace::record(tpm_trace::EventKind::Steal, v as u64, got as u64);
-                // The batch went through our own deque, so the job cannot
-                // be `None` unless another thief raced it away — then the
-                // episode still counts as a hit and the caller retries.
-                if let Some(job) = self.pop() {
-                    return Some(job);
+        self.victim_offset.set(start.wrapping_add(1));
+        for segment in [&plan.local, &plan.remote] {
+            let m = segment.len();
+            for k in 0..m {
+                let v = segment[(start + k) % m];
+                let got = self.rt.stealers[v].steal_batch_into(self.deque, STEAL_BATCH_LIMIT);
+                if got > 0 {
+                    self.stats().steals.inc();
+                    tpm_trace::record(tpm_trace::EventKind::Steal, v as u64, got as u64);
+                    // The batch went through our own deque, so the job cannot
+                    // be `None` unless another thief raced it away — then the
+                    // episode still counts as a hit and the caller retries.
+                    if let Some(job) = self.pop() {
+                        return Some(job);
+                    }
+                } else {
+                    self.stats().failed_steals.inc();
+                    tpm_trace::record(tpm_trace::EventKind::FailedSteal, v as u64, 0);
                 }
-            } else {
-                self.stats().failed_steals.inc();
-                tpm_trace::record(tpm_trace::EventKind::FailedSteal, v as u64, 0);
             }
         }
         self.rt.injector.steal_top()
@@ -485,9 +553,10 @@ fn worker_loop(inner: &RuntimeInner, index: usize, deque: &Worker<JobRef>) {
         rt: inner,
         index,
         deque,
-        // Start each worker's scan at its right neighbor: p simultaneous
-        // thieves begin at p distinct victims.
-        victim_offset: Cell::new((index + 1) % inner.stealers.len()),
+        // The victim plan is already neighbour-first per worker; the offset
+        // rotates the scan start within each (local/remote) segment across
+        // episodes so repeat thieves fan out.
+        victim_offset: Cell::new(0),
     };
     let idle = IdleStrategy::new(inner.idle.0, inner.idle.1);
     loop {
@@ -587,6 +656,61 @@ mod tests {
         let rt = Runtime::new(4);
         rt.install(|_| ());
         drop(rt); // must not hang
+    }
+
+    #[test]
+    fn victim_plans_prefer_same_node_then_remote() {
+        let topo = NumaTopology::parse_spec("0-1;2-3").unwrap();
+        let plans = build_victim_plans(&topo, 4, true);
+        assert_eq!(plans[0].local, vec![1]);
+        assert_eq!(plans[0].remote, vec![2, 3]);
+        assert_eq!(plans[1].local, vec![0]);
+        assert_eq!(plans[1].remote, vec![2, 3]);
+        // Neighbour-first within each segment: worker 2 scans 3, then 0, 1.
+        assert_eq!(plans[2].local, vec![3]);
+        assert_eq!(plans[2].remote, vec![0, 1]);
+        assert_eq!(plans[3].local, vec![2]);
+        assert_eq!(plans[3].remote, vec![0, 1]);
+    }
+
+    #[test]
+    fn victim_plans_wrap_oversubscribed_workers_onto_cpus() {
+        let topo = NumaTopology::parse_spec("0-1;2-3").unwrap();
+        let plans = build_victim_plans(&topo, 6, true);
+        // Worker 4 wraps to CPU 0 (node 0): workers 0, 1, 5 are local.
+        assert_eq!(plans[4].local, vec![5, 0, 1]);
+        assert_eq!(plans[4].remote, vec![2, 3]);
+    }
+
+    #[test]
+    fn numa_unaware_plans_scan_every_victim_neighbour_first() {
+        let topo = NumaTopology::parse_spec("0-1;2-3").unwrap();
+        let plans = build_victim_plans(&topo, 4, false);
+        for (w, plan) in plans.iter().enumerate() {
+            assert!(plan.remote.is_empty());
+            let expected: Vec<usize> = (w + 1..4).chain(0..w).collect();
+            assert_eq!(plan.local, expected);
+        }
+    }
+
+    #[test]
+    fn numa_enabled_runtime_still_schedules_and_steals() {
+        let rt = Runtime::builder().threads(4).pin(false).numa(true).build();
+        assert!(rt.numa_enabled());
+        let total = rt.install(|ctx| {
+            let mut sum = 0u64;
+            crate::par_for(
+                ctx,
+                0..10_000usize,
+                crate::par_for::Grain::Fixed(16),
+                &|i| {
+                    std::hint::black_box(i);
+                },
+            );
+            crate::join(ctx, |_| sum += 1, |_| ());
+            sum
+        });
+        assert_eq!(total, 1);
     }
 
     #[test]
