@@ -1,37 +1,112 @@
-//! A unified executor over the three runtimes.
+//! A unified executor over the four runtimes.
 //!
-//! `Executor::new(p)` materializes a fork-join team and a work-stealing
-//! runtime of `p` threads each (the C++11 model needs no persistent state),
-//! and exposes the six variants' data-parallel loop and reduction through a
-//! single interface so kernels and applications can be written once and run
-//! under every [`Model`].
+//! Construction is registry-driven: [`Executor::try_build`] walks
+//! [`Family::ALL`] and asks each family to build its runtime
+//! ([`Family::build_runtime`]) from one shared [`PoolConfig`] — so adding a
+//! family means adding a [`FamilyRuntime`] variant and a dispatch arm here,
+//! and every harness loop, test, and service picks it up through the
+//! registry without per-call-site edits.
 //!
 //! Task-parallel *algorithms* (recursive decomposition, per-phase task
-//! graphs) are inherently per-application; those use [`Executor::team`] and
-//! [`Executor::worksteal`] directly, exactly as the paper wrote six bespoke
-//! versions per benchmark.
+//! graphs) are inherently per-application; those use [`Executor::team`],
+//! [`Executor::worksteal`] and [`Executor::actors`] directly, exactly as
+//! the paper wrote bespoke versions per benchmark.
 
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use tpm_actors::ActorRuntime;
 use tpm_forkjoin::{Schedule, Team};
 use tpm_rawthreads as raw;
-use tpm_sync::{CancelToken, StatsSnapshot};
+use tpm_sync::{CancelToken, PoolConfig, StatsSnapshot};
 use tpm_worksteal::{Grain, Runtime};
 
 use crate::error::{panic_message, ExecError};
-use crate::model::Model;
+use crate::model::{Family, Model};
 
-/// Holds one runtime instance per API family, all sized to the same thread
-/// count, so a figure's six curves measure scheduling — not pool size.
-pub struct Executor {
-    threads: usize,
-    team: Team,
-    ws: Runtime,
+/// One family's runtime instance (the C++11 family is stateless: raw
+/// threads are created per call).
+pub enum FamilyRuntime {
+    /// The OpenMP analogue (`tpm-forkjoin`).
+    OpenMp(Team),
+    /// The Cilk Plus analogue (`tpm-worksteal`).
+    CilkPlus(Runtime),
+    /// The C++11 analogue needs no persistent pool.
+    Cxx11,
+    /// The message-driven actor runtime (`tpm-actors`).
+    Actors(ActorRuntime),
 }
 
-/// Configures an [`Executor`] before construction — one knob set applied to
-/// both persistent runtimes, so the pools stay comparable.
+impl FamilyRuntime {
+    /// Which family this runtime implements.
+    pub fn family(&self) -> Family {
+        match self {
+            FamilyRuntime::OpenMp(_) => Family::OpenMp,
+            FamilyRuntime::CilkPlus(_) => Family::CilkPlus,
+            FamilyRuntime::Cxx11 => Family::Cxx11,
+            FamilyRuntime::Actors(_) => Family::Actors,
+        }
+    }
+
+    /// Scheduler counters, for families with a pooled runtime (`None` for
+    /// the stateless C++11 family — its process-global counters live at
+    /// `tpm_rawthreads::stats()`).
+    pub fn stats(&self) -> Option<StatsSnapshot> {
+        match self {
+            FamilyRuntime::OpenMp(t) => Some(t.stats().snapshot()),
+            FamilyRuntime::CilkPlus(r) => Some(r.stats().snapshot()),
+            FamilyRuntime::Cxx11 => None,
+            FamilyRuntime::Actors(a) => Some(a.stats().snapshot()),
+        }
+    }
+
+    /// Resets this runtime's scheduler counters (no-op for the stateless
+    /// C++11 family).
+    pub fn reset_stats(&self) {
+        match self {
+            FamilyRuntime::OpenMp(t) => t.stats().reset(),
+            FamilyRuntime::CilkPlus(r) => r.stats().reset(),
+            FamilyRuntime::Cxx11 => {}
+            FamilyRuntime::Actors(a) => a.stats().reset(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FamilyRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("FamilyRuntime")
+            .field(&self.family())
+            .finish()
+    }
+}
+
+impl Family {
+    /// Builds this family's runtime from the shared pool knobs. The
+    /// registry's construction hook: [`Executor::try_build`] calls this for
+    /// every entry of [`Family::ALL`].
+    pub fn build_runtime(self, cfg: &PoolConfig) -> FamilyRuntime {
+        match self {
+            Family::OpenMp => FamilyRuntime::OpenMp(Team::builder().config(cfg.clone()).build()),
+            Family::CilkPlus => {
+                FamilyRuntime::CilkPlus(Runtime::builder().config(cfg.clone()).build())
+            }
+            Family::Cxx11 => FamilyRuntime::Cxx11,
+            Family::Actors => {
+                FamilyRuntime::Actors(ActorRuntime::builder().config(cfg.clone()).build())
+            }
+        }
+    }
+}
+
+/// Holds one runtime instance per API family, all sized to the same thread
+/// count, so a figure's curves measure scheduling — not pool size.
+pub struct Executor {
+    threads: usize,
+    runtimes: Vec<FamilyRuntime>,
+}
+
+/// Configures an [`Executor`] before construction — one [`PoolConfig`]
+/// applied to every family's runtime, so the pools stay comparable.
 ///
 /// # Examples
 ///
@@ -44,25 +119,38 @@ pub struct Executor {
 #[derive(Debug)]
 #[must_use = "a builder does nothing until .build()"]
 pub struct ExecutorBuilder {
-    threads: usize,
-    pin: Option<bool>,
+    cfg: PoolConfig,
 }
 
 impl ExecutorBuilder {
-    /// Thread count for both pools (default 1).
+    /// Thread count for every pool (default 1).
     pub fn threads(mut self, n: usize) -> Self {
-        self.threads = n;
+        self.cfg = self.cfg.threads(n);
         self
     }
 
-    /// Pin workers to cores in both pools. Defaults to the `TPM_PIN`
+    /// Pin workers to cores in every pool. Defaults to the `TPM_PIN`
     /// environment variable.
     pub fn pin(mut self, pin: bool) -> Self {
-        self.pin = Some(pin);
+        self.cfg = self.cfg.pin(pin);
         self
     }
 
-    /// Materializes the fork-join team and work-stealing runtime.
+    /// Force NUMA-aware victim ordering on or off in the pools that support
+    /// it. Defaults to `TPM_NUMA`, then the topology probe.
+    pub fn numa(mut self, numa: bool) -> Self {
+        self.cfg = self.cfg.numa(numa);
+        self
+    }
+
+    /// Idle escalation policy (spin rounds, yield rounds) for every pool's
+    /// worker loops.
+    pub fn idle(mut self, spin_rounds: u32, yield_rounds: u32) -> Self {
+        self.cfg = self.cfg.idle(spin_rounds, yield_rounds);
+        self
+    }
+
+    /// Materializes every family's runtime.
     ///
     /// Panics on an unbuildable configuration; use
     /// [`try_build`](Self::try_build) to get an [`ExecError`] instead.
@@ -87,17 +175,17 @@ impl ExecutorBuilder {
     /// assert!(matches!(r, Err(ExecError::BadConfig(_))));
     /// ```
     pub fn try_build(self) -> Result<Executor, ExecError> {
-        if self.threads == 0 {
+        if self.cfg.threads == 0 {
             return Err(ExecError::BadConfig(
                 "thread count must be at least 1".into(),
             ));
         }
-        let pin = self.pin.unwrap_or_else(tpm_sync::affinity::pin_from_env);
-        Ok(Executor {
-            threads: self.threads,
-            team: Team::builder().threads(self.threads).pin(pin).build(),
-            ws: Runtime::builder().threads(self.threads).pin(pin).build(),
-        })
+        let threads = self.cfg.threads;
+        let runtimes = Family::ALL
+            .iter()
+            .map(|fam| fam.build_runtime(&self.cfg))
+            .collect();
+        Ok(Executor { threads, runtimes })
     }
 }
 
@@ -105,8 +193,7 @@ impl Executor {
     /// Starts configuring an executor (threads 1, pinning from `TPM_PIN`).
     pub fn builder() -> ExecutorBuilder {
         ExecutorBuilder {
-            threads: 1,
-            pin: None,
+            cfg: PoolConfig::from_env(),
         }
     }
 
@@ -120,25 +207,57 @@ impl Executor {
         self.threads
     }
 
+    fn runtime(&self, family: Family) -> &FamilyRuntime {
+        self.runtimes
+            .iter()
+            .find(|r| r.family() == family)
+            .expect("try_build materializes every registry family")
+    }
+
     /// Direct access to the OpenMP-analogue team (for task-parallel code).
     pub fn team(&self) -> &Team {
-        &self.team
+        match self.runtime(Family::OpenMp) {
+            FamilyRuntime::OpenMp(t) => t,
+            _ => unreachable!("OpenMp slot holds a Team"),
+        }
     }
 
     /// Direct access to the Cilk-analogue runtime (for task-parallel code).
     pub fn worksteal(&self) -> &Runtime {
-        &self.ws
+        match self.runtime(Family::CilkPlus) {
+            FamilyRuntime::CilkPlus(r) => r,
+            _ => unreachable!("CilkPlus slot holds a Runtime"),
+        }
     }
 
-    /// Snapshots of both pooled runtimes' scheduler counters, in
-    /// `(forkjoin, worksteal)` order. Two snapshots bracket a job; their
-    /// difference (`StatsSnapshot` implements `Sub`) attributes the events
-    /// to that job — exact when the executor runs one job at a time, as in
-    /// the job service's per-worker executor caches. The rawthreads model
-    /// has no instance; its process-global counters live at
-    /// `tpm_rawthreads::stats()`.
-    pub fn runtime_stats(&self) -> (StatsSnapshot, StatsSnapshot) {
-        (self.team.stats().snapshot(), self.ws.stats().snapshot())
+    /// Direct access to the actor runtime (for message-driven code).
+    pub fn actors(&self) -> &ActorRuntime {
+        match self.runtime(Family::Actors) {
+            FamilyRuntime::Actors(a) => a,
+            _ => unreachable!("Actors slot holds an ActorRuntime"),
+        }
+    }
+
+    /// Snapshots of every pooled runtime's scheduler counters, in
+    /// [`Family::ALL`] order (families without a pool — C++11 — are
+    /// omitted). Two snapshots bracket a job; their difference
+    /// (`StatsSnapshot` implements `Sub`) attributes the events to that
+    /// job — exact when the executor runs one job at a time, as in the job
+    /// service's per-worker executor caches. The rawthreads model's
+    /// process-global counters live at `tpm_rawthreads::stats()`.
+    pub fn pooled_stats(&self) -> Vec<(Family, StatsSnapshot)> {
+        self.runtimes
+            .iter()
+            .filter_map(|r| r.stats().map(|s| (r.family(), s)))
+            .collect()
+    }
+
+    /// Resets every pooled runtime's scheduler counters (e.g. between a
+    /// warm-up run and a profiled run).
+    pub fn reset_stats(&self) {
+        for r in &self.runtimes {
+            r.reset_stats();
+        }
     }
 
     /// The chunk size the paper's manual/task chunkings use:
@@ -150,21 +269,13 @@ impl Executor {
     /// Runs the data-parallel loop `body` over `range` under `model`'s
     /// distribution mechanism. `body` receives contiguous chunks.
     ///
-    /// # Examples
-    ///
-    /// ```
-    /// use std::sync::atomic::{AtomicU64, Ordering};
-    /// use tpm_core::{Executor, Model};
-    ///
-    /// let exec = Executor::new(2);
-    /// for model in Model::ALL {
-    ///     let sum = AtomicU64::new(0);
-    ///     exec.parallel_for(model, 0..100, &|chunk| {
-    ///         sum.fetch_add(chunk.map(|i| i as u64).sum(), Ordering::Relaxed);
-    ///     });
-    ///     assert_eq!(sum.into_inner(), 4950, "{model}");
-    /// }
-    /// ```
+    /// Deprecated: panics on any failure. Use
+    /// [`try_parallel_for`](Self::try_parallel_for), which reports
+    /// cancellation, deadlines and contained body panics as [`ExecError`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use try_parallel_for (Result-based; this wrapper panics on failure)"
+    )]
     pub fn parallel_for<F>(&self, model: Model, range: Range<usize>, body: &F)
     where
         F: Fn(Range<usize>) + Sync,
@@ -174,10 +285,10 @@ impl Executor {
         }
     }
 
-    /// Fallible [`parallel_for`](Self::parallel_for): the loop polls `token`
-    /// at every chunk/steal boundary and stops within one grain of work per
-    /// thread once it fires; a panicking body is caught (the runtimes stay
-    /// usable) and reported as [`ExecError::Panic`].
+    /// Fallible parallel loop: polls `token` at every chunk/steal boundary
+    /// and stops within one grain of work per thread once it fires; a
+    /// panicking body is caught (the runtimes stay usable) and reported as
+    /// [`ExecError::Panic`].
     ///
     /// # Examples
     ///
@@ -223,14 +334,14 @@ impl Executor {
                 // Worksharing with the static schedule (the paper's setup for
                 // all data-parallel comparisons); the region carries the token
                 // so every chunk boundary polls it.
-                self.team.parallel_with_token(self.threads, token, |ctx| {
+                self.team().parallel_with_token(self.threads, token, |ctx| {
                     ctx.ws_for_chunks(Schedule::static_default(), range.clone(), body);
                 });
             }
             Model::OmpTask => {
                 // parallel + single + one task per BASE-sized chunk; each task
                 // polls the region's cancellation state before running.
-                self.team.parallel_with_token(self.threads, token, |ctx| {
+                self.team().parallel_with_token(self.threads, token, |ctx| {
                     ctx.single(|| {
                         ctx.task_scope(|s| {
                             let mut start = range.start;
@@ -249,13 +360,13 @@ impl Executor {
             }
             Model::CilkFor => {
                 // Recursive lazy splitting with Cilk's default grain.
-                self.ws.install(|ctx| {
+                self.worksteal().install(|ctx| {
                     let _ = tpm_worksteal::par_for_cancel(ctx, range, Grain::Auto, token, body);
                 });
             }
             Model::CilkSpawn => {
                 // Explicitly spawned BASE-sized chunk tasks + sync.
-                self.ws.install(|ctx| {
+                self.worksteal().install(|ctx| {
                     tpm_worksteal::scope(ctx, |s| {
                         let mut start = range.start;
                         while start < range.end {
@@ -277,11 +388,29 @@ impl Executor {
             Model::CxxAsync => {
                 let _ = raw::recursive_for_cancel(range, base, token, body);
             }
+            Model::ActorFor => {
+                // Flat scatter of BASE-sized chunk activations, balanced by
+                // work stealing, joined on a latch (panics re-raised here,
+                // caught by the try_* wrapper).
+                tpm_actors::scatter_for_cancel(self.actors(), range, base, token, body);
+            }
+            Model::ActorTask => {
+                // Recursive parcels: binary splitting into stealable
+                // activations down to BASE.
+                tpm_actors::recursive_for_cancel(self.actors(), range, base, token, body);
+            }
         }
     }
 
     /// Runs a data-parallel reduction under `model`: `body` folds each chunk
     /// into a `T` accumulator; partials combine with `combine` (associative).
+    ///
+    /// Deprecated: panics on any failure. Use
+    /// [`try_parallel_reduce`](Self::try_parallel_reduce).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use try_parallel_reduce (Result-based; this wrapper panics on failure)"
+    )]
     pub fn parallel_reduce<T, F, Id, Op>(
         &self,
         model: Model,
@@ -302,9 +431,9 @@ impl Executor {
         }
     }
 
-    /// Fallible [`parallel_reduce`](Self::parallel_reduce): stops within one
-    /// grain once `token` fires and discards the partial accumulators. Body
-    /// panics are caught and reported as [`ExecError::Panic`].
+    /// Fallible reduction: stops within one grain once `token` fires and
+    /// discards the partial accumulators. Body panics are caught and
+    /// reported as [`ExecError::Panic`].
     ///
     /// # Examples
     ///
@@ -371,7 +500,7 @@ impl Executor {
                 // Identical to Team::parallel_for_reduce, with the token
                 // attached to the region (same chunks, same combine order).
                 let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
-                self.team.parallel_with_token(self.threads, token, |ctx| {
+                self.team().parallel_with_token(self.threads, token, |ctx| {
                     ctx.ws_for_chunks(Schedule::static_default(), range.clone(), |chunk| {
                         reducer.with(ctx.thread_num(), |acc| body(chunk, acc));
                     });
@@ -381,7 +510,7 @@ impl Executor {
             Model::OmpTask => {
                 // Tasks accumulate into a reducer keyed by executing thread.
                 let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
-                self.team.parallel_with_token(self.threads, token, |ctx| {
+                self.team().parallel_with_token(self.threads, token, |ctx| {
                     ctx.single(|| {
                         ctx.task_scope(|s| {
                             let mut start = range.start;
@@ -404,7 +533,7 @@ impl Executor {
             Model::CilkFor => {
                 // par_for_reduce's reducer pattern over the cancel-aware loop.
                 let body = &body; // shared borrow: Send because F: Sync
-                self.ws.install(move |ctx| {
+                self.worksteal().install(move |ctx| {
                     let reducer = tpm_sync::Reducer::new(ctx.num_workers(), identity, combine);
                     let _ = tpm_worksteal::par_for_ctx_cancel(
                         ctx,
@@ -420,7 +549,7 @@ impl Executor {
             }
             Model::CilkSpawn => {
                 let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
-                self.ws.install(|ctx| {
+                self.worksteal().install(|ctx| {
                     tpm_worksteal::scope(ctx, |s| {
                         let mut start = range.start;
                         while start < range.end {
@@ -460,6 +589,31 @@ impl Executor {
                 },
                 &combine,
             ),
+            Model::ActorFor => {
+                // Scatter activations fold into a reducer keyed by the
+                // executing worker (same per-worker-partials shape as the
+                // other pooled families).
+                let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
+                tpm_actors::scatter_for_indexed_cancel(
+                    self.actors(),
+                    range,
+                    base,
+                    token,
+                    |w, chunk| reducer.with(w, |acc| body(chunk, acc)),
+                );
+                reducer.finish()
+            }
+            Model::ActorTask => {
+                let reducer = tpm_sync::Reducer::new(self.threads, identity, combine);
+                tpm_actors::recursive_for_indexed_cancel(
+                    self.actors(),
+                    range,
+                    base,
+                    token,
+                    |w, chunk| reducer.with(w, |acc| body(chunk, acc)),
+                );
+                reducer.finish()
+            }
         }
     }
 }
@@ -477,12 +631,22 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
 
+    fn run_for(
+        exec: &Executor,
+        model: Model,
+        range: Range<usize>,
+        body: &(impl Fn(Range<usize>) + Sync),
+    ) {
+        exec.try_parallel_for(model, range, &CancelToken::new(), body)
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+    }
+
     #[test]
     fn all_models_cover_the_range() {
         let exec = Executor::new(3);
         for model in Model::ALL {
             let flags: Vec<AtomicU64> = (0..101).map(|_| AtomicU64::new(0)).collect();
-            exec.parallel_for(model, 0..101, &|chunk| {
+            run_for(&exec, model, 0..101, &|chunk| {
                 for i in chunk {
                     flags[i].fetch_add(1, Ordering::Relaxed);
                 }
@@ -498,17 +662,20 @@ mod tests {
         let exec = Executor::new(4);
         let expected: u64 = (0..5000u64).map(|i| i * 7).sum();
         for model in Model::ALL {
-            let got = exec.parallel_reduce(
-                model,
-                0..5000,
-                || 0u64,
-                |a, b| a + b,
-                |chunk, acc| {
-                    for i in chunk {
-                        *acc += (i as u64) * 7;
-                    }
-                },
-            );
+            let got = exec
+                .try_parallel_reduce(
+                    model,
+                    0..5000,
+                    &CancelToken::new(),
+                    || 0u64,
+                    |a, b| a + b,
+                    |chunk, acc| {
+                        for i in chunk {
+                            *acc += (i as u64) * 7;
+                        }
+                    },
+                )
+                .unwrap();
             assert_eq!(got, expected, "{model}");
         }
     }
@@ -519,12 +686,48 @@ mod tests {
         for _ in 0..3 {
             for model in Model::ALL {
                 let c = AtomicU64::new(0);
-                exec.parallel_for(model, 0..10, &|chunk| {
+                run_for(&exec, model, 0..10, &|chunk| {
                     c.fetch_add(chunk.len() as u64, Ordering::Relaxed);
                 });
                 assert_eq!(c.into_inner(), 10);
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let exec = Executor::new(2);
+        let c = AtomicU64::new(0);
+        exec.parallel_for(Model::OmpFor, 0..10, &|chunk| {
+            c.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(c.into_inner(), 10);
+        let sum = exec.parallel_reduce(
+            Model::ActorFor,
+            0..100,
+            || 0u64,
+            |a, b| a + b,
+            |chunk, acc| {
+                for i in chunk {
+                    *acc += i as u64;
+                }
+            },
+        );
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn registry_builds_every_family() {
+        let exec = Executor::new(2);
+        let families: Vec<Family> = exec.runtimes.iter().map(|r| r.family()).collect();
+        assert_eq!(families, Family::ALL.to_vec());
+        // Pooled stats cover every family with a persistent pool.
+        let pooled: Vec<Family> = exec.pooled_stats().iter().map(|(f, _)| *f).collect();
+        assert_eq!(
+            pooled,
+            vec![Family::OpenMp, Family::CilkPlus, Family::Actors]
+        );
     }
 
     #[test]
@@ -600,7 +803,7 @@ mod tests {
             }
             // The pools stay usable after containment.
             let hits = AtomicU64::new(0);
-            exec.parallel_for(model, 0..10, &|chunk| {
+            run_for(&exec, model, 0..10, &|chunk| {
                 hits.fetch_add(chunk.len() as u64, Ordering::Relaxed);
             });
             assert_eq!(hits.into_inner(), 10, "{model} reuse after panic");

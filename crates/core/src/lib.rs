@@ -2,13 +2,17 @@
 //!
 //! The comparison framework of the `threadcmp` workspace (after *Comparison
 //! of Threading Programming Models*, 2017): a single interface over the
-//! three runtimes so each benchmark can be expressed once and measured under
-//! all six variants.
+//! four runtimes so each benchmark can be expressed once and measured under
+//! all eight variants.
 //!
-//! * [`Model`] — the six variants (omp_for, omp_task, cilk_for, cilk_spawn,
-//!   cxx_thread, cxx_async), with family and pattern metadata.
-//! * [`Executor`] — one runtime instance per family at a common thread
-//!   count; generic [`Executor::parallel_for`] / [`Executor::parallel_reduce`].
+//! * [`Family`] / [`Model`] — the registry: four families (OpenMP,
+//!   Cilk Plus, C++11, Actors), two variants each (omp_for, omp_task,
+//!   cilk_for, cilk_spawn, cxx_thread, cxx_async, actor_for, actor_task),
+//!   with family and pattern metadata. This is the *single* enumeration
+//!   point — call sites derive their lists from [`Family::ALL`] /
+//!   [`Family::variants`] / [`Model::ALL`] / [`Model::parse_list`].
+//! * [`Executor`] — one runtime instance per family ([`FamilyRuntime`],
+//!   built by [`Family::build_runtime`]) at a common thread count.
 //! * [`timing`] — median-of-N wall-clock measurement.
 //! * [`Series`] / [`Figure`] — the paper's figure data (time vs threads per
 //!   variant), with winner/loser queries used by the reproduction checks.
@@ -23,16 +27,18 @@
 //!
 //! ```
 //! use tpm_core::{Executor, Model};
+//! use tpm_sync::CancelToken;
 //!
 //! let exec = Executor::new(2);
-//! let sum = exec.parallel_reduce(
+//! let sum = exec.try_parallel_reduce(
 //!     Model::OmpFor,
 //!     0..100,
+//!     &CancelToken::new(),
 //!     || 0u64,
 //!     |a, b| a + b,
 //!     |chunk, acc| for i in chunk { *acc += i as u64 },
 //! );
-//! assert_eq!(sum, 4950);
+//! assert_eq!(sum, Ok(4950));
 //! ```
 
 #![warn(missing_docs)]
@@ -49,7 +55,7 @@ pub mod timing;
 mod variant;
 
 pub use error::{panic_message, ExecError};
-pub use executor::{Executor, ExecutorBuilder};
+pub use executor::{Executor, ExecutorBuilder, FamilyRuntime};
 pub use job::{JobCtx, JobRegistry, JobResult, JobSpec};
 pub use model::{Family, Model, Pattern};
 pub use report::{Figure, ProfileRow, ProfileTable, Series};

@@ -1,10 +1,20 @@
-//! The six implementation variants the paper evaluates.
+//! The model registry: families and their implementation variants.
 //!
-//! "For each application, six versions have been implemented using the three
-//! APIs" (§IV): OpenMP worksharing and tasking, Cilk Plus `cilk_for` and
-//! `cilk_spawn`, C++11 `std::thread` and `std::async`.
+//! The paper evaluates six versions per application — "for each application,
+//! six versions have been implemented using the three APIs" (§IV): OpenMP
+//! worksharing and tasking, Cilk Plus `cilk_for` and `cilk_spawn`, C++11
+//! `std::thread` and `std::async`. The workspace adds a fourth family in
+//! the same two-variant shape — the message-driven actor runtime
+//! (`actor_for` scatter and `actor_task` recursive parcels), following the
+//! Kulkarni–Lumsdaine many-tasking survey.
+//!
+//! This module is the *single* enumeration point. Everything that loops
+//! over models or families — harness sweeps, CLI parsing, the job service,
+//! tests — derives its list from [`Family::ALL`] / [`Family::variants`] /
+//! [`Model::ALL`], so adding a family means editing this file (and the
+//! executor's dispatch), not every call site.
 
-/// API family (the three compared models).
+/// API family (the paper's three models plus the actor extension).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// OpenMP — fork-join + worksharing + lock-based-deque tasking
@@ -15,16 +25,65 @@ pub enum Family {
     CilkPlus,
     /// C++11 — raw threads and async futures, no runtime (`tpm-rawthreads`).
     Cxx11,
+    /// Message-driven many-tasking (Charm++/ParalleX style) — typed actor
+    /// mailboxes with work stealing of activations (`tpm-actors`).
+    Actors,
 }
 
 impl Family {
-    /// Display name as the paper writes it.
+    /// Every family, in presentation order. The registry's outer loop.
+    pub const ALL: [Family; 4] = [
+        Family::OpenMp,
+        Family::CilkPlus,
+        Family::Cxx11,
+        Family::Actors,
+    ];
+
+    /// Display name as the paper writes it (the actor family follows the
+    /// AMT survey's terminology).
     pub fn name(self) -> &'static str {
         match self {
             Family::OpenMp => "OpenMP",
             Family::CilkPlus => "Cilk Plus",
             Family::Cxx11 => "C++11",
+            Family::Actors => "Actors",
         }
+    }
+
+    /// The runtime crate implementing this family, as a short label
+    /// (metric/trace vocabulary: `runtime_events_total{runtime="..."}`).
+    pub fn runtime_label(self) -> &'static str {
+        match self {
+            Family::OpenMp => "forkjoin",
+            Family::CilkPlus => "worksteal",
+            Family::Cxx11 => "rawthreads",
+            Family::Actors => "actors",
+        }
+    }
+
+    /// Whether the family keeps a persistent worker pool (and therefore
+    /// exports per-executor scheduler snapshots via
+    /// `Executor::pooled_stats`). The C++11 family creates raw threads per
+    /// call; its counters are process-global (`tpm_rawthreads::stats()`).
+    pub fn has_pooled_runtime(self) -> bool {
+        !matches!(self, Family::Cxx11)
+    }
+
+    /// This family's implementation variants (data-parallel first, task-
+    /// parallel second — every family keeps the paper's two-variant shape).
+    pub fn variants(self) -> &'static [Model] {
+        match self {
+            Family::OpenMp => &[Model::OmpFor, Model::OmpTask],
+            Family::CilkPlus => &[Model::CilkFor, Model::CilkSpawn],
+            Family::Cxx11 => &[Model::CxxThread, Model::CxxAsync],
+            Family::Actors => &[Model::ActorFor, Model::ActorTask],
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -37,7 +96,7 @@ pub enum Pattern {
     Task,
 }
 
-/// One of the six per-application variants.
+/// One per-application implementation variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Model {
     /// `#pragma omp parallel for` — worksharing loop.
@@ -53,20 +112,29 @@ pub enum Model {
     /// `std::async` — recursive decomposition with the `BASE = N/threads`
     /// cutoff, one OS thread per split.
     CxxAsync,
+    /// Actor scatter — one mailbox-scheduled activation per chunk, joined
+    /// on a latch (the message-driven data-parallel shape).
+    ActorFor,
+    /// Actor parcels — recursive splitting into stealable activations with
+    /// futures/continuations for dependencies.
+    ActorTask,
 }
 
 impl Model {
-    /// All six variants, in the paper's presentation order.
-    pub const ALL: [Model; 6] = [
+    /// Every variant, in the registry's presentation order (derived from
+    /// [`Family::ALL`] — family-major, data-variant first).
+    pub const ALL: [Model; 8] = [
         Model::OmpFor,
         Model::OmpTask,
         Model::CilkFor,
         Model::CilkSpawn,
         Model::CxxThread,
         Model::CxxAsync,
+        Model::ActorFor,
+        Model::ActorTask,
     ];
 
-    /// The variant's label as used in the paper's figures.
+    /// The variant's label as used in the figures.
     pub fn name(self) -> &'static str {
         match self {
             Model::OmpFor => "omp_for",
@@ -75,6 +143,8 @@ impl Model {
             Model::CilkSpawn => "cilk_spawn",
             Model::CxxThread => "cxx_thread",
             Model::CxxAsync => "cxx_async",
+            Model::ActorFor => "actor_for",
+            Model::ActorTask => "actor_task",
         }
     }
 
@@ -84,20 +154,76 @@ impl Model {
             Model::OmpFor | Model::OmpTask => Family::OpenMp,
             Model::CilkFor | Model::CilkSpawn => Family::CilkPlus,
             Model::CxxThread | Model::CxxAsync => Family::Cxx11,
+            Model::ActorFor | Model::ActorTask => Family::Actors,
         }
     }
 
     /// Which parallelism pattern the variant expresses.
     pub fn pattern(self) -> Pattern {
         match self {
-            Model::OmpFor | Model::CilkFor | Model::CxxThread => Pattern::Data,
-            Model::OmpTask | Model::CilkSpawn | Model::CxxAsync => Pattern::Task,
+            Model::OmpFor | Model::CilkFor | Model::CxxThread | Model::ActorFor => Pattern::Data,
+            Model::OmpTask | Model::CilkSpawn | Model::CxxAsync | Model::ActorTask => Pattern::Task,
         }
     }
 
-    /// Parses a figure label (`"omp_for"`, …).
+    /// Parses a figure label (`"omp_for"`, …) via the registry.
     pub fn parse(s: &str) -> Option<Model> {
-        Model::ALL.into_iter().find(|m| m.name() == s)
+        Family::ALL
+            .iter()
+            .flat_map(|f| f.variants())
+            .copied()
+            .find(|m| m.name() == s)
+    }
+
+    /// Parses a model *selection*: `"all"`, one name, or a comma-separated
+    /// list (`"omp_for,actor_for"`). Names come from the registry, so a new
+    /// family extends the accepted set — and the error text — for free.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpm_core::Model;
+    ///
+    /// assert_eq!(Model::parse_list("all").unwrap(), Model::ALL.to_vec());
+    /// assert_eq!(
+    ///     Model::parse_list("cilk_for,actor_task").unwrap(),
+    ///     vec![Model::CilkFor, Model::ActorTask],
+    /// );
+    /// assert!(Model::parse_list("omp_fast").is_err());
+    /// ```
+    pub fn parse_list(s: &str) -> Result<Vec<Model>, String> {
+        if s.trim() == "all" {
+            return Ok(Model::ALL.to_vec());
+        }
+        let mut models = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            match Model::parse(part) {
+                Some(m) => {
+                    if !models.contains(&m) {
+                        models.push(m);
+                    }
+                }
+                None => {
+                    return Err(format!(
+                        "unknown model '{part}' (expected all, or a comma-separated list of: {})",
+                        Model::name_list()
+                    ));
+                }
+            }
+        }
+        if models.is_empty() {
+            return Err(format!(
+                "empty model list (expected all, or a comma-separated list of: {})",
+                Model::name_list()
+            ));
+        }
+        Ok(models)
+    }
+
+    /// The registry's accepted names, `|`-separated (for usage/error text).
+    pub fn name_list() -> String {
+        Model::ALL.map(|m| m.name()).join("|")
     }
 }
 
@@ -112,29 +238,50 @@ mod tests {
     use super::*;
 
     #[test]
-    fn six_distinct_variants() {
+    fn registry_names_are_distinct() {
         let mut names: Vec<_> = Model::ALL.iter().map(|m| m.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), Model::ALL.len());
+    }
+
+    #[test]
+    fn model_all_is_family_major() {
+        // Model::ALL must stay exactly the flattening of the family
+        // registry — it is the same list, kept const for array contexts.
+        let derived: Vec<Model> = Family::ALL
+            .iter()
+            .flat_map(|f| f.variants())
+            .copied()
+            .collect();
+        assert_eq!(derived, Model::ALL.to_vec());
     }
 
     #[test]
     fn families_partition_evenly() {
-        for fam in [Family::OpenMp, Family::CilkPlus, Family::Cxx11] {
-            assert_eq!(Model::ALL.iter().filter(|m| m.family() == fam).count(), 2);
+        for fam in Family::ALL {
+            assert_eq!(fam.variants().len(), 2, "{fam}");
+            for m in fam.variants() {
+                assert_eq!(m.family(), fam, "{m}");
+            }
         }
     }
 
     #[test]
-    fn patterns_partition_evenly() {
-        assert_eq!(
-            Model::ALL
+    fn each_family_has_one_data_one_task_variant() {
+        for fam in Family::ALL {
+            let data = fam
+                .variants()
                 .iter()
                 .filter(|m| m.pattern() == Pattern::Data)
-                .count(),
-            3
-        );
+                .count();
+            let task = fam
+                .variants()
+                .iter()
+                .filter(|m| m.pattern() == Pattern::Task)
+                .count();
+            assert_eq!((data, task), (1, 1), "{fam}");
+        }
     }
 
     #[test]
@@ -143,5 +290,38 @@ mod tests {
             assert_eq!(Model::parse(m.name()), Some(m));
         }
         assert_eq!(Model::parse("nope"), None);
+    }
+
+    #[test]
+    fn parse_list_accepts_all_and_lists() {
+        assert_eq!(Model::parse_list("all").unwrap(), Model::ALL.to_vec());
+        assert_eq!(Model::parse_list("omp_for").unwrap(), vec![Model::OmpFor]);
+        assert_eq!(
+            Model::parse_list(" cilk_for , actor_for ").unwrap(),
+            vec![Model::CilkFor, Model::ActorFor]
+        );
+        // Duplicates collapse, order is caller's.
+        assert_eq!(
+            Model::parse_list("omp_task,omp_task").unwrap(),
+            vec![Model::OmpTask]
+        );
+    }
+
+    #[test]
+    fn parse_list_rejects_unknown_names_with_registry_help() {
+        let err = Model::parse_list("omp_for,bogus").unwrap_err();
+        assert!(err.contains("bogus"));
+        for m in Model::ALL {
+            assert!(err.contains(m.name()), "error should list {m}");
+        }
+        assert!(Model::parse_list("").is_err());
+    }
+
+    #[test]
+    fn family_labels_are_distinct() {
+        let mut labels: Vec<_> = Family::ALL.iter().map(|f| f.runtime_label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Family::ALL.len());
     }
 }

@@ -79,7 +79,8 @@ mod tests {
         let calls = AtomicU64::new(0);
         let fig = sweep.figure("t", &[Model::OmpFor, Model::CilkFor], |exec, model| {
             calls.fetch_add(1, Ordering::Relaxed);
-            exec.parallel_for(model, 0..64, &|_| {});
+            exec.try_parallel_for(model, 0..64, &tpm_sync::CancelToken::new(), &|_| {})
+                .unwrap();
         });
         assert_eq!(fig.series.len(), 2);
         assert!(fig.series.iter().all(|s| s.points.len() == 2));

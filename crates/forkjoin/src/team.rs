@@ -668,6 +668,17 @@ impl TeamBuilder {
         self
     }
 
+    /// Applies a shared [`tpm_sync::PoolConfig`] (the family-registry path:
+    /// every runtime gets the same threads/pin/idle knobs). The `numa`
+    /// field is not consumed here — the team's NUMA behavior (node-local
+    /// task-steal victims) keys off `TPM_NUMA` at region setup.
+    pub fn config(mut self, cfg: tpm_sync::PoolConfig) -> Self {
+        self.threads = cfg.threads;
+        self.config.pin = cfg.pin;
+        self.config.idle = cfg.idle;
+        self
+    }
+
     /// Builds the team, spawning its workers.
     #[must_use = "dropping the Team joins its workers"]
     pub fn build(self) -> Team {

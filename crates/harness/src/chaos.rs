@@ -1,5 +1,5 @@
-//! The `chaos` subcommand: a deterministic fault-injection matrix over all
-//! six threading models.
+//! The `chaos` subcommand: a deterministic fault-injection matrix over the
+//! selected threading models (default: the whole registry).
 //!
 //! Each round installs one seeded [`FaultPlan`], runs a small kernel set
 //! (data-parallel sum and an element-touch loop) under every model through
@@ -159,11 +159,15 @@ fn run_cell(exec: &Executor, model: Model) -> Result<bool, String> {
 
 /// Runs the matrix once under `plan` and returns the fired-fault sequence,
 /// or the first invariant violation.
-fn run_matrix(plan: &FaultPlan, threads: usize) -> Result<(Vec<FiredFault>, u64), String> {
+fn run_matrix(
+    plan: &FaultPlan,
+    threads: usize,
+    models: &[Model],
+) -> Result<(Vec<FiredFault>, u64), String> {
     let session = FaultSession::install(plan);
     let exec = Executor::new(threads);
     let mut faults = 0u64;
-    for model in Model::ALL {
+    for &model in models {
         if run_cell(&exec, model)? {
             faults += 1;
         }
@@ -172,26 +176,30 @@ fn run_matrix(plan: &FaultPlan, threads: usize) -> Result<(Vec<FiredFault>, u64)
 
     // Recovery: with the plan uninstalled, the same executor (its teams
     // possibly freshly healed) must produce exact results.
-    let clean = exec.parallel_reduce(
-        Model::OmpFor,
-        0..SUM_N,
-        || 0u64,
-        |a, b| a + b,
-        |chunk, acc| {
-            for i in chunk {
-                *acc += i as u64;
-            }
-        },
-    );
+    let clean = exec
+        .try_parallel_reduce(
+            Model::OmpFor,
+            0..SUM_N,
+            &tpm_sync::CancelToken::new(),
+            || 0u64,
+            |a, b| a + b,
+            |chunk, acc| {
+                for i in chunk {
+                    *acc += i as u64;
+                }
+            },
+        )
+        .map_err(|e| format!("post-fault recovery run failed: {e}"))?;
     if clean != expected_sum() {
         return Err(format!("post-fault recovery run returned {clean}"));
     }
     Ok((report.fired_sorted(), faults))
 }
 
-/// Runs the chaos matrix; `user_plan` (from `--fault-plan`) replaces the
-/// built-in plan set when given. Returns the process exit code.
-pub fn run(user_plan: Option<FaultPlan>, threads: usize) -> i32 {
+/// Runs the chaos matrix over `models` (from `--model`, default the whole
+/// registry); `user_plan` (from `--fault-plan`) replaces the built-in plan
+/// set when given. Returns the process exit code.
+pub fn run(user_plan: Option<FaultPlan>, threads: usize, models: &[Model]) -> i32 {
     if !tpm_fault::compiled_in() {
         println!(
             "[chaos] fault probes are compiled out in this build; \
@@ -224,7 +232,7 @@ pub fn run(user_plan: Option<FaultPlan>, threads: usize) -> i32 {
     };
     let mut failures = 0usize;
     for (name, plan) in &plans {
-        let first = match run_matrix(plan, threads) {
+        let first = match run_matrix(plan, threads, models) {
             Ok(r) => r,
             Err(msg) => {
                 println!("[chaos] {name}: FAIL {msg}");
@@ -237,7 +245,7 @@ pub fn run(user_plan: Option<FaultPlan>, threads: usize) -> i32 {
         // hit index both reached. Hit *counts* at wait-path sites
         // (steal-attempt) legitimately vary with timing, so the check is
         // per-hit consistency, not equal length.
-        let second = match run_matrix(plan, threads) {
+        let second = match run_matrix(plan, threads, models) {
             Ok(r) => r,
             Err(msg) => {
                 println!("[chaos] {name}: FAIL (replay) {msg}");
@@ -320,13 +328,13 @@ mod tests {
         if tpm_fault::compiled_in() {
             return; // inject build: the full matrix is exercised elsewhere
         }
-        assert_eq!(run(None, 2), 0);
+        assert_eq!(run(None, 2, &Model::ALL), 0);
     }
 
     #[cfg(feature = "inject")]
     #[test]
     fn builtin_matrix_passes_and_replays() {
         let _serial = tpm_fault::session_serial();
-        assert_eq!(run(None, 2), 0);
+        assert_eq!(run(None, 2, &Model::ALL), 0);
     }
 }

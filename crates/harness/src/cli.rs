@@ -25,8 +25,8 @@ experiments: table1 table2 table3 fig1..fig10 figures tables all check ht numasi
   numasim            sweep NUMA placement (packed|scatter) x steal-victim
                      policy (random|node_aware) on the simulated two-socket
                      testbed; --json-out writes the row table
-  profile [kernel]   run one kernel (sum|axpy|fib) under every model and
-                     print side-by-side scheduler-event summaries
+  profile [kernel]   run one kernel (sum|axpy|fib) under the selected models
+                     and print side-by-side scheduler-event summaries
   serve              run the cancellable job server (JSON lines over TCP)
   loadgen [job]      drive a running server closed-loop and report
                      throughput + p50/p99 latency (default job: sum)
@@ -34,9 +34,10 @@ experiments: table1 table2 table3 fig1..fig10 figures tables all check ht numasi
                      a live dashboard: req/s by outcome, latency quantiles,
                      per-worker utilization, steal ratio, per-kernel p99
   metrics            print one raw Prometheus scrape from a running server
-  chaos              run the fault-injection matrix (seeded plans x all six
-                     models) and verify containment, recovery and replay;
-                     needs a build with --features inject
+  chaos              run the fault-injection matrix (seeded plans x the
+                     selected models, default the whole registry) and verify
+                     containment, recovery and replay; needs a build with
+                     --features inject
   --fault-plan f.json install a fault plan (tpm-fault JSON) for the run;
                      malformed plans are reported with file:line:column and
                      exit 2. Probes are compiled out without --features
@@ -71,7 +72,10 @@ service flags (serve + loadgen):
   --arena mode       serve: recycle reply buffers through the per-worker
                      pool (tpm-alloc), on|off [on]
   --size N           loadgen: problem size sent in each job request [4096]
-  --model m          loadgen: threading model each job runs under [omp_for]
+  --model sel        model selection: 'all', one registry name, or a comma
+                     list (e.g. omp_for,actor_task); figures/profile/chaos
+                     sweep the selection, loadgen runs each job under the
+                     first name [sweeps: all; loadgen: omp_for]
   --deadline-ms N    loadgen: per-request deadline forwarded to the server
   --job-threads N    loadgen: per-job thread count in each request [1]
   --metrics-out f    serve: write the final metrics snapshot (one JSON line)
@@ -285,12 +289,12 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--model" => {
                 let v = flag_value(args, &mut i, "--model")?;
-                service.model = Model::parse(v).ok_or_else(|| {
-                    format!(
-                        "invalid --model value '{v}': expected one of {}",
-                        Model::ALL.map(|m| m.name()).join("|")
-                    )
-                })?;
+                let models = Model::parse_list(v)
+                    .map_err(|e| format!("invalid --model value '{v}': {e}"))?;
+                // Sweeping experiments (figures/profile/chaos) take the whole
+                // selection; loadgen sends one model per job, the first.
+                service.model = models[0];
+                common.cfg.models = models;
             }
             "--deadline-ms" => {
                 service.deadline_ms = Some(positive(args, &mut i, "--deadline-ms")? as u64);
@@ -458,6 +462,26 @@ mod tests {
         assert_eq!(cli.service.size, 128);
         assert_eq!(cli.service.model, Model::CilkFor);
         assert_eq!(cli.service.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn model_selection_accepts_all_and_comma_lists() {
+        let cli = p(&["figures", "--model", "all"]).unwrap();
+        assert_eq!(cli.common.cfg.models, Model::ALL.to_vec());
+
+        let cli = p(&["figures", "--model", "omp_for, actor_for"]).unwrap();
+        assert_eq!(cli.common.cfg.models, vec![Model::OmpFor, Model::ActorFor]);
+        // loadgen reads one model: the first of the selection.
+        assert_eq!(cli.service.model, Model::OmpFor);
+
+        // Error text is registry-derived: a new family's names show up
+        // without touching the parser.
+        let err = p(&["figures", "--model", "omp_for,frob"]).unwrap_err();
+        assert!(
+            err.contains("--model") && err.contains("actor_task"),
+            "{err}"
+        );
+        assert!(p(&["figures", "--model", ","]).is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Paper-scale simulated experiments: one function per figure.
 //!
-//! Each returns a [`Figure`] whose series are the paper's six variants swept
-//! over the paper's thread axis on the simulated 36-core testbed.
+//! Each returns a [`Figure`] whose series are the registry's variants (the
+//! paper's six plus the actor extension) swept over the paper's thread axis
+//! on the simulated 36-core testbed.
 
 use tpm_core::{Figure, Model, Series};
 use tpm_kernels::{Axpy, Fib, Matmul, Matvec, Sum};
@@ -27,6 +28,13 @@ pub fn sim_policy(model: Model) -> LoopPolicy {
         },
         Model::CxxThread => LoopPolicy::ThreadPerChunk,
         Model::CxxAsync => LoopPolicy::RecursiveSpawn,
+        // Actor scatter = one mailbox activation per BASE chunk on lock-free
+        // deques (same queueing shape as eager chunk tasks); actor parcels =
+        // recursive splitting balanced by activation stealing.
+        Model::ActorFor => LoopPolicy::TaskChunks {
+            kind: DequeKind::LockFree,
+        },
+        Model::ActorTask => LoopPolicy::WorkstealingSplit { grain: 0 },
     }
 }
 
@@ -101,6 +109,9 @@ pub fn fig5_fib() -> Figure {
     for (label, kind) in [
         (Model::OmpTask.name(), DequeKind::Locked),
         (Model::CilkSpawn.name(), DequeKind::LockFree),
+        // Extension beyond the paper: the actor family's recursive parcels
+        // also schedule over lock-free deques of activations.
+        (Model::ActorTask.name(), DequeKind::LockFree),
     ] {
         let mut s = Series::new(label);
         for &p in &THREADS {
@@ -295,6 +306,19 @@ pub fn check_claims(fig_no: usize, fig: &Figure) -> Vec<String> {
             .and_then(|s| s.at(p))
             .unwrap_or(f64::NAN)
     };
+    // The paper's superlative claims ("X is slowest") quantify over the
+    // paper's own variants; the actor extension — which deliberately shares
+    // scheduling shapes with them in the simulator — is excluded here.
+    let paper_loser = |p: usize| -> Option<String> {
+        fig.series
+            .iter()
+            .filter(|s| {
+                Model::parse(&s.label).is_some_and(|m| m.family() != tpm_core::Family::Actors)
+            })
+            .filter_map(|s| s.at(p).map(|v| (s.label.clone(), v)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(l, _)| l)
+    };
     let mut claim = |ok: bool, text: &str| {
         if !ok {
             violations.push(format!("Fig.{fig_no}: {text}"));
@@ -305,7 +329,7 @@ pub fn check_claims(fig_no: usize, fig: &Figure) -> Vec<String> {
             // cilk_for is the worst data-parallel variant at scale.
             for &p in &[8, 16] {
                 claim(
-                    fig.loser_at(p) == Some("cilk_for"),
+                    paper_loser(p).as_deref() == Some("cilk_for"),
                     &format!("cilk_for should be slowest at {p} threads"),
                 );
             }
@@ -320,7 +344,7 @@ pub fn check_claims(fig_no: usize, fig: &Figure) -> Vec<String> {
         }
         2 => {
             claim(
-                fig.loser_at(16) == Some("cilk_for"),
+                paper_loser(16).as_deref() == Some("cilk_for"),
                 "Sum: cilk_for should be slowest",
             );
             let ratio = at("cilk_for", 16) / at("omp_task", 16);
@@ -357,10 +381,13 @@ pub fn check_claims(fig_no: usize, fig: &Figure) -> Vec<String> {
         }
         9 | 10 => {
             // Uniform heavy compute: pooled variants converge (within 25%)
-            // at full scale.
-            let vals: Vec<f64> = ["omp_for", "omp_task", "cilk_for", "cilk_spawn"]
+            // at full scale. The list comes from the registry: every variant
+            // of every family with a persistent pool.
+            let vals: Vec<f64> = tpm_core::Family::ALL
                 .iter()
-                .map(|l| at(l, 36))
+                .filter(|f| f.has_pooled_runtime())
+                .flat_map(|f| f.variants())
+                .map(|m| at(m.name(), 36))
                 .collect();
             let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = vals.iter().cloned().fold(0.0, f64::max);
@@ -392,9 +419,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn figures_have_six_series_except_fib() {
+    fn figures_have_one_series_per_registry_model_except_fib() {
         for (i, fig) in all_figures().iter().enumerate() {
-            let expected = if i + 1 == 5 { 2 } else { 6 };
+            // Fib carries the task-parallel variants only (the paper's two
+            // plus the actor extension).
+            let expected = if i + 1 == 5 { 3 } else { Model::ALL.len() };
             assert_eq!(fig.series.len(), expected, "{}", fig.title);
             for s in &fig.series {
                 assert_eq!(s.points.len(), THREADS.len());

@@ -17,7 +17,7 @@
 //!   chunk boundaries).
 
 use tpm_core::job::JobCtx;
-use tpm_core::{ExecError, JobRegistry, Model};
+use tpm_core::{ExecError, JobRegistry};
 use tpm_kernels::{Axpy, Fib, Matmul, Matvec, Sum};
 use tpm_rodinia::{Bfs, HotSpot};
 
@@ -166,10 +166,11 @@ pub fn registry() -> JobRegistry {
         let k = Fib::native(ctx.spec.size as u64);
         // Task trees have no chunk stream to poll; pick the spawn mechanism
         // matching the requested model's family and check before/after.
-        let v = match ctx.spec.model {
-            Model::OmpFor | Model::OmpTask => k.run_omp_task(ctx.exec.team()),
-            Model::CilkFor | Model::CilkSpawn => k.run_cilk_spawn(ctx.exec.worksteal()),
-            Model::CxxThread | Model::CxxAsync => k.run_cxx_async(),
+        let v = match ctx.spec.model.family() {
+            tpm_core::Family::OpenMp => k.run_omp_task(ctx.exec.team()),
+            tpm_core::Family::CilkPlus => k.run_cilk_spawn(ctx.exec.worksteal()),
+            tpm_core::Family::Cxx11 => k.run_cxx_async(),
+            tpm_core::Family::Actors => k.run_actor_task(ctx.exec.actors()),
         };
         poll(ctx)?;
         Ok(v as f64)
@@ -210,7 +211,7 @@ pub fn registry() -> JobRegistry {
 mod tests {
     use super::*;
     use std::time::Duration;
-    use tpm_core::{Executor, JobSpec, KernelVariant};
+    use tpm_core::{Executor, JobSpec, KernelVariant, Model};
     use tpm_sync::CancelToken;
 
     fn spec(kernel: &str, size: usize) -> JobSpec {

@@ -143,6 +143,7 @@ mod tests {
             scale: 1,
             reps: 3,
             variant: tpm_core::KernelVariant::Optimized,
+            models: tpm_core::Model::ALL.to_vec(),
         };
         let j = run_json("figures", true, false, "on", &cfg, &sample());
         assert!(j.contains("\"experiment\": \"figures\""));

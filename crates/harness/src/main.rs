@@ -243,7 +243,7 @@ fn run(cli: &Cli, fault_plan: Option<tpm_fault::FaultPlan>) -> i32 {
         }
         "chaos" => {
             let threads = cfg.threads.iter().copied().max().unwrap_or(4);
-            chaos::run(fault_plan, threads)
+            chaos::run(fault_plan, threads, &cfg.models)
         }
         "serve" => service::run_serve(service),
         "loadgen" => {

@@ -1,11 +1,11 @@
 //! Native (real-runtime) experiments: the same kernels and applications run
-//! on this machine's actual threads through the three real runtimes.
+//! on this machine's actual threads through the four real runtimes.
 //!
 //! On a many-core host these sweep like the paper's figures; on the 1-core
 //! CI host they measure *overhead ordering* (which runtime's mechanism costs
 //! more at equal thread counts), which is the paper's explanatory variable.
 
-use tpm_core::{timing, Executor, Figure, KernelVariant, Model, Series, Sweep};
+use tpm_core::{timing, Executor, Family, Figure, KernelVariant, Model, Pattern, Series, Sweep};
 use tpm_kernels::{Axpy, Fib, Matmul, Matvec, Sum};
 use tpm_rodinia::{Bfs, HotSpot, LavaMd, Lud, Srad};
 
@@ -22,6 +22,9 @@ pub struct NativeConfig {
     /// Kernel data-path variant (`--kernel-variant`): paper-faithful scalar
     /// bodies or the vectorized/blocked/tiled optimized bodies.
     pub variant: KernelVariant,
+    /// Models to sweep (`--model all` or a comma list; defaults to the whole
+    /// registry).
+    pub models: Vec<Model>,
 }
 
 impl Default for NativeConfig {
@@ -31,6 +34,7 @@ impl Default for NativeConfig {
             scale: 1,
             reps: 3,
             variant: KernelVariant::Reference,
+            models: Model::ALL.to_vec(),
         }
     }
 }
@@ -63,7 +67,7 @@ pub fn fig1_axpy(cfg: &NativeConfig) -> Figure {
         KernelVariant::Optimized => k.alloc_on(&cfg.alloc_exec(), Model::OmpFor),
     };
     let mut y = y0.clone();
-    sweep("Fig.1 Axpy (native)", cfg, &Model::ALL, |exec, m| {
+    sweep("Fig.1 Axpy (native)", cfg, &cfg.models, |exec, m| {
         y.copy_from_slice(&y0);
         k.run_v(exec, m, cfg.variant, &x, &mut y);
     })
@@ -76,7 +80,7 @@ pub fn fig2_sum(cfg: &NativeConfig) -> Figure {
         KernelVariant::Reference => k.alloc(),
         KernelVariant::Optimized => k.alloc_on(&cfg.alloc_exec(), Model::OmpFor),
     };
-    sweep("Fig.2 Sum (native)", cfg, &Model::ALL, |exec, m| {
+    sweep("Fig.2 Sum (native)", cfg, &cfg.models, |exec, m| {
         std::hint::black_box(k.run_v(exec, m, cfg.variant, &x));
     })
 }
@@ -88,7 +92,7 @@ pub fn fig3_matvec(cfg: &NativeConfig) -> Figure {
         KernelVariant::Reference => k.alloc(),
         KernelVariant::Optimized => k.alloc_on(&cfg.alloc_exec(), Model::OmpFor),
     };
-    sweep("Fig.3 Matvec (native)", cfg, &Model::ALL, |exec, m| {
+    sweep("Fig.3 Matvec (native)", cfg, &cfg.models, |exec, m| {
         std::hint::black_box(k.run_v(exec, m, cfg.variant, &a, &x));
     })
 }
@@ -100,29 +104,46 @@ pub fn fig4_matmul(cfg: &NativeConfig) -> Figure {
         KernelVariant::Reference => k.alloc(),
         KernelVariant::Optimized => k.alloc_on(&cfg.alloc_exec(), Model::OmpFor),
     };
-    sweep("Fig.4 Matmul (native)", cfg, &Model::ALL, |exec, m| {
+    sweep("Fig.4 Matmul (native)", cfg, &cfg.models, |exec, m| {
         std::hint::black_box(k.run_v(exec, m, cfg.variant, &a, &b));
     })
 }
 
-/// Native Fig. 5: Fibonacci — task variants only, as in the paper.
+/// Native Fig. 5: Fibonacci — the task-parallel variant of each pooled
+/// family, as in the paper (plain-thread recursion is absent: "the system
+/// hangs"). The series list comes from the registry, so a new family's
+/// task variant appears here without edits.
 pub fn fig5_fib(cfg: &NativeConfig) -> Figure {
     let k = Fib::native(24 + (cfg.scale.min(8) as u64));
     let mut fig = Figure::new("Fig.5 Fibonacci (native, task variants)");
-    let mut omp = Series::new(Model::OmpTask.name());
-    let mut cilk = Series::new(Model::CilkSpawn.name());
-    for &p in &cfg.threads {
-        let exec = Executor::new(p);
-        let d = timing::median_time(1, cfg.reps, || {
-            std::hint::black_box(k.run_omp_task(exec.team()));
-        });
-        omp.push(p, d.as_secs_f64());
-        let d = timing::median_time(1, cfg.reps, || {
-            std::hint::black_box(k.run_cilk_spawn(exec.worksteal()));
-        });
-        cilk.push(p, d.as_secs_f64());
+    let models: Vec<Model> = cfg
+        .models
+        .iter()
+        .copied()
+        .filter(|m| m.pattern() == Pattern::Task && m.family().has_pooled_runtime())
+        .collect();
+    for model in models {
+        let mut s = Series::new(model.name());
+        for &p in &cfg.threads {
+            let exec = Executor::new(p);
+            let d = timing::median_time(1, cfg.reps, || match model.family() {
+                Family::OpenMp => {
+                    std::hint::black_box(k.run_omp_task(exec.team()));
+                }
+                Family::CilkPlus => {
+                    std::hint::black_box(k.run_cilk_spawn(exec.worksteal()));
+                }
+                Family::Cxx11 => {
+                    std::hint::black_box(k.run_cxx_async());
+                }
+                Family::Actors => {
+                    std::hint::black_box(k.run_actor_task(exec.actors()));
+                }
+            });
+            s.push(p, d.as_secs_f64());
+        }
+        fig.series.push(s);
     }
-    fig.series = vec![omp, cilk];
     fig
 }
 
@@ -130,7 +151,7 @@ pub fn fig5_fib(cfg: &NativeConfig) -> Figure {
 pub fn fig6_bfs(cfg: &NativeConfig) -> Figure {
     let b = Bfs::native(50_000 * cfg.scale);
     let g = b.generate();
-    sweep("Fig.6 Rodinia BFS (native)", cfg, &Model::ALL, |exec, m| {
+    sweep("Fig.6 Rodinia BFS (native)", cfg, &cfg.models, |exec, m| {
         std::hint::black_box(b.run(exec, m, &g));
     })
 }
@@ -142,7 +163,7 @@ pub fn fig7_hotspot(cfg: &NativeConfig) -> Figure {
     sweep(
         "Fig.7 Rodinia HotSpot (native)",
         cfg,
-        &Model::ALL,
+        &cfg.models,
         |exec, m| {
             std::hint::black_box(h.run_v(exec, m, cfg.variant, &t, &p));
         },
@@ -153,7 +174,7 @@ pub fn fig7_hotspot(cfg: &NativeConfig) -> Figure {
 pub fn fig8_lud(cfg: &NativeConfig) -> Figure {
     let l = Lud::native(96 * cfg.scale);
     let a = l.generate();
-    sweep("Fig.8 Rodinia LUD (native)", cfg, &Model::ALL, |exec, m| {
+    sweep("Fig.8 Rodinia LUD (native)", cfg, &cfg.models, |exec, m| {
         std::hint::black_box(l.run(exec, m, &a));
     })
 }
@@ -165,7 +186,7 @@ pub fn fig9_lavamd(cfg: &NativeConfig) -> Figure {
     sweep(
         "Fig.9 Rodinia LavaMD (native)",
         cfg,
-        &Model::ALL,
+        &cfg.models,
         |exec, m| {
             std::hint::black_box(l.run(exec, m, &particles));
         },
@@ -179,7 +200,7 @@ pub fn fig10_srad(cfg: &NativeConfig) -> Figure {
     sweep(
         "Fig.10 Rodinia SRAD (native)",
         cfg,
-        &Model::ALL,
+        &cfg.models,
         |exec, m| {
             std::hint::black_box(s.run_v(exec, m, cfg.variant, &img));
         },
@@ -212,6 +233,7 @@ mod tests {
             scale: 1,
             reps: 1,
             variant: KernelVariant::Reference,
+            models: Model::ALL.to_vec(),
         }
     }
 
@@ -221,11 +243,11 @@ mod tests {
         let k = Axpy::native(10_000);
         let (x, y0) = k.alloc();
         let mut y = y0.clone();
-        let fig = sweep("tiny axpy", &cfg, &Model::ALL, |exec, m| {
+        let fig = sweep("tiny axpy", &cfg, &cfg.models, |exec, m| {
             y.copy_from_slice(&y0);
             k.run(exec, m, &x, &mut y);
         });
-        assert_eq!(fig.series.len(), 6);
+        assert_eq!(fig.series.len(), Model::ALL.len());
         for s in &fig.series {
             assert!(s.points.iter().all(|&(_, v)| v > 0.0), "{}", s.label);
         }
@@ -237,17 +259,33 @@ mod tests {
         cfg.threads = vec![2];
         cfg.variant = KernelVariant::Optimized;
         let fig = fig4_matmul(&cfg);
-        assert_eq!(fig.series.len(), 6);
+        assert_eq!(fig.series.len(), Model::ALL.len());
         for s in &fig.series {
             assert!(s.points.iter().all(|&(_, v)| v > 0.0), "{}", s.label);
         }
     }
 
     #[test]
-    fn native_fib_runs() {
+    fn native_fib_has_one_series_per_pooled_task_variant() {
         let mut cfg = tiny();
         cfg.threads = vec![2];
         let fig = fig5_fib(&cfg);
-        assert_eq!(fig.series.len(), 2);
+        // omp_task, cilk_spawn, actor_task — derived from the registry.
+        assert_eq!(fig.series.len(), 3);
+        let labels: Vec<&str> = fig.series.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&Model::ActorTask.name()), "{labels:?}");
+    }
+
+    #[test]
+    fn model_selection_narrows_the_sweep() {
+        let mut cfg = tiny();
+        cfg.models = vec![Model::OmpFor, Model::ActorFor];
+        let k = Sum::native(5_000);
+        let x = k.alloc();
+        let fig = sweep("narrow sum", &cfg, &cfg.models, |exec, m| {
+            std::hint::black_box(k.run(exec, m, &x));
+        });
+        let labels: Vec<&str> = fig.series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["omp_for", "actor_for"]);
     }
 }

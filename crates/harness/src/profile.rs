@@ -3,13 +3,14 @@
 //! summaries (steals, chunk dispatches, barrier waits) per model.
 //!
 //! Where the figures answer *which* model wins, this answers *why*: the same
-//! kernel's six versions produce visibly different event mixes (e.g. chunk
+//! kernel's model versions produce visibly different event mixes (e.g. chunk
 //! dispatches for worksharing vs. steals for work stealing vs. thread spawns
-//! for C++11).
+//! for C++11 vs. mailbox activations for actors). The model set comes from
+//! `--model` (default: the whole registry).
 
 use std::path::Path;
 
-use tpm_core::{Executor, Model, ProfileRow, ProfileTable};
+use tpm_core::{Executor, ProfileRow, ProfileTable};
 use tpm_kernels::{Axpy, Fib, Sum};
 use tpm_trace::TraceSession;
 
@@ -38,8 +39,10 @@ pub fn run(
             let k = Sum::native(200_000 * cfg.scale);
             let x = k.alloc();
             let variant = cfg.variant;
-            let mut runs: Vec<ModelRun> = Model::ALL
-                .into_iter()
+            let mut runs: Vec<ModelRun> = cfg
+                .models
+                .iter()
+                .copied()
                 .map(|m| {
                     let x = x.clone();
                     let f: Box<dyn Fn(&Executor)> = Box::new(move |e: &Executor| {
@@ -80,8 +83,9 @@ pub fn run(
             let k = Axpy::native(200_000 * cfg.scale);
             let (x, y0) = k.alloc();
             let variant = cfg.variant;
-            Model::ALL
-                .into_iter()
+            cfg.models
+                .iter()
+                .copied()
                 .map(|m| {
                     let x = x.clone();
                     let y0 = y0.clone();
@@ -98,26 +102,31 @@ pub fn run(
         "fib" => {
             let n = 20 + (cfg.scale.min(10) as u64);
             let k = Fib::native(n);
-            vec![
-                (
-                    Model::OmpTask.name().to_string(),
-                    Box::new(move |e: &Executor| {
-                        std::hint::black_box(k.run_omp_task(e.team()));
-                    }) as Box<dyn Fn(&Executor)>,
-                ),
-                (
-                    Model::CilkSpawn.name().to_string(),
-                    Box::new(move |e: &Executor| {
-                        std::hint::black_box(k.run_cilk_spawn(e.worksteal()));
-                    }),
-                ),
-                (
-                    Model::CxxAsync.name().to_string(),
-                    Box::new(move |_e: &Executor| {
-                        std::hint::black_box(k.run_cxx_async());
-                    }),
-                ),
-            ]
+            // One row per selected task-pattern variant; the spawn mechanism
+            // follows the model's family, so a new family profiles for free.
+            cfg.models
+                .iter()
+                .copied()
+                .filter(|m| m.pattern() == tpm_core::Pattern::Task)
+                .map(|m| {
+                    let f: Box<dyn Fn(&Executor)> =
+                        Box::new(move |e: &Executor| match m.family() {
+                            tpm_core::Family::OpenMp => {
+                                std::hint::black_box(k.run_omp_task(e.team()));
+                            }
+                            tpm_core::Family::CilkPlus => {
+                                std::hint::black_box(k.run_cilk_spawn(e.worksteal()));
+                            }
+                            tpm_core::Family::Cxx11 => {
+                                std::hint::black_box(k.run_cxx_async());
+                            }
+                            tpm_core::Family::Actors => {
+                                std::hint::black_box(k.run_actor_task(e.actors()));
+                            }
+                        });
+                    (m.name().to_string(), f)
+                })
+                .collect()
         }
         other => {
             return Err(format!(
@@ -128,11 +137,10 @@ pub fn run(
     };
 
     for (label, body) in runs {
-        // Warm both runtimes' pools so the profiled run measures scheduling,
+        // Warm every runtime's pool so the profiled run measures scheduling,
         // not first-touch effects.
         body(&exec);
-        exec.team().stats().reset();
-        exec.worksteal().stats().reset();
+        exec.reset_stats();
 
         let session = TraceSession::start();
         let t0 = std::time::Instant::now();
@@ -140,20 +148,23 @@ pub fn run(
         let seconds = t0.elapsed().as_secs_f64();
         let trace = session.stop();
 
-        let team = exec.team().stats().snapshot();
-        let ws = exec.worksteal().stats().snapshot();
+        // Sum over every pooled runtime; only the one the model ran on moved.
+        let s = exec
+            .pooled_stats()
+            .into_iter()
+            .fold(tpm_sync::StatsSnapshot::default(), |acc, (_, s)| acc + s);
         let summary = trace.summary();
         table.push(ProfileRow {
             model: label.clone(),
             seconds,
-            spawned: team.spawned + ws.spawned,
-            executed: team.executed + ws.executed,
-            steals: team.steals + ws.steals,
-            failed_steals: team.failed_steals + ws.failed_steals,
-            chunks: team.chunks + ws.chunks,
-            loop_claims: team.loop_claims + ws.loop_claims,
-            barrier_waits: team.barrier_waits + ws.barrier_waits,
-            barrier_wait_ns: team.barrier_wait_ns + ws.barrier_wait_ns,
+            spawned: s.spawned,
+            executed: s.executed,
+            steals: s.steals,
+            failed_steals: s.failed_steals,
+            chunks: s.chunks,
+            loop_claims: s.loop_claims,
+            barrier_waits: s.barrier_waits,
+            barrier_wait_ns: s.barrier_wait_ns,
             trace_events: summary.workers.iter().map(|w| w.counts.total()).sum(),
             trace_workers: summary.workers.len(),
         });
@@ -177,6 +188,7 @@ fn sibling_with_model(path: &Path, model: &str) -> std::path::PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpm_core::Model;
 
     fn cfg2() -> NativeConfig {
         NativeConfig {
@@ -195,15 +207,36 @@ mod tests {
     fn fib_profile_reports_task_models() {
         let cfg = cfg2();
         let table = run(&cfg, "fib", None).unwrap();
-        assert_eq!(table.rows.len(), 3);
+        // One row per task-pattern registry variant, family-major order.
+        let labels: Vec<&str> = table.rows.iter().map(|r| r.model.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["omp_task", "cilk_spawn", "cxx_async", "actor_task"]
+        );
         let omp = &table.rows[0];
-        assert_eq!(omp.model, "omp_task");
         assert!(omp.spawned > 0, "omp_task must spawn tasks: {omp:?}");
         let cilk = &table.rows[1];
-        assert_eq!(cilk.model, "cilk_spawn");
         assert!(cilk.executed > 0, "cilk_spawn must execute jobs: {cilk:?}");
+        let actor = &table.rows[3];
+        assert!(
+            actor.spawned > 0,
+            "actors must spawn activations: {actor:?}"
+        );
         // Tracing was live during each run.
         assert!(table.rows.iter().all(|r| r.trace_events > 0));
+    }
+
+    #[test]
+    fn model_selection_narrows_the_profile() {
+        let mut cfg = cfg2();
+        cfg.models = vec![Model::ActorFor, Model::ActorTask];
+        let table = run(&cfg, "sum", None).unwrap();
+        // The dynamic-schedule extra row rides along for sum.
+        let labels: Vec<&str> = table.rows.iter().map(|r| r.model.as_str()).collect();
+        assert_eq!(labels, ["actor_for", "actor_task", "omp_dyn"]);
+        let table = run(&cfg, "fib", None).unwrap();
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].model, "actor_task");
     }
 
     #[test]

@@ -97,7 +97,7 @@ impl Axpy {
         let out = UnsafeSlice::new(y);
         match variant {
             KernelVariant::Reference => {
-                exec.parallel_for(model, 0..self.n, &|chunk| {
+                crate::util::pfor(exec, model, 0..self.n, &|chunk| {
                     // SAFETY: the executor hands out disjoint chunks.
                     let ys = unsafe { out.slice_mut(chunk.clone()) };
                     for (yi, i) in ys.iter_mut().zip(chunk) {
@@ -106,7 +106,7 @@ impl Axpy {
                 });
             }
             KernelVariant::Optimized => {
-                exec.parallel_for(model, 0..self.n, &|chunk| {
+                crate::util::pfor(exec, model, 0..self.n, &|chunk| {
                     // SAFETY: the executor hands out disjoint chunks.
                     let ys = unsafe { out.slice_mut(chunk.clone()) };
                     axpy_chunk_opt(a, &x[chunk], ys);

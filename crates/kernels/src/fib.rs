@@ -7,8 +7,13 @@
 //! problem size 40 are provided." The finding: `cilk_spawn` ≈ 20% faster
 //! than `omp_task` (lock-free vs lock-based task deques), except at 1 core.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use tpm_actors::{ActorRuntime, Promise};
 use tpm_forkjoin::{Ctx, Team};
 use tpm_sim::FibWorkload;
+use tpm_sync::SpinLock;
 use tpm_worksteal::{join, Runtime, WorkerCtx};
 
 /// Fibonacci problem instance.
@@ -87,6 +92,52 @@ impl Fib {
         tpm_rawthreads::fib_with_cutoff(self.n, self.cutoff)
     }
 
+    /// Actor-parcel version: continuation-passing join tree. Each node above
+    /// the cutoff spawns its left child as a stealable activation and walks
+    /// the right child inline; children complete promises whose
+    /// continuations fold into a shared join cell, and the *last* child to
+    /// arrive propagates the sum upward on its own thread — no worker ever
+    /// blocks on a dependency (the HPX/Charm++ dataflow style, vs. the
+    /// blocking `join` of `cilk_spawn`).
+    pub fn run_actor_task(&self, rt: &ActorRuntime) -> u64 {
+        struct JoinCell {
+            sum: AtomicU64,
+            pending: AtomicUsize,
+            out: SpinLock<Option<Promise<u64>>>,
+        }
+
+        fn child(cell: Arc<JoinCell>) -> Promise<u64> {
+            Promise::on_complete(move |v| {
+                cell.sum.fetch_add(v, Ordering::Relaxed);
+                if cell.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let out = cell.out.lock().take().expect("join emits once");
+                    out.set(cell.sum.load(Ordering::Relaxed));
+                }
+            })
+        }
+
+        fn node(ctx: &tpm_actors::WorkerCtx<'_>, n: u64, cutoff: u64, out: Promise<u64>) {
+            if n < 2 || n <= cutoff {
+                out.set(Fib::seq(n));
+                return;
+            }
+            let cell = Arc::new(JoinCell {
+                sum: AtomicU64::new(0),
+                pending: AtomicUsize::new(2),
+                out: SpinLock::new(Some(out)),
+            });
+            let left = child(Arc::clone(&cell));
+            ctx.spawn(move |c| node(c, n - 1, cutoff, left));
+            let right = child(cell);
+            node(ctx, n - 2, cutoff, right);
+        }
+
+        let (future, promise) = tpm_actors::future();
+        let (n, cutoff) = (self.n, self.cutoff);
+        rt.spawn(move |ctx| node(ctx, n, cutoff, promise));
+        future.wait()
+    }
+
     /// C++11 naive version (no cutoff): returns the paper's failure mode as
     /// an error when the thread budget would be exceeded.
     pub fn run_cxx_naive(
@@ -120,6 +171,19 @@ mod tests {
         let rt = Runtime::new(4);
         assert_eq!(k.run_cilk_spawn(&rt), expected);
         assert_eq!(k.run_cxx_async(), expected);
+        let actors = ActorRuntime::new(4);
+        assert_eq!(k.run_actor_task(&actors), expected);
+    }
+
+    #[test]
+    fn actor_version_handles_base_cases_and_deep_trees() {
+        let actors = ActorRuntime::new(2);
+        assert_eq!(Fib { n: 0, cutoff: 0 }.run_actor_task(&actors), 0);
+        assert_eq!(Fib { n: 1, cutoff: 0 }.run_actor_task(&actors), 1);
+        // cutoff 0: every node above the leaves is a spawned activation.
+        assert_eq!(Fib { n: 16, cutoff: 0 }.run_actor_task(&actors), 987);
+        // Runtime stays healthy for a second tree.
+        assert_eq!(Fib { n: 18, cutoff: 4 }.run_actor_task(&actors), 2584);
     }
 
     #[test]

@@ -167,7 +167,7 @@ impl Matmul {
         match variant {
             KernelVariant::Reference => {
                 let out = UnsafeSlice::new(&mut c);
-                exec.parallel_for(model, 0..n, &|chunk| {
+                crate::util::pfor(exec, model, 0..n, &|chunk| {
                     for i in chunk {
                         // SAFETY: disjoint chunks ⇒ disjoint C rows.
                         let crow = unsafe { out.slice_mut(i * n..(i + 1) * n) };
@@ -184,7 +184,7 @@ impl Matmul {
             KernelVariant::Optimized => {
                 let blocks = n.div_ceil(MB);
                 let out = UnsafeSlice::new(&mut c);
-                exec.parallel_for(model, 0..blocks, &|chunk| {
+                crate::util::pfor(exec, model, 0..blocks, &|chunk| {
                     for bi in chunk {
                         let rows = bi * MB..((bi + 1) * MB).min(n);
                         // SAFETY: disjoint block chunks ⇒ disjoint C row

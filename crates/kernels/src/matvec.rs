@@ -100,7 +100,7 @@ impl Matvec {
             let out = UnsafeSlice::new(&mut y);
             match variant {
                 KernelVariant::Reference => {
-                    exec.parallel_for(model, 0..n, &|chunk| {
+                    crate::util::pfor(exec, model, 0..n, &|chunk| {
                         for i in chunk {
                             let row = &a[i * n..(i + 1) * n];
                             let dot: f64 = row.iter().zip(x).map(|(aij, xj)| aij * xj).sum();
@@ -110,7 +110,7 @@ impl Matvec {
                     });
                 }
                 KernelVariant::Optimized => {
-                    exec.parallel_for(model, 0..n, &|chunk| {
+                    crate::util::pfor(exec, model, 0..n, &|chunk| {
                         for i in chunk {
                             let dot = dot_opt(&a[i * n..(i + 1) * n], x);
                             // SAFETY: disjoint chunks ⇒ disjoint rows.

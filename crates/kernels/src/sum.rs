@@ -87,7 +87,8 @@ impl Sum {
     pub fn run_v(&self, exec: &Executor, model: Model, variant: KernelVariant, x: &[f64]) -> f64 {
         let a = self.a;
         match variant {
-            KernelVariant::Reference => exec.parallel_reduce(
+            KernelVariant::Reference => crate::util::preduce(
+                exec,
                 model,
                 0..self.n,
                 || 0.0f64,
@@ -100,7 +101,8 @@ impl Sum {
                     *acc += local;
                 },
             ),
-            KernelVariant::Optimized => exec.parallel_reduce(
+            KernelVariant::Optimized => crate::util::preduce(
+                exec,
                 model,
                 0..self.n,
                 || 0.0f64,

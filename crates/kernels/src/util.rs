@@ -100,7 +100,7 @@ pub fn random_vec(n: usize, seed: u64) -> Vec<f64> {
 }
 
 /// [`random_vec`] with parallel first-touch: the vector is filled through
-/// `exec.parallel_for` under `model`, so each page is first touched by the
+/// a parallel loop under `model`, so each page is first touched by the
 /// thread that will process the same index range in the kernel proper.
 ///
 /// The large kernel inputs (100 M-element vectors) were previously
@@ -142,7 +142,7 @@ pub fn advise_hugepages_for<T>(buf: &[T]) -> bool {
 pub fn fill_random_on(exec: &Executor, model: Model, out: &mut [f64], seed: u64) {
     let n = out.len();
     let dst = UnsafeSlice::new(out);
-    exec.parallel_for(model, 0..n, &|chunk| {
+    crate::util::pfor(exec, model, 0..n, &|chunk| {
         let mut rng = tpm_sync::SplitMix64::new_at(seed, chunk.start as u64);
         // SAFETY: the executor hands out disjoint chunks.
         let slice = unsafe { dst.slice_mut(chunk) };
@@ -150,6 +150,45 @@ pub fn fill_random_on(exec: &Executor, model: Model, out: &mut [f64], seed: u64)
             *v = rng.next_f64();
         }
     });
+}
+
+/// Runs an un-cancellable parallel loop through the fallible executor path.
+/// The kernels' `run` surface is infallible by contract — no token is
+/// attached and the bodies do not panic — so a failure here is a kernel
+/// bug, reported by panicking (the deprecated `Executor::parallel_for`
+/// behaved the same way).
+pub fn pfor<F>(exec: &Executor, model: Model, range: Range<usize>, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    exec.try_parallel_for(model, range, &tpm_sync::CancelToken::new(), body)
+        .unwrap_or_else(|e| panic!("{model} kernel loop failed: {e}"));
+}
+
+/// Reduction sibling of [`pfor`]: un-cancellable, panics on failure.
+pub fn preduce<T, Id, Op, F>(
+    exec: &Executor,
+    model: Model,
+    range: Range<usize>,
+    identity: Id,
+    combine: Op,
+    body: F,
+) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Send + Sync,
+    Op: Fn(T, T) -> T + Send + Sync,
+    F: Fn(Range<usize>, &mut T) + Sync,
+{
+    exec.try_parallel_reduce(
+        model,
+        range,
+        &tpm_sync::CancelToken::new(),
+        identity,
+        combine,
+        body,
+    )
+    .unwrap_or_else(|e| panic!("{model} kernel reduction failed: {e}"))
 }
 
 /// Max-abs-difference between two vectors (for verification).

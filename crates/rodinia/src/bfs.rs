@@ -90,7 +90,7 @@ impl Bfs {
         let mut levels = 0;
         loop {
             // Phase 1: expand the frontier.
-            exec.parallel_for(model, 0..n, &|chunk| {
+            tpm_kernels::util::pfor(exec, model, 0..n, &|chunk| {
                 for i in chunk {
                     if frontier[i].load(Ordering::Relaxed) {
                         frontier[i].store(false, Ordering::Relaxed);
@@ -109,7 +109,7 @@ impl Bfs {
             });
             // Phase 2: commit newly discovered nodes.
             let stop = AtomicBool::new(true);
-            exec.parallel_for(model, 0..n, &|chunk| {
+            tpm_kernels::util::pfor(exec, model, 0..n, &|chunk| {
                 for j in chunk {
                     if updating[j].load(Ordering::Relaxed) {
                         updating[j].store(false, Ordering::Relaxed);

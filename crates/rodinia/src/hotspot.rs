@@ -187,7 +187,7 @@ impl HotSpot {
                 let cur_ref = &cur;
                 match variant {
                     KernelVariant::Reference => {
-                        exec.parallel_for(model, 0..n, &|rows| {
+                        tpm_kernels::util::pfor(exec, model, 0..n, &|rows| {
                             for i in rows {
                                 // SAFETY: disjoint row chunks.
                                 let row = unsafe { out.slice_mut(i * n..(i + 1) * n) };
@@ -198,7 +198,7 @@ impl HotSpot {
                         });
                     }
                     KernelVariant::Optimized => {
-                        exec.parallel_for(model, 0..n, &|rows| {
+                        tpm_kernels::util::pfor(exec, model, 0..n, &|rows| {
                             for j0 in (0..n).step_by(TILE_J) {
                                 let j1 = (j0 + TILE_J).min(n);
                                 for i in rows.clone() {
@@ -217,7 +217,7 @@ impl HotSpot {
                 // the explicit copy preserves the paper's two-loop structure).
                 let out = UnsafeSlice::new(&mut cur);
                 let next_ref = &next;
-                exec.parallel_for(model, 0..n, &|rows| {
+                tpm_kernels::util::pfor(exec, model, 0..n, &|rows| {
                     for i in rows {
                         // SAFETY: disjoint row chunks.
                         let row = unsafe { out.slice_mut(i * n..(i + 1) * n) };

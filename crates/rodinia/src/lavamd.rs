@@ -133,7 +133,7 @@ impl LavaMd {
         let mut out = vec![0.0; self.num_boxes() * m];
         {
             let slots = UnsafeSlice::new(&mut out);
-            exec.parallel_for(model, 0..self.num_boxes(), &|boxes| {
+            tpm_kernels::util::pfor(exec, model, 0..self.num_boxes(), &|boxes| {
                 for b in boxes {
                     // SAFETY: disjoint box chunks ⇒ disjoint output slots.
                     let dst = unsafe { slots.slice_mut(b * m..(b + 1) * m) };

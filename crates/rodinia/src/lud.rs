@@ -82,7 +82,7 @@ impl Lud {
             }
             {
                 let grid = UnsafeSlice::new(&mut m);
-                exec.parallel_for(model, (k + 1)..n, &|rows| {
+                tpm_kernels::util::pfor(exec, model, (k + 1)..n, &|rows| {
                     for i in rows {
                         // SAFETY: disjoint rows.
                         let row = unsafe { grid.slice_mut(i * n..(i + 1) * n) };
@@ -95,7 +95,7 @@ impl Lud {
                 // writes disjoint rows below it (race-free by construction).
                 let pivot_row: Vec<f64> = m[k * n + k + 1..(k + 1) * n].to_vec();
                 let grid = UnsafeSlice::new(&mut m);
-                exec.parallel_for(model, (k + 1)..n, &|rows| {
+                tpm_kernels::util::pfor(exec, model, (k + 1)..n, &|rows| {
                     for i in rows {
                         // SAFETY: disjoint rows.
                         let row = unsafe { grid.slice_mut(i * n..(i + 1) * n) };

@@ -137,7 +137,7 @@ impl Srad {
                 {
                     let c_slice = UnsafeSlice::new(c);
                     let img_ref = &img_snapshot;
-                    exec.parallel_for(model, 0..n, &|rows| {
+                    tpm_kernels::util::pfor(exec, model, 0..n, &|rows| {
                         compute_c(rows, 0..n, &c_slice, img_ref)
                     });
                 }
@@ -145,7 +145,7 @@ impl Srad {
                     let img_out = UnsafeSlice::new(img);
                     let img_ref = &img_snapshot;
                     let c_ref: &[f64] = c;
-                    exec.parallel_for(model, 0..n, &|rows| {
+                    tpm_kernels::util::pfor(exec, model, 0..n, &|rows| {
                         update(rows, 0..n, &img_out, img_ref, c_ref)
                     });
                 }
@@ -159,7 +159,7 @@ impl Srad {
                 {
                     let c_slice = UnsafeSlice::new(c);
                     let img_ref = &img_snapshot;
-                    exec.parallel_for(model, 0..n, &|rows| {
+                    tpm_kernels::util::pfor(exec, model, 0..n, &|rows| {
                         for j0 in (0..n).step_by(TILE_J) {
                             let j1 = (j0 + TILE_J).min(n);
                             compute_c(rows.clone(), j0..j1, &c_slice, img_ref);
@@ -170,7 +170,7 @@ impl Srad {
                     let img_out = UnsafeSlice::new(img);
                     let img_ref = &img_snapshot;
                     let c_ref: &[f64] = c;
-                    exec.parallel_for(model, 0..n, &|rows| {
+                    tpm_kernels::util::pfor(exec, model, 0..n, &|rows| {
                         for j0 in (0..n).step_by(TILE_J) {
                             let j1 = (j0 + TILE_J).min(n);
                             update(rows.clone(), j0..j1, &img_out, img_ref, c_ref);

@@ -22,6 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use tpm_core::Family;
 use tpm_metrics::{Counter, Gauge, Histogram, Hll, Registry};
 use tpm_sync::StatsSnapshot as RuntimeSnapshot;
 
@@ -54,11 +55,6 @@ const OUTCOMES: [&str; 10] = [
     "other",
 ];
 
-/// Index of a pooled runtime in [`ServeMetrics`] arrays.
-pub const RT_FORKJOIN: usize = 0;
-/// See [`RT_FORKJOIN`].
-pub const RT_WORKSTEAL: usize = 1;
-
 /// All instruments the server records into, pre-registered and `Arc`-held.
 pub struct ServeMetrics {
     registry: Arc<Registry>,
@@ -68,9 +64,11 @@ pub struct ServeMetrics {
     queue_wait: Arc<Histogram>,
     clients: Arc<Hll>,
     worker_busy: Vec<Arc<Counter>>,
-    /// `[runtime][event]` counters, runtimes indexed by `RT_*`.
-    runtime_events: [Vec<Arc<Counter>>; 2],
-    runtime_busy: [Arc<Counter>; 2],
+    /// Per-pooled-family event counters, labeled by
+    /// [`Family::runtime_label`]; one entry per registry family with a
+    /// persistent pool, in [`Family::ALL`] order.
+    runtime_events: Vec<(Family, Vec<Arc<Counter>>)>,
+    runtime_busy: Vec<(Family, Arc<Counter>)>,
     connections_open: Arc<Gauge>,
     bytes_read: Arc<Counter>,
     bytes_written: Arc<Counter>,
@@ -137,36 +135,44 @@ impl ServeMetrics {
                 )
             })
             .collect();
-        let runtime_events = [RT_FORKJOIN, RT_WORKSTEAL].map(|rt| {
-            let name = if rt == RT_FORKJOIN {
-                "forkjoin"
-            } else {
-                "worksteal"
-            };
-            RUNTIME_EVENTS
-                .iter()
-                .map(|event| {
-                    registry.counter(
-                        "tpm_runtime_events_total",
-                        "Scheduler events (tasks, steals, chunks, parks) per runtime.",
-                        &[("runtime", name), ("event", event)],
-                    )
-                })
-                .collect()
-        });
-        let runtime_busy = [RT_FORKJOIN, RT_WORKSTEAL].map(|rt| {
-            let name = if rt == RT_FORKJOIN {
-                "forkjoin"
-            } else {
-                "worksteal"
-            };
-            registry.counter_scaled(
-                "tpm_runtime_busy_seconds_total",
-                "Seconds runtime workers spent executing (busy, not idle).",
-                &[("runtime", name)],
-                1e-9,
-            )
-        });
+        // One counter set per pooled registry family (labels come from the
+        // registry, so a new family's series appear here without edits).
+        let pooled: Vec<Family> = Family::ALL
+            .iter()
+            .copied()
+            .filter(|f| f.has_pooled_runtime())
+            .collect();
+        let runtime_events = pooled
+            .iter()
+            .map(|&fam| {
+                let name = fam.runtime_label();
+                let counters = RUNTIME_EVENTS
+                    .iter()
+                    .map(|event| {
+                        registry.counter(
+                            "tpm_runtime_events_total",
+                            "Scheduler events (tasks, steals, chunks, parks) per runtime.",
+                            &[("runtime", name), ("event", event)],
+                        )
+                    })
+                    .collect();
+                (fam, counters)
+            })
+            .collect();
+        let runtime_busy = pooled
+            .iter()
+            .map(|&fam| {
+                (
+                    fam,
+                    registry.counter_scaled(
+                        "tpm_runtime_busy_seconds_total",
+                        "Seconds runtime workers spent executing (busy, not idle).",
+                        &[("runtime", fam.runtime_label())],
+                        1e-9,
+                    ),
+                )
+            })
+            .collect();
         // The no-pool model's counters are process-global; expose them as
         // scrape-time reads rather than per-job deltas (concurrent service
         // workers would double-count interval deltas of a shared global).
@@ -301,14 +307,16 @@ impl ServeMetrics {
         self.clients.estimate_u64()
     }
 
-    /// Adds a scheduler-snapshot delta to runtime `rt` (`RT_FORKJOIN` or
-    /// `RT_WORKSTEAL`). Exact per job because each service worker owns its
-    /// executors.
-    pub fn add_runtime_delta(&self, rt: usize, d: &RuntimeSnapshot) {
+    /// Adds a scheduler-snapshot delta to `family`'s runtime series (a
+    /// no-op for families without a pool). Exact per job because each
+    /// service worker owns its executors.
+    pub fn add_runtime_delta(&self, family: Family, d: &RuntimeSnapshot) {
         if !self.enabled {
             return;
         }
-        let events = &self.runtime_events[rt];
+        let Some((_, events)) = self.runtime_events.iter().find(|(f, _)| *f == family) else {
+            return;
+        };
         let values = [
             d.spawned,
             d.executed,
@@ -325,7 +333,9 @@ impl ServeMetrics {
             }
         }
         if d.busy_ns > 0 {
-            self.runtime_busy[rt].add(d.busy_ns);
+            if let Some((_, busy)) = self.runtime_busy.iter().find(|(f, _)| *f == family) {
+                busy.add(d.busy_ns);
+            }
         }
     }
 
@@ -379,13 +389,40 @@ mod tests {
             busy_ns: 3_000_000_000,
             ..RuntimeSnapshot::default()
         };
-        m.add_runtime_delta(RT_WORKSTEAL, &d);
+        m.add_runtime_delta(Family::CilkPlus, &d);
         let text = m.render();
         assert!(
             text.contains("tpm_runtime_events_total{runtime=\"worksteal\",event=\"steals\"} 4"),
             "{text}"
         );
         assert!(text.contains("tpm_runtime_busy_seconds_total{runtime=\"worksteal\"} 3"));
+        // A pool-less family's delta is dropped, not misattributed.
+        m.add_runtime_delta(Family::Cxx11, &d);
+        assert!(!m
+            .render()
+            .contains("runtime=\"rawthreads\",event=\"steals\""));
+    }
+
+    #[test]
+    fn every_pooled_family_is_preregistered() {
+        let m = ServeMetrics::new(1, &[]);
+        let d = RuntimeSnapshot {
+            executed: 1,
+            ..RuntimeSnapshot::default()
+        };
+        for fam in Family::ALL {
+            m.add_runtime_delta(fam, &d);
+        }
+        let text = m.render();
+        for fam in Family::ALL.iter().filter(|f| f.has_pooled_runtime()) {
+            assert!(
+                text.contains(&format!(
+                    "tpm_runtime_events_total{{runtime=\"{}\",event=\"executed\"}} 1",
+                    fam.runtime_label()
+                )),
+                "{fam}: {text}"
+            );
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ use tpm_core::{panic_message, Executor, JobRegistry, JobSpec};
 use tpm_sync::epoll::EventFd;
 use tpm_sync::CancelToken;
 
-use crate::metrics::{ServeMetrics, RT_FORKJOIN, RT_WORKSTEAL};
+use crate::metrics::ServeMetrics;
 use crate::protocol::{Request, Response, CODE_INJECTED, CODE_OVERLOADED, CODE_PARSE};
 use crate::queue::BoundedQueue;
 use crate::wire::{self, Decoder, Protocol, Step};
@@ -1018,14 +1018,14 @@ fn handle_request(
 }
 
 fn worker_loop(shared: &Arc<Shared>, index: usize) {
-    // One executor per requested thread count: a Team/Runtime pair cannot
+    // One executor per requested thread count: the pooled runtimes cannot
     // run concurrent regions, so executors are never shared across workers.
-    // Each executor carries the (team, worksteal) stats snapshot taken after
-    // its last job, so per-job scheduler deltas are exact — nothing else
-    // drives these pools.
+    // Each executor carries the per-family stats snapshots taken after its
+    // last job, so per-job scheduler deltas are exact — nothing else drives
+    // these pools.
     let mut executors: HashMap<
         usize,
-        (Executor, (tpm_sync::StatsSnapshot, tpm_sync::StatsSnapshot)),
+        (Executor, Vec<(tpm_core::Family, tpm_sync::StatsSnapshot)>),
     > = HashMap::new();
     while let Some(item) = shared.queue.pop() {
         let _span = tpm_trace::span("serve.job");
@@ -1033,7 +1033,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         let queue_ms = queue_ns as f64 / 1e6;
         let (exec, last) = executors.entry(item.spec.threads).or_insert_with(|| {
             let exec = Executor::new(item.spec.threads);
-            let snap = exec.runtime_stats();
+            let snap = exec.pooled_stats();
             (exec, snap)
         });
 
@@ -1072,14 +1072,13 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         shared
             .metrics
             .observe_job(&item.spec.kernel, index, queue_ns, exec_ns);
-        let (team_now, ws_now) = exec.runtime_stats();
-        shared
-            .metrics
-            .add_runtime_delta(RT_FORKJOIN, &(team_now - last.0));
-        shared
-            .metrics
-            .add_runtime_delta(RT_WORKSTEAL, &(ws_now - last.1));
-        *last = (team_now, ws_now);
+        let now = exec.pooled_stats();
+        for ((fam, now_snap), (_, last_snap)) in now.iter().zip(last.iter()) {
+            shared
+                .metrics
+                .add_runtime_delta(*fam, &(*now_snap - *last_snap));
+        }
+        *last = now;
 
         // Exactly one reply per request: skip if the watchdog beat us to it
         // (it already counted the request under `watchdog`).

@@ -17,6 +17,8 @@
 //! | [`oneshot`] channel | `tpm-rawthreads` | `std::future` |
 //! | [`Reducer`] | all three | Cilk reducers / OpenMP `reduction` clause |
 //! | [`IdleStrategy`] | both pooled runtimes | worker idle loops (spin → yield → park) |
+//! | [`MpscQueue`] | `tpm-actors` | Vyukov MPSC mailboxes (Charm++/ParalleX-style messaging) |
+//! | [`PoolConfig`] | all pooled runtimes | shared builder knobs (threads/pin/numa/idle) |
 //! | [`CancelToken`] | all three | cooperative cancellation + deadlines (job service) |
 //! | [`affinity`] | all three | core pinning (`TPM_PIN`, `OMP_PROC_BIND` analogue) |
 //! | [`epoll`] | `tpm-serve` | readiness-driven socket reactor (raw syscall shim) |
@@ -37,8 +39,10 @@ mod idle;
 mod latch;
 pub mod layout;
 mod locked_deque;
+mod mpsc;
 mod mutex;
 pub mod oneshot;
+mod pool;
 mod reducer;
 mod reentrant;
 pub mod rng;
@@ -57,8 +61,10 @@ pub use condvar::Condvar;
 pub use idle::IdleStrategy;
 pub use latch::{CountLatch, SpinLatch};
 pub use locked_deque::LockedDeque;
+pub use mpsc::MpscQueue;
 pub use mutex::{Mutex, MutexGuard};
 pub use oneshot::{channel as oneshot_channel, Receiver, RecvError, Sender};
+pub use pool::PoolConfig;
 pub use reducer::Reducer;
 pub use reentrant::{ReentrantGuard, ReentrantLock};
 pub use rng::{SplitMix64, XorShift64Star};

@@ -1,0 +1,260 @@
+//! Unbounded lock-free multi-producer single-consumer queue.
+//!
+//! The mailbox substrate for `tpm-actors`: any thread may
+//! [`push`](MpscQueue::push), while exactly one consumer at a time may
+//! [`pop`](MpscQueue::pop). This is Vyukov's intrusive MPSC construction
+//! rebuilt over `std` atomics: producers swap themselves onto the head and
+//! link the previous node forward, so a push is one `swap` + one `store`
+//! (wait-free for producers); the consumer chases `next` pointers from a
+//! stub node.
+//!
+//! The "single consumer" side is a *protocol* obligation, not a type-level
+//! one: the actor scheduler guarantees at most one activation of a mailbox
+//! runs at a time (see `tpm-actors`' IDLE/SCHEDULED state machine), which is
+//! exactly the exclusivity `pop` needs. [`is_empty`](MpscQueue::is_empty) is
+//! safe from any thread and approximate by nature.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    value: Option<T>,
+}
+
+impl<T> Node<T> {
+    fn boxed(value: Option<T>) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value,
+        }))
+    }
+}
+
+/// An unbounded MPSC queue (see the module docs for the protocol contract).
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::MpscQueue;
+///
+/// let q = MpscQueue::new();
+/// q.push(1);
+/// q.push(2);
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct MpscQueue<T> {
+    /// Producers swap themselves in here (newest node).
+    head: AtomicPtr<Node<T>>,
+    /// Consumer-owned cursor (oldest node, always a consumed stub). Written
+    /// only by the current consumer; read by `is_empty` from any thread, so
+    /// it is an atomic rather than a plain cell.
+    tail: AtomicPtr<Node<T>>,
+}
+
+// SAFETY: values are moved in by producers and out by the (externally
+// serialized) consumer; all shared pointers are atomics.
+unsafe impl<T: Send> Send for MpscQueue<T> {}
+unsafe impl<T: Send> Sync for MpscQueue<T> {}
+
+impl<T> MpscQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let stub = Node::boxed(None);
+        MpscQueue {
+            head: AtomicPtr::new(stub),
+            tail: AtomicPtr::new(stub),
+        }
+    }
+
+    /// Enqueues `value`. Callable from any thread; wait-free (one `swap`,
+    /// one `store`).
+    pub fn push(&self, value: T) {
+        let node = Node::boxed(Some(value));
+        // Publish ourselves as the newest node, then link the previous
+        // newest to us. Between the two steps the chain is momentarily
+        // broken; `pop` detects that window and spins it out.
+        let prev = self.head.swap(node, Ordering::AcqRel);
+        // SAFETY: `prev` was the head; only this producer links its `next`.
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+    }
+
+    /// Dequeues the oldest value, or `None` when the queue is (momentarily)
+    /// empty. MUST only be called by one thread at a time — the scheduler's
+    /// serialization protocol, not this type, enforces that.
+    pub fn pop(&self) -> Option<T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        // SAFETY: `tail` is the consumer-owned stub; we are the unique
+        // consumer by protocol.
+        let mut next = unsafe { (*tail).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            if self.head.load(Ordering::Acquire) == tail {
+                return None; // truly empty
+            }
+            // A producer swapped the head but has not linked `next` yet
+            // (the momentary inconsistency window) — it is one `store` away,
+            // so spin rather than report empty and lose FIFO order.
+            loop {
+                next = unsafe { (*tail).next.load(Ordering::Acquire) };
+                if !next.is_null() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: `next` is fully linked; it becomes the new stub and its
+        // value moves out. The old stub is ours to free.
+        unsafe {
+            let value = (*next).value.take();
+            self.tail.store(next, Ordering::Release);
+            drop(Box::from_raw(tail));
+            Some(value.expect("non-stub node holds a value"))
+        }
+    }
+
+    /// Whether the queue looks empty. Safe from any thread (pure pointer
+    /// comparison — the head equals the consumed stub exactly when nothing
+    /// is in flight); the answer can be stale by the time the caller acts on
+    /// it, so callers close that race with the IDLE/SCHEDULED handshake,
+    /// not with this predicate.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Default for MpscQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for MpscQueue<T> {
+    fn drop(&mut self) {
+        // Unique access: drain values, then free the final stub.
+        while self.pop().is_some() {}
+        let stub = self.tail.load(Ordering::Relaxed);
+        // SAFETY: after draining, `tail` is the sole remaining node.
+        unsafe { drop(Box::from_raw(stub)) };
+    }
+}
+
+impl<T> std::fmt::Debug for MpscQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscQueue")
+            .field("empty", &self.is_empty())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_producer() {
+        let q = MpscQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let q = MpscQueue::new();
+        q.push(1);
+        assert_eq!(q.pop(), Some(1));
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(2));
+        q.push(4);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn multi_producer_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 5_000;
+        let q = Arc::new(MpscQueue::new());
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        q.push(p * PER + i);
+                    }
+                })
+            })
+            .collect();
+        let mut seen = vec![false; PRODUCERS * PER];
+        let mut got = 0;
+        while got < PRODUCERS * PER {
+            if let Some(v) = q.pop() {
+                assert!(!seen[v], "value {v} delivered twice");
+                seen[v] = true;
+                got += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.pop(), None);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        const PER: usize = 2_000;
+        let q = Arc::new(MpscQueue::new());
+        let handles: Vec<_> = (0..3usize)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        q.push((p, i));
+                    }
+                })
+            })
+            .collect();
+        let mut last = [0usize; 3];
+        let mut counts = [0usize; 3];
+        let mut got = 0;
+        while got < 3 * PER {
+            if let Some((p, i)) = q.pop() {
+                if counts[p] > 0 {
+                    assert!(i > last[p], "producer {p} reordered: {i} after {}", last[p]);
+                }
+                last[p] = i;
+                counts[p] += 1;
+                got += 1;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counts, [PER; 3]);
+    }
+
+    #[test]
+    fn drop_frees_undelivered_values() {
+        let q = MpscQueue::new();
+        let payload = Arc::new(());
+        for _ in 0..10 {
+            q.push(Arc::clone(&payload));
+        }
+        assert_eq!(Arc::strong_count(&payload), 11);
+        drop(q);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared worker-pool configuration.
+//!
+//! Every pooled runtime in the workspace (`tpm-forkjoin`'s `Team`,
+//! `tpm-worksteal`'s `Runtime`, `tpm-actors`' `ActorRuntime`) exposes the
+//! same four construction knobs — worker count, core pinning, NUMA-aware
+//! victim ordering, and the idle escalation policy. [`PoolConfig`] is the
+//! one place those knobs and their environment-variable defaults live, so
+//! the per-crate builders delegate here instead of re-implementing (and
+//! drifting on) the defaults.
+
+use crate::IdleStrategy;
+
+/// Construction knobs common to every pooled runtime.
+///
+/// # Examples
+///
+/// ```
+/// use tpm_sync::PoolConfig;
+///
+/// let cfg = PoolConfig::from_env().threads(4).pin(false);
+/// assert_eq!(cfg.threads, 4);
+/// assert!(!cfg.pin);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of worker threads (>= 1).
+    pub threads: usize,
+    /// Pin worker `i` to core `i % cores` (no-op without
+    /// `sched_setaffinity`).
+    pub pin: bool,
+    /// Node-aware victim/placement ordering; `None` lets each runtime decide
+    /// from `TPM_NUMA` and the probed topology.
+    pub numa: Option<bool>,
+    /// Idle escalation `(spin_rounds, yield_rounds)` before parking (see
+    /// [`IdleStrategy::new`]).
+    pub idle: (u32, u32),
+}
+
+impl PoolConfig {
+    /// The defaults every runtime builder starts from: one worker, pinning
+    /// from `TPM_PIN`, NUMA left to the topology probe, the shared runtime
+    /// idle budget.
+    pub fn from_env() -> Self {
+        PoolConfig {
+            threads: 1,
+            pin: crate::affinity::pin_from_env(),
+            numa: None,
+            idle: (
+                IdleStrategy::RUNTIME_DEFAULT_SPIN,
+                IdleStrategy::RUNTIME_DEFAULT_YIELD,
+            ),
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Sets core pinning.
+    pub fn pin(mut self, pin: bool) -> Self {
+        self.pin = pin;
+        self
+    }
+
+    /// Forces NUMA-aware ordering on or off (instead of auto-detection).
+    pub fn numa(mut self, numa: bool) -> Self {
+        self.numa = Some(numa);
+        self
+    }
+
+    /// Sets the idle escalation policy.
+    pub fn idle(mut self, spin_rounds: u32, yield_rounds: u32) -> Self {
+        self.idle = (spin_rounds, yield_rounds);
+        self
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let cfg = PoolConfig::from_env()
+            .threads(8)
+            .pin(true)
+            .numa(false)
+            .idle(5, 7);
+        assert_eq!(cfg.threads, 8);
+        assert!(cfg.pin);
+        assert_eq!(cfg.numa, Some(false));
+        assert_eq!(cfg.idle, (5, 7));
+    }
+
+    #[test]
+    fn default_matches_from_env() {
+        assert_eq!(PoolConfig::default(), PoolConfig::from_env());
+    }
+}

@@ -129,6 +129,26 @@ impl std::ops::Sub for StatsSnapshot {
     }
 }
 
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    /// Combines two schedulers' event counts into a cross-runtime total.
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            spawned: self.spawned.saturating_add(rhs.spawned),
+            executed: self.executed.saturating_add(rhs.executed),
+            steals: self.steals.saturating_add(rhs.steals),
+            failed_steals: self.failed_steals.saturating_add(rhs.failed_steals),
+            chunks: self.chunks.saturating_add(rhs.chunks),
+            loop_claims: self.loop_claims.saturating_add(rhs.loop_claims),
+            barrier_waits: self.barrier_waits.saturating_add(rhs.barrier_waits),
+            barrier_wait_ns: self.barrier_wait_ns.saturating_add(rhs.barrier_wait_ns),
+            parks: self.parks.saturating_add(rhs.parks),
+            busy_ns: self.busy_ns.saturating_add(rhs.busy_ns),
+        }
+    }
+}
+
 impl SchedulerStats {
     /// Creates stats for `num_workers` workers.
     pub fn new(num_workers: usize) -> Self {

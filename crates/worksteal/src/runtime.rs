@@ -155,6 +155,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Applies a shared [`tpm_sync::PoolConfig`] wholesale (the family-
+    /// registry path: every runtime gets the same knobs).
+    pub fn config(mut self, cfg: tpm_sync::PoolConfig) -> Self {
+        self.threads = cfg.threads;
+        self.pin = cfg.pin;
+        self.numa = cfg.numa;
+        self.idle = cfg.idle;
+        self
+    }
+
     /// Builds the runtime, spawning its workers.
     #[must_use = "dropping the Runtime joins its workers"]
     pub fn build(self) -> Runtime {

@@ -1,5 +1,5 @@
-//! Quickstart: run one computation under all six threading-model variants
-//! and print the paper-style comparison.
+//! Quickstart: run one computation under every registry variant and print
+//! the paper-style comparison.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,6 +8,7 @@
 use std::time::Instant;
 
 use threadcmp::{Executor, Model};
+use tpm_sync::CancelToken;
 
 fn main() {
     // A Sum-like reduction (the paper's Fig. 2 kernel, scaled down).
@@ -16,7 +17,10 @@ fn main() {
     let expected: f64 = x.iter().sum();
 
     let threads = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
-    println!("Summing {N} elements under all six variants ({threads} threads)\n");
+    println!(
+        "Summing {N} elements under all {} variants ({threads} threads)\n",
+        Model::ALL.len()
+    );
     println!(
         "{:>12} {:>12} {:>10} {:>8}",
         "variant", "time", "result ok", "family"
@@ -25,17 +29,20 @@ fn main() {
     let exec = Executor::new(threads);
     for model in Model::ALL {
         let start = Instant::now();
-        let total = exec.parallel_reduce(
-            model,
-            0..N,
-            || 0.0f64,
-            |a, b| a + b,
-            |chunk, acc| {
-                for i in chunk {
-                    *acc += x[i];
-                }
-            },
-        );
+        let total = exec
+            .try_parallel_reduce(
+                model,
+                0..N,
+                &CancelToken::new(),
+                || 0.0f64,
+                |a, b| a + b,
+                |chunk, acc| {
+                    for i in chunk {
+                        *acc += x[i];
+                    }
+                },
+            )
+            .expect("no cancellation or panic in the quickstart workload");
         let elapsed = start.elapsed();
         let ok = (total - expected).abs() / expected < 1e-9;
         println!(
@@ -54,6 +61,8 @@ fn main() {
          - cilk_for    recursive splitting over lock-free work stealing\n\
          - cilk_spawn  chunk tasks on lock-free (Chase-Lev) deques\n\
          - cxx_thread  one freshly spawned OS thread per chunk\n\
-         - cxx_async   recursive thread-per-split with BASE cutoff"
+         - cxx_async   recursive thread-per-split with BASE cutoff\n\
+         - actor_for   one mailbox activation per chunk, stolen when idle\n\
+         - actor_task  recursive actor parcels joined by continuations"
     );
 }

@@ -8,6 +8,8 @@
 //!   tasking).
 //! * [`worksteal`] — the Cilk-Plus-like runtime (randomized work stealing).
 //! * [`rawthreads`] — the C++11-like layer (raw threads, async futures).
+//! * [`actors`] — the message-driven actor runtime (typed mailboxes over
+//!   lock-free MPSC queues, stealable activations, futures/continuations).
 //! * The unified comparison API at the crate root: [`Executor`], [`Model`],
 //!   [`Figure`], [`Series`].
 //! * [`sim`] — the deterministic 36-core testbed simulator.
@@ -29,6 +31,7 @@ pub use tpm_core::{
     JobResult, JobSpec, KernelVariant, Model, Pattern, Series,
 };
 
+pub use tpm_actors as actors;
 pub use tpm_fault as fault;
 pub use tpm_features as features;
 pub use tpm_forkjoin as forkjoin;

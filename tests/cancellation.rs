@@ -100,17 +100,20 @@ fn runtimes_stay_usable_after_cancellation() {
 
         // Immediately afterwards the full loop must run to completion and
         // agree with the closed form.
-        let total = exec.parallel_reduce(
-            model,
-            0..N,
-            || 0u64,
-            |l, r| l + r,
-            |chunk, acc: &mut u64| {
-                for i in chunk {
-                    *acc += i as u64;
-                }
-            },
-        );
+        let total = exec
+            .try_parallel_reduce(
+                model,
+                0..N,
+                &CancelToken::new(),
+                || 0u64,
+                |l, r| l + r,
+                |chunk, acc: &mut u64| {
+                    for i in chunk {
+                        *acc += i as u64;
+                    }
+                },
+            )
+            .unwrap();
         assert_eq!(total, (N as u64 - 1) * N as u64 / 2, "{model}");
     }
 }

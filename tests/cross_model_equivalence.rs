@@ -1,5 +1,5 @@
 //! Cross-crate integration: every kernel and every Rodinia application must
-//! produce the sequential reference result under all six model variants,
+//! produce the sequential reference result under every registry variant,
 //! through the public `threadcmp` API.
 
 use threadcmp::approx::{scalar_close, slices_close};
@@ -62,6 +62,7 @@ fn fib_task_variants() {
     assert_eq!(k.run_omp_task(exec.team()), expected);
     assert_eq!(k.run_cilk_spawn(exec.worksteal()), expected);
     assert_eq!(k.run_cxx_async(), expected);
+    assert_eq!(k.run_actor_task(exec.actors()), expected);
 }
 
 #[test]
@@ -140,7 +141,12 @@ fn one_executor_runs_everything_interleaved() {
         let k = Sum::native(1_000 + round * 37);
         let x = k.alloc();
         let expected = k.seq(&x);
-        for model in [Model::OmpTask, Model::CilkFor, Model::CxxAsync] {
+        for model in [
+            Model::OmpTask,
+            Model::CilkFor,
+            Model::CxxAsync,
+            Model::ActorFor,
+        ] {
             assert!((k.run(&exec, model, &x) - expected).abs() < 1e-6);
         }
         let b = Bfs::native(300);

@@ -7,8 +7,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use threadcmp::forkjoin::Team;
 use threadcmp::rawthreads::{fib_thread_per_call, threads_for, ThreadBudget, ThreadExplosion};
+use threadcmp::sync::CancelToken;
 use threadcmp::worksteal::{join, scope, Runtime};
-use threadcmp::{Executor, Model};
+use threadcmp::{ExecError, Executor, Model};
 
 #[test]
 fn forkjoin_region_panic_then_reuse() {
@@ -134,19 +135,20 @@ fn thread_explosion_is_an_error_not_a_hang() {
 fn executor_survives_panicking_bodies() {
     let exec = Executor::new(2);
     for model in Model::ALL {
-        let r = catch_unwind(AssertUnwindSafe(|| {
-            exec.parallel_for(model, 0..64, &|chunk| {
+        let err = exec
+            .try_parallel_for(model, 0..64, &CancelToken::new(), &|chunk| {
                 if chunk.contains(&13) {
                     panic!("13 in {model}");
                 }
-            });
-        }));
-        assert!(r.is_err(), "{model} should propagate");
+            })
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Panic(_)), "{model}: {err:?}");
         // The executor still works for the next model.
         let hits = AtomicU64::new(0);
-        exec.parallel_for(model, 0..64, &|chunk| {
+        exec.try_parallel_for(model, 0..64, &CancelToken::new(), &|chunk| {
             hits.fetch_add(chunk.len() as u64, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(hits.into_inner(), 64, "{model} reuse after panic");
     }
 }

@@ -1,0 +1,108 @@
+//! Property tests over the job registry × the model registry: every job the
+//! service exposes must run under every [`Model`] — including newly added
+//! families — observe pre-cancelled tokens, and honor expired deadlines,
+//! uniformly and with no per-model special cases. The model set comes from
+//! `Model::ALL`, so a registry extension widens these properties for free.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use threadcmp::harness::jobs;
+use threadcmp::sync::CancelToken;
+use threadcmp::{ExecError, Executor, JobSpec, KernelVariant, Model};
+
+fn model_strategy() -> impl Strategy<Value = Model> {
+    (0..Model::ALL.len()).prop_map(|i| Model::ALL[i])
+}
+
+/// A problem size each job completes quickly at (fib counts in `n`, the
+/// rest in elements/rows).
+fn small_size(job: &str) -> usize {
+    if job == "fib" {
+        10
+    } else {
+        96
+    }
+}
+
+fn spec(job: &str, model: Model, threads: usize) -> JobSpec {
+    JobSpec {
+        kernel: job.to_string(),
+        model,
+        variant: KernelVariant::Reference,
+        size: small_size(job),
+        threads,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every registered job runs to completion under any registry model and
+    /// returns a finite value.
+    #[test]
+    fn every_job_completes_under_any_model(model in model_strategy(), threads in 1usize..4) {
+        let reg = jobs::registry();
+        let exec = Executor::new(threads);
+        for job in reg.names() {
+            let r = reg.run(&exec, &spec(job, model, threads), &CancelToken::new());
+            prop_assert!(r.is_ok(), "{} under {}: {:?}", job, model, r);
+            let v = r.unwrap().value;
+            prop_assert!(v.is_finite(), "{} under {} returned {}", job, model, v);
+        }
+    }
+
+    /// Job results agree across models: whatever `omp_for` computes, any
+    /// other model computes too (same kernel, same seed, same size).
+    #[test]
+    fn job_values_agree_across_models(model in model_strategy()) {
+        let reg = jobs::registry();
+        let threads = 2;
+        let exec = Executor::new(threads);
+        for job in reg.names() {
+            let baseline = reg
+                .run(&exec, &spec(job, Model::OmpFor, 2), &CancelToken::new())
+                .unwrap()
+                .value;
+            let got = reg.run(&exec, &spec(job, model, threads), &CancelToken::new()).unwrap().value;
+            let tol = 1e-9 * baseline.abs().max(1.0);
+            prop_assert!(
+                (got - baseline).abs() <= tol,
+                "{} disagrees under {}: {} vs {}", job, model, got, baseline
+            );
+        }
+    }
+
+    /// A token cancelled before submission stops every job under every
+    /// model with `Cancelled` — no work, no panic, no hang.
+    #[test]
+    fn pre_cancelled_token_stops_every_job(model in model_strategy()) {
+        let reg = jobs::registry();
+        let threads = 2;
+        let exec = Executor::new(threads);
+        let token = CancelToken::new();
+        token.cancel();
+        for job in reg.names() {
+            let err = reg.run(&exec, &spec(job, model, threads), &token).unwrap_err();
+            prop_assert_eq!(err, ExecError::Cancelled, "{} under {}", job, model);
+        }
+    }
+
+    /// An already-expired deadline surfaces as `Deadline` for every job
+    /// under every model, and the executor remains usable afterwards.
+    #[test]
+    fn expired_deadline_stops_every_job(model in model_strategy()) {
+        let reg = jobs::registry();
+        let threads = 2;
+        let exec = Executor::new(threads);
+        for job in reg.names() {
+            let token = CancelToken::with_deadline(Duration::ZERO);
+            let err = reg.run(&exec, &spec(job, model, threads), &token).unwrap_err();
+            prop_assert_eq!(err, ExecError::Deadline, "{} under {}", job, model);
+        }
+        // Recovery: the same executor still completes clean runs.
+        let ok = reg.run(&exec, &spec("sum", model, 2), &CancelToken::new());
+        prop_assert!(ok.is_ok(), "post-deadline recovery under {}: {:?}", model, ok);
+    }
+}

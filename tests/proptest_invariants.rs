@@ -8,7 +8,7 @@ use threadcmp::forkjoin::{static_chunks, LoopCounter, Schedule, Team};
 use threadcmp::sim::{
     CostModel, DequeKind, Imbalance, LoopPolicy, LoopWorkload, Machine, Simulator,
 };
-use threadcmp::sync::{chase_lev, Reducer};
+use threadcmp::sync::{chase_lev, CancelToken, Reducer};
 use threadcmp::{Executor, Model};
 
 fn schedule_strategy() -> impl Strategy<Value = Schedule> {
@@ -22,14 +22,8 @@ fn schedule_strategy() -> impl Strategy<Value = Schedule> {
 }
 
 fn model_strategy() -> impl Strategy<Value = Model> {
-    prop_oneof![
-        Just(Model::OmpFor),
-        Just(Model::OmpTask),
-        Just(Model::CilkFor),
-        Just(Model::CilkSpawn),
-        Just(Model::CxxThread),
-        Just(Model::CxxAsync),
-    ]
+    // Registry-driven: every variant of every family, present and future.
+    (0..Model::ALL.len()).prop_map(|i| Model::ALL[i])
 }
 
 fn policy_strategy() -> impl Strategy<Value = LoopPolicy> {
@@ -101,11 +95,11 @@ proptest! {
         use std::sync::atomic::{AtomicU32, Ordering};
         let exec = Executor::new(threads);
         let flags: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
-        exec.parallel_for(model, 0..len, &|chunk| {
+        exec.try_parallel_for(model, 0..len, &CancelToken::new(), &|chunk| {
             for i in chunk {
                 flags[i].fetch_add(1, Ordering::Relaxed);
             }
-        });
+        }).unwrap();
         prop_assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
     }
 
@@ -118,13 +112,14 @@ proptest! {
     ) {
         let exec = Executor::new(threads);
         let expected: u64 = values.iter().sum();
-        let got = exec.parallel_reduce(
+        let got = exec.try_parallel_reduce(
             model,
             0..values.len(),
+            &CancelToken::new(),
             || 0u64,
             |a, b| a + b,
             |chunk, acc| for i in chunk { *acc += values[i]; },
-        );
+        ).unwrap();
         prop_assert_eq!(got, expected);
     }
 
