@@ -1,0 +1,46 @@
+//! Wall-clock quarantine for the simulator.
+//!
+//! Determinism dies the moment simulation logic reads the machine's clock:
+//! two runs of the same seed would observe different "now"s and diverge.
+//! `tpm-desim` therefore takes time *only* from
+//! [`tpm_sim::VirtualClock`] (via the [`tpm_sim::Clock`] trait), and this
+//! module makes the accident hard to commit:
+//!
+//! * Every simulator module imports [`Instant`] from here, shadowing
+//!   `std::time::Instant`. The shim has **no** `now()` constructor, so a
+//!   direct `Instant::now()` inside the crate is a compile error (proven by
+//!   the `compile_fail` doctest below).
+//! * A source-scan test in `lib.rs` additionally rejects any textual use of
+//!   `std::time` or `SystemTime` in the simulator sources, catching fully
+//!   qualified paths that dodge the shadow import.
+//!
+//! Wall time is still *measured around* a simulation — the harness brackets
+//! `tpm_desim::run` with real clock reads to report the virtual-to-wall
+//! speedup — but never *inside* one. (The real kernels the simulated
+//! workers execute do read the wall clock internally to fill
+//! `JobResult::elapsed`; that measurement is discarded — virtual durations
+//! are drawn from the seeded RNG, so the event timeline never depends on
+//! it.)
+
+/// Inert stand-in for `std::time::Instant`, imported by every simulator
+/// module so that reaching for the wall clock fails to compile.
+///
+/// There is deliberately no `now()` — or any other method:
+///
+/// ```compile_fail
+/// // Inside tpm-desim modules, `Instant` resolves to this shim:
+/// use tpm_desim::clock::Instant;
+/// let _t = Instant::now(); // ERROR: no function or associated item `now`
+/// ```
+///
+/// Compare with the virtual clock, which is the only time source the
+/// simulator may use:
+///
+/// ```
+/// use tpm_sim::{Clock, VirtualClock};
+/// let mut clock = VirtualClock::new();
+/// clock.advance_to(1_000);
+/// assert_eq!(clock.now_ns(), 1_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Instant;

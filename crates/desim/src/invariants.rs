@@ -1,0 +1,206 @@
+//! The ground-truth ledger and the invariant checker.
+//!
+//! The simulator keeps double books: the server-side state machines count
+//! what they *think* happened (admitted, completed, shed, …) while the
+//! ledger records what *actually* happened to every request — copies that
+//! entered the network, copies the network lost, copies the server
+//! received, replies the server sent, reply copies the network lost, and
+//! replies the client decoded. The invariants cross-check the two; any
+//! mismatch is a bug in the service logic (or a deliberately planted
+//! [`Bug`](crate::Bug)), never a flake, because the whole run is a pure
+//! function of the seed.
+
+#[allow(unused_imports)]
+use crate::clock::Instant; // shadows the std wall-clock type; see clock.rs
+use crate::SimStats;
+use std::collections::BTreeMap;
+
+/// Everything that happened to one request, keyed by `(client, id)`.
+#[derive(Debug, Default, Clone)]
+pub struct ReqTrack {
+    /// Virtual time the client first sent it.
+    pub sent_ns: u64,
+    /// Absolute virtual deadline resolved at admission, if any.
+    pub deadline_ns: Option<u64>,
+    /// Request copies that entered the network (1 + duplicates).
+    pub copies_sent: u32,
+    /// Request copies the network lost (drop/partition).
+    pub copies_lost: u32,
+    /// Request copies delivered while the server was running.
+    pub delivered: u32,
+    /// Request copies delivered after the server finished draining.
+    pub delivered_after_stop: u32,
+    /// Logical replies the server sent for this request.
+    pub replies_sent: u32,
+    /// Reply copies that entered the network (≥ `replies_sent`).
+    pub reply_copies_sent: u32,
+    /// Reply copies the network lost.
+    pub reply_copies_lost: u32,
+    /// Reply copies the client decoded.
+    pub replies_decoded: u32,
+    /// True once the request was admitted to the queue (any copy).
+    pub admitted: bool,
+}
+
+/// The per-request books for one run.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    /// `(client, id)` → what happened. `BTreeMap` so iteration order — and
+    /// therefore violation report order — is deterministic.
+    pub reqs: BTreeMap<(usize, u64), ReqTrack>,
+}
+
+impl Ledger {
+    /// The (possibly fresh) track for `(client, id)`.
+    pub fn track(&mut self, client: usize, id: u64) -> &mut ReqTrack {
+        self.reqs.entry((client, id)).or_default()
+    }
+}
+
+/// Cross-checks the ledger against the server's own counters. Each failed
+/// invariant pushes one line into `out`.
+///
+/// The five families:
+///
+/// 1. **Exactly-one-reply** — every request copy delivered while the server
+///    runs earns exactly one reply; no copy is silently swallowed (lost
+///    job) and none is answered twice (gate bypass).
+/// 2. **Reply conservation** — what the client decodes equals what the
+///    server sent minus what the network provably lost; the network
+///    neither invents nor hides replies beyond its recorded faults.
+/// 3. **Drain completeness** — after shutdown the queue and inflight table
+///    are empty and every admitted request reached a terminal reply.
+/// 4. **Network conservation** — delivered request copies equal copies
+///    sent minus copies lost (a self-check on the simulator's own books).
+/// 5. **Metrics conservation** — `admitted == completed + failed +
+///    watchdog_shed`: the server's counters partition the admitted set.
+///
+/// (A sixth family — deadline monotonicity — needs send-time context and
+/// is checked inline by the simulator as replies are emitted.)
+pub fn check(
+    ledger: &Ledger,
+    stats: &SimStats,
+    drained: bool,
+    queue_len: usize,
+    inflight_len: usize,
+    out: &mut Vec<String>,
+) {
+    for ((client, id), t) in &ledger.reqs {
+        let live = t.delivered;
+        if t.replies_sent != live {
+            out.push(format!(
+                "exactly-one-reply: client {client} id {id}: {} cop{} delivered while \
+                 running but {} repl{} sent",
+                live,
+                if live == 1 { "y" } else { "ies" },
+                t.replies_sent,
+                if t.replies_sent == 1 { "y" } else { "ies" },
+            ));
+        }
+        let expect_decoded = t.reply_copies_sent - t.reply_copies_lost;
+        if t.replies_decoded != expect_decoded {
+            out.push(format!(
+                "reply-conservation: client {client} id {id}: {} reply copies sent, {} \
+                 lost, but client decoded {}",
+                t.reply_copies_sent, t.reply_copies_lost, t.replies_decoded
+            ));
+        }
+        let arrived = t.delivered + t.delivered_after_stop;
+        if arrived != t.copies_sent - t.copies_lost {
+            out.push(format!(
+                "net-conservation: client {client} id {id}: {} copies sent, {} lost, \
+                 but {} arrived",
+                t.copies_sent, t.copies_lost, arrived
+            ));
+        }
+        if drained && t.admitted && t.replies_sent == 0 {
+            out.push(format!(
+                "drain-completeness: client {client} id {id}: admitted but drained \
+                 without any reply"
+            ));
+        }
+    }
+    if drained && (queue_len != 0 || inflight_len != 0) {
+        out.push(format!(
+            "drain-completeness: server reported drained with {queue_len} queued and \
+             {inflight_len} inflight job(s)"
+        ));
+    }
+    let accounted = stats.completed + stats.failed + stats.watchdog_shed;
+    if drained && stats.admitted != accounted {
+        out.push(format!(
+            "metrics-conservation: admitted {} != completed {} + failed {} + \
+             watchdog_shed {}",
+            stats.admitted, stats.completed, stats.failed, stats.watchdog_shed
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_books_pass() {
+        let mut ledger = Ledger::default();
+        let t = ledger.track(0, 1);
+        t.copies_sent = 1;
+        t.delivered = 1;
+        t.admitted = true;
+        t.replies_sent = 1;
+        t.reply_copies_sent = 1;
+        t.replies_decoded = 1;
+        let stats = SimStats {
+            admitted: 1,
+            completed: 1,
+            ..SimStats::default()
+        };
+        let mut out = Vec::new();
+        check(&ledger, &stats, true, 0, 0, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lost_reply_and_double_reply_are_both_caught() {
+        let mut ledger = Ledger::default();
+        // id 1: delivered but never answered (lost job).
+        let t = ledger.track(0, 1);
+        t.copies_sent = 1;
+        t.delivered = 1;
+        t.admitted = true;
+        // id 2: answered twice (reply-gate bypass).
+        let t = ledger.track(0, 2);
+        t.copies_sent = 1;
+        t.delivered = 1;
+        t.admitted = true;
+        t.replies_sent = 2;
+        t.reply_copies_sent = 2;
+        t.replies_decoded = 2;
+        let stats = SimStats {
+            admitted: 2,
+            completed: 2,
+            ..SimStats::default()
+        };
+        let mut out = Vec::new();
+        check(&ledger, &stats, true, 0, 0, &mut out);
+        let text = out.join("\n");
+        assert!(text.contains("exactly-one-reply: client 0 id 1"), "{text}");
+        assert!(text.contains("exactly-one-reply: client 0 id 2"), "{text}");
+        assert!(text.contains("drain-completeness: client 0 id 1"), "{text}");
+    }
+
+    #[test]
+    fn metrics_conservation_catches_uncounted_jobs() {
+        let ledger = Ledger::default();
+        let stats = SimStats {
+            admitted: 5,
+            completed: 3,
+            failed: 1,
+            ..SimStats::default()
+        };
+        let mut out = Vec::new();
+        check(&ledger, &stats, true, 0, 0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("metrics-conservation"), "{}", out[0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! The virtual network: seeded per-link delay, jitter, drop, duplication,
+//! and partition.
+//!
+//! The model is message-granular: each `send_bytes` from a client or from
+//! the server's [`Transport`](tpm_serve::engine::Transport) becomes one
+//! message, and faults act on whole messages. Within a link direction the
+//! network is FIFO — a delayed message delays everything behind it — so the
+//! byte stream each [`Decoder`](tpm_serve::wire::Decoder) sees is a
+//! well-formed reordering-free stream and framing stays intact. (Drops and
+//! duplicates therefore model an at-least/at-most-once *messaging* layer on
+//! top of an ordered byte transport, not TCP segment loss.)
+//!
+//! Fault decisions come from the shared [`PlanEval`] at
+//! [`Site::NetDeliver`], so the *same seeded plan* that panics workers
+//! in-process also drops and partitions traffic — one seed reproduces the
+//! whole interleaving. Messages marked *critical* (protocol preambles, the
+//! shutdown request and its reply) are exempt from loss-type faults — they
+//! still ride the base delay — so every run terminates and the framing
+//! handshake cannot be severed.
+
+#[allow(unused_imports)]
+use crate::clock::Instant; // shadows the std wall-clock type; see clock.rs
+use tpm_fault::{FaultKind, PlanEval, Site};
+use tpm_sync::SplitMix64;
+
+/// Direction of travel on a client⇄server link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Client → server (requests).
+    ToServer,
+    /// Server → client (replies).
+    ToClient,
+}
+
+impl Dir {
+    fn index(self) -> usize {
+        match self {
+            Dir::ToServer => 0,
+            Dir::ToClient => 1,
+        }
+    }
+
+    /// Short label for the event log.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dir::ToServer => "->server",
+            Dir::ToClient => "->client",
+        }
+    }
+}
+
+/// What the network did with one message.
+#[derive(Debug)]
+pub enum Fate {
+    /// Deliver at each listed virtual time (two entries = duplicated).
+    Deliver {
+        /// Delivery times, ascending, one per copy.
+        at: Vec<u64>,
+        /// Log note when a fault shaped the delivery (`delayed`,
+        /// `duplicated`).
+        note: Option<&'static str>,
+    },
+    /// The message never arrives.
+    Lost {
+        /// Why: `dropped`, `partition` (this message severed the link), or
+        /// `severed` (sent while the link was down).
+        reason: &'static str,
+    },
+}
+
+struct Link {
+    severed_until: u64,
+    /// Per-direction FIFO floor: the next delivery must land strictly after
+    /// the previous one.
+    floor: [u64; 2],
+}
+
+/// One seeded virtual network over `conns` client⇄server links.
+pub struct Net {
+    links: Vec<Link>,
+    base_delay_ns: u64,
+    jitter_ns: u64,
+    rng: SplitMix64,
+}
+
+impl Net {
+    /// A network with `conns` links and its own RNG stream off `seed`.
+    pub fn new(conns: usize, seed: u64, base_delay_ns: u64, jitter_ns: u64) -> Self {
+        Self {
+            links: (0..conns)
+                .map(|_| Link {
+                    severed_until: 0,
+                    floor: [0, 0],
+                })
+                .collect(),
+            base_delay_ns,
+            jitter_ns,
+            // Distinct stream from the fault plan and the job-duration RNG.
+            rng: SplitMix64::new(seed ^ 0x6e65_745f_6465_7369), // "net_desi"
+        }
+    }
+
+    /// True while `conn`'s link is severed at virtual time `now`.
+    pub fn severed(&self, conn: usize, now: u64) -> bool {
+        now < self.links[conn].severed_until
+    }
+
+    /// Decides the fate of one message sent at `now` on `conn` in `dir`.
+    ///
+    /// Non-critical messages run the gauntlet: a [`Site::NetDeliver`] fault
+    /// decision (drop / delay / duplicate / partition) and the link's
+    /// current partition state. Critical messages only pay latency.
+    pub fn dispatch(
+        &mut self,
+        now: u64,
+        conn: usize,
+        dir: Dir,
+        critical: bool,
+        eval: &mut PlanEval,
+    ) -> Fate {
+        let mut extra_ns = 0u64;
+        let mut copies = 1usize;
+        let mut note = None;
+        if !critical {
+            if let Some(d) = eval.decide(Site::NetDeliver) {
+                match d.kind {
+                    FaultKind::TaskDrop => return Fate::Lost { reason: "dropped" },
+                    FaultKind::Partition => {
+                        // The fault takes the link down for `delay_us`; the
+                        // triggering message goes down with it.
+                        let dur_ns = d.delay_us.max(1).saturating_mul(1_000);
+                        self.links[conn].severed_until = now + dur_ns;
+                        return Fate::Lost {
+                            reason: "partition",
+                        };
+                    }
+                    FaultKind::Delay => {
+                        extra_ns = d.delay_us.saturating_mul(1_000);
+                        note = Some("delayed");
+                    }
+                    FaultKind::Duplicate => {
+                        copies = 2;
+                        note = Some("duplicated");
+                    }
+                    // In-process-only kinds never apply to the network.
+                    FaultKind::Panic | FaultKind::StealMiss => {}
+                }
+            }
+            if self.severed(conn, now) {
+                return Fate::Lost { reason: "severed" };
+            }
+        }
+        let link = &mut self.links[conn];
+        let mut at = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let jitter = if self.jitter_ns > 0 {
+                self.rng.next_bounded(self.jitter_ns)
+            } else {
+                0
+            };
+            let t = (now + self.base_delay_ns + extra_ns + jitter)
+                .max(link.floor[dir.index()].saturating_add(1));
+            link.floor[dir.index()] = t;
+            at.push(t);
+        }
+        Fate::Deliver { at, note }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpm_fault::{FaultPlan, SiteRule};
+
+    fn eval_with(rules: Vec<SiteRule>, seed: u64) -> PlanEval {
+        PlanEval::new(&FaultPlan { seed, rules })
+    }
+
+    fn nth_rule(kind: FaultKind, delay_us: u64) -> SiteRule {
+        let mut r = SiteRule::nth(Site::NetDeliver, kind, 1);
+        r.delay_us = delay_us;
+        r
+    }
+
+    #[test]
+    fn fifo_per_direction_even_when_delayed() {
+        // 5 ms delay on the first message.
+        let mut eval = eval_with(vec![nth_rule(FaultKind::Delay, 5_000)], 9);
+        let mut net = Net::new(1, 9, 10_000, 0);
+        let first = net.dispatch(0, 0, Dir::ToServer, false, &mut eval);
+        let second = net.dispatch(100, 0, Dir::ToServer, false, &mut eval);
+        let t1 = match first {
+            Fate::Deliver { at, .. } => at[0],
+            other => panic!("{other:?}"),
+        };
+        let t2 = match second {
+            Fate::Deliver { at, .. } => at[0],
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t1, 5_010_000);
+        assert!(t2 > t1, "FIFO floor must hold the second message back");
+    }
+
+    #[test]
+    fn partition_severs_then_heals() {
+        // 2 ms outage.
+        let mut eval = eval_with(vec![nth_rule(FaultKind::Partition, 2_000)], 4);
+        let mut net = Net::new(1, 4, 1_000, 0);
+        assert!(matches!(
+            net.dispatch(0, 0, Dir::ToServer, false, &mut eval),
+            Fate::Lost {
+                reason: "partition"
+            }
+        ));
+        assert!(net.severed(0, 1_000_000));
+        assert!(matches!(
+            net.dispatch(1_000_000, 0, Dir::ToClient, false, &mut eval),
+            Fate::Lost { reason: "severed" }
+        ));
+        // Critical traffic punches through even while severed.
+        assert!(matches!(
+            net.dispatch(1_000_000, 0, Dir::ToServer, true, &mut eval),
+            Fate::Deliver { .. }
+        ));
+        // After the outage the link heals.
+        assert!(matches!(
+            net.dispatch(3_000_000, 0, Dir::ToServer, false, &mut eval),
+            Fate::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_yields_two_ordered_copies() {
+        let mut eval = eval_with(vec![nth_rule(FaultKind::Duplicate, 0)], 11);
+        let mut net = Net::new(1, 11, 1_000, 500);
+        match net.dispatch(0, 0, Dir::ToClient, false, &mut eval) {
+            Fate::Deliver { at, note } => {
+                assert_eq!(at.len(), 2);
+                assert!(at[1] > at[0]);
+                assert_eq!(note, Some("duplicated"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

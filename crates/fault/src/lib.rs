@@ -43,8 +43,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod eval;
 mod plan;
 
+pub use eval::{Decision, PlanEval};
 pub use plan::{FaultKind, FaultPlan, PlanError, Site, SiteRule};
 
 /// What the caller of [`probe`] must do. `Delay` faults are handled inside
@@ -152,17 +154,7 @@ mod active {
         fired: Mutex<Vec<FiredFault>>,
     }
 
-    /// SplitMix64 finalizer over the (seed, site, rule, hit) tuple: a cheap
-    /// avalanche hash whose output is uniform enough for per-hit coin flips.
-    fn mix(seed: u64, site: u64, rule: u64, hit: u64) -> u64 {
-        let mut z = seed
-            ^ site.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ rule.wrapping_mul(0xD1B5_4A32_D192_ED03)
-            ^ hit.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
+    use crate::plan::mix;
 
     pub(super) fn install(plan: &FaultPlan) {
         let mut by_site: [Vec<(usize, CompiledRule)>; Site::ALL.len()] = Default::default();
@@ -172,12 +164,7 @@ mod active {
                 CompiledRule {
                     kind: r.kind,
                     nth: r.nth,
-                    // p == 1.0 must always fire; saturate instead of rounding.
-                    threshold: if r.probability >= 1.0 {
-                        u64::MAX
-                    } else {
-                        (r.probability * (u64::MAX as f64)) as u64
-                    },
+                    threshold: crate::plan::prob_threshold(r.probability),
                     max_fires: r.max_fires,
                     delay_us: r.delay_us,
                     fires: AtomicU64::new(0),
@@ -232,6 +219,12 @@ mod active {
             if rule.kind == FaultKind::Panic && !allow_panic {
                 continue;
             }
+            // Network-only kinds have no in-process meaning; they are
+            // evaluated by the simulator's `PlanEval`, never by the global
+            // prober.
+            if matches!(rule.kind, FaultKind::Duplicate | FaultKind::Partition) {
+                continue;
+            }
             if rule.max_fires > 0 && rule.fires.fetch_add(1, Ordering::Relaxed) >= rule.max_fires {
                 continue;
             }
@@ -250,6 +243,8 @@ mod active {
                 }
                 FaultKind::StealMiss => Action::StealMiss,
                 FaultKind::TaskDrop => Action::TaskDrop,
+                // Filtered out above before the rule can fire.
+                FaultKind::Duplicate | FaultKind::Partition => Action::None,
             };
         }
         Action::None

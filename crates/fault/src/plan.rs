@@ -35,16 +35,28 @@ pub enum Site {
     TaskExec = 3,
     /// The job service is about to admit a parsed request to its queue.
     JobAdmission = 4,
+    /// A service worker just picked a job off the admission queue and is
+    /// about to run it. A `panic` here escapes the job's `catch_unwind`
+    /// layer, so it kills the worker thread itself (exercising the
+    /// death/respawn path and the reply backstop), unlike `task-exec`
+    /// which is contained by the runtimes.
+    WorkerPickup = 5,
+    /// A message is about to be delivered across the (virtual) network —
+    /// only probed by the `tpm-desim` simulator, where `drop`/`delay`/
+    /// `duplicate`/`partition` faults act on the in-flight message.
+    NetDeliver = 6,
 }
 
 impl Site {
     /// Every site, in discriminant order.
-    pub const ALL: [Site; 5] = [
+    pub const ALL: [Site; 7] = [
         Site::ChunkClaim,
         Site::StealAttempt,
         Site::BarrierEntry,
         Site::TaskExec,
         Site::JobAdmission,
+        Site::WorkerPickup,
+        Site::NetDeliver,
     ];
 
     /// Stable kebab-case name (used in plan JSON and reports).
@@ -55,6 +67,8 @@ impl Site {
             Site::BarrierEntry => "barrier-entry",
             Site::TaskExec => "task-exec",
             Site::JobAdmission => "job-admission",
+            Site::WorkerPickup => "worker-pickup",
+            Site::NetDeliver => "net-deliver",
         }
     }
 
@@ -83,17 +97,28 @@ pub enum FaultKind {
     StealMiss,
     /// Drop the unit of work instead of running it. Runtimes surface the
     /// drop as a contained panic with an `"injected task-drop"` payload so
-    /// it can never silently corrupt a result.
+    /// it can never silently corrupt a result. At [`Site::NetDeliver`] the
+    /// dropped unit is the in-flight message (a lost packet).
     TaskDrop,
+    /// Deliver the in-flight message twice (only meaningful at
+    /// [`Site::NetDeliver`]; inert at in-process probes).
+    Duplicate,
+    /// Sever the link both ways for `delay_us` microseconds of virtual
+    /// time: messages already in flight and messages sent while severed
+    /// are lost (only meaningful at [`Site::NetDeliver`]; inert at
+    /// in-process probes).
+    Partition,
 }
 
 impl FaultKind {
     /// Every kind, in a stable order.
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 6] = [
         FaultKind::Panic,
         FaultKind::Delay,
         FaultKind::StealMiss,
         FaultKind::TaskDrop,
+        FaultKind::Duplicate,
+        FaultKind::Partition,
     ];
 
     /// Stable kebab-case name (used in plan JSON and reports).
@@ -103,6 +128,8 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::StealMiss => "steal-miss",
             FaultKind::TaskDrop => "task-drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Partition => "partition",
         }
     }
 
@@ -213,6 +240,38 @@ impl FaultPlan {
         out
     }
 
+    /// A human-readable dump: one line per rule, preceded by the seed.
+    /// Chaos and desim failure reports embed this so a failing seed is
+    /// diagnosable from the log alone.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "fault plan: seed {}, {} rule{}\n",
+            self.seed,
+            self.rules.len(),
+            if self.rules.len() == 1 { "" } else { "s" }
+        );
+        for (i, r) in self.rules.iter().enumerate() {
+            out.push_str(&format!("  [{i}] {} at {}", r.kind.name(), r.site.name()));
+            match r.nth {
+                Some(n) => out.push_str(&format!(" on hit {n}")),
+                None => out.push_str(&format!(" with p={}", r.probability)),
+            }
+            if r.delay_us > 0 {
+                let what = match r.kind {
+                    FaultKind::Partition => "severed for",
+                    _ => "delay",
+                };
+                out.push_str(&format!(", {what} {}us", r.delay_us));
+            }
+            if r.max_fires > 0 {
+                let plural = if r.max_fires == 1 { "" } else { "s" };
+                out.push_str(&format!(", max {} fire{plural}", r.max_fires));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// Parses a plan from JSON like:
     ///
     /// ```json
@@ -230,6 +289,31 @@ impl FaultPlan {
     /// rejected with the `line:column` where the problem sits.
     pub fn parse_json(text: &str) -> Result<Self, PlanError> {
         Parser::new(text).parse_plan()
+    }
+}
+
+/// SplitMix64 finalizer over the (seed, site, rule, hit) tuple: a cheap
+/// avalanche hash whose output is uniform enough for per-hit coin flips.
+/// Shared by the process-global prober and [`crate::PlanEval`] so both
+/// make identical decisions for the same plan and hit sequence.
+pub(crate) fn mix(seed: u64, site: u64, rule: u64, hit: u64) -> u64 {
+    let mut z = seed
+        ^ site.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ rule.wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ hit.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `probability` mapped into hash-output space (top bits compared
+/// directly, avoiding per-probe float conversion). `p == 1.0` must always
+/// fire; saturate instead of rounding.
+pub(crate) fn prob_threshold(probability: f64) -> u64 {
+    if probability >= 1.0 {
+        u64::MAX
+    } else {
+        (probability * (u64::MAX as f64)) as u64
     }
 }
 

@@ -236,6 +236,7 @@ pub fn run(user_plan: Option<FaultPlan>, threads: usize, models: &[Model]) -> i3
             Ok(r) => r,
             Err(msg) => {
                 println!("[chaos] {name}: FAIL {msg}");
+                println!("{}", plan.describe());
                 failures += 1;
                 continue;
             }
@@ -249,6 +250,7 @@ pub fn run(user_plan: Option<FaultPlan>, threads: usize, models: &[Model]) -> i3
             Ok(r) => r,
             Err(msg) => {
                 println!("[chaos] {name}: FAIL (replay) {msg}");
+                println!("{}", plan.describe());
                 failures += 1;
                 continue;
             }
@@ -260,6 +262,7 @@ pub fn run(user_plan: Option<FaultPlan>, threads: usize, models: &[Model]) -> i3
         };
         if let Some(diverged) = shorter.iter().find(|f| !longer.contains(f)) {
             println!("[chaos] {name}: FAIL replay diverged at {diverged:?}");
+            println!("{}", plan.describe());
             failures += 1;
             continue;
         }

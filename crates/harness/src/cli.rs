@@ -21,7 +21,7 @@ pub const USAGE: &str = "usage: tpm-harness <experiment> [kernel] [--native] [--
 [--reps N] [--scale S] [--trace out.json] [--json-out bench.json] [--pin] \
 [--kernel-variant reference|optimized] [service flags]
 experiments: table1 table2 table3 fig1..fig10 figures tables all check ht numasim calibrate
-             profile serve loadgen top metrics chaos
+             profile serve loadgen top metrics chaos desim
   numasim            sweep NUMA placement (packed|scatter) x steal-victim
                      policy (random|node_aware) on the simulated two-socket
                      testbed; --json-out writes the row table
@@ -38,6 +38,11 @@ experiments: table1 table2 table3 fig1..fig10 figures tables all check ht numasi
                      selected models, default the whole registry) and verify
                      containment, recovery and replay; needs a build with
                      --features inject
+  desim [kernel]     run the deterministic whole-service simulator: seeded
+                     virtual network + simulated node driving the real
+                     tpm-serve state machines, audited by the invariant
+                     suite; sweeps seeds and reports any violation with a
+                     replayable seed (default kernel: sum)
   --fault-plan f.json install a fault plan (tpm-fault JSON) for the run;
                      malformed plans are reported with file:line:column and
                      exit 2. Probes are compiled out without --features
@@ -81,7 +86,17 @@ service flags (serve + loadgen):
   --metrics-out f    serve: write the final metrics snapshot (one JSON line)
                      here on shutdown [default: stderr]
   --interval-ms N    top: milliseconds between dashboard refreshes [1000]
-  --frames N         top: render N frames then exit [default: until killed]";
+  --frames N         top: render N frames then exit [default: until killed]
+desim flags:
+  --seed N           desim: first seed of the sweep [1]
+  --seeds N          desim: how many consecutive seeds to run [1]
+  --until-failure    desim: keep advancing seeds until an invariant breaks
+                     (caps at 100000 seeds), then print the failure report
+  --replay           desim: run the seed twice and require byte-identical
+                     event logs, then print the log
+  --gap-us N         desim: virtual gap between a client's requests [500]
+  --bug name         desim: plant a known bug (lose-job|watchdog-gate) to
+                     prove the invariant checker catches it";
 
 /// Flags every experiment understands: sweep shape, tracing, output, pinning.
 #[derive(Debug, Clone, Default)]
@@ -141,6 +156,18 @@ pub struct ServiceOpts {
     pub frames: Option<usize>,
     /// Serve: recycle reply buffers through the per-worker pool.
     pub arena: bool,
+    /// Desim: first seed of the sweep.
+    pub seed: u64,
+    /// Desim: how many consecutive seeds to run.
+    pub seeds: usize,
+    /// Desim: advance seeds until an invariant breaks.
+    pub until_failure: bool,
+    /// Desim: run the seed twice and require byte-identical logs.
+    pub replay: bool,
+    /// Desim: virtual gap between a client's consecutive requests (µs).
+    pub gap_us: u64,
+    /// Desim: plant a named bug to validate the invariant checker.
+    pub bug: Option<String>,
 }
 
 impl Default for ServiceOpts {
@@ -163,6 +190,12 @@ impl Default for ServiceOpts {
             interval_ms: 1000,
             frames: None,
             arena: true,
+            seed: 1,
+            seeds: 1,
+            until_failure: false,
+            replay: false,
+            gap_us: 500,
+            bug: None,
         }
     }
 }
@@ -319,6 +352,29 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--frames" => {
                 service.frames = Some(positive(args, &mut i, "--frames")?);
+            }
+            "--seed" => {
+                let v = flag_value(args, &mut i, "--seed")?;
+                service.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid --seed value '{v}': expected an integer"))?;
+            }
+            "--seeds" => {
+                service.seeds = positive(args, &mut i, "--seeds")?;
+            }
+            "--until-failure" => service.until_failure = true,
+            "--replay" => service.replay = true,
+            "--gap-us" => {
+                service.gap_us = positive(args, &mut i, "--gap-us")? as u64;
+            }
+            "--bug" => {
+                let v = flag_value(args, &mut i, "--bug")?;
+                if !matches!(v, "lose-job" | "watchdog-gate") {
+                    return Err(format!(
+                        "invalid --bug value '{v}': expected lose-job|watchdog-gate"
+                    ));
+                }
+                service.bug = Some(v.to_string());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
@@ -659,6 +715,41 @@ mod tests {
         assert!(p(&["fig1", "--reps", "--native"])
             .unwrap_err()
             .contains("requires a value"));
+    }
+
+    #[test]
+    fn parses_desim_flags() {
+        let cli = p(&[
+            "desim", "--seed", "77", "--seeds", "250", "--gap-us", "1000", "--bug", "lose-job",
+        ])
+        .unwrap();
+        assert_eq!(cli.experiment, "desim");
+        assert_eq!(cli.service.seed, 77);
+        assert_eq!(cli.service.seeds, 250);
+        assert_eq!(cli.service.gap_us, 1000);
+        assert_eq!(cli.service.bug.as_deref(), Some("lose-job"));
+        assert!(!cli.service.until_failure && !cli.service.replay);
+
+        let cli = p(&["desim", "--until-failure"]).unwrap();
+        assert!(cli.service.until_failure);
+        let cli = p(&["desim", "--seed", "9", "--replay"]).unwrap();
+        assert!(cli.service.replay);
+        assert_eq!(cli.service.seed, 9);
+
+        // Defaults.
+        let cli = p(&["desim"]).unwrap();
+        assert_eq!(cli.service.seed, 1);
+        assert_eq!(cli.service.seeds, 1);
+        assert_eq!(cli.service.gap_us, 500);
+        assert!(cli.service.bug.is_none());
+
+        assert!(p(&["desim", "--seed", "two"])
+            .unwrap_err()
+            .contains("--seed"));
+        assert!(p(&["desim", "--seeds", "0"]).is_err());
+        assert!(p(&["desim", "--bug", "off-by-one"])
+            .unwrap_err()
+            .contains("lose-job|watchdog-gate"));
     }
 
     #[test]

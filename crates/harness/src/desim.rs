@@ -1,0 +1,165 @@
+//! The `desim` subcommand: seed sweeps over the deterministic service
+//! simulator.
+//!
+//! Three modes, all over the full job registry (so every model family is
+//! exercised — the simulator rotates requests across `Model::ALL`):
+//!
+//! * **sweep** (default): run `--seeds` consecutive seeds starting at
+//!   `--seed`, audit each against the invariant suite, and summarize. Any
+//!   violation prints a full failure report (fault plan, violations, log
+//!   tail) with the seed that reproduces it.
+//! * **`--until-failure`**: keep advancing seeds until an invariant breaks
+//!   (capped), for hunting.
+//! * **`--replay`**: run one seed twice, require byte-identical event
+//!   logs, and print the log — the determinism contract, checked.
+//!
+//! Wall time is measured *here*, around the simulator — never inside it
+//! (see `tpm_desim::clock`) — which is what makes the virtual-to-wall
+//! speedup meaningful to report.
+
+use std::time::Instant;
+
+use tpm_desim::{Bug, DesimConfig, DesimReport};
+use tpm_fault::FaultPlan;
+
+use crate::cli::ServiceOpts;
+use crate::jobs;
+
+/// Cap for `--until-failure` so a clean plan terminates.
+const HUNT_CAP: u64 = 100_000;
+
+fn config(plan: Option<FaultPlan>, svc: &ServiceOpts, kernel: Option<&str>) -> DesimConfig {
+    DesimConfig {
+        seed: svc.seed,
+        clients: svc.clients,
+        requests_per_client: svc.requests,
+        workers: svc.workers,
+        queue_capacity: svc.queue,
+        max_threads: svc.max_threads,
+        deadline_ms: svc.deadline_ms.or(Some(5)),
+        protocol: svc.protocol,
+        kernel: kernel.unwrap_or("sum").to_string(),
+        size: svc.size.min(65_536),
+        threads: svc.job_threads,
+        gap_us: svc.gap_us,
+        plan,
+        bug: match svc.bug.as_deref() {
+            Some("lose-job") => Bug::LoseJobOnWorkerDeath,
+            Some("watchdog-gate") => Bug::WatchdogIgnoresGate,
+            _ => Bug::None,
+        },
+        ..DesimConfig::default()
+    }
+}
+
+fn summarize(r: &DesimReport) -> String {
+    format!(
+        "seed {:>6}: {} reqs, {} admitted, {} ok, {} failed, {} shed, {} watchdog, \
+         {} deaths, {} net-drops, {} dups, {} partitions, {} faults, virtual {:.1} ms",
+        r.seed,
+        r.stats.requests,
+        r.stats.admitted,
+        r.stats.completed,
+        r.stats.failed,
+        r.stats.shed,
+        r.stats.watchdog_shed,
+        r.stats.worker_deaths,
+        r.stats.net_dropped,
+        r.stats.net_duplicated,
+        r.stats.partitions,
+        r.stats.faults_fired,
+        r.virtual_ns as f64 / 1e6,
+    )
+}
+
+/// Runs the subcommand; returns the process exit code.
+pub fn run(plan: Option<FaultPlan>, svc: &ServiceOpts, kernel: Option<&str>) -> i32 {
+    let registry = jobs::registry();
+    let base = config(plan, svc, kernel);
+    if let Err(e) = registry.validate(&tpm_core::JobSpec {
+        kernel: base.kernel.clone(),
+        model: tpm_core::Model::OmpFor,
+        variant: tpm_core::KernelVariant::Reference,
+        size: base.size,
+        threads: base.threads,
+    }) {
+        eprintln!("error: desim workload rejected: {e}");
+        return 2;
+    }
+
+    if svc.replay {
+        let wall = Instant::now();
+        let a = tpm_desim::run(&base, &registry);
+        let b = tpm_desim::run(&base, &registry);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        if a.log != b.log {
+            eprintln!(
+                "desim: REPLAY DIVERGED at seed {} — the run is not deterministic",
+                base.seed
+            );
+            return 1;
+        }
+        print!("{}", a.log);
+        println!("{}", summarize(&a));
+        println!(
+            "desim: replay ok — two runs of seed {} produced byte-identical logs \
+             ({} events, {:.1} ms wall for both)",
+            base.seed,
+            a.log.lines().count(),
+            wall_ms
+        );
+        if a.failed() {
+            println!("{}", a.render_failure());
+            return 1;
+        }
+        return 0;
+    }
+
+    let hunt = svc.until_failure;
+    let total = if hunt { HUNT_CAP } else { svc.seeds as u64 };
+    let mut virtual_ns: u64 = 0;
+    let mut failures = 0u64;
+    let mut ran = 0u64;
+    let wall = Instant::now();
+    for offset in 0..total {
+        let cfg = DesimConfig {
+            seed: base.seed.wrapping_add(offset),
+            ..base.clone()
+        };
+        let report = tpm_desim::run(&cfg, &registry);
+        ran += 1;
+        virtual_ns += report.virtual_ns;
+        if report.failed() {
+            failures += 1;
+            println!("{}", report.render_failure());
+            println!(
+                "reproduce with: tpm-harness desim --seed {} --replay",
+                report.seed
+            );
+            if hunt {
+                break;
+            }
+        } else if !hunt || offset % 1_000 == 0 {
+            println!("{}", summarize(&report));
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let virtual_s = virtual_ns as f64 / 1e9;
+    println!(
+        "desim: {} seed(s), {} violation(s), virtual {:.2} s in {:.2} s wall \
+         ({:.0}x virtual-time speedup)",
+        ran,
+        failures,
+        virtual_s,
+        wall_s,
+        if wall_s > 0.0 {
+            virtual_s / wall_s
+        } else {
+            0.0
+        }
+    );
+    if hunt && failures == 0 {
+        println!("desim: no failure in {ran} seeds (hunt cap reached)");
+    }
+    i32::from(failures > 0)
+}

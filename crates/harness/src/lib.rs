@@ -18,6 +18,7 @@
 pub mod calibrate;
 pub mod chaos;
 pub mod cli;
+pub mod desim;
 pub mod experiments;
 pub mod jobs;
 pub mod json;

@@ -3,7 +3,7 @@
 use tpm_harness::cli::{self, Cli};
 use tpm_harness::experiments::{self, check_claims};
 use tpm_harness::native::{self, NativeConfig};
-use tpm_harness::{chaos, profile, service, top};
+use tpm_harness::{chaos, desim, profile, service, top};
 
 /// Count every heap operation so `serve` can report measured
 /// allocations-per-request (the `--arena` win) instead of estimates.
@@ -31,16 +31,19 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if fault_plan.is_some() && !tpm_fault::compiled_in() {
+    // The simulator evaluates plans itself, with no global probes needed.
+    if fault_plan.is_some() && !tpm_fault::compiled_in() && cli.experiment != "desim" {
         eprintln!(
             "warning: --fault-plan ignored: fault probes are compiled out \
              (rebuild with --features inject)"
         );
     }
-    // The `chaos` subcommand installs plans round-by-round itself; every
+    // The `chaos` subcommand installs plans round-by-round itself, and
+    // `desim` feeds the plan to its own in-simulator evaluator (a global
+    // session would double-fire probes inside the real kernel runs); every
     // other experiment runs under the plan for its whole duration.
     let _session = match (&cli.experiment[..], fault_plan.as_ref()) {
-        ("chaos", _) => None,
+        ("chaos", _) | ("desim", _) => None,
         (_, Some(plan)) if tpm_fault::compiled_in() => Some(tpm_fault::FaultSession::install(plan)),
         _ => None,
     };
@@ -245,6 +248,7 @@ fn run(cli: &Cli, fault_plan: Option<tpm_fault::FaultPlan>) -> i32 {
             let threads = cfg.threads.iter().copied().max().unwrap_or(4);
             chaos::run(fault_plan, threads, &cfg.models)
         }
+        "desim" => desim::run(fault_plan, service, kernel.as_deref()),
         "serve" => service::run_serve(service),
         "loadgen" => {
             let job = kernel.as_deref().unwrap_or("sum");

@@ -1,0 +1,301 @@
+//! Transport-independent service state machines.
+//!
+//! Both real data paths (the threaded readers and the epoll reactor) and the
+//! deterministic simulator (`tpm-desim`) drive the same session pump,
+//! admission policy, reply-claim gate, and watchdog arithmetic from this
+//! module. That is the point: a bug in admission or drain logic reproduced
+//! by a simulator seed is a bug in the code production runs, not in a
+//! parallel reimplementation.
+//!
+//! The split of responsibilities:
+//!
+//! * [`Transport`] — the one thing a data path must provide: a way to queue
+//!   bytes toward the peer. The threaded path copies into a pooled buffer
+//!   and hands it to the writer thread; the reactor appends to the
+//!   connection's write buffer; the simulator schedules a virtual-network
+//!   delivery.
+//! * [`pump_session`] — the decode loop over a [`Decoder`]: answers
+//!   preambles, surfaces complete frames to the caller, and on a corrupt
+//!   stream sends the parse-error reply itself and asks for a close.
+//! * [`admit`] — the pre-queue admission decision for a `run` request
+//!   (thread-limit check, spec validation, deadline resolution).
+//! * [`ReplyGate`] — the exactly-one-reply claim shared by worker, watchdog,
+//!   shed path, and drop backstop.
+//! * [`kill_offset`] — the watchdog's hard-kill margin past a deadline.
+
+use crate::protocol::{Request, Response, CODE_PARSE};
+use crate::wire::{self, Decoder, Step};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tpm_core::{JobRegistry, JobSpec};
+
+/// The byte-output half of a connection, as the engine sees it.
+///
+/// Implementations must preserve ordering: bytes sent earlier reach the
+/// peer earlier (per connection).
+pub trait Transport {
+    /// Queues `bytes` for delivery to the peer.
+    fn send_bytes(&mut self, bytes: &[u8]);
+}
+
+/// Drains every decodable message out of `decoder`, sending protocol-level
+/// replies (preamble echo, corrupt-stream error) through `transport` and
+/// handing each complete frame to `on_frame` along with the connection's
+/// sniffed protocol (fixed by the time the first frame decodes).
+///
+/// Returns `false` when the framing layer is lost — the parse-error reply
+/// has already been sent and the caller must close the connection.
+pub fn pump_session(
+    decoder: &mut Decoder,
+    transport: &mut dyn Transport,
+    mut on_frame: impl FnMut(crate::wire::Protocol, Result<Request, String>),
+) -> bool {
+    loop {
+        match decoder.next() {
+            Step::NeedMore => return true,
+            Step::Preamble(version) => {
+                transport.send_bytes(&wire::server_preamble(Decoder::negotiate(version)));
+            }
+            Step::Message(parsed) => {
+                let proto = decoder.protocol().unwrap_or_default();
+                on_frame(proto, parsed);
+            }
+            Step::Corrupt(message) => {
+                let proto = decoder.protocol().unwrap_or_default();
+                let mut buf = Vec::new();
+                wire::encode_response_into(
+                    proto,
+                    &Response::Error {
+                        id: None,
+                        code: CODE_PARSE,
+                        message,
+                    },
+                    &mut buf,
+                );
+                transport.send_bytes(&buf);
+                return false;
+            }
+        }
+    }
+}
+
+/// The admission-relevant slice of the server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Upper bound on `spec.threads` a request may ask for.
+    pub max_threads: usize,
+    /// Deadline applied when the request carries none.
+    pub default_deadline_ms: Option<u64>,
+}
+
+/// What [`admit`] decided for one `run` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// Admit, with the resolved deadline budget (request's own, or the
+    /// server default).
+    Accept {
+        /// Deadline budget in milliseconds; `None` means unbounded.
+        deadline_ms: Option<u64>,
+    },
+    /// Refuse before the queue. `shed` selects the shed counter over the
+    /// failed counter.
+    Refuse {
+        /// Wire error code for the refusal reply.
+        code: &'static str,
+        /// Human-readable refusal message.
+        message: String,
+        /// True when this is load shedding rather than a bad request.
+        shed: bool,
+    },
+}
+
+/// Refusal message for a full (or closing) admission queue — shared so the
+/// real server and the simulator shed with identical replies.
+pub const MSG_QUEUE_FULL: &str = "admission queue full";
+
+/// Refusal message the watchdog uses when it sheds an overdue job.
+pub const MSG_WATCHDOG_SHED: &str = "shed by watchdog: exceeded deadline grace";
+
+/// Backstop message sent for a request dropped without a reply (worker
+/// death between pickup and answer).
+pub const MSG_DROPPED: &str = "request dropped without a reply";
+
+/// The pre-queue admission decision for a `run` request: thread-limit
+/// check, then spec validation, then deadline resolution. Queue capacity is
+/// deliberately *not* checked here — that decision belongs to the queue
+/// push itself ([`MSG_QUEUE_FULL`]).
+pub fn admit(
+    registry: &JobRegistry,
+    policy: &AdmissionPolicy,
+    spec: &JobSpec,
+    deadline_ms: Option<u64>,
+) -> Admission {
+    if spec.threads > policy.max_threads {
+        return Admission::Refuse {
+            code: "bad_config",
+            message: format!(
+                "threads {} exceeds server limit {}",
+                spec.threads, policy.max_threads
+            ),
+            shed: false,
+        };
+    }
+    if let Err(e) = registry.validate(spec) {
+        return Admission::Refuse {
+            code: e.code(),
+            message: e.to_string(),
+            shed: false,
+        };
+    }
+    Admission::Accept {
+        deadline_ms: deadline_ms.or(policy.default_deadline_ms),
+    }
+}
+
+/// How far past a request's deadline the watchdog lets it run before the
+/// hard kill: `(grace − 1) × budget`, floored at zero. The kill point is
+/// `deadline + kill_offset(budget, grace)`.
+#[must_use]
+pub fn kill_offset(budget: Duration, grace: f64) -> Duration {
+    budget.mul_f64((grace - 1.0).max(0.0))
+}
+
+/// The exactly-one-reply claim for a request. Whoever [`claim`]s first —
+/// worker, watchdog, shed path, or drop backstop — owns the reply; everyone
+/// else must stay silent.
+///
+/// [`claim`]: ReplyGate::claim
+#[derive(Debug, Clone, Default)]
+pub struct ReplyGate(Arc<AtomicBool>);
+
+impl ReplyGate {
+    /// An unclaimed gate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to claim the reply. Returns `true` exactly once across all
+    /// clones — the caller that gets `true` sends the reply.
+    pub fn claim(&self) -> bool {
+        !self.0.swap(true, Ordering::SeqCst)
+    }
+
+    /// True once someone has claimed the reply.
+    #[must_use]
+    pub fn is_claimed(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Protocol;
+    use tpm_core::{KernelVariant, Model};
+
+    #[derive(Default)]
+    struct VecTransport(Vec<Vec<u8>>);
+    impl Transport for VecTransport {
+        fn send_bytes(&mut self, bytes: &[u8]) {
+            self.0.push(bytes.to_vec());
+        }
+    }
+
+    fn test_registry() -> JobRegistry {
+        let mut r = JobRegistry::new();
+        r.register("sum", "echoes the size", 1 << 20, |ctx| {
+            Ok(ctx.spec.size as f64)
+        });
+        r
+    }
+
+    fn spec(threads: usize) -> JobSpec {
+        JobSpec {
+            kernel: "sum".to_string(),
+            model: Model::OmpFor,
+            variant: KernelVariant::Reference,
+            size: 64,
+            threads,
+        }
+    }
+
+    #[test]
+    fn pump_answers_preamble_and_surfaces_frames() {
+        let mut d = Decoder::new();
+        d.feed(&wire::client_preamble(1));
+        d.feed(&wire::encode_request(Protocol::Binary, &Request::Ping));
+        let mut t = VecTransport::default();
+        let mut frames = Vec::new();
+        let alive = pump_session(&mut d, &mut t, |proto, f| frames.push((proto, f)));
+        assert!(alive);
+        assert_eq!(t.0, vec![wire::server_preamble(1).to_vec()]);
+        assert_eq!(frames, vec![(Protocol::Binary, Ok(Request::Ping))]);
+    }
+
+    #[test]
+    fn pump_replies_and_closes_on_corrupt_stream() {
+        let mut d = Decoder::new();
+        d.feed(&wire::client_preamble(1));
+        d.feed(&0u32.to_le_bytes()); // zero-length frame: framing lost
+        let mut t = VecTransport::default();
+        let alive = pump_session(&mut d, &mut t, |_, _| panic!("no frame expected"));
+        assert!(!alive);
+        assert_eq!(t.0.len(), 2, "preamble echo then parse-error reply");
+        let err = String::from_utf8_lossy(&t.0[1]).to_string();
+        assert!(err.contains("frame length") || !err.is_empty());
+    }
+
+    #[test]
+    fn admit_enforces_thread_limit_then_validation_then_deadline_default() {
+        let reg = test_registry();
+        let policy = AdmissionPolicy {
+            max_threads: 4,
+            default_deadline_ms: Some(250),
+        };
+        match admit(&reg, &policy, &spec(8), None) {
+            Admission::Refuse { code, shed, .. } => {
+                assert_eq!(code, "bad_config");
+                assert!(!shed);
+            }
+            other => panic!("{other:?}"),
+        }
+        let mut unknown = spec(2);
+        unknown.kernel = "nope".to_string();
+        assert!(matches!(
+            admit(&reg, &policy, &unknown, None),
+            Admission::Refuse { .. }
+        ));
+        assert_eq!(
+            admit(&reg, &policy, &spec(2), None),
+            Admission::Accept {
+                deadline_ms: Some(250)
+            }
+        );
+        assert_eq!(
+            admit(&reg, &policy, &spec(2), Some(50)),
+            Admission::Accept {
+                deadline_ms: Some(50)
+            }
+        );
+    }
+
+    #[test]
+    fn kill_offset_floors_at_zero_and_scales_with_grace() {
+        let budget = Duration::from_millis(100);
+        assert_eq!(kill_offset(budget, 1.0), Duration::ZERO);
+        assert_eq!(kill_offset(budget, 0.5), Duration::ZERO);
+        assert_eq!(kill_offset(budget, 3.0), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn reply_gate_grants_exactly_one_claim() {
+        let gate = ReplyGate::new();
+        let clone = gate.clone();
+        assert!(!gate.is_claimed());
+        assert!(gate.claim());
+        assert!(!clone.claim());
+        assert!(clone.is_claimed());
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod engine;
 pub mod frame;
 pub mod json;
 pub mod loadgen;

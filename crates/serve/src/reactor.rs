@@ -32,9 +32,9 @@ use std::sync::{mpsc, Arc};
 use tpm_alloc::PooledBuf;
 use tpm_sync::epoll::{Epoll, Event, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
-use crate::protocol::{Response, CODE_PARSE};
+use crate::engine::{self, Transport};
 use crate::server::{handle_frame, ReplySink, Shared};
-use crate::wire::{self, Decoder, Step};
+use crate::wire::Decoder;
 
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
@@ -250,6 +250,19 @@ fn on_conn_ready(
     // with buffered output each iteration.
 }
 
+/// The reactor's [`Transport`]: protocol-level replies (preamble echo,
+/// corrupt-stream error) go straight into the connection's write buffer —
+/// no worker, no channel.
+struct WbufTransport<'a> {
+    wbuf: &'a mut Vec<u8>,
+}
+
+impl Transport for WbufTransport<'_> {
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+}
+
 /// Decodes and dispatches everything the connection's buffer holds.
 fn pump_conn(
     conn: &mut Conn,
@@ -257,43 +270,33 @@ fn pump_conn(
     tx: &mpsc::Sender<(u64, PooledBuf)>,
     wake: &Arc<EventFd>,
 ) {
-    loop {
-        match conn.decoder.next() {
-            Step::NeedMore => break,
-            Step::Preamble(version) => {
-                conn.wbuf
-                    .extend_from_slice(&wire::server_preamble(Decoder::negotiate(version)));
-            }
-            Step::Message(parsed) => {
-                conn.awaiting += 1;
-                let sink = ReplySink::Reactor {
-                    conn: conn.token,
-                    proto: conn.decoder.protocol().unwrap_or_default(),
-                    pool: shared.pool.clone(),
-                    tx: tx.clone(),
-                    wake: Arc::clone(wake),
-                };
-                handle_frame(parsed, shared, &sink, &conn.peer);
-            }
-            Step::Corrupt(message) => {
-                // Framing is unrecoverable: answer directly into the write
-                // buffer (skipping the channel — no worker involved) and
-                // stop reading. Replies already owed still flush before the
-                // close.
-                let proto = conn.decoder.protocol().unwrap_or_default();
-                wire::encode_response_into(
-                    proto,
-                    &Response::Error {
-                        id: None,
-                        code: CODE_PARSE,
-                        message,
-                    },
-                    &mut conn.wbuf,
-                );
-                conn.closing = true;
-                break;
-            }
-        }
+    // Split-borrow the connection: the transport owns the write buffer
+    // while the frame callback reads the token/peer and counts replies owed.
+    let Conn {
+        token,
+        peer,
+        decoder,
+        wbuf,
+        awaiting,
+        ..
+    } = conn;
+    let mut transport = WbufTransport { wbuf };
+    let alive = engine::pump_session(decoder, &mut transport, |proto, parsed| {
+        *awaiting += 1;
+        let sink = ReplySink::Reactor {
+            conn: *token,
+            proto,
+            pool: shared.pool.clone(),
+            tx: tx.clone(),
+            wake: Arc::clone(wake),
+        };
+        handle_frame(parsed, shared, &sink, peer);
+    });
+    if !alive {
+        // Framing is unrecoverable: the parse-error reply is already in the
+        // write buffer; stop reading. Replies already owed still flush
+        // before the close.
+        conn.closing = true;
     }
 }
 

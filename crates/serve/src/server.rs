@@ -43,10 +43,11 @@ use tpm_core::{panic_message, Executor, JobRegistry, JobSpec};
 use tpm_sync::epoll::EventFd;
 use tpm_sync::CancelToken;
 
+use crate::engine::{self, ReplyGate, Transport};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{Request, Response, CODE_INJECTED, CODE_OVERLOADED, CODE_PARSE};
 use crate::queue::BoundedQueue;
-use crate::wire::{self, Decoder, Protocol, Step};
+use crate::wire::{self, Decoder, Protocol};
 
 /// Which socket data path the server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,7 +137,9 @@ impl Default for ServerConfig {
 pub struct ServeStats {
     admitted: AtomicU64,
     completed: AtomicU64,
-    failed: AtomicU64,
+    /// Shared with every in-flight [`WorkItem`] so the `Drop` backstop can
+    /// count the jobs it answers for dead workers.
+    failed: Arc<AtomicU64>,
     shed: AtomicU64,
     watchdog_shed: AtomicU64,
 }
@@ -241,13 +244,17 @@ pub(crate) struct WorkItem {
     /// The deadline budget (queue wait + execution) used to compute the
     /// watchdog's hard-kill point; `None` when the request has no deadline.
     pub(crate) deadline_budget: Option<Duration>,
-    /// Set by whichever side answers first (worker, watchdog, shed path, or
-    /// the `Drop` backstop) — every request gets exactly one reply.
-    pub(crate) replied: Arc<AtomicBool>,
+    /// Claimed by whichever side answers first (worker, watchdog, shed path,
+    /// or the `Drop` backstop) — every request gets exactly one reply.
+    pub(crate) replied: ReplyGate,
     /// The server's live-item count, decremented by `Drop`. The reactor
     /// drains until it reads zero, so a reply can never be lost between
     /// "queue looks empty" and "worker actually sent it".
     pub(crate) pending: Arc<AtomicU64>,
+    /// `ServeStats::failed`, so the `Drop` backstop's reply is counted and
+    /// `admitted == completed + failed + shed + watchdog_shed` holds across
+    /// worker death (the desim invariant checker audits exactly this).
+    pub(crate) failed: Arc<AtomicU64>,
 }
 
 impl Drop for WorkItem {
@@ -256,11 +263,12 @@ impl Drop for WorkItem {
         // between pop and reply) still costs exactly one error reply, never
         // a silently hung client. Reply first, then decrement — the reactor
         // treats pending == 0 as "every reply is already in my channel".
-        if !self.replied.swap(true, Ordering::SeqCst) {
+        if self.replied.claim() {
+            self.failed.fetch_add(1, Ordering::Relaxed);
             self.reply.send(&Response::Error {
                 id: Some(self.id),
                 code: "panic",
-                message: "request dropped without a reply".to_string(),
+                message: engine::MSG_DROPPED.to_string(),
             });
         }
         self.pending.fetch_sub(1, Ordering::SeqCst);
@@ -272,7 +280,7 @@ pub(crate) struct Inflight {
     id: u64,
     token: CancelToken,
     reply: ReplySink,
-    replied: Arc<AtomicBool>,
+    replied: ReplyGate,
     /// When the watchdog gives up on the job: deadline + (grace − 1) ×
     /// budget. `None` (no deadline) means the watchdog never intervenes.
     kill_at: Option<Instant>,
@@ -680,7 +688,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
             // Cancel unconditionally (idempotent), but reply only if the
             // worker hasn't already: exactly one reply per request.
             entry.token.cancel();
-            if !entry.replied.swap(true, Ordering::SeqCst) {
+            if entry.replied.claim() {
                 overdue.push((entry.id, entry.reply.clone()));
             }
         }
@@ -690,7 +698,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
             reply.send(&Response::Error {
                 id: Some(id),
                 code: "deadline",
-                message: "shed by watchdog: exceeded deadline grace".to_string(),
+                message: engine::MSG_WATCHDOG_SHED.to_string(),
             });
         }
         std::thread::sleep(interval);
@@ -809,6 +817,24 @@ fn read_loop(
     }
 }
 
+/// The threaded path's [`Transport`]: copies engine output into a pooled
+/// buffer and hands it to the connection's writer thread.
+struct ThreadTransport<'a> {
+    pool: &'a Option<Arc<BufPool>>,
+    tx: &'a mpsc::Sender<PooledBuf>,
+}
+
+impl Transport for ThreadTransport<'_> {
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        let mut buf = match self.pool {
+            Some(p) => p.take(),
+            None => PooledBuf::unpooled(),
+        };
+        buf.extend_from_slice(bytes);
+        let _ = self.tx.send(buf);
+    }
+}
+
 /// Drains every decodable message out of `decoder`. Returns `false` when the
 /// stream is corrupt (the caller closes the connection).
 fn pump_decoder(
@@ -817,36 +843,18 @@ fn pump_decoder(
     tx: &mpsc::Sender<PooledBuf>,
     peer: &str,
 ) -> bool {
-    loop {
-        match decoder.next() {
-            Step::NeedMore => return true,
-            Step::Preamble(v) => {
-                let _ = tx.send(wire::server_preamble(Decoder::negotiate(v)).to_vec().into());
-            }
-            Step::Message(parsed) => {
-                let proto = decoder.protocol().unwrap_or_default();
-                let sink = ReplySink::Thread {
-                    proto,
-                    pool: shared.pool.clone(),
-                    tx: tx.clone(),
-                };
-                handle_frame(parsed, shared, &sink, peer);
-            }
-            Step::Corrupt(message) => {
-                let proto = decoder.protocol().unwrap_or_default();
-                let _ = tx.send(encode_reply(
-                    &shared.pool,
-                    proto,
-                    &Response::Error {
-                        id: None,
-                        code: CODE_PARSE,
-                        message,
-                    },
-                ));
-                return false;
-            }
-        }
-    }
+    let mut transport = ThreadTransport {
+        pool: &shared.pool,
+        tx,
+    };
+    engine::pump_session(decoder, &mut transport, |proto, parsed| {
+        let sink = ReplySink::Thread {
+            proto,
+            pool: shared.pool.clone(),
+            tx: tx.clone(),
+        };
+        handle_frame(parsed, shared, &sink, peer);
+    })
 }
 
 /// Dispatches one decoded message (or its parse error) with panic
@@ -956,31 +964,35 @@ fn handle_request(
                 }
                 tpm_fault::Action::None => {}
             }
-            if spec.threads > shared.config.max_threads {
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.observe_outcome("bad_config");
-                sink.send(&Response::Error {
-                    id: Some(id),
-                    code: "bad_config",
-                    message: format!(
-                        "threads {} exceeds server limit {}",
-                        spec.threads, shared.config.max_threads
-                    ),
-                });
-                return;
-            }
-            // Reject obviously-bad specs before they occupy a queue slot.
-            if let Err(e) = shared.registry.validate(&spec) {
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.observe_outcome(e.code());
-                sink.send(&Response::Error {
-                    id: Some(id),
-                    code: e.code(),
-                    message: e.to_string(),
-                });
-                return;
-            }
-            let deadline = deadline_ms.or(shared.config.default_deadline_ms);
+            // The transport-independent admission decision (thread limit,
+            // spec validation, deadline resolution) — shared with the
+            // deterministic simulator.
+            let policy = engine::AdmissionPolicy {
+                max_threads: shared.config.max_threads,
+                default_deadline_ms: shared.config.default_deadline_ms,
+            };
+            let deadline = match engine::admit(&shared.registry, &policy, &spec, deadline_ms) {
+                engine::Admission::Refuse {
+                    code,
+                    message,
+                    shed,
+                } => {
+                    let counter = if shed {
+                        &shared.stats.shed
+                    } else {
+                        &shared.stats.failed
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.observe_outcome(code);
+                    sink.send(&Response::Error {
+                        id: Some(id),
+                        code,
+                        message,
+                    });
+                    return;
+                }
+                engine::Admission::Accept { deadline_ms } => deadline_ms,
+            };
             let token = match deadline {
                 Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
                 None => CancelToken::new(),
@@ -993,8 +1005,9 @@ fn handle_request(
                 reply: sink.clone(),
                 enqueued: Instant::now(),
                 deadline_budget: deadline.map(Duration::from_millis),
-                replied: Arc::new(AtomicBool::new(false)),
+                replied: ReplyGate::new(),
                 pending: Arc::clone(&shared.pending),
+                failed: Arc::clone(&shared.stats.failed),
             };
             match shared.queue.try_push(item) {
                 Ok(()) => {
@@ -1005,11 +1018,11 @@ fn handle_request(
                     shared.metrics.observe_outcome(CODE_OVERLOADED);
                     // Claim the reply before sending so the Drop backstop
                     // (which runs right after) doesn't answer a second time.
-                    item.replied.swap(true, Ordering::SeqCst);
+                    item.replied.claim();
                     item.reply.send(&Response::Error {
                         id: Some(item.id),
                         code: CODE_OVERLOADED,
-                        message: "admission queue full".to_string(),
+                        message: engine::MSG_QUEUE_FULL.to_string(),
                     });
                 }
             }
@@ -1028,6 +1041,15 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         (Executor, Vec<(tpm_core::Family, tpm_sync::StatsSnapshot)>),
     > = HashMap::new();
     while let Some(item) = shared.queue.pop() {
+        // Fault-injection point: worker pickup. A panic here escapes
+        // worker_loop into the self-healing spawn loop — the worker dies
+        // and respawns — while the popped item's Drop backstop answers the
+        // client. This is the one site that exercises the full worker
+        // death/respawn path; `task-exec` panics are contained by the
+        // runtimes.
+        if tpm_fault::probe(tpm_fault::Site::WorkerPickup) == tpm_fault::Action::Panic {
+            tpm_fault::injected_panic(tpm_fault::Site::WorkerPickup);
+        }
         let _span = tpm_trace::span("serve.job");
         let queue_ns = item.enqueued.elapsed().as_nanos() as u64;
         let queue_ms = queue_ns as f64 / 1e6;
@@ -1043,8 +1065,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
         let kill_at = match (item.token.deadline(), item.deadline_budget) {
             (Some(deadline), Some(budget)) => {
-                let grace = (shared.config.deadline_grace - 1.0).max(0.0);
-                Some(deadline + budget.mul_f64(grace))
+                Some(deadline + engine::kill_offset(budget, shared.config.deadline_grace))
             }
             _ => None,
         };
@@ -1054,7 +1075,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 id: item.id,
                 token: item.token.clone(),
                 reply: item.reply.clone(),
-                replied: Arc::clone(&item.replied),
+                replied: item.replied.clone(),
                 kill_at,
             },
         );
@@ -1082,7 +1103,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
 
         // Exactly one reply per request: skip if the watchdog beat us to it
         // (it already counted the request under `watchdog`).
-        if item.replied.swap(true, Ordering::SeqCst) {
+        if !item.replied.claim() {
             continue;
         }
         let response = match run {

@@ -37,6 +37,7 @@
 #![warn(rust_2018_idioms)]
 
 mod cost;
+pub mod des;
 mod loop_sim;
 mod machine;
 mod placement;
@@ -46,6 +47,7 @@ mod tree_sim;
 mod workload;
 
 pub use cost::{CostModel, DequeKind};
+pub use des::{Clock, EventQueue, VirtualClock};
 pub use loop_sim::{LoopPolicy, Simulator};
 pub use machine::Machine;
 pub use placement::{placement_sweep, Placement, PlacementRow, VictimPolicy};
